@@ -1,0 +1,210 @@
+// Figure 2: the RA transition rules. Microbenchmarks for the rule-level
+// primitives of both semantics: concrete message insertion/renumbering
+// (ST/CAS-GLOBAL), load enumeration (LD), view joins, and the abstract
+// counterparts, plus the conformance summary of the litmus behaviours the
+// rules must produce.
+#include "bench/bench_util.h"
+#include "lang/parser.h"
+#include "ra/config.h"
+#include "ra/explorer.h"
+#include "simplified/simpl_config.h"
+
+namespace rapar {
+namespace {
+
+using benchutil::Header;
+using benchutil::Row;
+using benchutil::Rule;
+
+Program Parse(const std::string& text) {
+  auto p = ParseProgram(text);
+  if (!p.ok()) std::abort();
+  return std::move(p).value();
+}
+
+// The litmus matrix the transition rules must realise (see
+// tests/ra_semantics_test.cpp for the full suite).
+void PrintConformance() {
+  Header("Figure 2 conformance: RA litmus behaviours");
+  struct Case {
+    const char* name;
+    std::vector<std::string> programs;
+    bool allowed;  // behaviour observable?
+  };
+  const char* mp_writer = R"(
+    program w
+    vars x y
+    regs r
+    dom 2
+    begin
+      r := 1;
+      y := r;
+      x := r
+    end)";
+  std::vector<Case> cases;
+  cases.push_back({"MP: x==1 then y==0",
+                   {mp_writer, R"(
+    program r
+    vars x y
+    regs a b
+    dom 2
+    begin
+      a := x;
+      assume (a == 1);
+      b := y;
+      assume (b == 0);
+      assert false
+    end)"},
+                   false});
+  cases.push_back({"SB: both read 0",
+                   {R"(
+    program l
+    vars x y f g
+    regs r one
+    dom 2
+    begin
+      one := 1;
+      x := one;
+      r := y;
+      assume (r == 0);
+      f := one
+    end)",
+                    R"(
+    program rr
+    vars x y f g
+    regs r one
+    dom 2
+    begin
+      one := 1;
+      y := one;
+      r := x;
+      assume (r == 0);
+      g := one
+    end)",
+                    R"(
+    program c
+    vars x y f g
+    regs a b
+    dom 2
+    begin
+      a := f;
+      assume (a == 1);
+      b := g;
+      assume (b == 1);
+      assert false
+    end)"},
+                   true});
+  cases.push_back({"CoRR: read 2 then 1",
+                   {R"(
+    program w
+    vars x
+    regs r
+    dom 4
+    begin
+      r := 1;
+      x := r;
+      r := 2;
+      x := r
+    end)",
+                    R"(
+    program r
+    vars x
+    regs a b
+    dom 4
+    begin
+      a := x;
+      assume (a == 2);
+      b := x;
+      assume (b == 1);
+      assert false
+    end)"},
+                   false});
+
+  Row({"litmus", "RA allows", "explorer observes"}, 24);
+  Rule(3, 24);
+  for (const Case& c : cases) {
+    std::vector<Program> programs;
+    std::vector<Cfa> cfas;
+    for (const auto& text : c.programs) programs.push_back(Parse(text));
+    for (const auto& p : programs) cfas.push_back(Cfa::Build(p));
+    std::vector<const Cfa*> ptrs;
+    for (const auto& cfa : cfas) ptrs.push_back(&cfa);
+    RaExplorer ex(ptrs, programs[0].dom(), programs[0].vars().size());
+    RaResult r = ex.CheckSafety();
+    Row({c.name, c.allowed ? "yes" : "no", r.violation ? "yes" : "no"},
+        24);
+  }
+}
+
+}  // namespace
+}  // namespace rapar
+
+static void PrintReproduction() { rapar::PrintConformance(); }
+
+// --- rule-level microbenchmarks ------------------------------------------------
+
+static void BM_ConcreteStoreInsertion(benchmark::State& state) {
+  using namespace rapar;
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    RaConfig cfg(vars, {1});
+    View vw(vars);
+    // 32 stores on variable 0, always at the front (worst-case shifting).
+    for (int i = 0; i < 32; ++i) {
+      cfg.InsertMessage(VarId(0), 1, 1, vw, false);
+    }
+    benchmark::DoNotOptimize(cfg.NumMsgs(VarId(0)));
+  }
+}
+BENCHMARK(BM_ConcreteStoreInsertion)->Arg(2)->Arg(8)->Arg(32);
+
+static void BM_ViewJoin(benchmark::State& state) {
+  using namespace rapar;
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  View a(vars), b(vars);
+  for (std::size_t i = 0; i < vars; ++i) {
+    a.Slot(i) = static_cast<Timestamp>(i % 7);
+    b.Slot(i) = static_cast<Timestamp>((i * 3) % 5);
+  }
+  for (auto _ : state) {
+    View j = a.Join(b);
+    benchmark::DoNotOptimize(j);
+  }
+}
+BENCHMARK(BM_ViewJoin)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_AbstractDisInsertion(benchmark::State& state) {
+  using namespace rapar;
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    SimplConfig cfg(vars, 1, {1});
+    View vw(vars);
+    for (int i = 0; i < 16; ++i) {
+      cfg.InsertDisMsg(VarId(0), 0, 1, vw, false);
+    }
+    benchmark::DoNotOptimize(cfg.NumGaps(VarId(0)));
+  }
+}
+BENCHMARK(BM_AbstractDisInsertion)->Arg(2)->Arg(8)->Arg(32);
+
+static void BM_AbstractEnvMsgInsertion(benchmark::State& state) {
+  using namespace rapar;
+  const std::size_t vars = 4;
+  for (auto _ : state) {
+    rapar::SimplConfig cfg(vars, 1, {1});
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      rapar::EnvMsg m;
+      m.var = rapar::VarId(0);
+      m.val = i % 2;
+      m.view = rapar::View(vars);
+      m.view.Set(rapar::VarId(1),
+                 rapar::PlusTs(0) + 2 * (i % 3));  // vary the view
+      m.view.Set(rapar::VarId(0), rapar::PlusTs(0));
+      cfg.AddEnvMsg(std::move(m));
+    }
+    benchmark::DoNotOptimize(cfg.env_msgs().size());
+  }
+}
+BENCHMARK(BM_AbstractEnvMsgInsertion)->Arg(16)->Arg(128);
+
+RAPAR_BENCH_MAIN()

@@ -1,0 +1,89 @@
+// Figure 5: the cost-annotated dependency graph of the producer-consumer
+// example. The paper's result: cost(msg#) = z, the consumer's loop bound —
+// z env threads suffice to generate the goal message. We regenerate the
+// cost curve and validate it concretely: z producers reach the goal, z-1
+// do not (second table, §4.3).
+#include "bench/bench_util.h"
+#include "core/benchmarks.h"
+#include "core/verifier.h"
+#include "depgraph/dep_graph.h"
+#include "simplified/explorer.h"
+
+namespace rapar {
+namespace {
+
+using benchutil::Header;
+using benchutil::Row;
+using benchutil::Rule;
+
+void PrintCostCurve() {
+  Header("Figure 5: cost(G) = z for producer-consumer");
+  Row({"z", "cost(msg#)", "expected", "witness compact (<= Q0)"}, 24);
+  Rule(4, 24);
+  for (int z = 1; z <= 6; ++z) {
+    BenchmarkCase bench = ProducerConsumer(z);
+    SafetyVerifier verifier(bench.system);
+    Verdict v = verifier.Verify();
+    const long long cost =
+        v.env_thread_bound.has_value() ? *v.env_thread_bound : -1;
+
+    // Compactness of the found witness (Lemma 4.5's bound).
+    SimplExplorer ex(bench.system.simpl());
+    SimplResult r = ex.Check({});
+    bool compact = false;
+    if (r.violation) {
+      DepGraph g = DepGraph::Build(bench.system.simpl(), r.witness);
+      compact = g.IsCompact(bench.system.Q0());
+    }
+    Row({std::to_string(z), std::to_string(cost), std::to_string(z),
+         compact ? "yes" : "no"},
+        24);
+  }
+}
+
+void PrintThreadBoundValidation() {
+  Header("§4.3: the cost bound as a concrete instance size");
+  Row({"z", "bound b", "concrete n=b", "concrete n=b-1"}, 20);
+  Rule(4, 20);
+  for (int z = 1; z <= 4; ++z) {
+    BenchmarkCase bench = ProducerConsumer(z);
+    SafetyVerifier verifier(bench.system);
+    Verdict v = verifier.Verify();
+    if (!v.env_thread_bound.has_value()) continue;
+    const int b = static_cast<int>(*v.env_thread_bound);
+    auto concrete = [&](int n) -> std::string {
+      if (n <= 0) return "n/a";
+      VerifierOptions opts;
+      opts.backend = Backend::kConcrete;
+      opts.concrete_env_threads = n;
+      opts.time_budget_ms = 20'000;
+      Verdict cv = verifier.Verify(opts);
+      if (cv.unsafe()) return "bug reached";
+      return cv.safe() ? "not reached" : "(budget)";
+    };
+    Row({std::to_string(z), std::to_string(b), concrete(b),
+         concrete(b - 1)},
+        20);
+  }
+}
+
+}  // namespace
+}  // namespace rapar
+
+static void PrintReproduction() {
+  rapar::PrintCostCurve();
+  rapar::PrintThreadBoundValidation();
+}
+
+static void BM_CostAnalysisEndToEnd(benchmark::State& state) {
+  const int z = static_cast<int>(state.range(0));
+  rapar::BenchmarkCase bench = rapar::ProducerConsumer(z);
+  rapar::SafetyVerifier verifier(bench.system);
+  for (auto _ : state) {
+    rapar::Verdict v = verifier.Verify();
+    benchmark::DoNotOptimize(v.env_thread_bound);
+  }
+}
+BENCHMARK(BM_CostAnalysisEndToEnd)->DenseRange(1, 5);
+
+RAPAR_BENCH_MAIN()

@@ -1,0 +1,100 @@
+// Figure 6 / Theorem 5.1: the TQBF reduction. For random QBF of growing
+// alternation depth we (a) check the verifier's answer against direct
+// evaluation (the correctness of the reduction), and (b) chart the cost of
+// deciding the generated env(nocas,acyc) PureRA programs — the
+// PSPACE-hardness made tangible.
+#include "bench/bench_util.h"
+#include "core/verifier.h"
+#include "lang/classify.h"
+#include "lowerbound/qbf.h"
+#include "lowerbound/tqbf_reduction.h"
+
+namespace rapar {
+namespace {
+
+using benchutil::Header;
+using benchutil::Row;
+using benchutil::Rule;
+using benchutil::TimeMs;
+
+void PrintAgreement() {
+  Header("Figure 6: TQBF via the PureRA reduction vs direct evaluation");
+  Row({"depth n", "|vars(Psi)|", "shared vars", "agree", "true",
+       "avg ms"},
+      14);
+  Rule(6, 14);
+  Rng rng(4242);
+  for (int n = 0; n <= 3; ++n) {
+    const int kRuns = 8;
+    int agree = 0, truths = 0;
+    double ms_total = 0;
+    std::size_t shared_vars = 0;
+    for (int i = 0; i < kRuns; ++i) {
+      Qbf qbf = RandomQbf(rng, n, 4 + 2 * n);
+      Expected<ParamSystem> sys = TqbfSystem(qbf);
+      shared_vars = sys.value().vars().size();
+      SafetyVerifier verifier(sys.value());
+      Verdict v;
+      VerifierOptions opts;
+      opts.time_budget_ms = 60'000;
+      ms_total += TimeMs([&] { v = verifier.Verify(opts); });
+      const bool direct = EvalQbf(qbf);
+      if (direct) ++truths;
+      if (v.unsafe() == direct) ++agree;
+    }
+    Row({std::to_string(n), std::to_string(2 * n + 1),
+         std::to_string(shared_vars),
+         std::to_string(agree) + "/" + std::to_string(kRuns),
+         std::to_string(truths), std::to_string(ms_total / kRuns)},
+        14);
+  }
+}
+
+void PrintProgramShape() {
+  Header("Reduction output shape (PureRA check)");
+  Rng rng(7);
+  Row({"depth n", "class", "PureRA", "CFA edges"}, 18);
+  Rule(4, 18);
+  for (int n = 0; n <= 3; ++n) {
+    Qbf qbf = RandomQbf(rng, n, 4);
+    Program prog = TqbfToPureRa(qbf);
+    Classification c = Classify(prog);
+    Cfa cfa = Cfa::Build(prog);
+    Row({std::to_string(n), c.ToString(), c.pure_ra ? "yes" : "NO",
+         std::to_string(cfa.edges().size())},
+        18);
+  }
+}
+
+}  // namespace
+}  // namespace rapar
+
+static void PrintReproduction() {
+  rapar::PrintAgreement();
+  rapar::PrintProgramShape();
+}
+
+static void BM_TqbfVerify(benchmark::State& state) {
+  rapar::Rng rng(1000 + state.range(0));
+  rapar::Qbf qbf =
+      rapar::RandomQbf(rng, static_cast<int>(state.range(0)), 5);
+  rapar::Expected<rapar::ParamSystem> sys = rapar::TqbfSystem(qbf);
+  rapar::SafetyVerifier verifier(sys.value());
+  for (auto _ : state) {
+    rapar::Verdict v = verifier.Verify();
+    benchmark::DoNotOptimize(v.result);
+  }
+}
+BENCHMARK(BM_TqbfVerify)->DenseRange(0, 2);
+
+static void BM_TqbfDirectEval(benchmark::State& state) {
+  rapar::Rng rng(1000 + state.range(0));
+  rapar::Qbf qbf =
+      rapar::RandomQbf(rng, static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rapar::EvalQbf(qbf));
+  }
+}
+BENCHMARK(BM_TqbfDirectEval)->DenseRange(0, 2);
+
+RAPAR_BENCH_MAIN()

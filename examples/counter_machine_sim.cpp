@@ -1,0 +1,57 @@
+// Theorem 1.1, run forwards: loop-free env threads *with CAS* simulate a
+// counter machine — the mechanism behind the undecidability of env(acyc).
+//
+// Each env thread executes at most one machine step. CAS adjacency on a
+// lock variable forces the steps into one exact chain, and the RA view
+// carried through the lock message hands the machine state from step to
+// step. We run the generated program under the *concrete* RA semantics
+// with increasing thread counts and watch the simulation reach the halt
+// state exactly when enough one-shot threads exist.
+#include <cstdio>
+
+#include "lowerbound/counter_machine.h"
+#include "ra/explorer.h"
+
+int main() {
+  // A machine computing: inc c0 twice, move c0 to c1, halt when c0 == 0.
+  //   q0 -inc c0-> q1 -inc c0-> q2
+  //   q2: jz c0 -> q5(halt) / nonzero -> q3
+  //   q3 -dec c0-> q4 -inc c1-> q2
+  rapar::CounterMachine m;
+  m.num_states = 6;
+  m.initial = 0;
+  m.halt = 5;
+  using Op = rapar::CounterMachine::Op;
+  m.instrs = {
+      {Op::kInc, 0, 0, 1, 0}, {Op::kInc, 0, 1, 2, 0},
+      {Op::kJz, 0, 2, 5, 3},  {Op::kDec, 0, 3, 4, 0},
+      {Op::kInc, 1, 4, 2, 0},
+  };
+  const int kBound = 3;
+
+  std::printf("reference semantics: machine %s\n",
+              rapar::MachineHalts(m, kBound, 64) ? "halts" : "does not halt");
+
+  rapar::Program prog = rapar::CounterMachineToEnvCas(m, kBound);
+  std::printf("\ngenerated env(acyc)+CAS program:\n%s\n",
+              prog.ToString().c_str());
+
+  rapar::Cfa cfa = rapar::Cfa::Build(prog);
+  // The halting run needs 9 machine steps (2 inc, then 2 iterations of
+  // jz/dec/inc plus the final jz) plus one observer thread.
+  for (int n = 2; n <= 10; ++n) {
+    std::vector<const rapar::Cfa*> threads(static_cast<std::size_t>(n),
+                                           &cfa);
+    rapar::RaExplorer explorer(threads, prog.dom(), prog.vars().size(),
+                               {0, static_cast<std::size_t>(n)});
+    rapar::RaExplorerOptions opts;
+    opts.max_states = 800'000;
+    opts.time_budget_ms = 30'000;
+    rapar::RaResult r = explorer.CheckSafety(opts);
+    std::printf("n = %2d threads: halt %-13s (%zu states%s)\n", n,
+                r.violation ? "REACHED" : "not reached", r.states,
+                r.exhaustive ? "" : ", bounded");
+    if (r.violation) break;
+  }
+  return 0;
+}

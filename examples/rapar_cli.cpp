@@ -1,0 +1,257 @@
+// rapar_cli — command-line front end for the verifier.
+//
+//   rapar_cli verify --env FILE [--dis FILE]... [options]
+//   rapar_cli mg     --env FILE [--dis FILE]... --var NAME --val N [options]
+//   rapar_cli dump-datalog --env FILE [--dis FILE]... [--var NAME --val N]
+//   rapar_cli classify FILE...
+//
+// Options:
+//   --backend simplified|datalog|concrete   (default simplified)
+//   --threads N        env threads for the concrete backend (default 2)
+//   --unroll K         unroll bound for dis loops (default 0 = reject)
+//   --budget-ms N      wall-clock budget (default 30000)
+//   --witness          print the witness run on UNSAFE
+//
+// Exit code: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = usage/input error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+#include "encoding/makep.h"
+#include "lang/classify.h"
+#include "lang/parser.h"
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string env_file;
+  std::vector<std::string> dis_files;
+  std::vector<std::string> files;  // classify
+  std::string backend = "simplified";
+  int threads = 2;
+  int unroll = 0;
+  long long budget_ms = 30'000;
+  bool witness = false;
+  std::string goal_var;
+  int goal_val = -1;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rapar_cli verify --env FILE [--dis FILE]... [--backend B]\n"
+      "            [--threads N] [--unroll K] [--budget-ms N] [--witness]\n"
+      "  rapar_cli mg --env FILE [--dis FILE]... --var NAME --val N ...\n"
+      "  rapar_cli dump-datalog --env FILE [--dis FILE]... [--var NAME "
+      "--val N]\n"
+      "  rapar_cli classify FILE...\n");
+  return 3;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  if (argc < 2) return false;
+  opts->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--env") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->env_file = v;
+    } else if (arg == "--dis") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->dis_files.push_back(v);
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->backend = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->threads = std::atoi(v);
+    } else if (arg == "--unroll") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->unroll = std::atoi(v);
+    } else if (arg == "--budget-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->budget_ms = std::atoll(v);
+    } else if (arg == "--witness") {
+      opts->witness = true;
+    } else if (arg == "--var") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->goal_var = v;
+    } else if (arg == "--val") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->goal_val = std::atoi(v);
+    } else if (!arg.empty() && arg[0] != '-') {
+      opts->files.push_back(arg);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Classify(const Options& opts) {
+  if (opts.files.empty()) return Usage();
+  for (const std::string& path : opts.files) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 3;
+    }
+    rapar::Expected<rapar::Program> p = rapar::ParseProgram(text);
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), p.error().c_str());
+      return 3;
+    }
+    rapar::Classification c = rapar::Classify(p.value());
+    std::printf("%s: %s  (vars=%zu regs=%zu dom=%d)\n", path.c_str(),
+                c.ToString().c_str(), p.value().vars().size(),
+                p.value().regs().size(), p.value().dom());
+  }
+  return 0;
+}
+
+rapar::Expected<rapar::ParamSystem> BuildSystem(const Options& opts) {
+  std::string env_text;
+  if (!ReadFile(opts.env_file, &env_text)) {
+    return rapar::Expected<rapar::ParamSystem>::Error(
+        "cannot read env file '" + opts.env_file + "'");
+  }
+  rapar::Expected<rapar::Program> env = rapar::ParseProgram(env_text);
+  if (!env.ok()) {
+    return rapar::Expected<rapar::ParamSystem>::Error(opts.env_file + ": " +
+                                                      env.error());
+  }
+  rapar::ParamSystem::Builder builder;
+  builder.Env(std::move(env).value()).UnrollDis(opts.unroll);
+  for (const std::string& path : opts.dis_files) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      return rapar::Expected<rapar::ParamSystem>::Error(
+          "cannot read dis file '" + path + "'");
+    }
+    rapar::Expected<rapar::Program> dis = rapar::ParseProgram(text);
+    if (!dis.ok()) {
+      return rapar::Expected<rapar::ParamSystem>::Error(path + ": " +
+                                                        dis.error());
+    }
+    builder.Dis(std::move(dis).value());
+  }
+  return builder.Build();
+}
+
+int RunVerify(const Options& opts, bool mg) {
+  if (opts.env_file.empty()) return Usage();
+  rapar::Expected<rapar::ParamSystem> sys = BuildSystem(opts);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "%s\n", sys.error().c_str());
+    return 3;
+  }
+  std::printf("system: %s\n", sys.value().Signature().c_str());
+
+  rapar::VerifierOptions vopts;
+  if (opts.backend == "simplified") {
+    vopts.backend = rapar::Backend::kSimplifiedExplorer;
+  } else if (opts.backend == "datalog") {
+    vopts.backend = rapar::Backend::kDatalog;
+  } else if (opts.backend == "concrete") {
+    vopts.backend = rapar::Backend::kConcrete;
+  } else {
+    std::fprintf(stderr, "unknown backend '%s'\n", opts.backend.c_str());
+    return 3;
+  }
+  vopts.concrete_env_threads = opts.threads;
+  vopts.time_budget_ms = opts.budget_ms;
+
+  rapar::SafetyVerifier verifier(sys.value());
+  rapar::Verdict v;
+  if (mg) {
+    rapar::VarId var = sys.value().vars().Find(opts.goal_var);
+    if (!var.valid() || opts.goal_val < 0) {
+      std::fprintf(stderr, "mg requires --var (declared) and --val >= 0\n");
+      return 3;
+    }
+    v = verifier.VerifyMessageGeneration(
+        var, static_cast<rapar::Value>(opts.goal_val), vopts);
+  } else {
+    v = verifier.Verify(vopts);
+  }
+  std::printf("%s\n", v.ToString().c_str());
+  if (v.unsafe() && opts.witness) {
+    std::printf("witness:\n%s", v.witness.c_str());
+  }
+  return v.unsafe() ? 1 : (v.safe() ? 0 : 2);
+}
+
+int DumpDatalog(const Options& opts) {
+  if (opts.env_file.empty()) return Usage();
+  rapar::Expected<rapar::ParamSystem> sys = BuildSystem(opts);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "%s\n", sys.error().c_str());
+    return 3;
+  }
+  bool complete = true;
+  rapar::GuessEnumOptions gopts;
+  std::vector<rapar::DisGuess> guesses =
+      rapar::EnumerateDisGuesses(sys.value().simpl(), gopts, &complete);
+  std::printf("// %zu makeP guess(es)%s\n", guesses.size(),
+              complete ? "" : " (capped)");
+  rapar::MakePOptions mopts;
+  if (!opts.goal_var.empty() && opts.goal_val >= 0) {
+    rapar::VarId var = sys.value().vars().Find(opts.goal_var);
+    if (!var.valid()) {
+      std::fprintf(stderr, "unknown variable '%s'\n",
+                   opts.goal_var.c_str());
+      return 3;
+    }
+    mopts.goal_message = {var, static_cast<rapar::Value>(opts.goal_val)};
+  }
+  for (std::size_t i = 0; i < guesses.size() && i < 4; ++i) {
+    std::printf("\n// ---- guess %zu ----\n%s\n", i,
+                guesses[i].ToString(sys.value().simpl()).c_str());
+    rapar::MakePResult q =
+        rapar::MakeP(sys.value().simpl(), guesses[i], mopts);
+    std::printf("%s", q.prog->ToString().c_str());
+  }
+  if (guesses.size() > 4) {
+    std::printf("\n// (%zu further guesses elided)\n", guesses.size() - 4);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) return Usage();
+  if (opts.command == "classify") return Classify(opts);
+  if (opts.command == "verify") return RunVerify(opts, /*mg=*/false);
+  if (opts.command == "mg") return RunVerify(opts, /*mg=*/true);
+  if (opts.command == "dump-datalog") return DumpDatalog(opts);
+  return Usage();
+}

@@ -1,0 +1,58 @@
+// Minimal expected-or-error-string result type (GCC 12 lacks
+// std::expected). Errors are human-readable messages with positions.
+#ifndef RAPAR_COMMON_EXPECTED_H_
+#define RAPAR_COMMON_EXPECTED_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rapar {
+
+// Holds either a value of T or an error message.
+template <typename T>
+class Expected {
+ public:
+  // Implicit from value.
+  Expected(T value) : value_(std::move(value)) {}
+
+  // Named constructor for errors, to keep call sites explicit.
+  static Expected Error(std::string message) {
+    Expected e;
+    e.error_ = std::move(message);
+    return e;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  // Value access; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  // Error message; requires !ok().
+  const std::string& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+ private:
+  Expected() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_COMMON_EXPECTED_H_

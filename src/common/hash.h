@@ -1,0 +1,53 @@
+// Hash-combining utilities used by the explorers' seen-state sets.
+#ifndef RAPAR_COMMON_HASH_H_
+#define RAPAR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rapar {
+
+// Mixes `v` into the running hash `seed` (boost::hash_combine style, with a
+// 64-bit mixing constant).
+inline void HashCombine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+// Hashes any range of hashable elements.
+template <typename Range>
+std::size_t HashRange(const Range& range) {
+  std::size_t seed = 0x12345678;
+  for (const auto& elem : range) {
+    HashCombine(seed, std::hash<std::decay_t<decltype(elem)>>{}(elem));
+  }
+  return seed;
+}
+
+// SplitMix64: fast, high-quality 64-bit mixer. Used both for hashing and as
+// the core of the deterministic RNG.
+std::uint64_t SplitMix64(std::uint64_t x);
+
+// Hash functor for std::vector of hashable T.
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v);
+  }
+};
+
+// Hash functor for std::pair.
+template <typename A, typename B>
+struct PairHash {
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = std::hash<A>{}(p.first);
+    HashCombine(seed, std::hash<B>{}(p.second));
+    return seed;
+  }
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_COMMON_HASH_H_

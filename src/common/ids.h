@@ -1,0 +1,77 @@
+// Strongly-typed dense identifiers.
+//
+// The code base indexes many small universes (shared variables, registers,
+// CFA nodes, threads, interned views, ...). Raw integers invite mix-ups, so
+// every universe gets its own id type. Ids are dense (0..n-1) and therefore
+// usable directly as vector indices.
+#ifndef RAPAR_COMMON_IDS_H_
+#define RAPAR_COMMON_IDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace rapar {
+
+// A dense, strongly-typed identifier. `Tag` is a phantom type that
+// distinguishes universes at compile time.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  // An id that refers to nothing; distinct from every valid id.
+  static constexpr value_type kInvalidValue = UINT32_MAX;
+
+  constexpr Id() : value_(kInvalidValue) {}
+  constexpr explicit Id(value_type value) : value_(value) {}
+
+  static constexpr Id Invalid() { return Id(); }
+
+  constexpr value_type value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  // Vector-index convenience.
+  constexpr std::size_t index() const { return value_; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "#invalid";
+    return os << '#' << id.value_;
+  }
+
+ private:
+  value_type value_;
+};
+
+struct VarTag {};     // shared memory variables
+struct RegTag {};     // thread-local registers
+struct NodeTag {};    // CFA control locations
+struct EdgeTag {};    // CFA edges
+struct ThreadTag {};  // thread identifiers in a fixed instance
+
+using VarId = Id<VarTag>;
+using RegId = Id<RegTag>;
+using NodeId = Id<NodeTag>;
+using EdgeId = Id<EdgeTag>;
+using ThreadId = Id<ThreadTag>;
+
+}  // namespace rapar
+
+namespace std {
+template <typename Tag>
+struct hash<rapar::Id<Tag>> {
+  size_t operator()(rapar::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // RAPAR_COMMON_IDS_H_

@@ -1,0 +1,71 @@
+// Generic value interner: maps values of T to dense indices and back.
+//
+// Views, register valuations and Datalog tuples are interned so that
+// configurations compare and hash as small integers.
+#ifndef RAPAR_COMMON_INTERNER_H_
+#define RAPAR_COMMON_INTERNER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rapar {
+
+// Interns values of `T`. `Hash` and `Eq` default to std:: functors. The
+// interner owns one canonical copy of each distinct value; `Get` returns a
+// stable reference (values are stored in a deque-like chunked vector so
+// references remain valid across inserts).
+template <typename T, typename Hash = std::hash<T>,
+          typename Eq = std::equal_to<T>>
+class Interner {
+ public:
+  using Index = std::uint32_t;
+
+  // Interns `value`, returning its dense index. Idempotent.
+  Index Intern(const T& value) {
+    auto it = index_.find(value);
+    if (it != index_.end()) return it->second;
+    const Index idx = static_cast<Index>(values_.size());
+    values_.push_back(value);
+    index_.emplace(values_.back(), idx);
+    return idx;
+  }
+
+  Index Intern(T&& value) {
+    auto it = index_.find(value);
+    if (it != index_.end()) return it->second;
+    const Index idx = static_cast<Index>(values_.size());
+    values_.push_back(std::move(value));
+    index_.emplace(values_.back(), idx);
+    return idx;
+  }
+
+  // Returns the canonical value for `idx`. `idx` must have been returned by
+  // Intern on this interner.
+  const T& Get(Index idx) const {
+    assert(idx < values_.size());
+    return values_[idx];
+  }
+
+  // Number of distinct interned values.
+  std::size_t size() const { return values_.size(); }
+
+  // Returns the index of `value` if already interned, or UINT32_MAX.
+  Index Find(const T& value) const {
+    auto it = index_.find(value);
+    return it == index_.end() ? UINT32_MAX : it->second;
+  }
+
+ private:
+  // NOTE: values_ uses std::deque semantics via std::vector + stable lookup
+  // through index_ keys referencing values_ elements. Since vector
+  // reallocation would invalidate the unordered_map keys if they were
+  // references, we store keys by value in the map instead.
+  std::vector<T> values_;
+  std::unordered_map<T, Index, Hash, Eq> index_;
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_COMMON_INTERNER_H_

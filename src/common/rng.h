@@ -1,0 +1,43 @@
+// Deterministic pseudo-random generator for property tests and workload
+// generation. Not std::mt19937 so that sequences are stable across standard
+// library versions.
+#ifndef RAPAR_COMMON_RNG_H_
+#define RAPAR_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace rapar {
+
+// SplitMix64-based RNG. Deterministic for a given seed on every platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  std::uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return SplitMix64(state_);
+  }
+
+  // Uniform value in [0, bound). `bound` must be positive.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform int in [lo, hi] inclusive.
+  int IntIn(int lo, int hi) {
+    return lo + static_cast<int>(Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) {
+    return Below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_COMMON_RNG_H_

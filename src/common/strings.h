@@ -1,0 +1,28 @@
+// Small string-building helpers (GCC 12 lacks <format>).
+#ifndef RAPAR_COMMON_STRINGS_H_
+#define RAPAR_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rapar {
+
+// Streams all arguments into one string: StrCat("x=", 3, "!") == "x=3!".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Splits `s` on whitespace into tokens.
+std::vector<std::string> SplitWhitespace(const std::string& s);
+
+}  // namespace rapar
+
+#endif  // RAPAR_COMMON_STRINGS_H_

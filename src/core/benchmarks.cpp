@@ -1,0 +1,304 @@
+#include "core/benchmarks.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+#include "lang/parser.h"
+
+namespace rapar {
+
+namespace {
+
+Program MustParse(const std::string& text) {
+  Expected<Program> p = ParseProgram(text);
+  assert(p.ok() && "benchmark program must parse");
+  return std::move(p).value();
+}
+
+ParamSystem MustBuild(ParamSystem::Builder& builder) {
+  Expected<ParamSystem> sys = builder.Build();
+  assert(sys.ok() && "benchmark system must build");
+  return std::move(sys).value();
+}
+
+}  // namespace
+
+BenchmarkCase ProducerConsumer(int z) {
+  const int dom = z + 2;
+  std::string producer =
+      StrCat("program producer\nvars x y\nregs r s\ndom ", dom,
+             "\nbegin\n  r := y;\n  assume (r == 1);\n");
+  if (z == 1) {
+    producer += "  s := 1;\n  x := s\n";
+  } else {
+    producer += "  choice {\n";
+    for (int i = 1; i <= z; ++i) {
+      producer += StrCat("    s := ", i, ";\n    x := s\n");
+      producer += (i < z) ? "  } or {\n" : "  }\n";
+    }
+  }
+  producer += "end\n";
+
+  std::string consumer = StrCat(
+      "program consumer\nvars x y\nregs s one\ndom ", dom,
+      "\nbegin\n  one := 1;\n  y := one;\n");
+  for (int i = 1; i <= z; ++i) {
+    consumer += StrCat("  s := x;\n  assume (s == ", i, ");\n");
+  }
+  consumer += "  assert false\nend\n";
+
+  ParamSystem::Builder b;
+  b.Env(MustParse(producer)).Dis(MustParse(consumer));
+  BenchmarkCase c{
+      StrCat("producer-consumer(z=", z, ")"),
+      "env(nocas) || dis(acyc)",
+      "Figure 1/3: unboundedly many producers publish 1..z after the "
+      "start flag; the consumer demands the increasing sequence and then "
+      "asserts. Reachable for every z with enough producers.",
+      MustBuild(b),
+      /*expected_unsafe=*/true};
+  return c;
+}
+
+BenchmarkCase PetersonRa() {
+  // Entry protocol per thread, one-shot (wait loops re-modelled as
+  // load+assume per §1 of the paper). Critical-section overlap is
+  // detected via crit flags.
+  const char* kVars = "vars f0 f1 turn c0 c1";
+  std::string t0 = StrCat(
+      "program peterson0\n", kVars, "\nregs a one\ndom 2\nbegin\n",
+      "  one := 1;\n  f0 := one;\n  turn := one;\n",
+      "  choice {\n    a := f1;\n    assume (a == 0)\n",
+      "  } or {\n    a := turn;\n    assume (a == 0)\n  };\n",
+      "  c0 := one;\n  a := c1;\n  assume (a == 1);\n  assert false\nend\n");
+  std::string t1 = StrCat(
+      "program peterson1\n", kVars, "\nregs a one zero\ndom 2\nbegin\n",
+      "  one := 1;\n  zero := 0;\n  f1 := one;\n  turn := zero;\n",
+      "  choice {\n    a := f0;\n    assume (a == 0)\n",
+      "  } or {\n    a := turn;\n    assume (a == 1)\n  };\n",
+      "  c1 := one\nend\n");
+  std::string env =
+      StrCat("program env\n", kVars, "\nregs r\ndom 2\nbegin\n  skip\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(env)).Dis(MustParse(t0)).Dis(MustParse(t1));
+  return BenchmarkCase{
+      "peterson-ra",
+      "dis(nocas,acyc) || dis(nocas,acyc)",
+      "Peterson's mutual exclusion without SC fences: both threads can "
+      "read the other's stale flag under RA, so the critical sections "
+      "overlap (unsafe).",
+      MustBuild(b),
+      /*expected_unsafe=*/true};
+}
+
+BenchmarkCase DekkerFences() {
+  const char* kVars = "vars x y c0 c1";
+  std::string t0 = StrCat(
+      "program dekker0\n", kVars, "\nregs a one\ndom 2\nbegin\n",
+      "  one := 1;\n  x := one;\n  a := y;\n  assume (a == 0);\n",
+      "  c0 := one;\n  a := c1;\n  assume (a == 1);\n  assert false\nend\n");
+  std::string t1 = StrCat(
+      "program dekker1\n", kVars, "\nregs a one\ndom 2\nbegin\n",
+      "  one := 1;\n  y := one;\n  a := x;\n  assume (a == 0);\n",
+      "  c1 := one\nend\n");
+  std::string env =
+      StrCat("program env\n", kVars, "\nregs r\ndom 2\nbegin\n  skip\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(env)).Dis(MustParse(t0)).Dis(MustParse(t1));
+  return BenchmarkCase{
+      "dekker-fences",
+      "dis(nocas,acyc) || dis(nocas,acyc)",
+      "Dekker's entry core (store-buffering): RA admits both threads "
+      "reading 0, so both enter the critical section (unsafe).",
+      MustBuild(b),
+      /*expected_unsafe=*/true};
+}
+
+BenchmarkCase Lamport2Ra() {
+  // Lamport's fast mutex, fast path, thread ids 1 and 2.
+  const char* kVars = "vars x y c1 c2";
+  std::string t1 = StrCat(
+      "program lamport1\n", kVars, "\nregs a id one\ndom 3\nbegin\n",
+      "  id := 1;\n  one := 1;\n  x := id;\n  a := y;\n  assume (a == 0);\n",
+      "  y := id;\n  a := x;\n  assume (a == 1);\n",
+      "  c1 := one;\n  a := c2;\n  assume (a == 1);\n  assert false\nend\n");
+  std::string t2 = StrCat(
+      "program lamport2\n", kVars, "\nregs a id one\ndom 3\nbegin\n",
+      "  id := 2;\n  one := 1;\n  x := id;\n  a := y;\n  assume (a == 0);\n",
+      "  y := id;\n  a := x;\n  assume (a == 2);\n",
+      "  c2 := one\nend\n");
+  std::string env =
+      StrCat("program env\n", kVars, "\nregs r\ndom 3\nbegin\n  skip\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(env)).Dis(MustParse(t1)).Dis(MustParse(t2));
+  return BenchmarkCase{
+      "lamport-2-ra",
+      "dis(nocas,acyc) || dis(nocas,acyc)",
+      "Lamport's fast mutex fast path: stale reads of x and y under RA "
+      "let both threads pass their checks (unsafe).",
+      MustBuild(b),
+      /*expected_unsafe=*/true};
+}
+
+BenchmarkCase Barrier() {
+  const char* kVars = "vars go done";
+  std::string env = StrCat(
+      "program worker\n", kVars, "\nregs r one\ndom 2\nbegin\n",
+      "  r := go;\n  assume (r == 1);\n  one := 1;\n  done := one\nend\n");
+  std::string coord = StrCat(
+      "program coordinator\n", kVars, "\nregs d one\ndom 2\nbegin\n",
+      "  one := 1;\n  go := one;\n  d := done;\n  assume (d == 1);\n",
+      "  assert false\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(env)).Dis(MustParse(coord));
+  return BenchmarkCase{
+      "barrier",
+      "env(nocas) || dis(acyc)",
+      "Barrier rendezvous: the coordinator releases the workers and then "
+      "observes a completion (the assert marks reachability of the "
+      "rendezvous, which must be reachable).",
+      MustBuild(b),
+      /*expected_unsafe=*/true};
+}
+
+BenchmarkCase Spinlock() {
+  const char* kVars = "vars l c0 c1";
+  auto contender = [&](int i, bool checker) {
+    std::string p = StrCat("program spin", i, "\n", kVars,
+                           "\nregs zero one a\ndom 2\nbegin\n",
+                           "  zero := 0;\n  one := 1;\n",
+                           "  cas(l, zero, one);\n  c", i, " := one\n");
+    if (checker) {
+      p = StrCat("program spin", i, "\n", kVars,
+                 "\nregs zero one a\ndom 2\nbegin\n",
+                 "  zero := 0;\n  one := 1;\n",
+                 "  cas(l, zero, one);\n  c", i, " := one;\n  a := c",
+                 1 - i, ";\n  assume (a == 1);\n  assert false\n");
+    }
+    return p + "end\n";
+  };
+  std::string env =
+      StrCat("program env\n", kVars, "\nregs r\ndom 2\nbegin\n  skip\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(env))
+      .Dis(MustParse(contender(0, true)))
+      .Dis(MustParse(contender(1, false)));
+  return BenchmarkCase{
+      "spinlock",
+      "dis(acyc) || dis(acyc)",
+      "Test-and-set lock: CAS atomicity guarantees at most one winner, so "
+      "the critical sections cannot overlap (safe).",
+      MustBuild(b),
+      /*expected_unsafe=*/false};
+}
+
+BenchmarkCase ChaseLevDeque() {
+  const char* kVars = "vars task bottom top";
+  std::string owner = StrCat(
+      "program owner\n", kVars, "\nregs one\ndom 2\nbegin\n",
+      "  one := 1;\n  task := one;\n  bottom := one\nend\n");
+  std::string stealer = StrCat(
+      "program stealer\n", kVars, "\nregs b t zero one\ndom 2\nbegin\n",
+      "  b := bottom;\n  assume (b == 1);\n",
+      "  zero := 0;\n  one := 1;\n  cas(top, zero, one);\n",
+      "  t := task;\n  assume (t == 0);\n  assert false\nend\n");
+  std::string env =
+      StrCat("program env\n", kVars, "\nregs r\ndom 2\nbegin\n  skip\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(env)).Dis(MustParse(owner)).Dis(MustParse(stealer));
+  return BenchmarkCase{
+      "chase-lev-deque",
+      "dis(nocas,acyc) || dis(acyc)",
+      "Work-stealing deque core (bounded loop unrolled, single CAS in the "
+      "stealer): the release store to bottom publishes the task, so a "
+      "successful steal never observes an uninitialised task (safe).",
+      MustBuild(b),
+      /*expected_unsafe=*/false};
+}
+
+BenchmarkCase Rcu() {
+  const char* kVars = "vars data ptr";
+  std::string writer = StrCat(
+      "program writer\n", kVars, "\nregs one\ndom 2\nbegin\n",
+      "  one := 1;\n  data := one;\n  ptr := one\nend\n");
+  std::string reader = StrCat(
+      "program reader\n", kVars, "\nregs p d\ndom 2\nbegin\n",
+      "  p := ptr;\n  assume (p == 1);\n  d := data;\n",
+      "  assume (d == 0);\n  assert false\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(writer)).Dis(MustParse(reader));
+  return BenchmarkCase{
+      "rcu",
+      "env(nocas) || dis(acyc)",
+      "RCU-style publication: unboundedly many writers publish data then "
+      "flip the pointer; a reader that sees the pointer can never read "
+      "the unpublished data (safe).",
+      MustBuild(b),
+      /*expected_unsafe=*/false};
+}
+
+BenchmarkCase PhoenixAccumulate(int claimed_bound) {
+  const int dom = claimed_bound + 2;
+  std::string worker = StrCat(
+      "program worker\nvars acc\nregs r\ndom ", dom,
+      "\nbegin\n  r := acc;\n  r := r + 1;\n  acc := r\nend\n");
+  std::string checker = StrCat(
+      "program checker\nvars acc\nregs r\ndom ", dom,
+      "\nbegin\n  r := acc;\n  assume (r == ", claimed_bound + 1,
+      ");\n  assert false\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(worker)).Dis(MustParse(checker));
+  return BenchmarkCase{
+      StrCat("phoenix-accumulate(bound=", claimed_bound, ")"),
+      "env(nocas,acyc) || dis(acyc)",
+      "Phoenix-2.0-style reduction core: unboundedly many workers "
+      "load-increment-store a shared accumulator. With unboundedly many "
+      "workers every counter value is reachable, so any claimed bound is "
+      "violated (unsafe).",
+      MustBuild(b),
+      /*expected_unsafe=*/true};
+}
+
+BenchmarkCase Seqlock() {
+  const char* kVars = "vars seq data";
+  std::string writer = StrCat(
+      "program writer\n", kVars, "\nregs one two\ndom 4\nbegin\n",
+      "  one := 1;\n  two := 2;\n  seq := one;\n  data := one;\n",
+      "  seq := two\nend\n");
+  // Reader: sample seq (must be even = 0 or 2), read data, re-check seq
+  // unchanged; a torn snapshot would be data==1 with seq stable at 0.
+  std::string reader = StrCat(
+      "program reader\n", kVars, "\nregs r1 r2 d\ndom 4\nbegin\n",
+      "  r1 := seq;\n  assume (r1 == 0);\n  d := data;\n",
+      "  r2 := seq;\n  assume (r2 == 0);\n  assume (d == 1);\n",
+      "  assert false\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(reader)).Dis(MustParse(writer));
+  return BenchmarkCase{
+      "seqlock",
+      "env(nocas,acyc) || dis(acyc)",
+      "Seqlock core: a stable even sequence number implies an untorn "
+      "snapshot — the data write is sandwiched between the seq bumps, so "
+      "a reader that saw data==1 has joined seq>=1 and cannot re-read "
+      "seq==0 (safe).",
+      MustBuild(b),
+      /*expected_unsafe=*/false};
+}
+
+std::vector<BenchmarkCase> StandardBenchmarks() {
+  std::vector<BenchmarkCase> out;
+  out.push_back(ProducerConsumer(2));
+  out.push_back(ProducerConsumer(4));
+  out.push_back(PetersonRa());
+  out.push_back(DekkerFences());
+  out.push_back(Lamport2Ra());
+  out.push_back(Barrier());
+  out.push_back(Spinlock());
+  out.push_back(ChaseLevDeque());
+  out.push_back(Rcu());
+  out.push_back(PhoenixAccumulate(3));
+  out.push_back(Seqlock());
+  return out;
+}
+
+}  // namespace rapar

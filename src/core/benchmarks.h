@@ -1,0 +1,62 @@
+// The benchmark programs the paper's introduction uses to motivate the
+// system class (Phoenix-2.0 / Norris-Demsky model-checker benchmarks /
+// Lahav-Margalit robustness suite). The original repositories are external
+// C programs; we re-model the concurrency cores cited in §1 directly in
+// Com, following the classification the paper assigns to each benchmark.
+#ifndef RAPAR_CORE_BENCHMARKS_H_
+#define RAPAR_CORE_BENCHMARKS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/param_system.h"
+
+namespace rapar {
+
+struct BenchmarkCase {
+  std::string name;
+  // The paper's class signature for this benchmark.
+  std::string paper_class;
+  std::string description;
+  ParamSystem system;
+  // Expected verdict of Verify() where analytically known (RA litmus
+  // facts); unset when the verdict is established by the tool itself.
+  std::optional<bool> expected_unsafe;
+};
+
+// --- Individual benchmark constructors --------------------------------------
+
+// Figure 1/3: producer-consumer; consumer demands values 1..z.
+BenchmarkCase ProducerConsumer(int z);
+// Peterson's mutual exclusion (RA version, no SC fences): unsafe under RA.
+BenchmarkCase PetersonRa();
+// Dekker-style store-buffering mutual exclusion core: unsafe under RA.
+BenchmarkCase DekkerFences();
+// Lamport's fast mutex (2 threads, fast path): unsafe under RA.
+BenchmarkCase Lamport2Ra();
+// Sense-reversing barrier core with env workers and a dis coordinator.
+BenchmarkCase Barrier();
+// Test-and-set spinlock via CAS: mutual exclusion holds (safe).
+BenchmarkCase Spinlock();
+// Chase-Lev work-stealing deque core (bounded, unrolled; one CAS in the
+// stealer): the stolen task is always initialised (safe MP pattern).
+BenchmarkCase ChaseLevDeque();
+// RCU-style publish pattern: readers never see unpublished data (safe).
+BenchmarkCase Rcu();
+// Phoenix-style parallel accumulation (histogram/word-count core): env
+// workers do load-increment-store on a shared accumulator. Lost updates
+// AND unbounded replication are possible; parameterized verification
+// shows any counter value is reachable (unsafe as a bound check).
+BenchmarkCase PhoenixAccumulate(int claimed_bound);
+// Seqlock core: a dis writer bumps seq around the data write; env readers
+// accept a snapshot only when seq is stable — torn reads are impossible
+// under RA (safe).
+BenchmarkCase Seqlock();
+
+// The whole suite.
+std::vector<BenchmarkCase> StandardBenchmarks();
+
+}  // namespace rapar
+
+#endif  // RAPAR_CORE_BENCHMARKS_H_

@@ -1,0 +1,111 @@
+#include "core/param_system.h"
+
+#include "common/strings.h"
+#include "lang/transform.h"
+#include "lang/unroll.h"
+
+namespace rapar {
+
+namespace {
+
+// Remaps `program` onto the unified variable table, registering any new
+// variables.
+Program UnifyVars(const Program& program, VarTable& vars) {
+  std::vector<VarId> mapping;
+  mapping.reserve(program.vars().size());
+  for (const std::string& name : program.vars().names()) {
+    mapping.push_back(vars.Add(name));
+  }
+  Program out(program.name(), VarTable{}, program.regs(), program.dom(),
+              RemapVars(program.body(), mapping));
+  return out;
+}
+
+// Replaces a program's (empty) variable table by the unified one.
+Program WithVars(const Program& program, const VarTable& vars) {
+  return Program(program.name(), vars, program.regs(), program.dom(),
+                 program.body());
+}
+
+}  // namespace
+
+Expected<ParamSystem> ParamSystem::Builder::Build() const {
+  if (!have_env_) {
+    return Expected<ParamSystem>::Error("no env program set");
+  }
+  ParamSystem sys;
+  sys.dom_ = env_.dom();
+
+  // Unified variable table: env's variables first, then new dis variables
+  // in order of appearance.
+  Program env = UnifyVars(env_, sys.vars_);
+  std::vector<Program> dis;
+  for (const Program& d : dis_) {
+    if (d.dom() != sys.dom_) {
+      return Expected<ParamSystem>::Error(
+          StrCat("domain mismatch: env has dom ", sys.dom_, ", dis '",
+                 d.name(), "' has dom ", d.dom()));
+    }
+    dis.push_back(UnifyVars(d, sys.vars_));
+  }
+  // Attach the now-complete table to every program (the table must be
+  // final before this point: CFAs and explorers require every program to
+  // see the full variable universe).
+  sys.env_program_ = WithVars(env, sys.vars_);
+  for (Program& d : dis) {
+    Program unified = WithVars(d, sys.vars_);
+    Classification c = Classify(unified);
+    if (!c.loop_free) {
+      if (unroll_ <= 0) {
+        return Expected<ParamSystem>::Error(
+            StrCat("dis program '", unified.name(),
+                   "' has loops; set UnrollDis(k) to bound them"));
+      }
+      unified = UnrollProgram(unified, unroll_);
+    }
+    sys.dis_programs_.push_back(std::move(unified));
+  }
+
+  // Class validation.
+  Classification env_class = Classify(sys.env_program_);
+  if (!env_class.cas_free) {
+    return Expected<ParamSystem>::Error(
+        "env program uses CAS: the class env(cas) is undecidable "
+        "(Theorem 1.1); rejected");
+  }
+
+  sys.env_cfa_ = std::make_unique<Cfa>(Cfa::Build(sys.env_program_));
+  for (const Program& d : sys.dis_programs_) {
+    sys.dis_cfas_.push_back(std::make_unique<Cfa>(Cfa::Build(d)));
+  }
+  sys.simpl_.env = sys.env_cfa_.get();
+  for (const auto& d : sys.dis_cfas_) sys.simpl_.dis.push_back(d.get());
+  sys.simpl_.dom = sys.dom_;
+  sys.simpl_.num_vars = sys.vars_.size();
+  return sys;
+}
+
+int ParamSystem::TimestampBudget() const {
+  int t = 0;
+  for (const auto& d : dis_cfas_) t += d->CountStoreInstructions();
+  return t;
+}
+
+int ParamSystem::Q0() const {
+  std::size_t dis_size = 0;
+  for (const auto& d : dis_cfas_) dis_size += d->edges().size();
+  return static_cast<int>(dom_ * static_cast<Value>(vars_.size()) +
+                          static_cast<Value>(dis_size));
+}
+
+std::string ParamSystem::Signature() const {
+  Classification env_class = Classify(env_program_);
+  std::string out = StrCat("env(", env_class.ToString(), ")");
+  for (std::size_t i = 0; i < dis_programs_.size(); ++i) {
+    Classification c = Classify(dis_programs_[i]);
+    out += StrCat(" || dis", i + 1, "(", c.ToString(), ")");
+  }
+  return out;
+}
+
+}  // namespace rapar

@@ -1,0 +1,183 @@
+#include "core/verifier.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "core/trace_render.h"
+#include "depgraph/dep_graph.h"
+#include "encoding/datalog_verifier.h"
+#include "ra/explorer.h"
+#include "simplified/explorer.h"
+#include "simplified/witness_min.h"
+
+namespace rapar {
+
+std::string Verdict::ToString() const {
+  std::string out;
+  switch (result) {
+    case Result::kSafe:
+      out = "SAFE";
+      break;
+    case Result::kUnsafe:
+      out = "UNSAFE";
+      break;
+    case Result::kUnknown:
+      out = "UNKNOWN";
+      break;
+  }
+  out += StrCat(" (states=", states);
+  if (guesses > 0) out += StrCat(", guesses=", guesses);
+  if (tuples > 0) out += StrCat(", tuples=", tuples);
+  if (env_thread_bound.has_value()) {
+    out += StrCat(", env-thread bound=", *env_thread_bound);
+  }
+  out += ")";
+  return out;
+}
+
+Verdict SafetyVerifier::Verify(const VerifierOptions& options) const {
+  switch (options.backend) {
+    case Backend::kSimplifiedExplorer:
+      return RunSimplified(std::nullopt, options);
+    case Backend::kDatalog:
+      return RunDatalog(std::nullopt, options);
+    case Backend::kConcrete:
+      return RunConcrete(std::nullopt, options);
+  }
+  return {};
+}
+
+Verdict SafetyVerifier::VerifyMessageGeneration(
+    VarId var, Value val, const VerifierOptions& options) const {
+  const std::pair<VarId, Value> goal{var, val};
+  switch (options.backend) {
+    case Backend::kSimplifiedExplorer:
+      return RunSimplified(goal, options);
+    case Backend::kDatalog:
+      return RunDatalog(goal, options);
+    case Backend::kConcrete:
+      return RunConcrete(goal, options);
+  }
+  return {};
+}
+
+Verdict SafetyVerifier::RunSimplified(
+    std::optional<std::pair<VarId, Value>> goal,
+    const VerifierOptions& options) const {
+  SimplExplorer explorer(system_.simpl());
+  SimplExplorerOptions opts;
+  opts.goal = goal;
+  opts.max_states = options.max_states;
+  opts.max_depth = options.max_depth;
+  opts.time_budget_ms = options.time_budget_ms;
+  SimplResult r = explorer.Check(opts);
+
+  Verdict v;
+  v.states = r.states;
+  const bool hit = goal.has_value() ? r.goal_reached : r.violation;
+  if (hit) {
+    v.result = Verdict::Result::kUnsafe;
+    // Strip saturation noise from the witness (bounded effort).
+    if (r.witness.size() <= 400) {
+      const WitnessProperty property =
+          goal.has_value() ? GoalProperty(goal->first, goal->second)
+                           : ViolationProperty();
+      r.witness = MinimizeWitness(system_.simpl(), std::move(r.witness),
+                                  property);
+    }
+    TraceRenderOptions render;
+    render.elide_silent = true;
+    v.witness = RenderTrace(system_.simpl(), r.witness, render);
+    // §4.3 env-thread bound from the witness dependency graph.
+    if (!r.witness.empty()) {
+      std::map<std::uint32_t, int> final_reads;
+      DepGraph g = DepGraph::Build(system_.simpl(), r.witness, &final_reads);
+      long long total = 0;
+      if (goal.has_value()) {
+        const long long c = g.CostOfMessage(goal->first, goal->second);
+        if (c >= 0) total = c;
+      } else {
+        // depend(violation): the reads of the asserting actor, costed.
+        const bool env_actor =
+            r.witness.back().actor == SimplStep::Actor::kEnv;
+        total = g.CostOfReads(final_reads, env_actor);
+      }
+      v.env_thread_bound = total;
+    }
+  } else if (r.exhaustive) {
+    v.result = Verdict::Result::kSafe;
+  } else {
+    v.result = Verdict::Result::kUnknown;
+  }
+  return v;
+}
+
+Verdict SafetyVerifier::RunDatalog(
+    std::optional<std::pair<VarId, Value>> goal,
+    const VerifierOptions& options) const {
+  DatalogVerifierOptions opts;
+  opts.goal_message = goal;
+  opts.guess.max_guesses = options.max_guesses;
+  DatalogVerdict dv = DatalogVerify(system_.simpl(), opts);
+  Verdict v;
+  v.guesses = dv.guesses;
+  v.tuples = dv.total_tuples;
+  if (dv.unsafe) {
+    v.result = Verdict::Result::kUnsafe;
+    v.witness = dv.witness_guess;
+  } else if (dv.exhaustive) {
+    v.result = Verdict::Result::kSafe;
+  } else {
+    v.result = Verdict::Result::kUnknown;
+  }
+  return v;
+}
+
+Verdict SafetyVerifier::RunConcrete(
+    std::optional<std::pair<VarId, Value>> goal,
+    const VerifierOptions& options) const {
+  std::vector<const Cfa*> threads;
+  for (int i = 0; i < options.concrete_env_threads; ++i) {
+    threads.push_back(&system_.env_cfa());
+  }
+  for (std::size_t i = 0; i < system_.num_dis(); ++i) {
+    threads.push_back(&system_.dis_cfa(i));
+  }
+  RaExplorer explorer(
+      threads, system_.dom(), system_.vars().size(),
+      {0, static_cast<std::size_t>(options.concrete_env_threads)});
+  RaExplorerOptions opts;
+  opts.max_states = options.max_states;
+  opts.max_depth = options.max_depth;
+  opts.time_budget_ms = options.time_budget_ms;
+  opts.stop_on_violation = !goal.has_value();
+  RaResult r = explorer.CheckSafety(opts);
+
+  Verdict v;
+  v.states = r.states;
+  bool hit;
+  if (goal.has_value()) {
+    hit = explorer.generated_messages().count(
+              {goal->first.value(), goal->second}) > 0;
+  } else {
+    hit = r.violation;
+  }
+  if (hit) {
+    v.result = Verdict::Result::kUnsafe;
+    std::string w;
+    for (const RaTraceStep& s : r.witness) {
+      w += StrCat("t", s.thread, ": ", s.instr, "\n");
+    }
+    v.witness = std::move(w);
+  } else if (r.exhaustive) {
+    // Safe *for this instance size only* — parameterized safety does not
+    // follow; callers must treat kSafe from the concrete backend as
+    // instance-level.
+    v.result = Verdict::Result::kSafe;
+  } else {
+    v.result = Verdict::Result::kUnknown;
+  }
+  return v;
+}
+
+}  // namespace rapar

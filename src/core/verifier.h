@@ -1,0 +1,88 @@
+// SafetyVerifier: the library's main entry point.
+//
+//   ParamSystem sys = ParamSystem::Builder().Env(producer).Dis(consumer)
+//                         .Build().value();
+//   SafetyVerifier verifier(sys);
+//   Verdict v = verifier.Verify();             // assert-false reachability
+//   Verdict m = verifier.VerifyMessageGeneration(x, d);  // MG (§4.1)
+//
+// Backends:
+//   kSimplifiedExplorer — saturation over the simplified semantics (§3);
+//                         sound & complete (Theorem 3.4), the default.
+//   kDatalog            — Theorem 4.1: enumerate makeP guesses, evaluate
+//                         the emitted Cache Datalog query instances.
+//   kConcrete           — standard RA semantics with a fixed number of env
+//                         threads (sound for bugs; not parameterized).
+#ifndef RAPAR_CORE_VERIFIER_H_
+#define RAPAR_CORE_VERIFIER_H_
+
+#include <optional>
+#include <string>
+
+#include "core/param_system.h"
+
+namespace rapar {
+
+enum class Backend {
+  kSimplifiedExplorer,
+  kDatalog,
+  kConcrete,
+};
+
+struct VerifierOptions {
+  Backend backend = Backend::kSimplifiedExplorer;
+  // kConcrete: number of env threads in the instance.
+  int concrete_env_threads = 2;
+  // Resource bounds (apply per backend as applicable).
+  std::size_t max_states = 1'000'000;
+  int max_depth = 100'000;
+  long long time_budget_ms = 0;
+  std::size_t max_guesses = 200'000;
+};
+
+struct Verdict {
+  enum class Result { kSafe, kUnsafe, kUnknown };
+  Result result = Result::kUnknown;
+
+  bool unsafe() const { return result == Result::kUnsafe; }
+  bool safe() const { return result == Result::kSafe; }
+
+  // Search statistics.
+  std::size_t states = 0;   // explored abstract/concrete states
+  std::size_t guesses = 0;  // Datalog backend: makeP executions
+  std::size_t tuples = 0;   // Datalog backend: derived tuples
+  // Human-readable witness (step trace or guess) when unsafe.
+  std::string witness;
+  // §4.3: over-approximate number of env threads sufficient to exhibit
+  // the bug (from the witness dependency graph); unset when safe or not
+  // computed.
+  std::optional<long long> env_thread_bound;
+
+  std::string ToString() const;
+};
+
+class SafetyVerifier {
+ public:
+  explicit SafetyVerifier(const ParamSystem& system) : system_(system) {}
+
+  // Is some assertion violation reachable in some instance?
+  Verdict Verify(const VerifierOptions& options = {}) const;
+
+  // Message Generation (§4.1): can a message (var, val) be generated?
+  Verdict VerifyMessageGeneration(VarId var, Value val,
+                                  const VerifierOptions& options = {}) const;
+
+ private:
+  Verdict RunSimplified(std::optional<std::pair<VarId, Value>> goal,
+                        const VerifierOptions& options) const;
+  Verdict RunDatalog(std::optional<std::pair<VarId, Value>> goal,
+                     const VerifierOptions& options) const;
+  Verdict RunConcrete(std::optional<std::pair<VarId, Value>> goal,
+                      const VerifierOptions& options) const;
+
+  const ParamSystem& system_;
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_CORE_VERIFIER_H_

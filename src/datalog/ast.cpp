@@ -1,0 +1,80 @@
+#include "datalog/ast.h"
+
+#include "common/strings.h"
+
+namespace rapar::dl {
+
+std::vector<bool> Program::IdbPreds() const {
+  std::vector<bool> idb(preds_.size(), false);
+  for (const Rule& r : rules_) {
+    if (!r.IsFact()) idb[r.head.pred] = true;
+  }
+  return idb;
+}
+
+bool Program::IsLinear() const {
+  // IDB status: a predicate derived by any non-fact rule. Facts contribute
+  // EDB tuples even to predicates that also have rules; for linearity we
+  // use the conventional definition: a predicate is IDB if it occurs in
+  // any rule head with a non-empty body.
+  std::vector<bool> idb = IdbPreds();
+  for (const Rule& r : rules_) {
+    int idb_atoms = 0;
+    for (const Atom& a : r.body) {
+      if (idb[a.pred]) ++idb_atoms;
+    }
+    if (idb_atoms > 1) return false;
+  }
+  return true;
+}
+
+std::string Program::AtomToString(const Atom& atom) const {
+  std::string out = preds_[atom.pred].name + "(";
+  for (std::size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Term& t = atom.args[i];
+    if (t.kind == Term::Kind::kConst) {
+      out += consts_.Get(t.val);
+    } else {
+      out += StrCat("X", t.val);
+    }
+  }
+  return out + ")";
+}
+
+std::string Program::RuleToString(const Rule& rule) const {
+  std::string out = AtomToString(rule.head);
+  if (rule.IsFact()) return out + ".";
+  out += " :- ";
+  bool first = true;
+  for (const Atom& a : rule.body) {
+    if (!first) out += ", ";
+    out += AtomToString(a);
+    first = false;
+  }
+  for (const Native& n : rule.natives) {
+    if (!first) out += ", ";
+    out += n.name + "[";
+    for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+      if (i > 0) out += ",";
+      const Term& t = n.inputs[i];
+      out += t.kind == Term::Kind::kConst ? consts_.Get(t.val)
+                                          : StrCat("X", t.val);
+    }
+    out += "]";
+    if (n.output.has_value()) out += StrCat("->X", *n.output);
+    first = false;
+  }
+  return out + ".";
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (std::size_t p = 0; p < preds_.size(); ++p) {
+    out += StrCat(".decl ", preds_[p].name, "/", preds_[p].arity, "\n");
+  }
+  for (const Rule& r : rules_) out += RuleToString(r) + "\n";
+  return out;
+}
+
+}  // namespace rapar::dl

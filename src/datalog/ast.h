@@ -1,0 +1,125 @@
+// Datalog abstract syntax: terms, atoms, rules, programs.
+//
+// The paper's upper bound (§4) encodes safety verification into query
+// evaluation for (linear / Cache) Datalog. This module is a complete,
+// self-contained Datalog implementation: no external solver is required.
+//
+// Extensions over textbook Datalog:
+//   * native constraints/functions ("builtins") evaluated during rule
+//     application — used by the makeP encoding for view joins and
+//     timestamp comparisons without materialising huge EDB relations;
+//   * programs carry symbol tables so dumps are readable .dl text.
+#ifndef RAPAR_DATALOG_AST_H_
+#define RAPAR_DATALOG_AST_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace rapar::dl {
+
+// Interned constant symbol.
+using Sym = std::uint32_t;
+// Predicate identifier.
+using PredId = std::uint32_t;
+// Rule-local variable (dense, 0-based within each rule).
+using VarSym = std::uint32_t;
+
+struct Term {
+  enum class Kind { kConst, kVar };
+  Kind kind = Kind::kConst;
+  std::uint32_t val = 0;
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind && val == o.val;
+  }
+};
+
+// Term factories.
+inline Term C(Sym s) { return Term{Term::Kind::kConst, s}; }
+inline Term V(VarSym v) { return Term{Term::Kind::kVar, v}; }
+
+struct Atom {
+  PredId pred = 0;
+  std::vector<Term> args;
+
+  bool operator==(const Atom& o) const {
+    return pred == o.pred && args == o.args;
+  }
+};
+
+// A native constraint / function evaluated during rule application, after
+// its input terms are ground. If `output` is set, the native computes a
+// binding for that variable; otherwise it is a boolean check.
+struct Native {
+  std::string name;
+  std::vector<Term> inputs;
+  std::optional<VarSym> output;
+  // Returns false to reject the binding. If `output` is set, writes the
+  // computed symbol to *out.
+  std::function<bool(std::span<const Sym>, Sym* out)> fn;
+};
+
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<Native> natives;
+
+  bool IsFact() const { return body.empty() && natives.empty(); }
+};
+
+struct PredInfo {
+  std::string name;
+  std::size_t arity = 0;
+};
+
+// A Datalog program: predicates, interned constants, rules (facts are
+// body-less rules).
+class Program {
+ public:
+  PredId AddPred(const std::string& name, std::size_t arity) {
+    preds_.push_back(PredInfo{name, arity});
+    return static_cast<PredId>(preds_.size() - 1);
+  }
+  // Interns a named constant.
+  Sym ConstSym(const std::string& name) { return consts_.Intern(name); }
+  // Interns an integer constant.
+  Sym IntSym(long long v) { return consts_.Intern(std::to_string(v)); }
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  void AddFact(Atom atom) { rules_.push_back(Rule{std::move(atom), {}, {}}); }
+
+  std::size_t num_preds() const { return preds_.size(); }
+  const PredInfo& pred(PredId p) const { return preds_[p]; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::size_t num_consts() const { return consts_.size(); }
+  const std::string& const_name(Sym s) const { return consts_.Get(s); }
+
+  // True if every rule has at most one IDB (derived-predicate) atom in its
+  // body: the linear Datalog fragment whose query evaluation is PSPACE
+  // (Gottlob & Papadimitriou; §4).
+  bool IsLinear() const;
+  // Predicates appearing in some rule head.
+  std::vector<bool> IdbPreds() const;
+
+  // Number of distinct rules + facts; |Prog| in the complexity statements.
+  std::size_t size() const { return rules_.size(); }
+
+  std::string AtomToString(const Atom& atom) const;
+  std::string RuleToString(const Rule& rule) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<PredInfo> preds_;
+  Interner<std::string> consts_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace rapar::dl
+
+#endif  // RAPAR_DATALOG_AST_H_

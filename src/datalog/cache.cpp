@@ -1,0 +1,214 @@
+#include "datalog/cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/interner.h"
+
+namespace rapar::dl {
+
+namespace {
+
+// Ground atoms are interned as flat vectors [pred, arg0, arg1, ...].
+using GroundAtom = std::vector<Sym>;
+using AtomId = std::uint32_t;
+
+class CacheSearch {
+ public:
+  CacheSearch(const Program& prog, const Atom& goal, int k,
+              const CacheQueryOptions& options)
+      : prog_(prog), k_(k), options_(options) {
+    GroundAtom g;
+    g.push_back(goal.pred);
+    for (const Term& t : goal.args) {
+      assert(t.kind == Term::Kind::kConst);
+      g.push_back(t.val);
+    }
+    goal_id_ = atoms_.Intern(std::move(g));
+  }
+
+  CacheQueryResult Run() {
+    CacheQueryResult result;
+    if (k_ <= 0) return result;
+
+    std::unordered_set<std::vector<AtomId>, rapar::VectorHash<AtomId>> seen;
+    std::deque<std::vector<AtomId>> frontier;
+    std::vector<AtomId> empty;
+    seen.insert(empty);
+    frontier.push_back(std::move(empty));
+
+    while (!frontier.empty()) {
+      std::vector<AtomId> cache = std::move(frontier.front());
+      frontier.pop_front();
+
+      // Enumerate Add successors: rule instantiations with body ⊆ cache.
+      std::vector<AtomId> heads;
+      for (const Rule& r : prog_.rules()) {
+        EnumerateInstantiations(r, cache, heads);
+      }
+      for (AtomId h : heads) {
+        // An atom counts as inferred when the Add completes, i.e. when it
+        // fits into the cache (matching the cacheK encoding of
+        // CacheToLinear, whose `found` rules read the goal from a slot).
+        if (std::binary_search(cache.begin(), cache.end(), h)) continue;
+        if (static_cast<int>(cache.size()) >= k_) continue;
+        if (h == goal_id_) {
+          result.derivable = true;
+          result.states = seen.size();
+          return result;
+        }
+        std::vector<AtomId> next = cache;
+        next.insert(std::lower_bound(next.begin(), next.end(), h), h);
+        if (seen.insert(next).second) frontier.push_back(std::move(next));
+      }
+      // Drop successors.
+      for (std::size_t i = 0; i < cache.size(); ++i) {
+        std::vector<AtomId> next = cache;
+        next.erase(next.begin() + i);
+        if (seen.insert(next).second) frontier.push_back(std::move(next));
+      }
+      if (seen.size() > options_.max_states) {
+        result.aborted = true;
+        break;
+      }
+    }
+    result.states = seen.size();
+    return result;
+  }
+
+ private:
+  // Collects the head atom ids of all instantiations of `r` whose body is
+  // contained in `cache`.
+  void EnumerateInstantiations(const Rule& r,
+                               const std::vector<AtomId>& cache,
+                               std::vector<AtomId>& out) {
+    std::size_t num_vars = 0;
+    auto scan = [&](const Term& t) {
+      if (t.kind == Term::Kind::kVar && t.val + 1 > num_vars) {
+        num_vars = t.val + 1;
+      }
+    };
+    for (const Term& t : r.head.args) scan(t);
+    for (const Atom& a : r.body) {
+      for (const Term& t : a.args) scan(t);
+    }
+    for (const Native& n : r.natives) {
+      for (const Term& t : n.inputs) scan(t);
+      if (n.output.has_value() && *n.output + 1 > num_vars) {
+        num_vars = *n.output + 1;
+      }
+    }
+    std::vector<std::optional<Sym>> env(num_vars);
+    MatchBody(r, cache, 0, env, out);
+  }
+
+  void MatchBody(const Rule& r, const std::vector<AtomId>& cache,
+                 std::size_t at, std::vector<std::optional<Sym>>& env,
+                 std::vector<AtomId>& out) {
+    if (at == r.body.size()) {
+      // Natives, then head.
+      std::vector<std::pair<VarSym, bool>> bound;
+      bool ok = true;
+      for (const Native& n : r.natives) {
+        std::vector<Sym> inputs;
+        for (const Term& t : n.inputs) {
+          if (t.kind == Term::Kind::kConst) {
+            inputs.push_back(t.val);
+          } else {
+            assert(env[t.val].has_value());
+            inputs.push_back(*env[t.val]);
+          }
+        }
+        Sym o = 0;
+        if (!n.fn(inputs, &o)) {
+          ok = false;
+          break;
+        }
+        if (n.output.has_value()) {
+          if (env[*n.output].has_value()) {
+            if (*env[*n.output] != o) {
+              ok = false;
+              break;
+            }
+          } else {
+            env[*n.output] = o;
+            bound.emplace_back(*n.output, true);
+          }
+        }
+      }
+      if (ok) {
+        GroundAtom h;
+        h.push_back(r.head.pred);
+        for (const Term& t : r.head.args) {
+          if (t.kind == Term::Kind::kConst) {
+            h.push_back(t.val);
+          } else {
+            assert(env[t.val].has_value());
+            h.push_back(*env[t.val]);
+          }
+        }
+        out.push_back(atoms_.Intern(std::move(h)));
+      }
+      for (auto& [v, _] : bound) env[v] = std::nullopt;
+      return;
+    }
+    const Atom& pattern = r.body[at];
+    for (AtomId aid : cache) {
+      const GroundAtom& ga = atoms_.Get(aid);
+      if (ga[0] != pattern.pred) continue;
+      if (ga.size() != pattern.args.size() + 1) continue;
+      std::vector<VarSym> bound;
+      bool ok = true;
+      for (std::size_t i = 0; i < pattern.args.size(); ++i) {
+        const Term& t = pattern.args[i];
+        const Sym s = ga[i + 1];
+        if (t.kind == Term::Kind::kConst) {
+          if (t.val != s) {
+            ok = false;
+            break;
+          }
+        } else if (env[t.val].has_value()) {
+          if (*env[t.val] != s) {
+            ok = false;
+            break;
+          }
+        } else {
+          env[t.val] = s;
+          bound.push_back(t.val);
+        }
+      }
+      if (ok) MatchBody(r, cache, at + 1, env, out);
+      for (VarSym v : bound) env[v] = std::nullopt;
+    }
+  }
+
+  const Program& prog_;
+  const int k_;
+  const CacheQueryOptions& options_;
+  Interner<GroundAtom, rapar::VectorHash<Sym>> atoms_;
+  AtomId goal_id_ = 0;
+};
+
+}  // namespace
+
+CacheQueryResult CacheQuery(const Program& prog, const Atom& goal, int k,
+                            const CacheQueryOptions& options) {
+  CacheSearch search(prog, goal, k, options);
+  return search.Run();
+}
+
+std::optional<int> MinimalCacheSize(const Program& prog, const Atom& goal,
+                                    int limit,
+                                    const CacheQueryOptions& options) {
+  for (int k = 1; k <= limit; ++k) {
+    CacheQueryResult r = CacheQuery(prog, goal, k, options);
+    if (r.derivable) return k;
+    if (r.aborted) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rapar::dl

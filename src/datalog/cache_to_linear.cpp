@@ -1,0 +1,190 @@
+#include "datalog/cache_to_linear.h"
+
+#include <cassert>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace rapar::dl {
+
+namespace {
+
+// Enumerates all ways to pick `need` distinct slot indices out of k.
+void Combinations(int k, int need, std::vector<int>& picked,
+                  const std::function<void(const std::vector<int>&)>& fn) {
+  if (static_cast<int>(picked.size()) == need) {
+    fn(picked);
+    return;
+  }
+  for (int i = 0; i < k; ++i) {
+    bool used = false;
+    for (int p : picked) {
+      if (p == i) used = true;
+    }
+    if (used) continue;
+    picked.push_back(i);
+    Combinations(k, need, picked, fn);
+    picked.pop_back();
+  }
+}
+
+}  // namespace
+
+LinearisedQuery CacheToLinear(const Program& prog, const Atom& goal, int k) {
+  assert(k >= 1);
+  LinearisedQuery out;
+  Program& lin = out.prog;
+
+  // Copy the constant table in order so Sym values coincide.
+  for (Sym s = 0; s < prog.num_consts(); ++s) {
+    Sym copied = lin.ConstSym(prog.const_name(s));
+    assert(copied == s);
+    (void)copied;
+  }
+  const Sym none = lin.ConstSym("$none");
+  const Sym pad = lin.ConstSym("$pad");
+
+  // Predicate tags as constants.
+  std::vector<Sym> pred_tag(prog.num_preds());
+  std::size_t max_arity = 0;
+  for (PredId p = 0; p < prog.num_preds(); ++p) {
+    pred_tag[p] = lin.ConstSym("$pred_" + prog.pred(p).name);
+    max_arity = std::max(max_arity, prog.pred(p).arity);
+  }
+  const int slot_width = static_cast<int>(max_arity) + 1;  // tag + args
+
+  const PredId cache_pred =
+      lin.AddPred(StrCat("cache", k), static_cast<std::size_t>(k) * slot_width);
+  const PredId found_pred = lin.AddPred("found", 0);
+  out.goal = Atom{found_pred, {}};
+
+  // Helper: term vector for a full cache atom given per-slot term makers.
+  auto make_cache_atom =
+      [&](const std::function<Term(int slot, int pos)>& slot_term) {
+        Atom a;
+        a.pred = cache_pred;
+        a.args.reserve(static_cast<std::size_t>(k) * slot_width);
+        for (int s = 0; s < k; ++s) {
+          for (int pos = 0; pos < slot_width; ++pos) {
+            a.args.push_back(slot_term(s, pos));
+          }
+        }
+        return a;
+      };
+
+  // Initial fact: the empty cache.
+  lin.AddFact(make_cache_atom([&](int, int pos) {
+    return C(pos == 0 ? none : pad);
+  }));
+
+  // Drop rules: blank out slot d; other slots pass through via variables.
+  for (int d = 0; d < k; ++d) {
+    // Variables 0..k*slot_width-1: one per (slot, pos) of the body atom.
+    auto var_of = [&](int s, int pos) {
+      return V(static_cast<VarSym>(s * slot_width + pos));
+    };
+    Rule r;
+    r.body.push_back(make_cache_atom(
+        [&](int s, int pos) { return var_of(s, pos); }));
+    r.head = make_cache_atom([&](int s, int pos) -> Term {
+      if (s == d) return C(pos == 0 ? none : pad);
+      return var_of(s, pos);
+    });
+    lin.AddRule(std::move(r));
+  }
+
+  // Goal detection: found :- cacheK(..., slot_i = goal, ...).
+  for (int gslot = 0; gslot < k; ++gslot) {
+    auto var_of = [&](int s, int pos) {
+      return V(static_cast<VarSym>(s * slot_width + pos));
+    };
+    Rule r;
+    r.head = Atom{found_pred, {}};
+    r.body.push_back(make_cache_atom([&](int s, int pos) -> Term {
+      if (s != gslot) return var_of(s, pos);
+      if (pos == 0) return C(pred_tag[goal.pred]);
+      const std::size_t ai = static_cast<std::size_t>(pos - 1);
+      if (ai < goal.args.size()) {
+        assert(goal.args[ai].kind == Term::Kind::kConst);
+        return C(goal.args[ai].val);
+      }
+      return C(pad);
+    }));
+    lin.AddRule(std::move(r));
+  }
+
+  // Add rules: for each original rule, each assignment of its body atoms
+  // to distinct slots, and each head slot (required empty).
+  for (const Rule& orig : prog.rules()) {
+    const int m = static_cast<int>(orig.body.size());
+    assert(m <= 3 && "CacheToLinear supports rule bodies of <= 3 atoms");
+    if (m > k) continue;  // body cannot fit in the cache
+
+    // Original rule variables occupy 0..orig_vars-1; pass-through slot
+    // variables start above.
+    std::size_t orig_vars = 0;
+    auto scan = [&](const Term& t) {
+      if (t.kind == Term::Kind::kVar && t.val + 1 > orig_vars) {
+        orig_vars = t.val + 1;
+      }
+    };
+    for (const Term& t : orig.head.args) scan(t);
+    for (const Atom& a : orig.body) {
+      for (const Term& t : a.args) scan(t);
+    }
+    for (const Native& n : orig.natives) {
+      for (const Term& t : n.inputs) scan(t);
+      if (n.output.has_value() && *n.output + 1 > orig_vars) {
+        orig_vars = *n.output + 1;
+      }
+    }
+    auto passthrough_var = [&](int s, int pos) {
+      return V(static_cast<VarSym>(orig_vars + s * slot_width + pos));
+    };
+
+    // Renders an original atom into slot terms.
+    auto atom_slot_term = [&](const Atom& a, int pos) -> Term {
+      if (pos == 0) return C(pred_tag[a.pred]);
+      const std::size_t ai = static_cast<std::size_t>(pos - 1);
+      if (ai < a.args.size()) return a.args[ai];
+      return C(pad);
+    };
+
+    std::vector<int> picked;
+    Combinations(k, m, picked, [&](const std::vector<int>& body_slots) {
+      for (int hslot = 0; hslot < k; ++hslot) {
+        // The head goes into an empty slot; it may coincide with no body
+        // slot (body atoms must stay cached while firing).
+        bool clash = false;
+        for (int bs : body_slots) {
+          if (bs == hslot) clash = true;
+        }
+        if (clash) continue;
+        Rule r;
+        r.natives = orig.natives;
+        r.body.push_back(make_cache_atom([&](int s, int pos) -> Term {
+          for (int bi = 0; bi < m; ++bi) {
+            if (body_slots[bi] == s) {
+              return atom_slot_term(orig.body[bi], pos);
+            }
+          }
+          if (s == hslot) return C(pos == 0 ? none : pad);
+          return passthrough_var(s, pos);
+        }));
+        r.head = make_cache_atom([&](int s, int pos) -> Term {
+          for (int bi = 0; bi < m; ++bi) {
+            if (body_slots[bi] == s) {
+              return atom_slot_term(orig.body[bi], pos);
+            }
+          }
+          if (s == hslot) return atom_slot_term(orig.head, pos);
+          return passthrough_var(s, pos);
+        });
+        lin.AddRule(std::move(r));
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace rapar::dl

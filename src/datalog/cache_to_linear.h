@@ -1,0 +1,35 @@
+// Lemma 4.2: every Cache Datalog query (Prog, g) with cache bound k can be
+// turned into a *linear* Datalog query (Prog', g').
+//
+// Construction: the cache is materialised as one k-slot predicate
+//   cacheK(slot_1, ..., slot_k)
+// where each slot is a flattened atom [pred-tag, arg_1..arg_A] (A = the
+// maximum arity of Prog's predicates; unused positions padded, empty slots
+// tagged none). Each Add step of Cache Datalog becomes a family of linear
+// rules (one per choice of body/head slot positions), each Drop step a
+// blanking rule, and g' is a nullary `found` derived when some slot holds
+// g. Every rule has exactly one IDB body atom (cacheK), so Prog' is
+// linear; the construction is polynomial in |Prog| and k (O(|Prog|·k^m)
+// rules for maximum body size m; the paper's bound is quadratic via a
+// sharper encoding, which does not affect the PSPACE argument).
+//
+// Note: Prog' shares Prog's constant symbol numbering (the constant table
+// is copied in order), so natives that capture Sym values remain valid.
+#ifndef RAPAR_DATALOG_CACHE_TO_LINEAR_H_
+#define RAPAR_DATALOG_CACHE_TO_LINEAR_H_
+
+#include "datalog/ast.h"
+
+namespace rapar::dl {
+
+struct LinearisedQuery {
+  Program prog;
+  Atom goal;  // nullary `found`
+};
+
+// Requires: every rule body of `prog` has at most 3 atoms, `goal` ground.
+LinearisedQuery CacheToLinear(const Program& prog, const Atom& goal, int k);
+
+}  // namespace rapar::dl
+
+#endif  // RAPAR_DATALOG_CACHE_TO_LINEAR_H_

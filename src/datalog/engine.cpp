@@ -1,0 +1,237 @@
+#include "datalog/engine.h"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <optional>
+
+namespace rapar::dl {
+
+namespace {
+
+// Rule-local variable binding environment.
+class Bindings {
+ public:
+  void Reset(std::size_t num_vars) {
+    vals_.assign(num_vars, std::nullopt);
+    trail_.clear();
+  }
+  bool Bound(VarSym v) const { return vals_[v].has_value(); }
+  Sym Get(VarSym v) const { return *vals_[v]; }
+  void Bind(VarSym v, Sym s) {
+    vals_[v] = s;
+    trail_.push_back(v);
+  }
+  std::size_t Mark() const { return trail_.size(); }
+  void Undo(std::size_t mark) {
+    while (trail_.size() > mark) {
+      vals_[trail_.back()] = std::nullopt;
+      trail_.pop_back();
+    }
+  }
+
+ private:
+  std::vector<std::optional<Sym>> vals_;
+  std::vector<VarSym> trail_;
+};
+
+std::size_t MaxVar(const Rule& rule) {
+  std::size_t mx = 0;
+  auto scan_term = [&](const Term& t) {
+    if (t.kind == Term::Kind::kVar && t.val + 1 > mx) mx = t.val + 1;
+  };
+  for (const Term& t : rule.head.args) scan_term(t);
+  for (const Atom& a : rule.body) {
+    for (const Term& t : a.args) scan_term(t);
+  }
+  for (const Native& n : rule.natives) {
+    for (const Term& t : n.inputs) scan_term(t);
+    if (n.output.has_value() && *n.output + 1 > mx) mx = *n.output + 1;
+  }
+  return mx;
+}
+
+// Unifies `tuple` against `pattern` (the atom's args) under `env`.
+bool Match(const std::vector<Term>& pattern, const std::vector<Sym>& tuple,
+           Bindings& env) {
+  assert(pattern.size() == tuple.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const Term& t = pattern[i];
+    if (t.kind == Term::Kind::kConst) {
+      if (t.val != tuple[i]) return false;
+    } else if (env.Bound(t.val)) {
+      if (env.Get(t.val) != tuple[i]) return false;
+    } else {
+      env.Bind(t.val, tuple[i]);
+    }
+  }
+  return true;
+}
+
+class Evaluator {
+ public:
+  Evaluator(const Program& prog, const Atom* goal, EvalStats* stats,
+            const EvalOptions& options)
+      : prog_(prog),
+        goal_(goal),
+        stats_(stats),
+        options_(options),
+        db_(prog.num_preds()) {
+    // Index: predicate -> (rule index, body position).
+    rule_index_.resize(prog.num_preds());
+    for (std::size_t ri = 0; ri < prog.rules().size(); ++ri) {
+      const Rule& r = prog.rules()[ri];
+      for (std::size_t bi = 0; bi < r.body.size(); ++bi) {
+        rule_index_[r.body[bi].pred].push_back({ri, bi});
+      }
+    }
+  }
+
+  // Returns true if the goal was derived (always false without a goal).
+  bool Run() {
+    // Seed with facts and with rules whose body is empty but have natives
+    // (treated as facts after native evaluation).
+    for (const Rule& r : prog_.rules()) {
+      if (!r.body.empty()) continue;
+      Bindings env;
+      env.Reset(MaxVar(r));
+      if (EvalNativesAndEmit(r, env, 0)) return true;
+    }
+    // Worklist: process newly derived tuples.
+    while (!work_.empty()) {
+      auto [pred, idx] = work_.front();
+      work_.pop_front();
+      const std::vector<Sym> tuple = db_.Tuples(pred)[idx];
+      for (auto [ri, bi] : rule_index_[pred]) {
+        const Rule& r = prog_.rules()[ri];
+        Bindings env;
+        env.Reset(MaxVar(r));
+        if (!Match(r.body[bi].args, tuple, env)) continue;
+        if (JoinRest(r, env, 0, bi)) return true;
+      }
+    }
+    return false;
+  }
+
+  Database TakeDb() { return std::move(db_); }
+
+ private:
+  // Joins body atoms other than the delta position `skip`, starting from
+  // body index `at`; then evaluates natives and emits the head.
+  bool JoinRest(const Rule& r, Bindings& env, std::size_t at,
+                std::size_t skip) {
+    if (at == r.body.size()) return EvalNativesAndEmit(r, env, 0);
+    if (at == skip) return JoinRest(r, env, at + 1, skip);
+    const Atom& atom = r.body[at];
+    for (const auto& tuple : db_.Tuples(atom.pred)) {
+      if (stats_ != nullptr) ++stats_->join_attempts;
+      const std::size_t mark = env.Mark();
+      if (Match(atom.args, tuple, env)) {
+        if (JoinRest(r, env, at + 1, skip)) return true;
+      }
+      env.Undo(mark);
+    }
+    return false;
+  }
+
+  bool EvalNativesAndEmit(const Rule& r, Bindings& env, std::size_t at) {
+    if (at == r.natives.size()) return Emit(r, env);
+    const Native& n = r.natives[at];
+    std::vector<Sym> inputs;
+    inputs.reserve(n.inputs.size());
+    for (const Term& t : n.inputs) {
+      if (t.kind == Term::Kind::kConst) {
+        inputs.push_back(t.val);
+      } else {
+        assert(env.Bound(t.val) && "native input must be bound");
+        inputs.push_back(env.Get(t.val));
+      }
+    }
+    Sym out = 0;
+    if (!n.fn(inputs, &out)) return false;
+    const std::size_t mark = env.Mark();
+    if (n.output.has_value()) {
+      if (env.Bound(*n.output)) {
+        if (env.Get(*n.output) != out) return false;
+      } else {
+        env.Bind(*n.output, out);
+      }
+    }
+    bool found = EvalNativesAndEmit(r, env, at + 1);
+    if (!found) env.Undo(mark);
+    return found;
+  }
+
+  bool Emit(const Rule& r, Bindings& env) {
+    std::vector<Sym> tuple;
+    tuple.reserve(r.head.args.size());
+    for (const Term& t : r.head.args) {
+      if (t.kind == Term::Kind::kConst) {
+        tuple.push_back(t.val);
+      } else {
+        assert(env.Bound(t.val) && "unsafe rule: unbound head variable");
+        tuple.push_back(env.Get(t.val));
+      }
+    }
+    if (stats_ != nullptr) ++stats_->rule_firings;
+    if (!db_.Insert(r.head.pred, tuple)) return false;
+    if (stats_ != nullptr) ++stats_->tuples;
+    const std::size_t idx = db_.Tuples(r.head.pred).size() - 1;
+    work_.push_back({r.head.pred, idx});
+    if (goal_ != nullptr && options_.early_exit && r.head.pred == goal_->pred) {
+      bool is_goal = true;
+      for (std::size_t i = 0; i < tuple.size(); ++i) {
+        assert(goal_->args[i].kind == Term::Kind::kConst);
+        if (goal_->args[i].val != tuple[i]) {
+          is_goal = false;
+          break;
+        }
+      }
+      if (is_goal) {
+        if (stats_ != nullptr) stats_->goal_found = true;
+        return true;
+      }
+    }
+    if (options_.max_tuples != 0 && db_.TotalTuples() > options_.max_tuples) {
+      throw std::runtime_error("datalog evaluation exceeded tuple budget");
+    }
+    return false;
+  }
+
+  const Program& prog_;
+  const Atom* goal_;
+  EvalStats* stats_;
+  const EvalOptions& options_;
+  Database db_;
+  std::deque<std::pair<PredId, std::size_t>> work_;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> rule_index_;
+};
+
+}  // namespace
+
+bool Query(const Program& prog, const Atom& goal, EvalStats* stats,
+           const EvalOptions& options) {
+  Evaluator ev(prog, &goal, stats, options);
+  if (ev.Run()) return true;
+  // Fixpoint reached without early exit; check membership.
+  Database db = ev.TakeDb();
+  std::vector<Sym> tuple;
+  for (const Term& t : goal.args) {
+    assert(t.kind == Term::Kind::kConst);
+    tuple.push_back(t.val);
+  }
+  bool found = db.Contains(goal.pred, tuple);
+  if (stats != nullptr && found) stats->goal_found = true;
+  return found;
+}
+
+Database Eval(const Program& prog, EvalStats* stats,
+              const EvalOptions& options) {
+  EvalOptions opts = options;
+  opts.early_exit = false;
+  Evaluator ev(prog, nullptr, stats, opts);
+  ev.Run();
+  return ev.TakeDb();
+}
+
+}  // namespace rapar::dl

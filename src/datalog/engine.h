@@ -1,0 +1,71 @@
+// Bottom-up (semi-naive) Datalog evaluation.
+#ifndef RAPAR_DATALOG_ENGINE_H_
+#define RAPAR_DATALOG_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "datalog/ast.h"
+
+namespace rapar::dl {
+
+// Predicate extensions computed by evaluation.
+class Database {
+ public:
+  explicit Database(std::size_t num_preds) : exts_(num_preds) {}
+
+  // Returns true if the tuple was new.
+  bool Insert(PredId pred, std::vector<Sym> tuple) {
+    auto& ext = exts_[pred];
+    auto [it, fresh] = ext.index.insert(tuple);
+    if (fresh) ext.tuples.push_back(*it);
+    return fresh;
+  }
+  bool Contains(PredId pred, const std::vector<Sym>& tuple) const {
+    return exts_[pred].index.count(tuple) > 0;
+  }
+  const std::vector<std::vector<Sym>>& Tuples(PredId pred) const {
+    return exts_[pred].tuples;
+  }
+  std::size_t TotalTuples() const {
+    std::size_t n = 0;
+    for (const auto& e : exts_) n += e.tuples.size();
+    return n;
+  }
+
+ private:
+  struct Ext {
+    std::unordered_set<std::vector<Sym>, rapar::VectorHash<Sym>> index;
+    std::vector<std::vector<Sym>> tuples;  // insertion order
+  };
+  std::vector<Ext> exts_;
+};
+
+struct EvalStats {
+  std::size_t tuples = 0;        // derived tuples (including facts)
+  std::size_t rule_firings = 0;  // successful rule instantiations
+  std::size_t join_attempts = 0;
+  bool goal_found = false;
+};
+
+struct EvalOptions {
+  // Stop as soon as the goal atom is derived (early exit).
+  bool early_exit = true;
+  // Abort evaluation after this many derived tuples (0 = unlimited).
+  std::size_t max_tuples = 0;
+};
+
+// Evaluates `prog` to fixpoint (or until `goal` is derived). `goal` must
+// be ground. Returns whether Prog ⊢ goal.
+bool Query(const Program& prog, const Atom& goal, EvalStats* stats = nullptr,
+           const EvalOptions& options = {});
+
+// Full fixpoint evaluation; returns the database of all derived tuples.
+Database Eval(const Program& prog, EvalStats* stats = nullptr,
+              const EvalOptions& options = {});
+
+}  // namespace rapar::dl
+
+#endif  // RAPAR_DATALOG_ENGINE_H_

@@ -1,0 +1,302 @@
+#include "depgraph/dep_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "common/strings.h"
+
+namespace rapar {
+
+namespace {
+
+// Read histories are persistent lists shared between env-configuration
+// provenances (each AddEnvCfg branches from its parent configuration).
+struct HistNode {
+  std::shared_ptr<const HistNode> parent;
+  std::uint32_t read_node;  // dep-graph node id that was read
+};
+
+using HistPtr = std::shared_ptr<const HistNode>;
+
+HistPtr Extend(HistPtr parent, std::uint32_t node) {
+  auto h = std::make_shared<HistNode>();
+  h->parent = std::move(parent);
+  h->read_node = node;
+  return h;
+}
+
+std::map<std::uint32_t, int> Collect(const HistPtr& hist) {
+  std::map<std::uint32_t, int> out;
+  for (const HistNode* h = hist.get(); h != nullptr; h = h->parent.get()) {
+    out[h->read_node]++;
+  }
+  return out;
+}
+
+}  // namespace
+
+int ComputeQ0(const SimplSystem& sys) {
+  std::size_t dis_size = 0;
+  for (const Cfa* d : sys.dis) dis_size += d->edges().size();
+  return static_cast<int>(sys.dom * static_cast<Value>(sys.num_vars) +
+                          static_cast<Value>(dis_size));
+}
+
+DepGraph DepGraph::Build(const SimplSystem& sys,
+                         const std::vector<SimplStep>& witness,
+                         std::map<std::uint32_t, int>* final_actor_reads) {
+  DepGraph g;
+  SimplConfig cfg = InitialConfig(sys);
+
+  // Init message nodes, one per variable.
+  for (std::size_t xi = 0; xi < sys.num_vars; ++xi) {
+    DepNode n;
+    n.origin = DepNode::Origin::kInit;
+    n.var = VarId(static_cast<std::uint32_t>(xi));
+    n.val = kInitValue;
+    g.nodes_.push_back(std::move(n));
+  }
+
+  // Shadow structures aligned with cfg's containers.
+  // dis_ids[x][p] = node id of the dis message at position p on x.
+  std::vector<std::vector<std::uint32_t>> dis_ids(sys.num_vars);
+  for (std::size_t xi = 0; xi < sys.num_vars; ++xi) {
+    dis_ids[xi].push_back(static_cast<std::uint32_t>(xi));  // init
+  }
+  // env_ids[i] = node id of env_msgs()[i] (first instance).
+  std::vector<std::uint32_t> env_ids;
+  // env_hist[i] = read history of the provenance of env_cfgs()[i].
+  std::vector<HistPtr> env_hist = {nullptr};  // the initial configuration
+  // dis_hist[t] = read history of dis thread t.
+  std::vector<HistPtr> dis_hist(sys.dis.size(), nullptr);
+
+  for (std::size_t si = 0; si < witness.size(); ++si) {
+    const SimplStep& step = witness[si];
+    const bool is_env = step.actor == SimplStep::Actor::kEnv;
+
+    // Resolve the read message to a node id in the PRE-state.
+    bool has_read = false;
+    std::uint32_t read_id = 0;
+    if (step.read_kind == SimplStep::ReadKind::kDisMsg) {
+      has_read = true;
+      const Cfa& cfa = is_env ? *sys.env : *sys.dis[step.actor_index];
+      const VarId x = cfa.Edge(EdgeId(step.edge)).instr.var;
+      read_id = dis_ids[x.index()][step.read_pos];
+    } else if (step.read_kind == SimplStep::ReadKind::kEnvMsg) {
+      has_read = true;
+      read_id = env_ids[step.read_pos];
+    }
+
+    const HistPtr pre_hist =
+        is_env ? env_hist[step.actor_index] : dis_hist[step.actor_index];
+    HistPtr post_hist =
+        has_read ? Extend(pre_hist, read_id) : pre_hist;
+
+    StepEffect eff = ApplyStep(sys, cfg, step);
+
+    // Writes: create a node (first instance only) whose depend set is the
+    // generating actor's read history *before* the store.
+    if (eff.wrote) {
+      // depend(msg): everything the generating actor read before the
+      // store, including a CAS's own load.
+      const HistPtr& gen_hist = post_hist;
+      if (eff.wrote_is_env) {
+        // Locate the message in the post-state sorted vector.
+        EnvMsg key;
+        key.var = eff.wrote_var;
+        key.val = eff.wrote_val;
+        key.view = eff.wrote_view;
+        const auto& msgs = cfg.env_msgs();
+        auto it = std::lower_bound(msgs.begin(), msgs.end(), key);
+        assert(it != msgs.end() && *it == key);
+        const std::size_t pos =
+            static_cast<std::size_t>(it - msgs.begin());
+        if (eff.wrote_fresh) {
+          DepNode n;
+          n.origin = DepNode::Origin::kEnv;
+          n.var = eff.wrote_var;
+          n.val = eff.wrote_val;
+          n.birth_step = static_cast<int>(si);
+          // The store's own read happened before the write.
+          n.depend = Collect(gen_hist);
+          g.nodes_.push_back(std::move(n));
+          env_ids.insert(env_ids.begin() + pos,
+                         static_cast<std::uint32_t>(g.nodes_.size() - 1));
+        }
+        // Re-insertion of an existing env message: genthread stays the
+        // first adder (Definition of genthread in §4.2).
+      } else {
+        // dis insertion position: gap+1, or read_pos+1 for CAS-on-dis.
+        int pos;
+        if (step.read_kind == SimplStep::ReadKind::kDisMsg && step.gap < 0) {
+          pos = step.read_pos + 1;
+        } else {
+          pos = step.gap + 1;
+        }
+        DepNode n;
+        n.origin = DepNode::Origin::kDis;
+        n.var = eff.wrote_var;
+        n.val = eff.wrote_val;
+        n.birth_step = static_cast<int>(si);
+        n.depend = Collect(gen_hist);
+        g.nodes_.push_back(std::move(n));
+        auto& ids = dis_ids[eff.wrote_var.index()];
+        ids.insert(ids.begin() + pos,
+                   static_cast<std::uint32_t>(g.nodes_.size() - 1));
+      }
+    }
+
+    if (final_actor_reads != nullptr && si + 1 == witness.size()) {
+      *final_actor_reads = Collect(post_hist);
+    }
+
+    // Update provenance shadows.
+    if (is_env) {
+      const auto& cfgs = cfg.env_cfgs();
+      auto it = std::lower_bound(cfgs.begin(), cfgs.end(), eff.actor_after);
+      assert(it != cfgs.end() && *it == eff.actor_after);
+      const std::size_t pos = static_cast<std::size_t>(it - cfgs.begin());
+      if (eff.actor_fresh) {
+        env_hist.insert(env_hist.begin() + pos, post_hist);
+      }
+      // If the configuration already existed, its first provenance stands.
+    } else {
+      dis_hist[step.actor_index] = post_hist;
+    }
+  }
+  return g;
+}
+
+int DepGraph::Height() const {
+  // Nodes were appended in generation order, so depend edges point to
+  // lower indices: one left-to-right pass computes longest paths.
+  std::vector<int> h(nodes_.size(), 0);
+  int best = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& [dep, rc] : nodes_[i].depend) {
+      assert(dep < i);
+      h[i] = std::max(h[i], h[dep] + 1);
+    }
+    best = std::max(best, h[i]);
+  }
+  return best;
+}
+
+int DepGraph::MaxFanIn() const {
+  int best = 0;
+  for (const DepNode& n : nodes_) {
+    best = std::max(best, static_cast<int>(n.depend.size()));
+  }
+  return best;
+}
+
+bool DepGraph::IsCompact(int q0) const {
+  return Height() <= q0 && MaxFanIn() <= q0;
+}
+
+long long DepGraph::CostOf(std::uint32_t node) const {
+  if (cost_memo_.size() != nodes_.size()) {
+    cost_memo_.assign(nodes_.size(), -1);
+  }
+  if (cost_memo_[node] >= 0) return cost_memo_[node];
+  const DepNode& n = nodes_[node];
+  long long cost = n.origin == DepNode::Origin::kEnv ? 1 : 0;
+  for (const auto& [dep, rc] : n.depend) {
+    cost += static_cast<long long>(rc) * CostOf(dep);
+  }
+  cost_memo_[node] = cost;
+  return cost;
+}
+
+long long DepGraph::CostOfReads(const std::map<std::uint32_t, int>& reads,
+                                bool actor_is_env) const {
+  long long cost = actor_is_env ? 1 : 0;
+  for (const auto& [dep, rc] : reads) {
+    cost += static_cast<long long>(rc) * CostOf(dep);
+  }
+  return cost;
+}
+
+long long DepGraph::CostOfMessage(VarId var, Value val) const {
+  long long best = -1;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].var == var && nodes_[i].val == val &&
+        nodes_[i].origin != DepNode::Origin::kInit) {
+      long long c = CostOf(static_cast<std::uint32_t>(i));
+      if (best < 0 || c < best) best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> DepGraph::Sources() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].depend.empty()) out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> DepGraph::Sinks() const {
+  std::vector<bool> has_out(nodes_.size(), false);
+  for (const DepNode& n : nodes_) {
+    for (const auto& [dep, rc] : n.depend) has_out[dep] = true;
+  }
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!has_out[i]) out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+namespace {
+const char* OriginName(DepNode::Origin o) {
+  switch (o) {
+    case DepNode::Origin::kInit:
+      return "init";
+    case DepNode::Origin::kEnv:
+      return "env";
+    case DepNode::Origin::kDis:
+      return "dis";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string DepGraph::ToString(const VarTable& vars) const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const DepNode& n = nodes_[i];
+    out += StrCat("#", i, " [", OriginName(n.origin), "] (",
+                  vars.Name(n.var), ", ", n.val, ") cost=",
+                  CostOf(static_cast<std::uint32_t>(i)), " depends:");
+    for (const auto& [dep, rc] : n.depend) {
+      out += StrCat(" #", dep, "(rc=", rc, ")");
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DepGraph::ToDot(const VarTable& vars) const {
+  std::string out = "digraph dep {\n  rankdir=BT;\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const DepNode& n = nodes_[i];
+    const char* colour = n.origin == DepNode::Origin::kInit    ? "gray"
+                         : n.origin == DepNode::Origin::kEnv   ? "orange"
+                                                               : "violet";
+    out += StrCat("  n", i, " [label=\"(", vars.Name(n.var), ",", n.val,
+                  ")\\ncost=", CostOf(static_cast<std::uint32_t>(i)),
+                  "\", color=", colour, "];\n");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& [dep, rc] : nodes_[i].depend) {
+      out += StrCat("  n", dep, " -> n", i, " [label=\"rc=", rc, "\"];\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rapar

@@ -1,0 +1,90 @@
+// Dependency graphs of simplified-semantics computations (Definition 1,
+// §4.2) and the cost analysis of §4.3.
+//
+// The graph is built by deterministically replaying a recorded witness run
+// (simplified/step.h): vertices are the messages of the final memory
+// (first instances, per `genthread`), and (msg1 -> msg2) is an edge when
+// msg1 ∈ depend(msg2), i.e. the thread that generated msg2 read msg1
+// beforehand. Read counts rc(msg, msg') annotate the edges and drive the
+// env-thread-count bound of §4.3.
+#ifndef RAPAR_DEPGRAPH_DEP_GRAPH_H_
+#define RAPAR_DEPGRAPH_DEP_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simplified/explorer.h"
+
+namespace rapar {
+
+// One vertex: a message of the final abstract memory.
+struct DepNode {
+  enum class Origin { kInit, kEnv, kDis };
+  Origin origin = Origin::kInit;
+  VarId var;
+  Value val = 0;
+  // Step index (into the witness) that first generated the message;
+  // -1 for init messages.
+  int birth_step = -1;
+  // depend(msg): node ids read by genthread(msg) before the generation,
+  // with read counts rc.
+  std::map<std::uint32_t, int> depend;
+};
+
+class DepGraph {
+ public:
+  // Replays `witness` on `sys` and constructs the dependency graph of the
+  // resulting computation. If `final_actor_reads` is non-null it receives
+  // the read multiset (node id -> rc) of the actor performing the *last*
+  // witness step — for violation witnesses this is depend(violation),
+  // which drives the §4.3 env-thread bound for assert-based queries.
+  static DepGraph Build(const SimplSystem& sys,
+                        const std::vector<SimplStep>& witness,
+                        std::map<std::uint32_t, int>* final_actor_reads =
+                            nullptr);
+
+  // §4.3 cost of a read multiset: Σ rc·cost(dep) (+1 for the reading env
+  // clone itself if `actor_is_env`).
+  long long CostOfReads(const std::map<std::uint32_t, int>& reads,
+                        bool actor_is_env) const;
+
+  const std::vector<DepNode>& nodes() const { return nodes_; }
+
+  // Longest path length (in edges) from a source to any vertex.
+  int Height() const;
+  // Maximum |depend(v)| over all vertices.
+  int MaxFanIn() const;
+  // The compactness bounds of §4.2: every fan-in and the height are at
+  // most q0.
+  bool IsCompact(int q0) const;
+
+  // §4.3 cost: number of env threads sufficient to generate the message.
+  // cost(init) = 0; cost(env msg) = 1 + Σ rc·cost(dep);
+  // cost(dis msg) = Σ rc·cost(dep).
+  long long CostOf(std::uint32_t node) const;
+  // Cost of generating a message (var, val): minimum over matching nodes;
+  // -1 if no such message exists in the run.
+  long long CostOfMessage(VarId var, Value val) const;
+
+  // Vertices with no incoming / outgoing edges.
+  std::vector<std::uint32_t> Sources() const;
+  std::vector<std::uint32_t> Sinks() const;
+
+  std::string ToString(const VarTable& vars) const;
+  // Graphviz dot output (Figure 4 style: orange/violet per genthread kind).
+  std::string ToDot(const VarTable& vars) const;
+
+ private:
+  std::vector<DepNode> nodes_;
+  mutable std::vector<long long> cost_memo_;
+};
+
+// Q0 = |Dom|·|Var| + |dis| (§4.2), with |dis| the combined instruction
+// count of the dis threads.
+int ComputeQ0(const SimplSystem& sys);
+
+}  // namespace rapar
+
+#endif  // RAPAR_DEPGRAPH_DEP_GRAPH_H_

@@ -1,0 +1,42 @@
+#include "encoding/datalog_verifier.h"
+
+#include "datalog/engine.h"
+
+namespace rapar {
+
+DatalogVerdict DatalogVerify(const SimplSystem& sys,
+                             const DatalogVerifierOptions& options) {
+  DatalogVerdict verdict;
+  bool complete = true;
+  std::vector<DisGuess> guesses =
+      EnumerateDisGuesses(sys, options.guess, &complete);
+  verdict.exhaustive = complete;
+  verdict.guesses = guesses.size();
+
+  MakePOptions mp;
+  mp.goal_message = options.goal_message;
+
+  for (const DisGuess& guess : guesses) {
+    MakePResult q = MakeP(sys, guess, mp);
+    verdict.total_rules += q.prog->size();
+    dl::EvalStats stats;
+    dl::EvalOptions eval_opts;
+    eval_opts.max_tuples = options.max_tuples_per_query;
+    bool derived = false;
+    try {
+      derived = dl::Query(*q.prog, q.goal, &stats, eval_opts);
+    } catch (const std::runtime_error&) {
+      verdict.exhaustive = false;  // budget blown: result inconclusive
+    }
+    ++verdict.queries_evaluated;
+    verdict.total_tuples += stats.tuples;
+    if (derived) {
+      verdict.unsafe = true;
+      verdict.witness_guess = guess.ToString(sys);
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace rapar

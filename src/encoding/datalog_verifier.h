@@ -1,0 +1,41 @@
+// The Datalog-backed safety verifier (Theorem 4.1): enumerates makeP's
+// nondeterministic guesses and evaluates each emitted query instance.
+// Unsafe iff some execution of makeP yields (Prog, g) with Prog ⊢ g.
+#ifndef RAPAR_ENCODING_DATALOG_VERIFIER_H_
+#define RAPAR_ENCODING_DATALOG_VERIFIER_H_
+
+#include <optional>
+#include <string>
+
+#include "encoding/makep.h"
+
+namespace rapar {
+
+struct DatalogVerifierOptions {
+  // MG goal message; when unset only assert-false violations count.
+  std::optional<std::pair<VarId, Value>> goal_message;
+  GuessEnumOptions guess;
+  // Tuple budget per query evaluation (0 = unlimited).
+  std::size_t max_tuples_per_query = 2'000'000;
+};
+
+struct DatalogVerdict {
+  bool unsafe = false;
+  // All guesses were enumerated and evaluated: a negative answer is
+  // definitive.
+  bool exhaustive = true;
+  std::size_t guesses = 0;
+  std::size_t queries_evaluated = 0;
+  // Aggregate Datalog statistics.
+  std::size_t total_tuples = 0;
+  std::size_t total_rules = 0;
+  // The witnessing guess (pretty-printed) when unsafe.
+  std::string witness_guess;
+};
+
+DatalogVerdict DatalogVerify(const SimplSystem& sys,
+                             const DatalogVerifierOptions& options = {});
+
+}  // namespace rapar
+
+#endif  // RAPAR_ENCODING_DATALOG_VERIFIER_H_

@@ -1,0 +1,89 @@
+// Guessed dis-thread run skeletons for the makeP encoding (§4.1).
+//
+// makeP is a *non-deterministic* polynomial-time procedure: each execution
+// guesses the dis part of a run and emits one Datalog query instance. A
+// guess pins, for every dis thread, its control path and all data it
+// computes (register valuations / read values), and, per shared variable,
+// the final modification order of dis stores including CAS glue — i.e.
+// everything except the message views, which the Datalog derivation
+// computes. This keeps the emitted program sound: with the dis part fixed,
+// monotone evaluation cannot recombine incompatible dis branches.
+//
+// The enumerator below realises the nondeterminism by exhaustive
+// enumeration with pruning; it is exponential in the dis programs (as the
+// NP guess must be) and intended for the small instances the Datalog
+// backend is exercised on.
+#ifndef RAPAR_ENCODING_DIS_GUESS_H_
+#define RAPAR_ENCODING_DIS_GUESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simplified/transitions.h"
+
+namespace rapar {
+
+// One annotated step of a guessed dis-thread path.
+struct GuessStep {
+  std::uint32_t edge = 0;  // CFA edge id of this thread
+  // Loads and CAS loads: the value read, and the source.
+  Value read_value = -1;   // -1: no read
+  bool read_from_env = false;
+  // If reading a dis message: its final position in the variable's
+  // guessed sequence (0 = init message).
+  int read_dis_pos = -1;
+  // Stores and CAS stores: final position (>= 1) in the variable's
+  // guessed modification order.
+  int store_pos = -1;
+  // The register valuation *after* this step (concrete along the path).
+  std::vector<Value> rv_after;
+};
+
+struct ThreadGuess {
+  std::vector<GuessStep> steps;
+  // True if the path traverses an `assert false` edge.
+  bool hits_assert = false;
+};
+
+// One guessed dis store cell in a variable's final modification order.
+struct MemCell {
+  Value val = 0;
+  int thread = -1;     // dis thread index that performs the store
+  int step_idx = -1;   // index into that thread's step list
+  bool glued = false;  // CAS store: the gap below is frozen
+};
+
+struct DisGuess {
+  std::vector<ThreadGuess> threads;
+  // mem[x][p-1] describes the dis store at position p (init at position 0
+  // is implicit: value d_init, never glued).
+  std::vector<std::vector<MemCell>> mem;
+
+  // Number of dis stores on x.
+  int StoresOn(std::size_t x) const { return static_cast<int>(mem[x].size()); }
+  // A gap h on x is frozen iff the store at position h+1 is glued.
+  bool GapFrozen(std::size_t x, int gap) const {
+    return gap + 1 <= StoresOn(x) &&
+           mem[x][static_cast<std::size_t>(gap)].glued;
+  }
+
+  std::string ToString(const SimplSystem& sys) const;
+};
+
+struct GuessEnumOptions {
+  // Hard cap on the number of guesses produced.
+  std::size_t max_guesses = 200'000;
+};
+
+// Enumerates all valid dis-run guesses of `sys` (up to the cap). Register
+// effects, assumes and CAS value-matching are checked during enumeration;
+// view feasibility is left to the Datalog derivation. Sets *complete to
+// false if the cap was hit.
+std::vector<DisGuess> EnumerateDisGuesses(const SimplSystem& sys,
+                                          const GuessEnumOptions& options,
+                                          bool* complete);
+
+}  // namespace rapar
+
+#endif  // RAPAR_ENCODING_DIS_GUESS_H_

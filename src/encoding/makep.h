@@ -1,0 +1,52 @@
+// makeP (§4.1): emits one Cache Datalog query instance per dis-run guess.
+//
+// Predicates (following the paper):
+//   emp(x, d, t_1..t_k)   — an available env message on x with value d and
+//                           view (t_1..t_k); views are inlined as one
+//                           abstract-timestamp argument per variable.
+//   etp(lc, r_1..r_m, t_1..t_k)
+//                         — a reachable env-thread configuration.
+//   dmp(x, d, t_1..t_k)   — an available dis message (init messages are
+//                           facts; guessed stores are derived from the
+//                           thread predicates, which validates the guess).
+//   dtp_i_j(t_1..t_k)     — dis thread i has executed the first j steps of
+//                           its guessed path; registers are concrete along
+//                           the guess, so only the view is threaded.
+//   violation()/goal()/unsafe() — query atoms.
+//
+// Abstract timestamps are interned first, so Sym value == encoded
+// timestamp (2t for dis t, 2t+1 for t⁺); natives compare/join them
+// directly. Rules have at most two IDB body atoms (a thread predicate and
+// a message predicate), i.e. the program is Cache Datalog as required by
+// Lemma 4.2's pipeline; dmp/emp-free rules are linear outright.
+#ifndef RAPAR_ENCODING_MAKEP_H_
+#define RAPAR_ENCODING_MAKEP_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "datalog/ast.h"
+#include "encoding/dis_guess.h"
+
+namespace rapar {
+
+struct MakePResult {
+  std::unique_ptr<dl::Program> prog;
+  // The query atom g: unsafe().
+  dl::Atom goal;
+};
+
+struct MakePOptions {
+  // MG goal message (var, val); when unset only assert-false violations
+  // constitute unsafety.
+  std::optional<std::pair<VarId, Value>> goal_message;
+};
+
+// Builds the query instance for one guess. The caller owns the program.
+MakePResult MakeP(const SimplSystem& sys, const DisGuess& guess,
+                  const MakePOptions& options);
+
+}  // namespace rapar
+
+#endif  // RAPAR_ENCODING_MAKEP_H_

@@ -1,0 +1,141 @@
+#include "lang/ast.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace rapar {
+
+namespace {
+
+StmtPtr Make(StmtKind kind, ExprPtr expr = nullptr,
+             VarId var = VarId::Invalid(), RegId reg = RegId::Invalid(),
+             RegId reg2 = RegId::Invalid(), std::vector<StmtPtr> ch = {}) {
+  return std::make_shared<Stmt>(kind, std::move(expr), var, reg, reg2,
+                                std::move(ch));
+}
+
+std::string Indent(int depth) { return std::string(2 * depth, ' '); }
+
+}  // namespace
+
+std::string Stmt::ToString(const VarTable& vars, const RegTable& regs,
+                           int indent) const {
+  const std::string pad = Indent(indent);
+  switch (kind_) {
+    case StmtKind::kSkip:
+      return pad + "skip";
+    case StmtKind::kAssume:
+      return StrCat(pad, "assume (", expr_->ToString(regs), ")");
+    case StmtKind::kAssertFail:
+      return pad + "assert false";
+    case StmtKind::kAssign:
+      return StrCat(pad, regs.Name(reg_), " := ", expr_->ToString(regs));
+    case StmtKind::kSeq:
+      return StrCat(children_[0]->ToString(vars, regs, indent), ";\n",
+                    children_[1]->ToString(vars, regs, indent));
+    case StmtKind::kChoice:
+      return StrCat(pad, "choice {\n",
+                    children_[0]->ToString(vars, regs, indent + 1), "\n", pad,
+                    "} or {\n", children_[1]->ToString(vars, regs, indent + 1),
+                    "\n", pad, "}");
+    case StmtKind::kStar:
+      return StrCat(pad, "loop {\n",
+                    children_[0]->ToString(vars, regs, indent + 1), "\n", pad,
+                    "}");
+    case StmtKind::kLoad:
+      return StrCat(pad, regs.Name(reg_), " := ", vars.Name(var_));
+    case StmtKind::kStore:
+      return StrCat(pad, vars.Name(var_), " := ", regs.Name(reg_));
+    case StmtKind::kCas:
+      return StrCat(pad, "cas(", vars.Name(var_), ", ", regs.Name(reg_), ", ",
+                    regs.Name(reg2_), ")");
+  }
+  return pad + "?";
+}
+
+StmtPtr SSkip() { return Make(StmtKind::kSkip); }
+
+StmtPtr SAssume(ExprPtr e) {
+  assert(e != nullptr);
+  return Make(StmtKind::kAssume, std::move(e));
+}
+
+StmtPtr SAssertFail() { return Make(StmtKind::kAssertFail); }
+
+StmtPtr SAssign(RegId r, ExprPtr e) {
+  assert(r.valid() && e != nullptr);
+  return Make(StmtKind::kAssign, std::move(e), VarId::Invalid(), r);
+}
+
+StmtPtr SSeq(StmtPtr a, StmtPtr b) {
+  assert(a != nullptr && b != nullptr);
+  std::vector<StmtPtr> ch{std::move(a), std::move(b)};
+  return Make(StmtKind::kSeq, nullptr, VarId::Invalid(), RegId::Invalid(),
+              RegId::Invalid(), std::move(ch));
+}
+
+StmtPtr SSeqN(std::vector<StmtPtr> stmts) {
+  if (stmts.empty()) return SSkip();
+  StmtPtr acc = stmts.back();
+  for (std::size_t i = stmts.size() - 1; i-- > 0;) {
+    acc = SSeq(stmts[i], std::move(acc));
+  }
+  return acc;
+}
+
+StmtPtr SChoice(StmtPtr a, StmtPtr b) {
+  assert(a != nullptr && b != nullptr);
+  std::vector<StmtPtr> ch{std::move(a), std::move(b)};
+  return Make(StmtKind::kChoice, nullptr, VarId::Invalid(), RegId::Invalid(),
+              RegId::Invalid(), std::move(ch));
+}
+
+StmtPtr SChoiceN(std::vector<StmtPtr> stmts) {
+  assert(!stmts.empty());
+  StmtPtr acc = stmts.back();
+  for (std::size_t i = stmts.size() - 1; i-- > 0;) {
+    acc = SChoice(stmts[i], std::move(acc));
+  }
+  return acc;
+}
+
+StmtPtr SStar(StmtPtr body) {
+  assert(body != nullptr);
+  std::vector<StmtPtr> ch{std::move(body)};
+  return Make(StmtKind::kStar, nullptr, VarId::Invalid(), RegId::Invalid(),
+              RegId::Invalid(), std::move(ch));
+}
+
+StmtPtr SLoad(RegId r, VarId x) {
+  assert(r.valid() && x.valid());
+  return Make(StmtKind::kLoad, nullptr, x, r);
+}
+
+StmtPtr SStore(VarId x, RegId r) {
+  assert(r.valid() && x.valid());
+  return Make(StmtKind::kStore, nullptr, x, r);
+}
+
+StmtPtr SCas(VarId x, RegId expected, RegId desired) {
+  assert(x.valid() && expected.valid() && desired.valid());
+  return Make(StmtKind::kCas, nullptr, x, expected, desired);
+}
+
+StmtPtr SIfElse(ExprPtr e, StmtPtr then_branch, StmtPtr else_branch) {
+  return SChoice(SSeq(SAssume(e), std::move(then_branch)),
+                 SSeq(SAssume(ENot(e)), std::move(else_branch)));
+}
+
+StmtPtr SWhile(ExprPtr e, StmtPtr body) {
+  return SSeq(SStar(SSeq(SAssume(e), std::move(body))), SAssume(ENot(e)));
+}
+
+void VisitStmts(const StmtPtr& root,
+                const std::function<void(const Stmt&)>& fn) {
+  if (root == nullptr) return;
+  fn(*root);
+  for (const auto& c : root->children()) VisitStmts(c, fn);
+}
+
+}  // namespace rapar

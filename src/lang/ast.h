@@ -1,0 +1,106 @@
+// Abstract syntax for the Com while-language (paper §1):
+//
+//   c ::= skip | assume e(r̄) | assert false | r := e(r̄)
+//       | c ; c | c ⊕ c | c* | r := x | x := r | cas(x, r1, r2)
+//
+// `if` / `while` are provided as derived forms by the parser / builder.
+#ifndef RAPAR_LANG_AST_H_
+#define RAPAR_LANG_AST_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "lang/expr.h"
+#include "lang/symbols.h"
+
+namespace rapar {
+
+enum class StmtKind {
+  kSkip,        // skip
+  kAssume,      // assume e
+  kAssertFail,  // assert false
+  kAssign,      // r := e
+  kSeq,         // c1 ; c2
+  kChoice,      // c1 ⊕ c2
+  kStar,        // c*
+  kLoad,        // r := x
+  kStore,       // x := r
+  kCas,         // cas(x, r1, r2)
+};
+
+class Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+// Immutable statement tree node. Construct via the S* factories.
+class Stmt {
+ public:
+  Stmt(StmtKind kind, ExprPtr expr, VarId var, RegId reg, RegId reg2,
+       std::vector<StmtPtr> children)
+      : kind_(kind),
+        expr_(std::move(expr)),
+        var_(var),
+        reg_(reg),
+        reg2_(reg2),
+        children_(std::move(children)) {}
+
+  StmtKind kind() const { return kind_; }
+  // kAssume/kAssign: the expression.
+  const ExprPtr& expr() const { return expr_; }
+  // kLoad/kStore/kCas: the shared variable.
+  VarId var() const { return var_; }
+  // kAssign/kLoad: target register. kStore: source register.
+  // kCas: expected-value register (r1).
+  RegId reg() const { return reg_; }
+  // kCas: new-value register (r2).
+  RegId reg2() const { return reg2_; }
+  // kSeq/kChoice: two children; kStar: one child.
+  const std::vector<StmtPtr>& children() const { return children_; }
+
+  // Renders the statement as parseable program text (see parser.h for the
+  // grammar). `indent` is the current indentation depth.
+  std::string ToString(const VarTable& vars, const RegTable& regs,
+                       int indent = 0) const;
+
+ private:
+  StmtKind kind_;
+  ExprPtr expr_;
+  VarId var_;
+  RegId reg_;
+  RegId reg2_;
+  std::vector<StmtPtr> children_;
+};
+
+// --- Factories -------------------------------------------------------------
+
+StmtPtr SSkip();
+StmtPtr SAssume(ExprPtr e);
+StmtPtr SAssertFail();
+StmtPtr SAssign(RegId r, ExprPtr e);
+StmtPtr SSeq(StmtPtr a, StmtPtr b);
+// Sequences a whole list (right-associated); empty list yields skip.
+StmtPtr SSeqN(std::vector<StmtPtr> stmts);
+StmtPtr SChoice(StmtPtr a, StmtPtr b);
+// n-ary choice (right-associated); must be non-empty.
+StmtPtr SChoiceN(std::vector<StmtPtr> stmts);
+StmtPtr SStar(StmtPtr body);
+StmtPtr SLoad(RegId r, VarId x);
+StmtPtr SStore(VarId x, RegId r);
+StmtPtr SCas(VarId x, RegId expected, RegId desired);
+
+// Derived forms.
+// if (e) { a } else { b }  ==  (assume e; a) ⊕ (assume !e; b)
+StmtPtr SIfElse(ExprPtr e, StmtPtr then_branch, StmtPtr else_branch);
+// while (e) { body }  ==  (assume e; body)* ; assume !e
+StmtPtr SWhile(ExprPtr e, StmtPtr body);
+
+// --- Traversal helpers -------------------------------------------------------
+
+// Calls `fn` on every node of the tree (pre-order).
+void VisitStmts(const StmtPtr& root, const std::function<void(const Stmt&)>& fn);
+
+}  // namespace rapar
+
+#endif  // RAPAR_LANG_AST_H_

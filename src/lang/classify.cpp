@@ -1,0 +1,102 @@
+#include "lang/classify.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "lang/cfa.h"
+
+namespace rapar {
+
+std::string Classification::ToString() const {
+  std::vector<std::string> tags;
+  if (cas_free) tags.push_back("nocas");
+  if (loop_free) tags.push_back("acyc");
+  if (pure_ra) tags.push_back("pure-ra");
+  return tags.empty() ? "(unrestricted)" : Join(tags, ",");
+}
+
+Classification Classify(const Program& program) {
+  Classification c;
+  c.cas_free = true;
+  c.loop_free = true;
+  VisitStmts(program.body(), [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kCas) c.cas_free = false;
+    if (s.kind() == StmtKind::kStar) c.loop_free = false;
+  });
+  c.pure_ra = IsPureRA(program);
+  return c;
+}
+
+bool IsPureRA(const Program& program) {
+  const Cfa cfa = Cfa::Build(program);
+  const std::size_t nregs = program.regs().size();
+  std::vector<bool> is_load_target(nregs, false);
+  std::vector<bool> is_store_source(nregs, false);
+  std::vector<bool> assigned_non_one(nregs, false);
+  std::vector<bool> assigned(nregs, false);
+
+  for (const auto& e : cfa.edges()) {
+    switch (e.instr.kind) {
+      case Instr::Kind::kAssign: {
+        if (e.instr.expr->op() != ExprOp::kConst) return false;
+        assigned[e.instr.reg.index()] = true;
+        if (e.instr.expr->constant() != 1) {
+          assigned_non_one[e.instr.reg.index()] = true;
+        }
+        break;
+      }
+      case Instr::Kind::kLoad:
+        is_load_target[e.instr.reg.index()] = true;
+        break;
+      case Instr::Kind::kStore:
+        is_store_source[e.instr.reg.index()] = true;
+        break;
+      case Instr::Kind::kCas:
+        return false;  // PureRA is in particular CAS-free
+      default:
+        break;
+    }
+  }
+
+  for (std::size_t r = 0; r < nregs; ++r) {
+    if (is_store_source[r]) {
+      // Store sources must hold exactly the constant one.
+      if (is_load_target[r] || assigned_non_one[r] || !assigned[r]) {
+        return false;
+      }
+    }
+  }
+
+  // Every load must be followed only by equality guards on its target.
+  for (const auto& e : cfa.edges()) {
+    if (e.instr.kind != Instr::Kind::kLoad) continue;
+    const RegId scratch = e.instr.reg;
+    if (is_store_source[scratch.index()]) return false;
+    for (EdgeId out_id : cfa.OutEdges(e.to)) {
+      const Instr& next = cfa.Edge(out_id).instr;
+      if (next.kind != Instr::Kind::kAssume) return false;
+      const Expr& guard = *next.expr;
+      const bool shape_ok =
+          guard.op() == ExprOp::kEq && guard.children().size() == 2 &&
+          guard.children()[0]->op() == ExprOp::kReg &&
+          guard.children()[0]->reg() == scratch &&
+          guard.children()[1]->op() == ExprOp::kConst;
+      if (!shape_ok) return false;
+    }
+  }
+
+  // Scratch registers must not feed general expressions: any expression in
+  // an assume has already been shape-checked above only for loads; remaining
+  // assumes may not read load targets.
+  for (const auto& e : cfa.edges()) {
+    if (e.instr.kind != Instr::Kind::kAssume) continue;
+    std::vector<RegId> read;
+    e.instr.expr->CollectRegs(read);
+    for (RegId r : read) {
+      if (!is_load_target[r.index()]) return false;  // only scratch checks
+    }
+  }
+  return true;
+}
+
+}  // namespace rapar

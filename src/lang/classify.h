@@ -1,0 +1,41 @@
+// Classification of programs into the paper's system classes (Table 1).
+#ifndef RAPAR_LANG_CLASSIFY_H_
+#define RAPAR_LANG_CLASSIFY_H_
+
+#include <string>
+
+#include "lang/program.h"
+
+namespace rapar {
+
+// Syntactic classification of a single thread program.
+struct Classification {
+  // `nocas`: the program contains no cas(...) instruction.
+  bool cas_free = false;
+  // `acyc`: the program contains no iteration `c*` (hence its CFA is
+  // acyclic).
+  bool loop_free = false;
+  // PureRA (§5): no general register computation — registers follow the
+  // conventions checked by IsPureRA below.
+  bool pure_ra = false;
+
+  std::string ToString() const;
+};
+
+Classification Classify(const Program& program);
+
+// PureRA check. The paper's PureRA forbids registers and allows only
+// (a) stores of the constant one and (b) load-and-check-value steps. Com
+// has no register-free primitives, so we admit exactly this shape:
+//   * every register assignment assigns a constant;
+//   * every store source register is only ever assigned the constant 1 and
+//     is never a load target;
+//   * every load targets a scratch register that is used only in an
+//     immediately following `assume (scratch == const)` guard.
+// Programs produced by lowerbound/tqbf_reduction satisfy this by
+// construction.
+bool IsPureRA(const Program& program);
+
+}  // namespace rapar
+
+#endif  // RAPAR_LANG_CLASSIFY_H_

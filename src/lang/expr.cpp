@@ -1,0 +1,170 @@
+#include "lang/expr.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace rapar {
+
+namespace {
+
+Value Mod(long long v, Value dom) {
+  assert(dom > 0);
+  long long m = v % dom;
+  if (m < 0) m += dom;
+  return static_cast<Value>(m);
+}
+
+ExprPtr MakeBinary(ExprOp op, ExprPtr a, ExprPtr b) {
+  std::vector<ExprPtr> ch;
+  ch.push_back(std::move(a));
+  ch.push_back(std::move(b));
+  return std::make_shared<Expr>(op, 0, RegId::Invalid(), std::move(ch));
+}
+
+}  // namespace
+
+Value Expr::Eval(std::span<const Value> rv, Value dom) const {
+  switch (op_) {
+    case ExprOp::kConst:
+      return Mod(constant_, dom);
+    case ExprOp::kReg:
+      assert(reg_.index() < rv.size());
+      return rv[reg_.index()];
+    case ExprOp::kAdd:
+      return Mod(static_cast<long long>(children_[0]->Eval(rv, dom)) +
+                     children_[1]->Eval(rv, dom),
+                 dom);
+    case ExprOp::kSub:
+      return Mod(static_cast<long long>(children_[0]->Eval(rv, dom)) -
+                     children_[1]->Eval(rv, dom),
+                 dom);
+    case ExprOp::kMul:
+      return Mod(static_cast<long long>(children_[0]->Eval(rv, dom)) *
+                     children_[1]->Eval(rv, dom),
+                 dom);
+    case ExprOp::kEq:
+      return children_[0]->Eval(rv, dom) == children_[1]->Eval(rv, dom) ? 1
+                                                                        : 0;
+    case ExprOp::kNe:
+      return children_[0]->Eval(rv, dom) != children_[1]->Eval(rv, dom) ? 1
+                                                                        : 0;
+    case ExprOp::kLt:
+      return children_[0]->Eval(rv, dom) < children_[1]->Eval(rv, dom) ? 1 : 0;
+    case ExprOp::kLe:
+      return children_[0]->Eval(rv, dom) <= children_[1]->Eval(rv, dom) ? 1
+                                                                        : 0;
+    case ExprOp::kAnd:
+      return (children_[0]->Eval(rv, dom) != 0 &&
+              children_[1]->Eval(rv, dom) != 0)
+                 ? 1
+                 : 0;
+    case ExprOp::kOr:
+      return (children_[0]->Eval(rv, dom) != 0 ||
+              children_[1]->Eval(rv, dom) != 0)
+                 ? 1
+                 : 0;
+    case ExprOp::kNot:
+      return children_[0]->Eval(rv, dom) == 0 ? 1 : 0;
+  }
+  assert(false && "unreachable");
+  return 0;
+}
+
+void Expr::CollectRegs(std::vector<RegId>& out) const {
+  if (op_ == ExprOp::kReg) out.push_back(reg_);
+  for (const auto& c : children_) c->CollectRegs(out);
+}
+
+std::string Expr::ToString(const RegTable& regs) const {
+  auto bin = [&](const char* sym) {
+    return StrCat("(", children_[0]->ToString(regs), " ", sym, " ",
+                  children_[1]->ToString(regs), ")");
+  };
+  switch (op_) {
+    case ExprOp::kConst:
+      return StrCat(constant_);
+    case ExprOp::kReg:
+      return regs.Name(reg_);
+    case ExprOp::kAdd:
+      return bin("+");
+    case ExprOp::kSub:
+      return bin("-");
+    case ExprOp::kMul:
+      return bin("*");
+    case ExprOp::kEq:
+      return bin("==");
+    case ExprOp::kNe:
+      return bin("!=");
+    case ExprOp::kLt:
+      return bin("<");
+    case ExprOp::kLe:
+      return bin("<=");
+    case ExprOp::kAnd:
+      return bin("&&");
+    case ExprOp::kOr:
+      return bin("||");
+    case ExprOp::kNot:
+      return StrCat("!", children_[0]->ToString(regs));
+  }
+  return "?";
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (op_ != other.op_) return false;
+  if (op_ == ExprOp::kConst) return constant_ == other.constant_;
+  if (op_ == ExprOp::kReg) return reg_ == other.reg_;
+  if (children_.size() != other.children_.size()) return false;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr EConst(Value v) {
+  return std::make_shared<Expr>(ExprOp::kConst, v, RegId::Invalid(),
+                                std::vector<ExprPtr>{});
+}
+
+ExprPtr EReg(RegId r) {
+  return std::make_shared<Expr>(ExprOp::kReg, 0, r, std::vector<ExprPtr>{});
+}
+
+ExprPtr EAdd(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr ESub(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr EMul(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr EEq(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr ENe(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr ELt(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr ELe(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr EAnd(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprOp::kAnd, std::move(a), std::move(b));
+}
+ExprPtr EOr(ExprPtr a, ExprPtr b) {
+  return MakeBinary(ExprOp::kOr, std::move(a), std::move(b));
+}
+
+ExprPtr ENot(ExprPtr a) {
+  std::vector<ExprPtr> ch;
+  ch.push_back(std::move(a));
+  return std::make_shared<Expr>(ExprOp::kNot, 0, RegId::Invalid(),
+                                std::move(ch));
+}
+
+ExprPtr ERegEq(RegId r, Value v) { return EEq(EReg(r), EConst(v)); }
+
+}  // namespace rapar

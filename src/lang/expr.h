@@ -1,0 +1,96 @@
+// Expressions over thread-local registers.
+//
+// The paper leaves the expression language open, requiring only an
+// interpretation [[e]] : Dom^n -> Dom. We provide constants, register
+// reads, modular arithmetic, comparisons and boolean connectives — enough
+// to express every benchmark and the reductions, while keeping evaluation
+// total over the finite domain.
+#ifndef RAPAR_LANG_EXPR_H_
+#define RAPAR_LANG_EXPR_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "lang/symbols.h"
+#include "lang/value.h"
+
+namespace rapar {
+
+enum class ExprOp {
+  kConst,  // literal value
+  kReg,    // register read
+  kAdd,    // (a + b) mod dom
+  kSub,    // (a - b) mod dom
+  kMul,    // (a * b) mod dom
+  kEq,     // a == b ? 1 : 0
+  kNe,     // a != b ? 1 : 0
+  kLt,     // a <  b ? 1 : 0
+  kLe,     // a <= b ? 1 : 0
+  kAnd,    // (a != 0 && b != 0) ? 1 : 0
+  kOr,     // (a != 0 || b != 0) ? 1 : 0
+  kNot,    // a == 0 ? 1 : 0
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// Immutable expression tree node. Construct via the factory functions
+// below; sharing subtrees is fine (the tree is never mutated).
+class Expr {
+ public:
+  Expr(ExprOp op, Value constant, RegId reg, std::vector<ExprPtr> children)
+      : op_(op),
+        constant_(constant),
+        reg_(reg),
+        children_(std::move(children)) {}
+
+  ExprOp op() const { return op_; }
+  Value constant() const { return constant_; }
+  RegId reg() const { return reg_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  // Evaluates under register valuation `rv` (indexed by RegId) with the
+  // given domain size; arithmetic results are reduced into [0, dom).
+  Value Eval(std::span<const Value> rv, Value dom) const;
+
+  // Collects the registers read by this expression into `out` (may contain
+  // duplicates).
+  void CollectRegs(std::vector<RegId>& out) const;
+
+  // Renders the expression using names from `regs`.
+  std::string ToString(const RegTable& regs) const;
+
+  // Structural equality.
+  bool Equals(const Expr& other) const;
+
+ private:
+  ExprOp op_;
+  Value constant_;  // meaningful for kConst
+  RegId reg_;       // meaningful for kReg
+  std::vector<ExprPtr> children_;
+};
+
+// --- Factories -------------------------------------------------------------
+
+ExprPtr EConst(Value v);
+ExprPtr EReg(RegId r);
+ExprPtr EAdd(ExprPtr a, ExprPtr b);
+ExprPtr ESub(ExprPtr a, ExprPtr b);
+ExprPtr EMul(ExprPtr a, ExprPtr b);
+ExprPtr EEq(ExprPtr a, ExprPtr b);
+ExprPtr ENe(ExprPtr a, ExprPtr b);
+ExprPtr ELt(ExprPtr a, ExprPtr b);
+ExprPtr ELe(ExprPtr a, ExprPtr b);
+ExprPtr EAnd(ExprPtr a, ExprPtr b);
+ExprPtr EOr(ExprPtr a, ExprPtr b);
+ExprPtr ENot(ExprPtr a);
+
+// Convenience: reg == const.
+ExprPtr ERegEq(RegId r, Value v);
+
+}  // namespace rapar
+
+#endif  // RAPAR_LANG_EXPR_H_

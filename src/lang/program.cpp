@@ -1,0 +1,19 @@
+#include "lang/program.h"
+
+#include "common/strings.h"
+
+namespace rapar {
+
+std::string Program::ToString() const {
+  std::string out = StrCat("program ", name_.empty() ? "p" : name_, "\n");
+  out += "vars";
+  for (const auto& v : vars_.names()) out += StrCat(" ", v);
+  out += "\nregs";
+  for (const auto& r : regs_.names()) out += StrCat(" ", r);
+  out += StrCat("\ndom ", dom_, "\nbegin\n");
+  out += body_->ToString(vars_, regs_, 1);
+  out += "\nend\n";
+  return out;
+}
+
+}  // namespace rapar

@@ -1,0 +1,55 @@
+// A Com program together with its symbol tables and data domain.
+#ifndef RAPAR_LANG_PROGRAM_H_
+#define RAPAR_LANG_PROGRAM_H_
+
+#include <memory>
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/symbols.h"
+#include "lang/value.h"
+
+namespace rapar {
+
+// A single thread's program. Shared-variable ids are meaningful only
+// relative to the enclosing system's variable table; by convention all
+// programs of one system are built against the same VarTable (see
+// core/param_system.h). Registers are thread-local.
+class Program {
+ public:
+  Program() : dom_(2), body_(SSkip()) {}
+  Program(std::string name, VarTable vars, RegTable regs, Value dom,
+          StmtPtr body)
+      : name_(std::move(name)),
+        vars_(std::move(vars)),
+        regs_(std::move(regs)),
+        dom_(dom),
+        body_(std::move(body)) {}
+
+  const std::string& name() const { return name_; }
+  const VarTable& vars() const { return vars_; }
+  const RegTable& regs() const { return regs_; }
+  // Domain size |Dom|; values range over [0, dom).
+  Value dom() const { return dom_; }
+  const StmtPtr& body() const { return body_; }
+
+  // Returns a copy of this program with a different body (symbol tables and
+  // domain preserved).
+  Program WithBody(StmtPtr body) const {
+    return Program(name_, vars_, regs_, dom_, std::move(body));
+  }
+
+  // Renders the program in the textual format accepted by ParseProgram.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  VarTable vars_;
+  RegTable regs_;
+  Value dom_;
+  StmtPtr body_;
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_LANG_PROGRAM_H_

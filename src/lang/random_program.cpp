@@ -1,0 +1,103 @@
+#include "lang/random_program.h"
+
+#include <cassert>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace rapar {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(Rng& rng, const RandomProgramOptions& opts)
+      : rng_(rng), opts_(opts) {
+    for (int i = 0; i < opts.num_vars; ++i) vars_.Add(StrCat("v", i));
+    for (int i = 0; i < opts.num_regs; ++i) regs_.Add(StrCat("r", i));
+  }
+
+  Program Build(const std::string& name) {
+    StmtPtr body = GenSeq(opts_.size, opts_.max_depth);
+    return Program(name, vars_, regs_, opts_.dom, body);
+  }
+
+ private:
+  VarId RandVar() {
+    return VarId(static_cast<std::uint32_t>(rng_.Below(vars_.size())));
+  }
+  RegId RandReg() {
+    return RegId(static_cast<std::uint32_t>(rng_.Below(regs_.size())));
+  }
+  Value RandVal() { return static_cast<Value>(rng_.Below(opts_.dom)); }
+
+  StmtPtr GenLeaf() {
+    // Weighted instruction mix; memory operations dominate so that the
+    // generated programs actually communicate.
+    int w = rng_.IntIn(0, 99);
+    if (w < 30) return SLoad(RandReg(), RandVar());
+    if (w < 55) return SStore(RandVar(), RandReg());
+    if (w < 75) {
+      // Register computation: constant or increment.
+      RegId r = RandReg();
+      if (rng_.Chance(1, 2)) return SAssign(r, EConst(RandVal()));
+      return SAssign(r, EAdd(EReg(RandReg()), EConst(1)));
+    }
+    if (w < 90) {
+      RegId r = RandReg();
+      if (rng_.IntIn(0, 99) < opts_.eq_assume_percent) {
+        return SAssume(ERegEq(r, RandVal()));
+      }
+      return SAssume(ENe(EReg(r), EConst(RandVal())));
+    }
+    if (opts_.allow_cas && w < 96) {
+      return SCas(RandVar(), RandReg(), RandReg());
+    }
+    return SSkip();
+  }
+
+  StmtPtr GenStmt(int budget, int depth) {
+    if (budget <= 1 || depth <= 0) return GenLeaf();
+    int w = rng_.IntIn(0, 99);
+    if (w < 55) {  // sequence
+      int left = rng_.IntIn(1, budget - 1);
+      return SSeq(GenStmt(left, depth - 1),
+                  GenStmt(budget - left, depth - 1));
+    }
+    if (w < 80) {  // choice
+      int left = rng_.IntIn(1, budget - 1);
+      return SChoice(GenStmt(left, depth - 1),
+                     GenStmt(budget - left, depth - 1));
+    }
+    if (opts_.allow_loops && w < 90) {
+      return SStar(GenStmt(budget - 1, depth - 1));
+    }
+    return GenLeaf();
+  }
+
+  StmtPtr GenSeq(int budget, int depth) {
+    std::vector<StmtPtr> stmts;
+    while (budget > 0) {
+      int chunk = rng_.IntIn(1, budget);
+      stmts.push_back(GenStmt(chunk, depth));
+      budget -= chunk;
+    }
+    return SSeqN(std::move(stmts));
+  }
+
+  Rng& rng_;
+  const RandomProgramOptions& opts_;
+  VarTable vars_;
+  RegTable regs_;
+};
+
+}  // namespace
+
+Program RandomProgram(Rng& rng, const RandomProgramOptions& options,
+                      const std::string& name) {
+  assert(options.num_vars > 0 && options.num_regs > 0 && options.dom >= 2);
+  Generator gen(rng, options);
+  return gen.Build(name);
+}
+
+}  // namespace rapar

@@ -1,0 +1,36 @@
+// Deterministic random Com program generation for property-based testing
+// and workload generation.
+#ifndef RAPAR_LANG_RANDOM_PROGRAM_H_
+#define RAPAR_LANG_RANDOM_PROGRAM_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "lang/program.h"
+
+namespace rapar {
+
+struct RandomProgramOptions {
+  int num_vars = 2;
+  int num_regs = 2;
+  Value dom = 3;
+  // Approximate number of leaf statements.
+  int size = 8;
+  // Maximum nesting depth of seq/choice/star.
+  int max_depth = 4;
+  bool allow_cas = false;
+  bool allow_loops = false;
+  // Probability (percent) that a generated assume guard is an equality on
+  // a register (the rest are inequalities) — equalities produce blocking
+  // behaviour more often.
+  int eq_assume_percent = 70;
+};
+
+// Generates a program over variables v0..v{n-1} and registers r0..r{m-1}.
+// Deterministic in (rng state, options).
+Program RandomProgram(Rng& rng, const RandomProgramOptions& options,
+                      const std::string& name = "rand");
+
+}  // namespace rapar
+
+#endif  // RAPAR_LANG_RANDOM_PROGRAM_H_

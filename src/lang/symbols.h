@@ -1,0 +1,54 @@
+// Symbol tables for shared variables and registers.
+#ifndef RAPAR_LANG_SYMBOLS_H_
+#define RAPAR_LANG_SYMBOLS_H_
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace rapar {
+
+// A dense table of named symbols of one kind (variables or registers).
+// Symbols are identified by insertion order.
+template <typename IdT>
+class SymbolTable {
+ public:
+  // Adds `name` if not present; returns its id.
+  IdT Add(const std::string& name) {
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) return it->second;
+    IdT id(static_cast<std::uint32_t>(names_.size()));
+    names_.push_back(name);
+    by_name_.emplace(name, id);
+    return id;
+  }
+
+  // Returns the id of `name`, or an invalid id if absent.
+  IdT Find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? IdT::Invalid() : it->second;
+  }
+
+  const std::string& Name(IdT id) const {
+    assert(id.valid() && id.index() < names_.size());
+    return names_[id.index()];
+  }
+
+  std::size_t size() const { return names_.size(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, IdT> by_name_;
+};
+
+using VarTable = SymbolTable<VarId>;
+using RegTable = SymbolTable<RegId>;
+
+}  // namespace rapar
+
+#endif  // RAPAR_LANG_SYMBOLS_H_

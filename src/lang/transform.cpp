@@ -1,0 +1,91 @@
+#include "lang/transform.h"
+
+#include <cassert>
+
+namespace rapar {
+
+StmtPtr RemapVars(const StmtPtr& stmt, const std::vector<VarId>& mapping) {
+  assert(stmt != nullptr);
+  auto remap = [&](VarId v) {
+    assert(v.index() < mapping.size());
+    return mapping[v.index()];
+  };
+  switch (stmt->kind()) {
+    case StmtKind::kLoad:
+      return SLoad(stmt->reg(), remap(stmt->var()));
+    case StmtKind::kStore:
+      return SStore(remap(stmt->var()), stmt->reg());
+    case StmtKind::kCas:
+      return SCas(remap(stmt->var()), stmt->reg(), stmt->reg2());
+    case StmtKind::kSeq:
+      return SSeq(RemapVars(stmt->children()[0], mapping),
+                  RemapVars(stmt->children()[1], mapping));
+    case StmtKind::kChoice:
+      return SChoice(RemapVars(stmt->children()[0], mapping),
+                     RemapVars(stmt->children()[1], mapping));
+    case StmtKind::kStar:
+      return SStar(RemapVars(stmt->children()[0], mapping));
+    default:
+      return stmt;
+  }
+}
+
+namespace {
+
+StmtPtr ReplaceAsserts(const StmtPtr& stmt, VarId goal_var, RegId goal_reg,
+                       Value goal_value, bool& found) {
+  switch (stmt->kind()) {
+    case StmtKind::kAssertFail:
+      found = true;
+      return SSeq(SAssign(goal_reg, EConst(goal_value)),
+                  SStore(goal_var, goal_reg));
+    case StmtKind::kSeq:
+      return SSeq(ReplaceAsserts(stmt->children()[0], goal_var, goal_reg,
+                                 goal_value, found),
+                  ReplaceAsserts(stmt->children()[1], goal_var, goal_reg,
+                                 goal_value, found));
+    case StmtKind::kChoice:
+      return SChoice(ReplaceAsserts(stmt->children()[0], goal_var, goal_reg,
+                                    goal_value, found),
+                     ReplaceAsserts(stmt->children()[1], goal_var, goal_reg,
+                                    goal_value, found));
+    case StmtKind::kStar:
+      return SStar(ReplaceAsserts(stmt->children()[0], goal_var, goal_reg,
+                                  goal_value, found));
+    default:
+      return stmt;
+  }
+}
+
+}  // namespace
+
+bool ContainsAssert(const StmtPtr& stmt) {
+  bool found = false;
+  VisitStmts(stmt, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kAssertFail) found = true;
+  });
+  return found;
+}
+
+GoalRewrite RewriteAssertToGoalStore(const Program& program, VarId goal_var,
+                                     Value goal_value) {
+  assert(goal_var.index() < program.vars().size());
+  assert(goal_value >= 0 && goal_value < program.dom());
+  GoalRewrite result;
+  if (!ContainsAssert(program.body())) {
+    result.program = program;
+    result.had_assert = false;
+    return result;
+  }
+  RegTable regs = program.regs();
+  RegId goal_reg = regs.Add("__goal");
+  bool found = false;
+  StmtPtr body = ReplaceAsserts(program.body(), goal_var, goal_reg,
+                                goal_value, found);
+  result.program = Program(program.name(), program.vars(), std::move(regs),
+                           program.dom(), std::move(body));
+  result.had_assert = found;
+  return result;
+}
+
+}  // namespace rapar

@@ -1,0 +1,35 @@
+#include "lang/unroll.h"
+
+#include <cassert>
+#include <vector>
+
+namespace rapar {
+
+StmtPtr UnrollStars(const StmtPtr& stmt, int k) {
+  assert(stmt != nullptr && k >= 0);
+  switch (stmt->kind()) {
+    case StmtKind::kSeq:
+      return SSeq(UnrollStars(stmt->children()[0], k),
+                  UnrollStars(stmt->children()[1], k));
+    case StmtKind::kChoice:
+      return SChoice(UnrollStars(stmt->children()[0], k),
+                     UnrollStars(stmt->children()[1], k));
+    case StmtKind::kStar: {
+      StmtPtr body = UnrollStars(stmt->children()[0], k);
+      // k optional copies: each copy may run or be skipped, allowing any
+      // iteration count in [0, k].
+      std::vector<StmtPtr> copies;
+      copies.reserve(static_cast<std::size_t>(k));
+      for (int i = 0; i < k; ++i) copies.push_back(SChoice(body, SSkip()));
+      return SSeqN(std::move(copies));
+    }
+    default:
+      return stmt;  // leaf statements are shared, not copied
+  }
+}
+
+Program UnrollProgram(const Program& program, int k) {
+  return program.WithBody(UnrollStars(program.body(), k));
+}
+
+}  // namespace rapar

@@ -1,0 +1,24 @@
+// Bounded loop unrolling.
+//
+// Distinguished threads must be loop-free (`acyc`). Programs with loops are
+// brought into the class by unrolling every `c*` up to a bound k — the
+// under-approximate "bounded model checking" regime the paper points out
+// this class captures (§4). Unrolling k times replaces c* by k sequential
+// optional copies of c, i.e. it permits 0..k iterations.
+#ifndef RAPAR_LANG_UNROLL_H_
+#define RAPAR_LANG_UNROLL_H_
+
+#include "lang/program.h"
+
+namespace rapar {
+
+// Returns `stmt` with every Star replaced by `k` optional unrolled copies
+// of its (recursively unrolled) body. k == 0 turns loops into skip.
+StmtPtr UnrollStars(const StmtPtr& stmt, int k);
+
+// Program-level convenience wrapper.
+Program UnrollProgram(const Program& program, int k);
+
+}  // namespace rapar
+
+#endif  // RAPAR_LANG_UNROLL_H_

@@ -1,0 +1,20 @@
+// Data domain values.
+//
+// The paper works with a finite data domain Dom. We represent values as
+// non-negative ints in [0, dom_size); programs declare dom_size and all
+// arithmetic is reduced modulo it. Booleans are encoded as 0 / 1.
+#ifndef RAPAR_LANG_VALUE_H_
+#define RAPAR_LANG_VALUE_H_
+
+#include <cstdint>
+
+namespace rapar {
+
+using Value = std::int32_t;
+
+// The value every register and shared variable holds initially (d_init).
+inline constexpr Value kInitValue = 0;
+
+}  // namespace rapar
+
+#endif  // RAPAR_LANG_VALUE_H_

@@ -1,0 +1,130 @@
+#include "lowerbound/counter_machine.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <deque>
+#include <set>
+#include <tuple>
+
+namespace rapar {
+
+Program CounterMachineToEnvCas(const CounterMachine& machine,
+                               int counter_bound) {
+  assert(machine.num_states >= 1 && counter_bound >= 1);
+  const Value dom = std::max(
+      {static_cast<Value>(machine.num_states),
+       static_cast<Value>(counter_bound + 1), Value{2}});
+
+  VarTable vars;
+  const VarId lock = vars.Add("lock");
+  const VarId pc = vars.Add("pc");
+  const std::array<VarId, 2> ctr = {vars.Add("c0"), vars.Add("c1")};
+  RegTable regs;
+  const RegId zero = regs.Add("zero");
+  const RegId one = regs.Add("one");
+  const RegId r = regs.Add("r");
+  const RegId q = regs.Add("q");
+
+  auto goto_state = [&](int s) {
+    return SSeq(SAssign(q, EConst(s)), SStore(pc, q));
+  };
+
+  // One arm per machine instruction (guarded by the current state).
+  std::vector<StmtPtr> arms;
+  for (const CounterMachine::Instr& ins : machine.instrs) {
+    const VarId c = ctr[ins.counter];
+    std::vector<StmtPtr> seq;
+    seq.push_back(SAssume(ERegEq(r, ins.from)));
+    switch (ins.op) {
+      case CounterMachine::Op::kInc:
+        seq.push_back(SLoad(q, c));
+        seq.push_back(SAssume(ELt(EReg(q), EConst(counter_bound))));
+        seq.push_back(SAssign(q, EAdd(EReg(q), EConst(1))));
+        seq.push_back(SStore(c, q));
+        seq.push_back(goto_state(ins.to));
+        break;
+      case CounterMachine::Op::kDec:
+        seq.push_back(SLoad(q, c));
+        seq.push_back(SAssume(ELt(EConst(0), EReg(q))));
+        seq.push_back(SAssign(q, ESub(EReg(q), EConst(1))));
+        seq.push_back(SStore(c, q));
+        seq.push_back(goto_state(ins.to));
+        break;
+      case CounterMachine::Op::kJz: {
+        // Two arms: zero branch and non-zero branch.
+        std::vector<StmtPtr> z = seq;
+        z.push_back(SLoad(q, c));
+        z.push_back(SAssume(ERegEq(q, 0)));
+        z.push_back(goto_state(ins.to));
+        arms.push_back(SSeqN(std::move(z)));
+        seq.push_back(SLoad(q, c));
+        seq.push_back(SAssume(ENe(EReg(q), EConst(0))));
+        seq.push_back(goto_state(ins.to_nz));
+        break;
+      }
+    }
+    arms.push_back(SSeqN(std::move(seq)));
+  }
+
+  // A simulator thread: acquire the lock (exactly-once successor of the
+  // previous release, by CAS adjacency), perform one step on the carried
+  // state, release.
+  StmtPtr simulator = SSeqN(
+      {SCas(lock, zero, one), SLoad(r, pc), SChoiceN(std::move(arms)),
+       SStore(lock, zero)});
+
+  // The observer: any thread that ever reads the halt state fails.
+  StmtPtr observer = SSeqN({SLoad(r, pc), SAssume(ERegEq(r, machine.halt)),
+                            SAssertFail()});
+
+  StmtPtr body =
+      SSeqN({SAssign(zero, EConst(0)), SAssign(one, EConst(1)),
+             SChoice(std::move(simulator), std::move(observer))});
+  return Program("counter_machine_env", std::move(vars), std::move(regs),
+                 dom, std::move(body));
+}
+
+bool MachineHalts(const CounterMachine& machine, int counter_bound,
+                  int max_steps) {
+  using State = std::tuple<int, int, int>;  // (state, c0, c1)
+  std::set<State> seen;
+  std::deque<std::pair<State, int>> frontier;
+  const State init{machine.initial, 0, 0};
+  seen.insert(init);
+  frontier.push_back({init, 0});
+  while (!frontier.empty()) {
+    auto [st, depth] = frontier.front();
+    frontier.pop_front();
+    auto [s, c0, c1] = st;
+    if (s == machine.halt) return true;
+    if (depth >= max_steps) continue;
+    for (const CounterMachine::Instr& ins : machine.instrs) {
+      if (ins.from != s) continue;
+      int c = ins.counter == 0 ? c0 : c1;
+      std::vector<std::pair<int, int>> next;  // (state, new counter)
+      switch (ins.op) {
+        case CounterMachine::Op::kInc:
+          if (c < counter_bound) next.push_back({ins.to, c + 1});
+          break;
+        case CounterMachine::Op::kDec:
+          if (c > 0) next.push_back({ins.to, c - 1});
+          break;
+        case CounterMachine::Op::kJz:
+          next.push_back(c == 0 ? std::pair{ins.to, c}
+                                : std::pair{ins.to_nz, c});
+          break;
+      }
+      for (auto [ns, nc] : next) {
+        State nstate{ns, ins.counter == 0 ? nc : c0,
+                     ins.counter == 1 ? nc : c1};
+        if (seen.insert(nstate).second) {
+          frontier.push_back({nstate, depth + 1});
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace rapar

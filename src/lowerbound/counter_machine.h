@@ -1,0 +1,63 @@
+// Theorem 1.1: parameterized safety verification for env(acyc) — loop-free
+// env threads *with CAS* — is undecidable. The proof (full version [22])
+// reduces from Minsky counter machines.
+//
+// This module provides an executable form of the construction: a
+// two-counter machine is compiled to a single loop-free env program in
+// which every thread executes at most one machine step. CAS on a lock
+// variable is what makes the construction work: CAS adjacency means each
+// release message has at most one successor acquire, so the unboundedly
+// many env threads form one exact, totally-ordered chain of machine steps,
+// and the RA view carried through the lock hands the machine state from
+// step to step. The machine halts iff the program's assertion is
+// reachable.
+//
+// Substitution note (documented in DESIGN.md): full undecidability needs
+// unbounded counters, which the paper encodes in the unbounded timestamp
+// structure; values in Com range over the finite Dom, so counters here are
+// bounded by a parameter. The demo validates the exactly-once CAS handoff
+// — the mechanism the undecidability proof rests on — on bounded
+// instances, which is also all any terminating test can exercise.
+#ifndef RAPAR_LOWERBOUND_COUNTER_MACHINE_H_
+#define RAPAR_LOWERBOUND_COUNTER_MACHINE_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/program.h"
+
+namespace rapar {
+
+// A two-counter Minsky machine.
+struct CounterMachine {
+  enum class Op { kInc, kDec, kJz };
+
+  struct Instr {
+    Op op = Op::kInc;
+    int counter = 0;  // 0 or 1
+    int from = 0;     // source state
+    int to = 0;       // target state (taken branch for kJz: counter == 0)
+    int to_nz = 0;    // kJz: target when counter != 0 (falls through after
+                      // decrement-free test)
+  };
+
+  int num_states = 1;
+  int initial = 0;
+  int halt = 0;
+  std::vector<Instr> instrs;
+};
+
+// Compiles `machine` to an env(acyc)-with-CAS program. `counter_bound`
+// caps counter values (Dom must hold states and counters). Reaching the
+// halt state triggers `assert false`.
+Program CounterMachineToEnvCas(const CounterMachine& machine,
+                               int counter_bound);
+
+// Reference semantics: does the machine reach `halt` within `max_steps`
+// steps and counters bounded by `counter_bound`?
+bool MachineHalts(const CounterMachine& machine, int counter_bound,
+                  int max_steps);
+
+}  // namespace rapar
+
+#endif  // RAPAR_LOWERBOUND_COUNTER_MACHINE_H_

@@ -1,0 +1,129 @@
+#include "lowerbound/qbf.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace rapar {
+
+QbfFormulaPtr QLit(int var, bool negated) {
+  auto f = std::make_shared<QbfFormula>();
+  f->kind = QbfFormula::Kind::kLit;
+  f->var = var;
+  f->negated = negated;
+  return f;
+}
+
+QbfFormulaPtr QAnd(std::vector<QbfFormulaPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto f = std::make_shared<QbfFormula>();
+  f->kind = QbfFormula::Kind::kAnd;
+  f->children = std::move(children);
+  return f;
+}
+
+QbfFormulaPtr QOr(std::vector<QbfFormulaPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto f = std::make_shared<QbfFormula>();
+  f->kind = QbfFormula::Kind::kOr;
+  f->children = std::move(children);
+  return f;
+}
+
+bool EvalMatrix(const QbfFormula& f, const std::vector<bool>& assignment) {
+  switch (f.kind) {
+    case QbfFormula::Kind::kLit: {
+      bool v = assignment[f.var];
+      return f.negated ? !v : v;
+    }
+    case QbfFormula::Kind::kAnd:
+      for (const auto& c : f.children) {
+        if (!EvalMatrix(*c, assignment)) return false;
+      }
+      return true;
+    case QbfFormula::Kind::kOr:
+      for (const auto& c : f.children) {
+        if (EvalMatrix(*c, assignment)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+bool EvalFrom(const Qbf& qbf, std::vector<bool>& assignment, int var) {
+  if (var == qbf.num_vars()) return EvalMatrix(*qbf.matrix, assignment);
+  const bool universal = Qbf::IsUniversal(var);
+  for (bool v : {false, true}) {
+    assignment[var] = v;
+    const bool sub = EvalFrom(qbf, assignment, var + 1);
+    if (universal && !sub) return false;
+    if (!universal && sub) return true;
+  }
+  return universal;
+}
+
+std::string FormulaToString(const QbfFormula& f) {
+  switch (f.kind) {
+    case QbfFormula::Kind::kLit: {
+      std::string name =
+          Qbf::IsUniversal(f.var)
+              ? StrCat("u", f.var / 2)
+              : StrCat("e", (f.var + 1) / 2);
+      return f.negated ? "!" + name : name;
+    }
+    case QbfFormula::Kind::kAnd: {
+      std::vector<std::string> parts;
+      for (const auto& c : f.children) parts.push_back(FormulaToString(*c));
+      return "(" + Join(parts, " & ") + ")";
+    }
+    case QbfFormula::Kind::kOr: {
+      std::vector<std::string> parts;
+      for (const auto& c : f.children) parts.push_back(FormulaToString(*c));
+      return "(" + Join(parts, " | ") + ")";
+    }
+  }
+  return "?";
+}
+
+QbfFormulaPtr RandomFormula(Rng& rng, int num_vars, int leaves, int depth) {
+  if (leaves <= 1 || depth <= 0) {
+    return QLit(static_cast<int>(rng.Below(num_vars)), rng.Chance(1, 2));
+  }
+  const int left = rng.IntIn(1, leaves - 1);
+  std::vector<QbfFormulaPtr> children;
+  children.push_back(RandomFormula(rng, num_vars, left, depth - 1));
+  children.push_back(RandomFormula(rng, num_vars, leaves - left, depth - 1));
+  return rng.Chance(1, 2) ? QAnd(std::move(children))
+                          : QOr(std::move(children));
+}
+
+}  // namespace
+
+bool EvalQbf(const Qbf& qbf) {
+  assert(qbf.matrix != nullptr);
+  std::vector<bool> assignment(qbf.num_vars(), false);
+  return EvalFrom(qbf, assignment, 0);
+}
+
+std::string Qbf::ToString() const {
+  std::string out;
+  for (int i = 0; i <= n; ++i) {
+    out += StrCat("Au", i, ".");
+    if (i < n) out += StrCat("Ee", i + 1, ".");
+  }
+  out += " " + FormulaToString(*matrix);
+  return out;
+}
+
+Qbf RandomQbf(Rng& rng, int n, int literals) {
+  Qbf qbf;
+  qbf.n = n;
+  qbf.matrix = RandomFormula(rng, qbf.num_vars(), literals, 6);
+  return qbf;
+}
+
+}  // namespace rapar

@@ -1,0 +1,61 @@
+// Quantified Boolean formulas in the paper's shape (§5):
+//   Ψ = ∀u_0 ∃e_1 ∀u_1 … ∃e_n ∀u_n Φ(u_0, e_1, …, u_n)
+// with Φ quantifier-free in negation normal form. TQBF for this shape is
+// PSPACE-complete.
+#ifndef RAPAR_LOWERBOUND_QBF_H_
+#define RAPAR_LOWERBOUND_QBF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rapar {
+
+// NNF propositional formula over variable indices 0..m-1.
+struct QbfFormula;
+using QbfFormulaPtr = std::shared_ptr<const QbfFormula>;
+
+struct QbfFormula {
+  enum class Kind { kLit, kAnd, kOr };
+  Kind kind = Kind::kLit;
+  int var = 0;            // kLit
+  bool negated = false;   // kLit
+  std::vector<QbfFormulaPtr> children;  // kAnd / kOr
+};
+
+QbfFormulaPtr QLit(int var, bool negated = false);
+QbfFormulaPtr QAnd(std::vector<QbfFormulaPtr> children);
+QbfFormulaPtr QOr(std::vector<QbfFormulaPtr> children);
+
+// A QBF in the paper's alternation shape. With alternation depth n there
+// are 2n+1 variables: indices 0, 2, 4, …, 2n are the universals u_0..u_n;
+// odd indices 1, 3, …, 2n-1 are the existentials e_1..e_n.
+struct Qbf {
+  int n = 0;  // number of ∃ quantifiers
+  QbfFormulaPtr matrix;
+
+  int num_vars() const { return 2 * n + 1; }
+  // Variable index of u_i (0 <= i <= n) resp. e_i (1 <= i <= n).
+  static int U(int i) { return 2 * i; }
+  static int E(int i) { return 2 * i - 1; }
+  static bool IsUniversal(int var) { return var % 2 == 0; }
+
+  std::string ToString() const;
+};
+
+// Decides Ψ by direct recursive expansion (exponential; the reference
+// oracle for the reduction tests).
+bool EvalQbf(const Qbf& qbf);
+
+// Evaluates the matrix under a full assignment.
+bool EvalMatrix(const QbfFormula& f, const std::vector<bool>& assignment);
+
+// Random QBF in the paper shape: alternation depth n, matrix a random
+// NNF tree with ~`literals` leaves.
+Qbf RandomQbf(Rng& rng, int n, int literals);
+
+}  // namespace rapar
+
+#endif  // RAPAR_LOWERBOUND_QBF_H_

@@ -1,0 +1,159 @@
+#include "lowerbound/tqbf_reduction.h"
+
+#include <array>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace rapar {
+
+namespace {
+
+// Assembles c_env statement-by-statement against shared symbol tables.
+class ReductionBuilder {
+ public:
+  explicit ReductionBuilder(const Qbf& qbf) : qbf_(qbf) {
+    // Shared variables: t_b / f_b per Boolean variable, the start flag s,
+    // and the level witnesses a_{i,0}, a_{i,1} for 0 <= i <= n.
+    t_.resize(qbf.num_vars());
+    f_.resize(qbf.num_vars());
+    for (int b = 0; b < qbf.num_vars(); ++b) {
+      const std::string name = VarName(b);
+      t_[b] = vars_.Add("t_" + name);
+      f_[b] = vars_.Add("f_" + name);
+    }
+    s_ = vars_.Add("s");
+    a_.resize(qbf.n + 1);
+    for (int i = 0; i <= qbf.n; ++i) {
+      a_[i][0] = vars_.Add(StrCat("a_", i, "_0"));
+      a_[i][1] = vars_.Add(StrCat("a_", i, "_1"));
+    }
+    one_ = regs_.Add("one");
+    tmp_ = regs_.Add("tmp");
+  }
+
+  Program Build() {
+    std::vector<StmtPtr> roles;
+    roles.push_back(Ag());
+    roles.push_back(Satc());
+    for (int i = qbf_.n - 1; i >= 0; --i) roles.push_back(Fe(i));
+    roles.push_back(AssertRole());
+    // one := 1 precedes the role choice (PureRA store source).
+    StmtPtr body =
+        SSeq(SAssign(one_, EConst(1)), SChoiceN(std::move(roles)));
+    return Program("tqbf_env", vars_, regs_, /*dom=*/2, std::move(body));
+  }
+
+ private:
+  static std::string VarName(int b) {
+    return Qbf::IsUniversal(b) ? StrCat("u", b / 2)
+                               : StrCat("e", (b + 1) / 2);
+  }
+
+  // Load-and-check: tmp := x; assume tmp == d.
+  StmtPtr ReadCheck(VarId x, Value d) {
+    return SSeq(SLoad(tmp_, x), SAssume(ERegEq(tmp_, d)));
+  }
+  // Store 1 (PureRA store).
+  StmtPtr StoreOne(VarId x) { return SStore(x, one_); }
+
+  // pick(b): choose the value of b. Storing 1 to t_b makes the init
+  // message of t_b unreadable in this thread's view, i.e. b := 0;
+  // storing to f_b encodes b := 1.
+  StmtPtr Pick(int b) {
+    return SChoice(StoreOne(t_[b]), StoreOne(f_[b]));
+  }
+
+  // The truth of literal (b / !b) under the view encoding: the matching
+  // init message must still be readable.
+  StmtPtr CheckLiteral(int b, bool negated) {
+    return ReadCheck(negated ? f_[b] : t_[b], 0);
+  }
+
+  StmtPtr CheckFormula(const QbfFormula& phi) {
+    switch (phi.kind) {
+      case QbfFormula::Kind::kLit:
+        return CheckLiteral(phi.var, phi.negated);
+      case QbfFormula::Kind::kAnd: {
+        std::vector<StmtPtr> seq;
+        for (const auto& c : phi.children) seq.push_back(CheckFormula(*c));
+        return SSeqN(std::move(seq));
+      }
+      case QbfFormula::Kind::kOr: {
+        std::vector<StmtPtr> branches;
+        for (const auto& c : phi.children) {
+          branches.push_back(CheckFormula(*c));
+        }
+        return SChoiceN(std::move(branches));
+      }
+    }
+    assert(false);
+    return SSkip();
+  }
+
+  // c_AG: guess an assignment for every variable in prefix order, then
+  // raise the start flag (its message view carries the guess).
+  StmtPtr Ag() {
+    std::vector<StmtPtr> seq;
+    for (int b = 0; b < qbf_.num_vars(); ++b) seq.push_back(Pick(b));
+    seq.push_back(StoreOne(s_));
+    return SSeqN(std::move(seq));
+  }
+
+  // Record the value of universal u_i into a_{i,·}: reading t_{u_i} == 0
+  // means u_i = 1 (write a_{i,1}); reading f_{u_i} == 0 means u_i = 0.
+  StmtPtr RecordU(int i) {
+    const int b = Qbf::U(i);
+    return SChoice(
+        SSeq(ReadCheck(t_[b], 0), StoreOne(a_[i][1])),
+        SSeq(ReadCheck(f_[b], 0), StoreOne(a_[i][0])));
+  }
+
+  // c_SATC: adopt a guess via s, verify Φ, record u_n.
+  StmtPtr Satc() {
+    return SSeqN({ReadCheck(s_, 1), CheckFormula(*qbf_.matrix),
+                  RecordU(qbf_.n)});
+  }
+
+  // c_FE[i]: discharge ∃e_{i+1} ∀u_{i+1}.
+  StmtPtr Fe(int i) {
+    const int e = Qbf::E(i + 1);
+    std::vector<StmtPtr> seq;
+    seq.push_back(ReadCheck(a_[i + 1][0], 1));
+    seq.push_back(ReadCheck(a_[i + 1][1], 1));
+    // Consistency of e_{i+1}: after joining both witness views, one of
+    // t_e / f_e must still be readable — both witnesses agreed on e.
+    seq.push_back(SChoice(ReadCheck(f_[e], 0), ReadCheck(t_[e], 0)));
+    seq.push_back(RecordU(i));
+    return SSeqN(std::move(seq));
+  }
+
+  StmtPtr AssertRole() {
+    return SSeqN({ReadCheck(a_[0][0], 1), ReadCheck(a_[0][1], 1),
+                  SAssertFail()});
+  }
+
+  const Qbf& qbf_;
+  VarTable vars_;
+  RegTable regs_;
+  std::vector<VarId> t_, f_;
+  VarId s_;
+  std::vector<std::array<VarId, 2>> a_;
+  RegId one_, tmp_;
+};
+
+}  // namespace
+
+Program TqbfToPureRa(const Qbf& qbf) {
+  assert(qbf.matrix != nullptr);
+  ReductionBuilder builder(qbf);
+  return builder.Build();
+}
+
+Expected<ParamSystem> TqbfSystem(const Qbf& qbf) {
+  ParamSystem::Builder b;
+  b.Env(TqbfToPureRa(qbf));
+  return b.Build();
+}
+
+}  // namespace rapar

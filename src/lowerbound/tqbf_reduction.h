@@ -1,0 +1,39 @@
+// The PSPACE-hardness reduction of §5 (Figure 6): TQBF → parameterized
+// safety verification for env(nocas, acyc), in PureRA form.
+//
+// For each Boolean variable b of Ψ there are shared variables t_b and f_b
+// (initially 0); a view vw encodes b via
+//   (vw(t_b) = 0 ⟺ b = 1)  ∧  (vw(f_b) = 0 ⟺ b = 0),
+// i.e. a thread's opinion on b is expressed by which init messages it can
+// still read. The generated program c_env is a nondeterministic choice of
+// the roles
+//   c_AG      — assignment guesser: pick(b) stores 1 to t_b (b := 0) or
+//               f_b (b := 1) for every variable, then raises the start
+//               flag s whose message carries the guess in its view;
+//   c_SATC    — reads s, checks Φ by reading the still-readable init
+//               messages, and records the value of u_n in a_{n,·};
+//   c_FE[i]   — reads witnesses a_{i+1,0} and a_{i+1,1} (joining their
+//               views), checks that e_{i+1} remained consistent (both
+//               witnesses used the same value — otherwise both init
+//               messages are overwritten in the joined view) and records
+//               the value of u_i in a_{i,·};
+//   c_assert  — reads a_{0,0} and a_{0,1} and fails the assertion.
+// The program is unsafe iff Ψ is true (Theorem 5.1).
+#ifndef RAPAR_LOWERBOUND_TQBF_REDUCTION_H_
+#define RAPAR_LOWERBOUND_TQBF_REDUCTION_H_
+
+#include "core/param_system.h"
+#include "lowerbound/qbf.h"
+
+namespace rapar {
+
+// Builds the PureRA program c_env for Ψ. The result is in
+// env(nocas, acyc); IsPureRA holds for it.
+Program TqbfToPureRa(const Qbf& qbf);
+
+// Convenience: the full parameterized system (no dis threads).
+Expected<ParamSystem> TqbfSystem(const Qbf& qbf);
+
+}  // namespace rapar
+
+#endif  // RAPAR_LOWERBOUND_TQBF_REDUCTION_H_

@@ -1,0 +1,122 @@
+#include "ra/config.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace rapar {
+
+bool RaThreadState::operator<(const RaThreadState& other) const {
+  if (node != other.node) return node < other.node;
+  if (rv != other.rv) return rv < other.rv;
+  return view < other.view;
+}
+
+RaConfig::RaConfig(std::size_t num_vars,
+                   const std::vector<std::size_t>& reg_counts) {
+  memory_.resize(num_vars);
+  for (auto& seq : memory_) {
+    RaMsg init;
+    init.val = kInitValue;
+    init.view = View(num_vars);
+    seq.push_back(std::move(init));
+  }
+  threads_.reserve(reg_counts.size());
+  for (std::size_t regs : reg_counts) {
+    RaThreadState t;
+    t.node = NodeId(0);
+    t.rv.assign(regs, kInitValue);
+    t.view = View(num_vars);
+    threads_.push_back(std::move(t));
+  }
+}
+
+bool RaConfig::CanInsertAt(VarId x, Timestamp pos) const {
+  const auto& seq = memory_[x.index()];
+  assert(pos >= 1);
+  if (pos > static_cast<Timestamp>(seq.size())) return false;
+  // Inserting at `pos` places the new message before the message currently
+  // at `pos` (if any); forbidden if that message is glued to its
+  // predecessor (CAS pair atomicity).
+  if (pos < static_cast<Timestamp>(seq.size()) &&
+      seq[pos].glued_to_prev) {
+    return false;
+  }
+  return true;
+}
+
+bool RaConfig::InsertMessage(VarId x, Timestamp pos, Value val,
+                             const View& base_view, bool glued) {
+  if (!CanInsertAt(x, pos)) return false;
+  const std::size_t xi = x.index();
+  // Renumber every view component for x that is >= pos.
+  for (auto& seq : memory_) {
+    for (RaMsg& m : seq) {
+      if (m.view.Slot(xi) >= pos) m.view.Slot(xi)++;
+    }
+  }
+  for (RaThreadState& t : threads_) {
+    if (t.view.Slot(xi) >= pos) t.view.Slot(xi)++;
+  }
+  RaMsg msg;
+  msg.val = val;
+  msg.view = base_view;  // callers pass the pre-renumbering view of the
+                         // storing thread; renumber it the same way
+  if (msg.view.Slot(xi) >= pos) msg.view.Slot(xi)++;
+  msg.view.Set(x, pos);
+  msg.glued_to_prev = glued;
+  auto& seq = memory_[xi];
+  seq.insert(seq.begin() + pos, std::move(msg));
+  return true;
+}
+
+void RaConfig::SortThreadBlock(std::size_t lo, std::size_t hi) {
+  assert(lo <= hi && hi <= threads_.size());
+  std::sort(threads_.begin() + lo, threads_.begin() + hi);
+}
+
+std::size_t RaConfig::Hash() const {
+  std::size_t seed = 0xabcdef01;
+  for (const auto& seq : memory_) {
+    HashCombine(seed, seq.size());
+    for (const RaMsg& m : seq) {
+      HashCombine(seed, static_cast<std::size_t>(m.val));
+      HashCombine(seed, m.view.Hash());
+      HashCombine(seed, m.glued_to_prev ? 1u : 0u);
+    }
+  }
+  for (const RaThreadState& t : threads_) {
+    HashCombine(seed, t.node.value());
+    HashCombine(seed, HashRange(t.rv));
+    HashCombine(seed, t.view.Hash());
+  }
+  return seed;
+}
+
+std::string RaConfig::ToString(const VarTable& vars) const {
+  std::string out = "memory:\n";
+  for (std::size_t xi = 0; xi < memory_.size(); ++xi) {
+    out += StrCat("  ", vars.Name(VarId(static_cast<std::uint32_t>(xi))),
+                  ": ");
+    for (std::size_t p = 0; p < memory_[xi].size(); ++p) {
+      const RaMsg& m = memory_[xi][p];
+      out += StrCat("[", p, m.glued_to_prev ? "g" : "", ": ", m.val, " ",
+                    m.view.ToString(vars), "] ");
+    }
+    out += "\n";
+  }
+  out += "threads:\n";
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    const RaThreadState& t = threads_[i];
+    out += StrCat("  t", i, ": n", t.node.value(), " rv=[");
+    for (std::size_t r = 0; r < t.rv.size(); ++r) {
+      if (r > 0) out += ",";
+      out += StrCat(t.rv[r]);
+    }
+    out += StrCat("] vw=", t.view.ToString(vars), "\n");
+  }
+  return out;
+}
+
+}  // namespace rapar

@@ -1,0 +1,106 @@
+// Configurations of the standard RA semantics (§2, Figure 2).
+//
+// A configuration is a memory state (a pool of messages, organised here as
+// one modification-order sequence per variable) plus a local configuration
+// per thread. Message timestamps are kept dense per variable (see
+// ra/view.h); a message's own timestamp is its index in its variable's
+// sequence, so it is not stored separately.
+#ifndef RAPAR_RA_CONFIG_H_
+#define RAPAR_RA_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "lang/program.h"
+#include "ra/view.h"
+
+namespace rapar {
+
+// One message (x, d, vw) in memory. The x-component of `view` equals the
+// message's position in its variable's sequence (class invariant).
+// `glued_to_prev` records CAS adjacency: no later store may be inserted
+// between this message and its immediate predecessor.
+struct RaMsg {
+  Value val = 0;
+  View view;
+  bool glued_to_prev = false;
+
+  bool operator==(const RaMsg& other) const {
+    return val == other.val && glued_to_prev == other.glued_to_prev &&
+           view == other.view;
+  }
+};
+
+// Thread-local configuration: control location, register valuation, view.
+struct RaThreadState {
+  NodeId node;
+  std::vector<Value> rv;
+  View view;
+
+  bool operator==(const RaThreadState& other) const {
+    return node == other.node && rv == other.rv && view == other.view;
+  }
+  bool operator<(const RaThreadState& other) const;
+};
+
+// A full configuration of an instance with a fixed number of threads.
+class RaConfig {
+ public:
+  RaConfig() = default;
+  // Initial configuration: one init message (value d_init = 0, zero view)
+  // per variable; all threads at their entry with zeroed registers/views.
+  RaConfig(std::size_t num_vars, const std::vector<std::size_t>& reg_counts);
+
+  std::size_t num_vars() const { return memory_.size(); }
+  const std::vector<RaMsg>& MsgsOf(VarId x) const {
+    return memory_[x.index()];
+  }
+  const std::vector<RaThreadState>& threads() const { return threads_; }
+  RaThreadState& thread(std::size_t i) { return threads_[i]; }
+  const RaThreadState& thread(std::size_t i) const { return threads_[i]; }
+
+  // Inserts a new message for `x` at position `pos` (1 <= pos <=
+  // MsgsOf(x).size()), shifting later messages up and renumbering every
+  // view in the configuration (threads and messages) accordingly. The
+  // message view is `base_view` with x set to pos; glued marks CAS
+  // adjacency. Returns false (and leaves the config unchanged) if the
+  // position is blocked by a glued successor.
+  bool InsertMessage(VarId x, Timestamp pos, Value val, const View& base_view,
+                     bool glued);
+
+  // True iff a store may take position `pos` on `x` (not blocked by glue).
+  bool CanInsertAt(VarId x, Timestamp pos) const;
+
+  // Number of messages on x (including init).
+  Timestamp NumMsgs(VarId x) const {
+    return static_cast<Timestamp>(memory_[x.index()].size());
+  }
+
+  // Sorts the thread-state block [lo, hi) — used for symmetry reduction
+  // over identical env threads.
+  void SortThreadBlock(std::size_t lo, std::size_t hi);
+
+  bool operator==(const RaConfig& other) const {
+    return memory_ == other.memory_ && threads_ == other.threads_;
+  }
+
+  std::size_t Hash() const;
+
+  std::string ToString(const VarTable& vars) const;
+
+ private:
+  // memory_[x] is the modification-order sequence of messages on x;
+  // index 0 is the initial message.
+  std::vector<std::vector<RaMsg>> memory_;
+  std::vector<RaThreadState> threads_;
+};
+
+struct RaConfigHash {
+  std::size_t operator()(const RaConfig& c) const { return c.Hash(); }
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_RA_CONFIG_H_

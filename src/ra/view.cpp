@@ -1,0 +1,17 @@
+#include "ra/view.h"
+
+#include "common/strings.h"
+
+namespace rapar {
+
+std::string View::ToString(const VarTable& vars) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ts_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat(vars.Name(VarId(static_cast<std::uint32_t>(i))), "->",
+                  ts_[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace rapar

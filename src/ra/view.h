@@ -1,0 +1,83 @@
+// Views (Var -> Time) for the standard RA semantics (§2).
+//
+// The explorer keeps timestamps *canonical*: for every variable the
+// messages in memory occupy the dense positions 0..k in modification
+// order, and views store positions. Timestamp lifting (Lemma 3.1) justifies
+// this: any RA computation can be renumbered to dense timestamps without
+// affecting reachability. Inserting a message in the middle of the order
+// shifts the positions of later messages; the configuration performs that
+// renumbering globally (see RaConfig::InsertMessage).
+#ifndef RAPAR_RA_VIEW_H_
+#define RAPAR_RA_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/ids.h"
+#include "lang/symbols.h"
+
+namespace rapar {
+
+// Per-variable timestamp (dense position in modification order; 0 is the
+// initial message).
+using Timestamp = std::int32_t;
+
+// A map Var -> Timestamp, total over the system's variable universe.
+class View {
+ public:
+  View() = default;
+  explicit View(std::size_t num_vars) : ts_(num_vars, 0) {}
+
+  std::size_t size() const { return ts_.size(); }
+
+  Timestamp operator[](VarId x) const { return ts_[x.index()]; }
+  void Set(VarId x, Timestamp t) { ts_[x.index()] = t; }
+
+  // Pointwise maximum (the join used by loads).
+  View Join(const View& other) const {
+    View out(*this);
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (other.ts_[i] > out.ts_[i]) out.ts_[i] = other.ts_[i];
+    }
+    return out;
+  }
+
+  // Pointwise <=.
+  bool Leq(const View& other) const {
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (ts_[i] > other.ts_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const View& other) const { return ts_ == other.ts_; }
+  bool operator<(const View& other) const { return ts_ < other.ts_; }
+
+  std::size_t Hash() const {
+    std::size_t seed = 0x517cc1b7;
+    for (Timestamp t : ts_) HashCombine(seed, static_cast<std::size_t>(t));
+    return seed;
+  }
+
+  // Direct slot access used by renumbering.
+  Timestamp& Slot(std::size_t i) { return ts_[i]; }
+  Timestamp Slot(std::size_t i) const { return ts_[i]; }
+
+  std::string ToString(const VarTable& vars) const;
+
+ private:
+  std::vector<Timestamp> ts_;
+};
+
+}  // namespace rapar
+
+namespace std {
+template <>
+struct hash<rapar::View> {
+  size_t operator()(const rapar::View& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // RAPAR_RA_VIEW_H_

@@ -1,0 +1,38 @@
+// Abstract timestamps N ∪ N⁺ of the simplified semantics (§3.4), encoded
+// in integers: 2t is the dis timestamp t, 2t+1 is t⁺ (the env "gap" above
+// dis store t). The natural integer order realises 0 < 0⁺ < 1 < 1⁺ < ….
+#ifndef RAPAR_SIMPLIFIED_ABS_TIME_H_
+#define RAPAR_SIMPLIFIED_ABS_TIME_H_
+
+#include <string>
+
+#include "ra/view.h"
+
+namespace rapar {
+
+// Abstract timestamps reuse the Timestamp/View machinery of ra/.
+using AbsTs = Timestamp;
+
+// The dis timestamp t as an abstract value.
+constexpr AbsTs DisTs(int t) { return 2 * t; }
+// The env timestamp t⁺ as an abstract value.
+constexpr AbsTs PlusTs(int gap) { return 2 * gap + 1; }
+
+constexpr bool IsPlus(AbsTs ts) { return (ts & 1) != 0; }
+constexpr bool IsDis(AbsTs ts) { return (ts & 1) == 0; }
+
+// The gap that `ts` belongs to / sits directly above: gap(2t) = gap(2t+1)
+// = t. A thread with view 2t or 2t+1 may produce env messages in gaps
+// >= t.
+constexpr int GapOf(AbsTs ts) { return ts / 2; }
+
+// Renders "3" or "3+" for logs and goldens.
+inline std::string AbsTsToString(AbsTs ts) {
+  std::string s = std::to_string(GapOf(ts));
+  if (IsPlus(ts)) s += "+";
+  return s;
+}
+
+}  // namespace rapar
+
+#endif  // RAPAR_SIMPLIFIED_ABS_TIME_H_

@@ -1,0 +1,230 @@
+#include "simplified/witness_min.h"
+
+#include <algorithm>
+
+namespace rapar {
+
+bool StepEnabled(const SimplSystem& sys, const SimplConfig& cfg,
+                 const SimplStep& step) {
+  const bool is_env = step.actor == SimplStep::Actor::kEnv;
+  // Actor exists.
+  if (is_env) {
+    if (step.actor_index >= cfg.env_cfgs().size()) return false;
+  } else {
+    if (step.actor_index >= cfg.dis_threads().size()) return false;
+  }
+  const Cfa& cfa = is_env ? *sys.env : *sys.dis[step.actor_index];
+  const LocalCfg& lc = is_env ? cfg.env_cfgs()[step.actor_index]
+                              : cfg.dis_thread(step.actor_index);
+  // Edge exists and leaves the actor's control location.
+  if (step.edge >= cfa.edges().size()) return false;
+  const CfaEdge& edge = cfa.Edge(EdgeId(step.edge));
+  if (edge.from != lc.node) return false;
+  const Instr& instr = edge.instr;
+
+  auto msg_read_ok = [&](VarId x, Value expected_match,
+                         bool value_matters) -> bool {
+    if (step.read_kind == SimplStep::ReadKind::kDisMsg) {
+      const auto& seq = cfg.DisMsgsOf(x);
+      if (step.read_pos < 0 ||
+          step.read_pos >= static_cast<std::int32_t>(seq.size())) {
+        return false;
+      }
+      const DisMsg& msg = seq[step.read_pos];
+      if (value_matters && msg.val != expected_match) return false;
+      return msg.view[x] >= lc.view[x];
+    }
+    if (step.read_kind == SimplStep::ReadKind::kEnvMsg) {
+      const auto& msgs = cfg.env_msgs();
+      if (step.read_pos < 0 ||
+          step.read_pos >= static_cast<std::int32_t>(msgs.size())) {
+        return false;
+      }
+      const EnvMsg& msg = msgs[step.read_pos];
+      if (msg.var != x) return false;
+      if (value_matters && msg.val != expected_match) return false;
+      // Clone-promotion gap constraints.
+      if (step.gap < std::max(GapOf(lc.view[x]), GapOf(msg.ts()))) {
+        return false;
+      }
+      if (step.gap >= cfg.NumGaps(x)) return false;
+      return !cfg.GapFrozen(x, step.gap);
+    }
+    return false;
+  };
+
+  switch (instr.kind) {
+    case Instr::Kind::kNop:
+    case Instr::Kind::kAssign:
+    case Instr::Kind::kAssertFail:
+      return true;
+    case Instr::Kind::kAssume:
+      return instr.expr->Eval(lc.rv, sys.dom) != 0;
+    case Instr::Kind::kLoad:
+      return msg_read_ok(instr.var, 0, /*value_matters=*/false);
+    case Instr::Kind::kStore: {
+      const VarId x = instr.var;
+      if (step.gap < GapOf(lc.view[x]) || step.gap >= cfg.NumGaps(x)) {
+        return false;
+      }
+      return !cfg.GapFrozen(x, step.gap);
+    }
+    case Instr::Kind::kCas: {
+      if (is_env) return false;
+      const VarId x = instr.var;
+      const Value expected = lc.rv[instr.reg.index()];
+      if (step.read_kind == SimplStep::ReadKind::kDisMsg) {
+        const auto& seq = cfg.DisMsgsOf(x);
+        if (step.read_pos < 0 ||
+            step.read_pos >= static_cast<std::int32_t>(seq.size())) {
+          return false;
+        }
+        const DisMsg& msg = seq[step.read_pos];
+        return msg.val == expected && msg.view[x] >= lc.view[x] &&
+               !cfg.GapFrozen(x, step.read_pos);
+      }
+      return msg_read_ok(x, expected, /*value_matters=*/true);
+    }
+  }
+  return false;
+}
+
+bool TryReplay(const SimplSystem& sys, const std::vector<SimplStep>& steps,
+               SimplConfig* final_cfg) {
+  SimplConfig cfg = InitialConfig(sys);
+  for (const SimplStep& step : steps) {
+    if (!StepEnabled(sys, cfg, step)) return false;
+    ApplyStep(sys, cfg, step);
+  }
+  if (final_cfg != nullptr) *final_cfg = std::move(cfg);
+  return true;
+}
+
+namespace {
+
+// Steps referenced by *value* rather than by container index, so that
+// removing an earlier step does not invalidate later references: the env
+// actor is its local configuration, an env message read is the message
+// itself. (Dis reads stay positional: dis memory layout rarely changes
+// during minimisation, and any drift is caught by the validity checks.)
+struct SemStep {
+  SimplStep proto;     // actor kind, dis index, edge, gap, violation
+  LocalCfg env_actor;  // valid when proto.actor == kEnv
+  EnvMsg env_read;     // valid when proto.read_kind == kEnvMsg
+};
+
+// Converts an index-based witness into semantic steps (one replay).
+std::vector<SemStep> ToSemantic(const SimplSystem& sys,
+                                const std::vector<SimplStep>& steps) {
+  std::vector<SemStep> out;
+  out.reserve(steps.size());
+  SimplConfig cfg = InitialConfig(sys);
+  for (const SimplStep& step : steps) {
+    SemStep sem;
+    sem.proto = step;
+    if (step.actor == SimplStep::Actor::kEnv) {
+      sem.env_actor = cfg.env_cfgs()[step.actor_index];
+    }
+    if (step.read_kind == SimplStep::ReadKind::kEnvMsg) {
+      sem.env_read = cfg.env_msgs()[step.read_pos];
+    }
+    out.push_back(std::move(sem));
+    ApplyStep(sys, cfg, step);
+  }
+  return out;
+}
+
+// Replays semantic steps, re-resolving indices against the current
+// configuration. Returns false when a reference cannot be resolved or a
+// step is disabled; on success optionally returns the concrete steps and
+// the final configuration.
+bool SemReplay(const SimplSystem& sys, const std::vector<SemStep>& sem,
+               std::vector<SimplStep>* concrete, SimplConfig* final_cfg) {
+  SimplConfig cfg = InitialConfig(sys);
+  if (concrete != nullptr) concrete->clear();
+  for (const SemStep& s : sem) {
+    SimplStep step = s.proto;
+    if (step.actor == SimplStep::Actor::kEnv) {
+      const auto& cfgs = cfg.env_cfgs();
+      auto it = std::lower_bound(cfgs.begin(), cfgs.end(), s.env_actor);
+      if (it == cfgs.end() || !(*it == s.env_actor)) return false;
+      step.actor_index = static_cast<std::uint32_t>(it - cfgs.begin());
+    }
+    if (step.read_kind == SimplStep::ReadKind::kEnvMsg) {
+      const auto& msgs = cfg.env_msgs();
+      auto it = std::lower_bound(msgs.begin(), msgs.end(), s.env_read);
+      if (it == msgs.end() || !(*it == s.env_read)) return false;
+      step.read_pos = static_cast<std::int32_t>(it - msgs.begin());
+    }
+    if (!StepEnabled(sys, cfg, step)) return false;
+    ApplyStep(sys, cfg, step);
+    if (concrete != nullptr) concrete->push_back(step);
+  }
+  if (final_cfg != nullptr) *final_cfg = std::move(cfg);
+  return true;
+}
+
+}  // namespace
+
+std::vector<SimplStep> MinimizeWitness(const SimplSystem& sys,
+                                       std::vector<SimplStep> steps,
+                                       const WitnessProperty& property) {
+  {
+    SimplConfig final_cfg;
+    if (!TryReplay(sys, steps, &final_cfg) ||
+        !property(final_cfg, steps)) {
+      return steps;  // refuse to "minimise" invalid input
+    }
+  }
+  std::vector<SemStep> sem = ToSemantic(sys, steps);
+
+  auto valid = [&](const std::vector<SemStep>& candidate) {
+    std::vector<SimplStep> concrete;
+    SimplConfig final_cfg;
+    return SemReplay(sys, candidate, &concrete, &final_cfg) &&
+           property(final_cfg, concrete);
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = sem.size(); i-- > 0;) {
+      std::vector<SemStep> candidate;
+      candidate.reserve(sem.size() - 1);
+      candidate.insert(candidate.end(), sem.begin(),
+                       sem.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.insert(candidate.end(),
+                       sem.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                       sem.end());
+      if (valid(candidate)) {
+        sem = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  std::vector<SimplStep> out;
+  SemReplay(sys, sem, &out, nullptr);
+  return out;
+}
+
+WitnessProperty ViolationProperty() {
+  return [](const SimplConfig&, const std::vector<SimplStep>& steps) {
+    return !steps.empty() && steps.back().violation;
+  };
+}
+
+WitnessProperty GoalProperty(VarId var, Value val) {
+  return [var, val](const SimplConfig& cfg,
+                    const std::vector<SimplStep>&) {
+    for (const EnvMsg& m : cfg.env_msgs()) {
+      if (m.var == var && m.val == val) return true;
+    }
+    const auto& seq = cfg.DisMsgsOf(var);
+    for (std::size_t p = 1; p < seq.size(); ++p) {
+      if (seq[p].val == val) return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace rapar

@@ -1,0 +1,47 @@
+// Witness minimisation.
+//
+// The saturating explorer logs every env-saturation step it applies, so
+// witnesses contain messages and clone configurations irrelevant to the
+// violation. Greedy delta-debugging removes steps while the run stays
+// valid and the target property still holds — producing witnesses close
+// to the paper's hand-drawn executions.
+#ifndef RAPAR_SIMPLIFIED_WITNESS_MIN_H_
+#define RAPAR_SIMPLIFIED_WITNESS_MIN_H_
+
+#include <functional>
+#include <vector>
+
+#include "simplified/explorer.h"
+
+namespace rapar {
+
+// True iff `step` is enabled in `cfg` (same conditions EnumerateSteps
+// uses; never asserts). Used to re-validate candidate witnesses.
+bool StepEnabled(const SimplSystem& sys, const SimplConfig& cfg,
+                 const SimplStep& step);
+
+// Replays `steps`; returns false as soon as a step is disabled. On
+// success fills *final_cfg (if non-null).
+bool TryReplay(const SimplSystem& sys, const std::vector<SimplStep>& steps,
+               SimplConfig* final_cfg);
+
+// The property the minimised witness must preserve, evaluated on the
+// final configuration and the step list (e.g. "last step is a violation"
+// or "goal message present").
+using WitnessProperty =
+    std::function<bool(const SimplConfig&, const std::vector<SimplStep>&)>;
+
+// Greedily removes steps (earliest-first passes until fixpoint) while the
+// replay stays valid and `property` holds. The input witness must itself
+// replay and satisfy the property.
+std::vector<SimplStep> MinimizeWitness(const SimplSystem& sys,
+                                       std::vector<SimplStep> steps,
+                                       const WitnessProperty& property);
+
+// Ready-made properties.
+WitnessProperty ViolationProperty();
+WitnessProperty GoalProperty(VarId var, Value val);
+
+}  // namespace rapar
+
+#endif  // RAPAR_SIMPLIFIED_WITNESS_MIN_H_

@@ -1,0 +1,190 @@
+// Public-API tests: ParamSystem builder, SafetyVerifier backends, and the
+// benchmark suite verdicts (the RA litmus facts of §1's benchmark
+// classification).
+#include "core/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "core/benchmarks.h"
+#include "lang/parser.h"
+
+namespace rapar {
+namespace {
+
+Program MustParse(const std::string& text) {
+  Expected<Program> p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+  return std::move(p).value();
+}
+
+TEST(ParamSystemTest, BuilderUnifiesVariableTables) {
+  Program env = MustParse(R"(
+    program env
+    vars x y
+    regs r
+    dom 4
+    begin
+      r := x
+    end
+  )");
+  Program dis = MustParse(R"(
+    program dis
+    vars y z
+    regs s
+    dom 4
+    begin
+      s := z
+    end
+  )");
+  ParamSystem::Builder b;
+  auto sys = b.Env(std::move(env)).Dis(std::move(dis)).Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  // Union {x, y, z} with env's variables first.
+  EXPECT_EQ(sys.value().vars().size(), 3u);
+  EXPECT_EQ(sys.value().vars().Name(VarId(0)), "x");
+  EXPECT_EQ(sys.value().vars().Name(VarId(1)), "y");
+  EXPECT_EQ(sys.value().vars().Name(VarId(2)), "z");
+  // Every CFA sees the full universe.
+  EXPECT_EQ(sys.value().env_cfa().program().vars().size(), 3u);
+  EXPECT_EQ(sys.value().dis_cfa(0).program().vars().size(), 3u);
+}
+
+TEST(ParamSystemTest, RejectsCasInEnv) {
+  Program env = MustParse(R"(
+    program env
+    vars x
+    regs a b
+    dom 2
+    begin
+      cas(x, a, b)
+    end
+  )");
+  ParamSystem::Builder b;
+  auto sys = b.Env(std::move(env)).Build();
+  ASSERT_FALSE(sys.ok());
+  EXPECT_NE(sys.error().find("undecidable"), std::string::npos);
+}
+
+TEST(ParamSystemTest, RejectsDomainMismatch) {
+  ParamSystem::Builder b;
+  b.Env(MustParse("program e\nvars x\nregs r\ndom 2\nbegin\nskip\nend"));
+  b.Dis(MustParse("program d\nvars x\nregs r\ndom 3\nbegin\nskip\nend"));
+  auto sys = b.Build();
+  EXPECT_FALSE(sys.ok());
+}
+
+TEST(ParamSystemTest, DisLoopsRequireUnrollBound) {
+  Program dis = MustParse(R"(
+    program dis
+    vars x
+    regs r
+    dom 2
+    begin
+      loop { r := x }
+    end
+  )");
+  Program env =
+      MustParse("program e\nvars x\nregs r\ndom 2\nbegin\nskip\nend");
+  {
+    ParamSystem::Builder b;
+    auto sys = b.Env(env).Dis(dis).Build();
+    EXPECT_FALSE(sys.ok());
+  }
+  {
+    ParamSystem::Builder b;
+    auto sys = b.Env(env).Dis(dis).UnrollDis(2).Build();
+    ASSERT_TRUE(sys.ok()) << sys.error();
+    EXPECT_TRUE(Classify(sys.value().dis_programs()[0]).loop_free);
+  }
+}
+
+TEST(ParamSystemTest, SignatureAndBudgets) {
+  BenchmarkCase pc = ProducerConsumer(2);
+  // The producer happens to be loop-free too: env(nocas,acyc).
+  EXPECT_NE(pc.system.Signature().find("env(nocas"), std::string::npos);
+  EXPECT_NE(pc.system.Signature().find("dis1("), std::string::npos);
+  // Consumer has exactly one store (y := one).
+  EXPECT_EQ(pc.system.TimestampBudget(), 1);
+  EXPECT_GT(pc.system.Q0(), 0);
+}
+
+// --- Verifier on the benchmark suite -----------------------------------------
+
+class BenchmarkVerdictTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BenchmarkVerdictTest, SimplifiedBackendMatchesExpectation) {
+  std::vector<BenchmarkCase> suite = StandardBenchmarks();
+  const BenchmarkCase& bench = suite[GetParam()];
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.time_budget_ms = 60'000;
+  Verdict v = verifier.Verify(opts);
+  ASSERT_NE(v.result, Verdict::Result::kUnknown) << bench.name;
+  if (bench.expected_unsafe.has_value()) {
+    EXPECT_EQ(v.unsafe(), *bench.expected_unsafe)
+        << bench.name << ": " << bench.description;
+  }
+  if (v.unsafe()) {
+    EXPECT_FALSE(v.witness.empty()) << bench.name;
+    EXPECT_TRUE(v.env_thread_bound.has_value()) << bench.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, BenchmarkVerdictTest,
+                         ::testing::Range<std::size_t>(0, 11));
+
+TEST(BenchmarkSuiteTest, DatalogBackendAgreesOnSmallCases) {
+  // The Datalog backend enumerates dis guesses; restrict to the cases
+  // where that stays small.
+  std::vector<BenchmarkCase> cases;
+  cases.push_back(ProducerConsumer(1));
+  cases.push_back(Barrier());
+  cases.push_back(Rcu());
+  for (const BenchmarkCase& bench : cases) {
+    SafetyVerifier verifier(bench.system);
+    VerifierOptions simpl_opts;
+    Verdict vs = verifier.Verify(simpl_opts);
+    VerifierOptions dl_opts;
+    dl_opts.backend = Backend::kDatalog;
+    Verdict vd = verifier.Verify(dl_opts);
+    ASSERT_NE(vs.result, Verdict::Result::kUnknown) << bench.name;
+    ASSERT_NE(vd.result, Verdict::Result::kUnknown) << bench.name;
+    EXPECT_EQ(vs.unsafe(), vd.unsafe()) << bench.name;
+  }
+}
+
+TEST(BenchmarkSuiteTest, ConcreteBackendConfirmsBugsWithinBound) {
+  // §4.3: for unsafe cases the env-thread bound from the witness is a
+  // sufficient concrete instance size.
+  BenchmarkCase pc = ProducerConsumer(2);
+  SafetyVerifier verifier(pc.system);
+  Verdict v = verifier.Verify();
+  ASSERT_TRUE(v.unsafe());
+  ASSERT_TRUE(v.env_thread_bound.has_value());
+
+  VerifierOptions copts;
+  copts.backend = Backend::kConcrete;
+  copts.concrete_env_threads = static_cast<int>(*v.env_thread_bound);
+  Verdict vc = verifier.Verify(copts);
+  EXPECT_TRUE(vc.unsafe());
+}
+
+TEST(BenchmarkSuiteTest, VerdictToStringMentionsResult) {
+  BenchmarkCase rcu = Rcu();
+  SafetyVerifier verifier(rcu.system);
+  Verdict v = verifier.Verify();
+  EXPECT_NE(v.ToString().find("SAFE"), std::string::npos);
+}
+
+TEST(BenchmarkSuiteTest, MessageGenerationQueries) {
+  BenchmarkCase pc = ProducerConsumer(2);
+  SafetyVerifier verifier(pc.system);
+  VarId x = pc.system.vars().Find("x");
+  // Producers can generate (x, 1) and (x, 2) but never (x, 3).
+  EXPECT_TRUE(verifier.VerifyMessageGeneration(x, 1).unsafe());
+  EXPECT_TRUE(verifier.VerifyMessageGeneration(x, 2).unsafe());
+  EXPECT_TRUE(verifier.VerifyMessageGeneration(x, 3).safe());
+}
+
+}  // namespace
+}  // namespace rapar

@@ -1,0 +1,185 @@
+// Cache Datalog tests: bounded-cache derivability (⊢_k), minimal cache
+// size, and the Lemma 4.2 cache-to-linear transformation.
+#include "datalog/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/cache_to_linear.h"
+#include "datalog/engine.h"
+
+namespace rapar::dl {
+namespace {
+
+// A chain derivation: p0 -> p1 -> ... -> pn, each step consuming only the
+// previous atom. A cache of size 1 suffices (drop after use... actually
+// the body atom must be cached while firing, and the head needs a slot, so
+// size 2).
+struct ChainProgram {
+  Program prog;
+  std::vector<PredId> preds;
+
+  explicit ChainProgram(int n) {
+    for (int i = 0; i <= n; ++i) {
+      preds.push_back(prog.AddPred("p" + std::to_string(i), 0));
+    }
+    prog.AddFact(Atom{preds[0], {}});
+    for (int i = 0; i < n; ++i) {
+      prog.AddRule(Rule{Atom{preds[i + 1], {}}, {Atom{preds[i], {}}}, {}});
+    }
+  }
+};
+
+TEST(CacheDatalogTest, ChainNeedsCacheTwo) {
+  ChainProgram chain(5);
+  const Atom goal{chain.preds[5], {}};
+  EXPECT_FALSE(CacheQuery(chain.prog, goal, 1).derivable);
+  EXPECT_TRUE(CacheQuery(chain.prog, goal, 2).derivable);
+  EXPECT_EQ(MinimalCacheSize(chain.prog, goal, 5), 2);
+}
+
+// A join derivation: goal :- a, b. Both a and b must be cached
+// simultaneously, plus a slot for the goal.
+TEST(CacheDatalogTest, JoinNeedsCacheThree) {
+  Program prog;
+  PredId a = prog.AddPred("a", 0);
+  PredId b = prog.AddPred("b", 0);
+  PredId g = prog.AddPred("g", 0);
+  prog.AddFact(Atom{a, {}});
+  prog.AddFact(Atom{b, {}});
+  prog.AddRule(Rule{Atom{g, {}}, {Atom{a, {}}, Atom{b, {}}}, {}});
+  const Atom goal{g, {}};
+  EXPECT_FALSE(CacheQuery(prog, goal, 2).derivable);
+  EXPECT_TRUE(CacheQuery(prog, goal, 3).derivable);
+  EXPECT_EQ(MinimalCacheSize(prog, goal, 5), 3);
+}
+
+TEST(CacheDatalogTest, UnderivableGoal) {
+  ChainProgram chain(3);
+  Program& prog = chain.prog;
+  PredId orphan = prog.AddPred("orphan", 0);
+  const Atom goal{orphan, {}};
+  EXPECT_FALSE(CacheQuery(prog, goal, 10).derivable);
+  EXPECT_EQ(MinimalCacheSize(prog, goal, 10), std::nullopt);
+}
+
+TEST(CacheDatalogTest, UnboundedCacheMatchesStandardDatalog) {
+  // With k at least the total number of derivable atoms, ⊢_k coincides
+  // with standard derivability.
+  ChainProgram chain(4);
+  const Atom goal{chain.preds[4], {}};
+  EXPECT_EQ(Query(chain.prog, goal), CacheQuery(chain.prog, goal, 10).derivable);
+}
+
+TEST(CacheDatalogTest, DropEnablesLongDerivationsInSmallCache) {
+  // Diamond: top; left :- top; right :- top; bottom :- left, right.
+  // Cache 3 suffices: {top, left}, then derive right (cache full ->
+  // drop top), {left, right}, derive bottom.
+  Program prog;
+  PredId top = prog.AddPred("top", 0);
+  PredId left = prog.AddPred("left", 0);
+  PredId right = prog.AddPred("right", 0);
+  PredId bottom = prog.AddPred("bottom", 0);
+  prog.AddFact(Atom{top, {}});
+  prog.AddRule(Rule{Atom{left, {}}, {Atom{top, {}}}, {}});
+  prog.AddRule(Rule{Atom{right, {}}, {Atom{top, {}}}, {}});
+  prog.AddRule(
+      Rule{Atom{bottom, {}}, {Atom{left, {}}, Atom{right, {}}}, {}});
+  const Atom goal{bottom, {}};
+  EXPECT_TRUE(CacheQuery(prog, goal, 3).derivable);
+  EXPECT_FALSE(CacheQuery(prog, goal, 2).derivable);
+}
+
+TEST(CacheDatalogTest, VariablesAndConstants) {
+  Program prog;
+  PredId e = prog.AddPred("e", 2);
+  PredId r = prog.AddPred("r", 2);
+  Sym a = prog.ConstSym("a");
+  Sym b = prog.ConstSym("b");
+  Sym c = prog.ConstSym("c");
+  prog.AddFact(Atom{e, {C(a), C(b)}});
+  prog.AddFact(Atom{e, {C(b), C(c)}});
+  prog.AddRule(Rule{Atom{r, {V(0), V(1)}}, {Atom{e, {V(0), V(1)}}}, {}});
+  prog.AddRule(Rule{Atom{r, {V(0), V(2)}},
+                    {Atom{r, {V(0), V(1)}}, Atom{e, {V(1), V(2)}}},
+                    {}});
+  EXPECT_TRUE(CacheQuery(prog, Atom{r, {C(a), C(c)}}, 4).derivable);
+  EXPECT_FALSE(CacheQuery(prog, Atom{r, {C(c), C(a)}}, 4).derivable);
+}
+
+// --- Lemma 4.2: cache -> linear --------------------------------------------
+
+TEST(CacheToLinearTest, ProducesLinearProgram) {
+  ChainProgram chain(3);
+  LinearisedQuery lin = CacheToLinear(chain.prog, Atom{chain.preds[3], {}}, 2);
+  EXPECT_TRUE(lin.prog.IsLinear());
+}
+
+TEST(CacheToLinearTest, AgreesWithCacheQueryOnChain) {
+  ChainProgram chain(4);
+  const Atom goal{chain.preds[4], {}};
+  for (int k = 1; k <= 3; ++k) {
+    LinearisedQuery lin = CacheToLinear(chain.prog, goal, k);
+    EXPECT_EQ(Query(lin.prog, lin.goal),
+              CacheQuery(chain.prog, goal, k).derivable)
+        << "k=" << k;
+  }
+}
+
+TEST(CacheToLinearTest, AgreesOnJoin) {
+  Program prog;
+  PredId a = prog.AddPred("a", 0);
+  PredId b = prog.AddPred("b", 0);
+  PredId g = prog.AddPred("g", 0);
+  prog.AddFact(Atom{a, {}});
+  prog.AddFact(Atom{b, {}});
+  prog.AddRule(Rule{Atom{g, {}}, {Atom{a, {}}, Atom{b, {}}}, {}});
+  const Atom goal{g, {}};
+  for (int k = 2; k <= 4; ++k) {
+    LinearisedQuery lin = CacheToLinear(prog, goal, k);
+    EXPECT_EQ(Query(lin.prog, lin.goal),
+              CacheQuery(prog, goal, k).derivable)
+        << "k=" << k;
+  }
+}
+
+TEST(CacheToLinearTest, AgreesWithVariablesAndArity) {
+  Program prog;
+  PredId e = prog.AddPred("e", 2);
+  PredId r = prog.AddPred("r", 2);
+  Sym a = prog.ConstSym("a");
+  Sym b = prog.ConstSym("b");
+  Sym c = prog.ConstSym("c");
+  prog.AddFact(Atom{e, {C(a), C(b)}});
+  prog.AddFact(Atom{e, {C(b), C(c)}});
+  prog.AddRule(Rule{Atom{r, {V(0), V(1)}}, {Atom{e, {V(0), V(1)}}}, {}});
+  prog.AddRule(Rule{Atom{r, {V(0), V(2)}},
+                    {Atom{r, {V(0), V(1)}}, Atom{e, {V(1), V(2)}}},
+                    {}});
+  const Atom goal{r, {C(a), C(c)}};
+  for (int k = 2; k <= 4; ++k) {
+    LinearisedQuery lin = CacheToLinear(prog, goal, k);
+    EXPECT_EQ(Query(lin.prog, lin.goal),
+              CacheQuery(prog, goal, k).derivable)
+        << "k=" << k;
+  }
+  // And an underivable goal stays underivable.
+  LinearisedQuery lin = CacheToLinear(prog, Atom{r, {C(c), C(a)}}, 4);
+  EXPECT_FALSE(Query(lin.prog, lin.goal));
+}
+
+TEST(CacheToLinearTest, SizeGrowsPolynomially) {
+  ChainProgram chain(6);
+  const Atom goal{chain.preds[6], {}};
+  std::size_t prev = 0;
+  for (int k = 1; k <= 4; ++k) {
+    LinearisedQuery lin = CacheToLinear(chain.prog, goal, k);
+    EXPECT_GT(lin.prog.size(), prev);
+    // O(|Prog| * k^2) for unary-body rules plus k drop/goal rules.
+    EXPECT_LE(lin.prog.size(),
+              chain.prog.size() * static_cast<std::size_t>(k) * k + 3u * k + 1u);
+    prev = lin.prog.size();
+  }
+}
+
+}  // namespace
+}  // namespace rapar::dl

@@ -1,0 +1,151 @@
+// Datalog engine tests: textbook programs, natives, linearity, early exit.
+#include "datalog/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace rapar::dl {
+namespace {
+
+// Builds the classic transitive-closure program over a small graph.
+struct TcProgram {
+  Program prog;
+  PredId edge, path;
+  Sym a, b, c, d;
+
+  TcProgram() {
+    edge = prog.AddPred("edge", 2);
+    path = prog.AddPred("path", 2);
+    a = prog.ConstSym("a");
+    b = prog.ConstSym("b");
+    c = prog.ConstSym("c");
+    d = prog.ConstSym("d");
+    prog.AddFact(Atom{edge, {C(a), C(b)}});
+    prog.AddFact(Atom{edge, {C(b), C(c)}});
+    prog.AddFact(Atom{edge, {C(c), C(d)}});
+    // path(X, Y) :- edge(X, Y).
+    prog.AddRule(Rule{Atom{path, {V(0), V(1)}},
+                      {Atom{edge, {V(0), V(1)}}},
+                      {}});
+    // path(X, Z) :- path(X, Y), edge(Y, Z).   (linear: edge is EDB)
+    prog.AddRule(Rule{Atom{path, {V(0), V(2)}},
+                      {Atom{path, {V(0), V(1)}}, Atom{edge, {V(1), V(2)}}},
+                      {}});
+  }
+};
+
+TEST(DatalogEngineTest, TransitiveClosure) {
+  TcProgram tc;
+  EXPECT_TRUE(Query(tc.prog, Atom{tc.path, {C(tc.a), C(tc.d)}}));
+  EXPECT_TRUE(Query(tc.prog, Atom{tc.path, {C(tc.b), C(tc.d)}}));
+  EXPECT_FALSE(Query(tc.prog, Atom{tc.path, {C(tc.d), C(tc.a)}}));
+  EXPECT_FALSE(Query(tc.prog, Atom{tc.path, {C(tc.a), C(tc.a)}}));
+}
+
+TEST(DatalogEngineTest, FullEvalComputesAllTuples) {
+  TcProgram tc;
+  EvalStats stats;
+  Database db = Eval(tc.prog, &stats);
+  EXPECT_EQ(db.Tuples(tc.edge).size(), 3u);
+  EXPECT_EQ(db.Tuples(tc.path).size(), 6u);  // 3+2+1 pairs
+  EXPECT_EQ(stats.tuples, 9u);
+}
+
+TEST(DatalogEngineTest, LinearityCheck) {
+  TcProgram tc;
+  EXPECT_TRUE(tc.prog.IsLinear());
+  // Non-linear variant: path(X,Z) :- path(X,Y), path(Y,Z).
+  tc.prog.AddRule(Rule{
+      Atom{tc.path, {V(0), V(2)}},
+      {Atom{tc.path, {V(0), V(1)}}, Atom{tc.path, {V(1), V(2)}}},
+      {}});
+  EXPECT_FALSE(tc.prog.IsLinear());
+}
+
+TEST(DatalogEngineTest, EarlyExitStopsDerivation) {
+  TcProgram tc;
+  EvalStats stats;
+  EvalOptions opts;
+  opts.early_exit = true;
+  EXPECT_TRUE(
+      Query(tc.prog, Atom{tc.path, {C(tc.a), C(tc.b)}}, &stats, opts));
+  EXPECT_TRUE(stats.goal_found);
+  EXPECT_LT(stats.tuples, 9u);
+}
+
+TEST(DatalogEngineTest, NativeCheckFiltersBindings) {
+  Program prog;
+  PredId num = prog.AddPred("num", 1);
+  PredId even = prog.AddPred("even", 1);
+  std::vector<Sym> syms;
+  for (int i = 0; i < 6; ++i) syms.push_back(prog.IntSym(i));
+  for (Sym s : syms) prog.AddFact(Atom{num, {C(s)}});
+  // even(X) :- num(X), is_even[X].
+  Rule r;
+  r.head = Atom{even, {V(0)}};
+  r.body = {Atom{num, {V(0)}}};
+  Native check;
+  check.name = "is_even";
+  check.inputs = {V(0)};
+  // Sym values for IntSym(i) were interned in order, so sym == i here.
+  check.fn = [](std::span<const Sym> in, Sym*) { return in[0] % 2 == 0; };
+  r.natives.push_back(std::move(check));
+  prog.AddRule(std::move(r));
+
+  Database db = Eval(prog);
+  EXPECT_EQ(db.Tuples(even).size(), 3u);  // 0, 2, 4
+}
+
+TEST(DatalogEngineTest, NativeFunctionBindsOutput) {
+  Program prog;
+  PredId num = prog.AddPred("num", 1);
+  PredId succ = prog.AddPred("succ", 2);
+  for (int i = 0; i < 4; ++i) prog.IntSym(i);
+  prog.AddFact(Atom{num, {C(0)}});
+  // num(Y), succ(X, Y) :- num(X), plus1[X] -> Y  (two rules)
+  for (PredId head : {num, succ}) {
+    Rule r;
+    r.head = head == num ? Atom{num, {V(1)}} : Atom{succ, {V(0), V(1)}};
+    r.body = {Atom{num, {V(0)}}};
+    Native plus1;
+    plus1.name = "plus1";
+    plus1.inputs = {V(0)};
+    plus1.output = 1;
+    plus1.fn = [](std::span<const Sym> in, Sym* out) {
+      if (in[0] >= 3) return false;  // stay within interned range
+      *out = in[0] + 1;
+      return true;
+    };
+    r.natives.push_back(std::move(plus1));
+    prog.AddRule(std::move(r));
+  }
+  Database db = Eval(prog);
+  EXPECT_EQ(db.Tuples(num).size(), 4u);   // 0..3
+  EXPECT_EQ(db.Tuples(succ).size(), 3u);  // (0,1) (1,2) (2,3)
+}
+
+TEST(DatalogEngineTest, TupleBudgetThrows) {
+  TcProgram tc;
+  EvalOptions opts;
+  opts.max_tuples = 4;
+  EXPECT_THROW(Eval(tc.prog, nullptr, opts), std::runtime_error);
+}
+
+TEST(DatalogEngineTest, ProgramPrinting) {
+  TcProgram tc;
+  std::string text = tc.prog.ToString();
+  EXPECT_NE(text.find("path(X0, X2) :- path(X0, X1), edge(X1, X2)."),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("edge(a, b)."), std::string::npos);
+  EXPECT_NE(text.find(".decl path/2"), std::string::npos);
+}
+
+TEST(DatalogEngineTest, IdbPredsExcludesFactOnly) {
+  TcProgram tc;
+  std::vector<bool> idb = tc.prog.IdbPreds();
+  EXPECT_FALSE(idb[tc.edge]);
+  EXPECT_TRUE(idb[tc.path]);
+}
+
+}  // namespace
+}  // namespace rapar::dl

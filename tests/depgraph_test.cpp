@@ -1,0 +1,247 @@
+// Dependency graph construction (Definition 1), cost analysis (§4.3,
+// Figure 5), and compactness bounds (§4.2, Figure 4).
+#include "depgraph/dep_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/parser.h"
+#include "ra/explorer.h"
+
+namespace rapar {
+namespace {
+
+struct Sys {
+  std::vector<std::unique_ptr<Cfa>> owned;
+  SimplSystem sys;
+  VarTable vars;
+};
+
+Sys MakeSys(const std::string& env_text,
+            const std::vector<std::string>& dis_texts) {
+  Sys out;
+  auto parse = [&](const std::string& text) {
+    Expected<Program> p = ParseProgram(text);
+    EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+    return std::move(p).value();
+  };
+  Program env = parse(env_text);
+  out.sys.dom = env.dom();
+  out.sys.num_vars = env.vars().size();
+  out.vars = env.vars();
+  out.owned.push_back(std::make_unique<Cfa>(Cfa::Build(env)));
+  out.sys.env = out.owned[0].get();
+  for (const auto& text : dis_texts) {
+    Program d = parse(text);
+    out.owned.push_back(std::make_unique<Cfa>(Cfa::Build(d)));
+    out.sys.dis.push_back(out.owned.back().get());
+  }
+  return out;
+}
+
+// Figure 1/3/5 producer-consumer: producers nondeterministically publish a
+// value in 1..z after seeing the start flag; the consumer demands the
+// sequence 1, 2, ..., z. The paper's cost analysis yields cost z for the
+// goal message.
+std::string ProducerForZ(int z, int dom) {
+  std::string body = "  r := y;\n  assume (r == 1);\n  choice {\n";
+  for (int i = 1; i <= z; ++i) {
+    body += "    s := " + std::to_string(i) + ";\n    x := s\n";
+    body += (i < z) ? "  } or {\n" : "  };\n";
+  }
+  if (z == 1) {
+    // single branch needs a second arm; publish 1 either way
+    body =
+        "  r := y;\n  assume (r == 1);\n  s := 1;\n  x := s;\n";
+  }
+  return "program producer\nvars x y goal\nregs r s\ndom " +
+         std::to_string(dom) + "\nbegin\n" + body + "  skip\nend\n";
+}
+
+std::string ConsumerForZ(int z, int dom) {
+  std::string body = "  one := 1;\n  y := one;\n";
+  for (int i = 1; i <= z; ++i) {
+    body += "  s := x;\n  assume (s == " + std::to_string(i) + ");\n";
+  }
+  body += "  two := 2;\n  goal := two\n";  // msg# = (goal, 2)
+  return "program consumer\nvars x y goal\nregs s one two\ndom " +
+         std::to_string(dom) + "\nbegin\n" + body + "end\n";
+}
+
+std::vector<SimplStep> GoalWitness(const Sys& s, VarId goal_var,
+                                   Value goal_val) {
+  SimplExplorer ex(s.sys);
+  SimplExplorerOptions opts;
+  opts.goal = {goal_var, goal_val};
+  SimplResult r = ex.Check(opts);
+  EXPECT_TRUE(r.goal_reached);
+  return r.witness;
+}
+
+TEST(DepGraphTest, Figure5CostEqualsLoopBound) {
+  for (int z = 1; z <= 4; ++z) {
+    const int dom = z + 2;
+    Sys s = MakeSys(ProducerForZ(z, dom), {ConsumerForZ(z, dom)});
+    VarId goal = s.vars.Find("goal");
+    std::vector<SimplStep> witness = GoalWitness(s, goal, 2);
+    DepGraph g = DepGraph::Build(s.sys, witness);
+    // cost(msg#) == z: the consumer needs z distinct producer messages.
+    EXPECT_EQ(g.CostOfMessage(goal, 2), z) << "z=" << z;
+  }
+}
+
+TEST(DepGraphTest, CostBoundIsRealisedConcretely) {
+  // §4.3: cost-many env threads suffice to exhibit the behaviour, and for
+  // this family they are also necessary (each producer stores once).
+  const int z = 2, dom = 4;
+  Sys s = MakeSys(ProducerForZ(z, dom), {ConsumerForZ(z, dom)});
+  VarId goal = s.vars.Find("goal");
+  std::vector<SimplStep> witness = GoalWitness(s, goal, 2);
+  DepGraph g = DepGraph::Build(s.sys, witness);
+  const long long cost = g.CostOfMessage(goal, 2);
+  ASSERT_EQ(cost, z);
+
+  auto concrete_reaches = [&](int n_env) {
+    std::vector<const Cfa*> threads;
+    for (int i = 0; i < n_env; ++i) threads.push_back(s.sys.env);
+    for (const Cfa* d : s.sys.dis) threads.push_back(d);
+    RaExplorer ex(threads, s.sys.dom, s.sys.num_vars,
+                  {0, static_cast<std::size_t>(n_env)});
+    RaExplorerOptions opts;
+    opts.stop_on_violation = false;
+    ex.CheckSafety(opts);
+    return ex.generated_messages().count({goal.value(), 2}) > 0;
+  };
+  EXPECT_TRUE(concrete_reaches(static_cast<int>(cost)));
+  EXPECT_FALSE(concrete_reaches(static_cast<int>(cost) - 1));
+}
+
+TEST(DepGraphTest, InitMessagesHaveCostZero) {
+  Sys s = MakeSys(ProducerForZ(1, 3), {ConsumerForZ(1, 3)});
+  VarId goal = s.vars.Find("goal");
+  std::vector<SimplStep> witness = GoalWitness(s, goal, 2);
+  DepGraph g = DepGraph::Build(s.sys, witness);
+  for (std::size_t i = 0; i < s.sys.num_vars; ++i) {
+    EXPECT_EQ(g.nodes()[i].origin, DepNode::Origin::kInit);
+    EXPECT_EQ(g.CostOf(static_cast<std::uint32_t>(i)), 0);
+  }
+}
+
+TEST(DepGraphTest, GraphIsAcyclicByConstruction) {
+  Sys s = MakeSys(ProducerForZ(3, 5), {ConsumerForZ(3, 5)});
+  VarId goal = s.vars.Find("goal");
+  std::vector<SimplStep> witness = GoalWitness(s, goal, 2);
+  DepGraph g = DepGraph::Build(s.sys, witness);
+  // depend edges always point to earlier nodes; Height() asserts that.
+  EXPECT_GE(g.Height(), 1);
+  EXPECT_GE(g.MaxFanIn(), 1);
+}
+
+TEST(DepGraphTest, WitnessGraphsAreCompactOnThisFamily) {
+  // Lemma 4.5 consequence: BFS (shortest) witnesses for this family stay
+  // within the Q0 compactness bounds.
+  for (int z = 1; z <= 3; ++z) {
+    const int dom = z + 2;
+    Sys s = MakeSys(ProducerForZ(z, dom), {ConsumerForZ(z, dom)});
+    VarId goal = s.vars.Find("goal");
+    std::vector<SimplStep> witness = GoalWitness(s, goal, 2);
+    DepGraph g = DepGraph::Build(s.sys, witness);
+    EXPECT_TRUE(g.IsCompact(ComputeQ0(s.sys))) << "z=" << z;
+  }
+}
+
+TEST(DepGraphTest, EnvChainCostCountsClones) {
+  // Chained producers: each env thread reads the predecessor's message.
+  // cost(x = k) = 2^k - 1 with rc = 1 per level... here each env message
+  // depends on one env message, so cost(k) = 1 + cost(k-1) = k.
+  const char* env = R"(
+    program chain
+    vars x
+    regs r s
+    dom 5
+    begin
+      r := x;
+      s := r + 1;
+      x := s
+    end
+  )";
+  Sys s = MakeSys(env, {});
+  SimplExplorer ex(s.sys);
+  SimplExplorerOptions opts;
+  opts.goal = {VarId(0), Value(4)};
+  SimplResult r = ex.Check(opts);
+  ASSERT_TRUE(r.goal_reached);
+  DepGraph g = DepGraph::Build(s.sys, r.witness);
+  EXPECT_EQ(g.CostOfMessage(VarId(0), 4), 4);
+  EXPECT_EQ(g.Height(), 4);
+}
+
+TEST(DepGraphTest, Figure4TwoGenthreadChoices) {
+  // §4.2/Figure 4: the same message can be first-generated by different
+  // threads; genthread (and so the graph) depends on the run. Environment
+  // program: publish x := 1, or read x == 1 and publish y := 2.
+  const char* env = R"(
+    program snippet
+    vars x y
+    regs r one two
+    dom 3
+    begin
+      one := 1;
+      two := 2;
+      choice {
+        x := one
+      } or {
+        r := x;
+        assume (r == 1);
+        y := two
+      }
+    end
+  )";
+  Sys s = MakeSys(env, {});
+  SimplExplorer ex(s.sys);
+  SimplExplorerOptions opts;
+  opts.goal = {VarId(1), Value(2)};
+  SimplResult r = ex.Check(opts);
+  ASSERT_TRUE(r.goal_reached);
+  DepGraph g = DepGraph::Build(s.sys, r.witness);
+  // (y,2) depends on (x,1), which depends on nothing but init.
+  const long long cost = g.CostOfMessage(VarId(1), 2);
+  EXPECT_EQ(cost, 2);  // one publisher + one forwarder
+  // Render both textual and dot outputs.
+  EXPECT_FALSE(g.ToString(s.vars).empty());
+  std::string dot = g.ToDot(s.vars);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("orange"), std::string::npos);
+}
+
+TEST(DepGraphTest, SourcesAndSinks) {
+  Sys s = MakeSys(ProducerForZ(2, 4), {ConsumerForZ(2, 4)});
+  VarId goal = s.vars.Find("goal");
+  std::vector<SimplStep> witness = GoalWitness(s, goal, 2);
+  DepGraph g = DepGraph::Build(s.sys, witness);
+  // Init messages are sources.
+  auto sources = g.Sources();
+  EXPECT_GE(sources.size(), s.sys.num_vars);
+  // The goal message is a sink.
+  auto sinks = g.Sinks();
+  bool goal_is_sink = false;
+  for (auto id : sinks) {
+    if (g.nodes()[id].var == goal && g.nodes()[id].val == 2) {
+      goal_is_sink = true;
+    }
+  }
+  EXPECT_TRUE(goal_is_sink);
+}
+
+TEST(ComputeQ0Test, Formula) {
+  Sys s = MakeSys(ProducerForZ(2, 4), {ConsumerForZ(2, 4)});
+  std::size_t dis_edges = s.sys.dis[0]->edges().size();
+  EXPECT_EQ(ComputeQ0(s.sys),
+            4 * 3 + static_cast<int>(dis_edges));  // dom * vars + |dis|
+}
+
+}  // namespace
+}  // namespace rapar

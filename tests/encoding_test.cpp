@@ -1,0 +1,410 @@
+// Tests for the makeP encoding (§4.1) and the Datalog-backed verifier
+// (Theorem 4.1), cross-validated against the saturation explorer.
+#include "encoding/datalog_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datalog/engine.h"
+#include "encoding/makep.h"
+#include "lang/parser.h"
+#include "lang/random_program.h"
+#include "simplified/explorer.h"
+
+namespace rapar {
+namespace {
+
+struct Sys {
+  std::vector<std::unique_ptr<Cfa>> owned;
+  SimplSystem sys;
+  VarTable vars;
+};
+
+Sys MakeSys(const std::string& env_text,
+            const std::vector<std::string>& dis_texts) {
+  Sys out;
+  auto parse = [&](const std::string& text) {
+    Expected<Program> p = ParseProgram(text);
+    EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+    return std::move(p).value();
+  };
+  Program env = parse(env_text);
+  out.sys.dom = env.dom();
+  out.sys.num_vars = env.vars().size();
+  out.vars = env.vars();
+  out.owned.push_back(std::make_unique<Cfa>(Cfa::Build(env)));
+  out.sys.env = out.owned[0].get();
+  for (const auto& text : dis_texts) {
+    Program d = parse(text);
+    out.owned.push_back(std::make_unique<Cfa>(Cfa::Build(d)));
+    out.sys.dis.push_back(out.owned.back().get());
+  }
+  return out;
+}
+
+// --- Guess enumeration ---------------------------------------------------
+
+TEST(DisGuessTest, NoDisThreadsYieldsOneEmptyGuess) {
+  Sys s = MakeSys(R"(
+    program env
+    vars x
+    regs r
+    dom 2
+    begin
+      r := x
+    end
+  )", {});
+  bool complete = false;
+  auto guesses = EnumerateDisGuesses(s.sys, {}, &complete);
+  EXPECT_TRUE(complete);
+  ASSERT_EQ(guesses.size(), 1u);
+  EXPECT_TRUE(guesses[0].threads.empty());
+}
+
+TEST(DisGuessTest, LoadBranchesOverDomainAndSources) {
+  // One dis thread: a single load of x. Paths: one per domain value.
+  // Sources: value 0 -> {init, env}; value 1, 2 -> {env} (no dis store).
+  Sys s = MakeSys(R"(
+    program env
+    vars x
+    regs r
+    dom 3
+    begin
+      skip
+    end
+  )", {R"(
+    program dis
+    vars x
+    regs r
+    dom 3
+    begin
+      r := x
+    end
+  )"});
+  bool complete = false;
+  auto guesses = EnumerateDisGuesses(s.sys, {}, &complete);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(guesses.size(), 4u);  // (0,init), (0,env), (1,env), (2,env)
+}
+
+TEST(DisGuessTest, AssumePrunesInfeasiblePaths) {
+  Sys s = MakeSys(R"(
+    program env
+    vars x
+    regs r
+    dom 3
+    begin
+      skip
+    end
+  )", {R"(
+    program dis
+    vars x
+    regs r
+    dom 3
+    begin
+      r := x;
+      assume (r == 2)
+    end
+  )"});
+  bool complete = false;
+  auto guesses = EnumerateDisGuesses(s.sys, {}, &complete);
+  EXPECT_TRUE(complete);
+  // Only the value-2 read survives, and 2 can only come from env.
+  ASSERT_EQ(guesses.size(), 1u);
+  EXPECT_TRUE(guesses[0].threads[0].steps[0].read_from_env);
+  EXPECT_EQ(guesses[0].threads[0].steps[0].read_value, 2);
+}
+
+TEST(DisGuessTest, StoreInterleavingsEnumerated) {
+  // Two dis threads each storing once to x: two merge orders; each store
+  // is a path without reads.
+  const char* disA = R"(
+    program disA
+    vars x
+    regs one
+    dom 2
+    begin
+      one := 1;
+      x := one
+    end
+  )";
+  Sys s = MakeSys(R"(
+    program env
+    vars x
+    regs r
+    dom 2
+    begin
+      skip
+    end
+  )", {disA, disA});
+  bool complete = false;
+  auto guesses = EnumerateDisGuesses(s.sys, {}, &complete);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(guesses.size(), 2u);
+  for (const DisGuess& g : guesses) {
+    EXPECT_EQ(g.StoresOn(0), 2);
+  }
+}
+
+TEST(DisGuessTest, CasGlueAndAdjacency) {
+  Sys s = MakeSys(R"(
+    program env
+    vars x
+    regs r
+    dom 3
+    begin
+      skip
+    end
+  )", {R"(
+    program dis
+    vars x
+    regs zero one
+    dom 3
+    begin
+      zero := 0;
+      one := 1;
+      cas(x, zero, one)
+    end
+  )"});
+  bool complete = false;
+  auto guesses = EnumerateDisGuesses(s.sys, {}, &complete);
+  EXPECT_TRUE(complete);
+  // CAS on init (glued) or CAS on an env message with value 0 (no glue).
+  ASSERT_EQ(guesses.size(), 2u);
+  int glued = 0;
+  for (const DisGuess& g : guesses) {
+    if (g.mem[0][0].glued) {
+      ++glued;
+      EXPECT_TRUE(g.GapFrozen(0, 0));
+    }
+  }
+  EXPECT_EQ(glued, 1);
+}
+
+// --- makeP structure -------------------------------------------------------
+
+TEST(MakePTest, EmitsCacheDatalogWithAtMostTwoBodyAtoms) {
+  Sys s = MakeSys(R"(
+    program env
+    vars x y
+    regs r one
+    dom 2
+    begin
+      one := 1;
+      r := x;
+      y := one
+    end
+  )", {R"(
+    program dis
+    vars x y
+    regs one
+    dom 2
+    begin
+      one := 1;
+      x := one
+    end
+  )"});
+  bool complete = false;
+  auto guesses = EnumerateDisGuesses(s.sys, {}, &complete);
+  ASSERT_FALSE(guesses.empty());
+  MakePOptions opts;
+  opts.goal_message = {s.vars.Find("y"), 1};
+  MakePResult q = MakeP(s.sys, guesses[0], opts);
+  for (const dl::Rule& r : q.prog->rules()) {
+    EXPECT_LE(r.body.size(), 2u);
+  }
+  // The instance is printable.
+  EXPECT_NE(q.prog->ToString().find("emp"), std::string::npos);
+}
+
+// --- Verifier end-to-end ----------------------------------------------------
+
+TEST(DatalogVerifierTest, MessagePassingForbidden) {
+  const char* env = R"(
+    program writer
+    vars x y
+    regs one
+    dom 2
+    begin
+      one := 1;
+      y := one;
+      x := one
+    end
+  )";
+  const char* dis = R"(
+    program reader
+    vars x y
+    regs a b
+    dom 2
+    begin
+      a := x;
+      assume (a == 1);
+      b := y;
+      assume (b == 0);
+      assert false
+    end
+  )";
+  Sys s = MakeSys(env, {dis});
+  DatalogVerdict v = DatalogVerify(s.sys);
+  EXPECT_FALSE(v.unsafe);
+  EXPECT_TRUE(v.exhaustive);
+  EXPECT_GT(v.guesses, 0u);
+}
+
+TEST(DatalogVerifierTest, MessagePassingPositive) {
+  const char* env = R"(
+    program writer
+    vars x y
+    regs one
+    dom 2
+    begin
+      one := 1;
+      y := one;
+      x := one
+    end
+  )";
+  const char* dis = R"(
+    program reader
+    vars x y
+    regs a b
+    dom 2
+    begin
+      a := x;
+      assume (a == 1);
+      b := y;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  Sys s = MakeSys(env, {dis});
+  DatalogVerdict v = DatalogVerify(s.sys);
+  EXPECT_TRUE(v.unsafe);
+  EXPECT_FALSE(v.witness_guess.empty());
+}
+
+TEST(DatalogVerifierTest, EnvOnlyChainGoal) {
+  const char* env = R"(
+    program chain
+    vars x
+    regs r s
+    dom 4
+    begin
+      r := x;
+      s := r + 1;
+      x := s
+    end
+  )";
+  Sys s = MakeSys(env, {});
+  DatalogVerifierOptions opts;
+  opts.goal_message = {VarId(0), Value(3)};
+  DatalogVerdict v = DatalogVerify(s.sys, opts);
+  EXPECT_TRUE(v.unsafe);
+
+  opts.goal_message = {VarId(0), Value(0)};  // init value, never stored...
+  DatalogVerdict v0 = DatalogVerify(s.sys, opts);
+  // ...except by an env thread that read 3 and wrapped around: 3+1 = 0.
+  EXPECT_TRUE(v0.unsafe);
+}
+
+TEST(DatalogVerifierTest, CasContentionSafe) {
+  const char* env = R"(
+    program noop
+    vars x f1 f2
+    regs r
+    dom 2
+    begin
+      skip
+    end
+  )";
+  auto contender = [](const char* flag) {
+    return std::string(R"(
+      program contender
+      vars x f1 f2
+      regs zero one
+      dom 2
+      begin
+        zero := 0;
+        one := 1;
+        cas(x, zero, one);
+        )") + flag + R"( := one
+      end
+    )";
+  };
+  const char* checker = R"(
+    program checker
+    vars x f1 f2
+    regs a b
+    dom 2
+    begin
+      a := f1;
+      assume (a == 1);
+      b := f2;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  Sys s = MakeSys(env, {contender("f1"), contender("f2"), checker});
+  DatalogVerdict v = DatalogVerify(s.sys);
+  EXPECT_TRUE(v.exhaustive);
+  EXPECT_FALSE(v.unsafe);
+}
+
+// --- Differential: Datalog backend vs saturation explorer -------------------
+
+class BackendAgreementTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BackendAgreementTest, VerdictsAgree) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  RandomProgramOptions env_opts;
+  env_opts.num_vars = 2;
+  env_opts.num_regs = 1;
+  env_opts.dom = 2;
+  env_opts.size = 3;
+  RandomProgramOptions dis_opts = env_opts;
+  dis_opts.size = 3;
+  dis_opts.allow_cas = (seed % 3 == 0);
+
+  Program env = RandomProgram(rng, env_opts, "env");
+  Program dis = RandomProgram(rng, dis_opts, "dis");
+
+  Sys s;
+  s.owned.push_back(std::make_unique<Cfa>(Cfa::Build(env)));
+  s.owned.push_back(std::make_unique<Cfa>(Cfa::Build(dis)));
+  s.sys.env = s.owned[0].get();
+  s.sys.dis = {s.owned[1].get()};
+  s.sys.dom = env_opts.dom;
+  s.sys.num_vars = env_opts.num_vars;
+
+  // Goal: is the message (v0, 1) generable?
+  const std::pair<VarId, Value> goal{VarId(0), Value(1)};
+
+  SimplExplorer ex(s.sys);
+  SimplExplorerOptions eopts;
+  eopts.goal = goal;
+  eopts.max_states = 60'000;
+  eopts.time_budget_ms = 10'000;
+  SimplResult er = ex.Check(eopts);
+  if (!er.goal_reached && !er.exhaustive) {
+    GTEST_SKIP() << "explorer inconclusive";
+  }
+
+  DatalogVerifierOptions dopts;
+  dopts.goal_message = goal;
+  dopts.guess.max_guesses = 50'000;
+  DatalogVerdict dv = DatalogVerify(s.sys, dopts);
+  if (!dv.unsafe && !dv.exhaustive) GTEST_SKIP() << "guess cap hit";
+
+  EXPECT_EQ(er.goal_reached, dv.unsafe) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BackendAgreementTest,
+                         ::testing::Range<std::uint64_t>(1, 30));
+
+}  // namespace
+}  // namespace rapar

@@ -1,0 +1,217 @@
+// Differential tests for Theorem 3.4 (soundness & completeness of the
+// simplified semantics): for a corpus of random parameterized systems we
+// compare the concrete RA explorer (instances with n env threads) against
+// the saturating simplified-semantics explorer.
+//
+//  * Soundness of the abstraction: every local state (node, rv) and every
+//    generated message (var, val) reachable concretely with ANY number of
+//    env threads must be reachable in the simplified semantics.
+//  * Completeness: everything the simplified semantics reaches must be
+//    realised by some concrete instance. The required number of env
+//    threads is bounded but can be large (§4.3), so we search n up to a
+//    cap and require that the corpus as a whole converges almost always.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "lang/random_program.h"
+#include "ra/explorer.h"
+#include "simplified/explorer.h"
+
+namespace rapar {
+namespace {
+
+using DeState = std::pair<std::uint32_t, std::vector<Value>>;  // node, rv
+using MsgDe = std::pair<std::uint32_t, Value>;                 // var, val
+
+struct ConcreteSets {
+  std::set<DeState> env_states;
+  std::set<std::tuple<std::size_t, std::uint32_t, std::vector<Value>>>
+      dis_states;
+  std::set<MsgDe> messages;
+  bool exhaustive = true;
+};
+
+ConcreteSets RunConcrete(const Cfa& env, const std::vector<const Cfa*>& dis,
+                         Value dom, std::size_t num_vars, int n_env,
+                         int max_depth) {
+  std::vector<const Cfa*> threads;
+  for (int i = 0; i < n_env; ++i) threads.push_back(&env);
+  for (const Cfa* d : dis) threads.push_back(d);
+  RaExplorer ex(threads, dom, num_vars,
+                {0, static_cast<std::size_t>(n_env)});
+  RaExplorerOptions opts;
+  opts.max_depth = max_depth;
+  opts.max_states = 120'000;
+  opts.time_budget_ms = 10'000;
+  opts.stop_on_violation = false;
+  RaResult res = ex.CheckSafety(opts);
+
+  ConcreteSets out;
+  out.exhaustive = res.exhaustive;
+  for (const auto& [ti, node, rv] : ex.reachable_controls()) {
+    if (ti < static_cast<std::size_t>(n_env)) {
+      out.env_states.emplace(node, rv);
+    } else {
+      out.dis_states.emplace(ti - n_env, node, rv);
+    }
+  }
+  for (const auto& m : ex.generated_messages()) out.messages.insert(m);
+  return out;
+}
+
+struct AbstractSets {
+  std::set<DeState> env_states;
+  std::set<std::tuple<std::size_t, std::uint32_t, std::vector<Value>>>
+      dis_states;
+  std::set<MsgDe> messages;
+  bool exhaustive = true;
+};
+
+AbstractSets RunAbstract(const SimplSystem& sys, ViewChoice policy) {
+  SimplExplorer ex(sys);
+  SimplExplorerOptions opts;
+  opts.policy = policy;
+  opts.stop_on_violation = false;
+  opts.max_states = 30'000;
+  opts.time_budget_ms = 10'000;
+  SimplResult res = ex.Check(opts);
+  AbstractSets out;
+  out.exhaustive = res.exhaustive;
+  out.env_states = ex.reachable_env_de();
+  out.dis_states = ex.reachable_dis_de();
+  for (const auto& [var, val, is_env] : ex.generated_messages()) {
+    out.messages.emplace(var, val);
+  }
+  return out;
+}
+
+template <typename Set>
+bool IsSubset(const Set& a, const Set& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+struct Corpus {
+  std::vector<std::unique_ptr<Cfa>> owned;
+  SimplSystem sys;
+};
+
+Corpus MakeCorpusSystem(std::uint64_t seed, bool dis_cas, bool env_loops) {
+  Rng rng(seed);
+  RandomProgramOptions env_opts;
+  env_opts.num_vars = 2;
+  env_opts.num_regs = 2;
+  env_opts.dom = 3;
+  env_opts.size = 4;
+  env_opts.allow_cas = false;
+  env_opts.allow_loops = env_loops;
+
+  RandomProgramOptions dis_opts = env_opts;
+  dis_opts.size = 4;
+  dis_opts.allow_cas = dis_cas;
+  dis_opts.allow_loops = false;
+
+  Corpus c;
+  Program env = RandomProgram(rng, env_opts, "env");
+  Program dis = RandomProgram(rng, dis_opts, "dis");
+  c.owned.push_back(std::make_unique<Cfa>(Cfa::Build(env)));
+  c.owned.push_back(std::make_unique<Cfa>(Cfa::Build(dis)));
+  c.sys.env = c.owned[0].get();
+  c.sys.dis = {c.owned[1].get()};
+  c.sys.dom = env_opts.dom;
+  c.sys.num_vars = env_opts.num_vars;
+  return c;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceTest, ConcreteBehavioursAppearInSimplified) {
+  const std::uint64_t seed = GetParam();
+  Corpus c = MakeCorpusSystem(seed, /*dis_cas=*/(seed % 3 == 0),
+                              /*env_loops=*/false);
+  AbstractSets abs = RunAbstract(c.sys, ViewChoice::kAll);
+  if (!abs.exhaustive) GTEST_SKIP() << "abstract space too large";
+
+  for (int n = 1; n <= 3; ++n) {
+    ConcreteSets con = RunConcrete(*c.sys.env, c.sys.dis, c.sys.dom,
+                                   c.sys.num_vars, n, /*max_depth=*/60);
+    EXPECT_TRUE(IsSubset(con.env_states, abs.env_states))
+        << "seed " << seed << " n=" << n << " env states leak";
+    EXPECT_TRUE(IsSubset(con.dis_states, abs.dis_states))
+        << "seed " << seed << " n=" << n << " dis states leak";
+    EXPECT_TRUE(IsSubset(con.messages, abs.messages))
+        << "seed " << seed << " n=" << n << " messages leak";
+  }
+}
+
+TEST_P(EquivalenceTest, SimplifiedBehavioursRealisedConcretely) {
+  const std::uint64_t seed = GetParam();
+  Corpus c = MakeCorpusSystem(seed, /*dis_cas=*/(seed % 3 == 0),
+                              /*env_loops=*/false);
+  AbstractSets abs = RunAbstract(c.sys, ViewChoice::kAll);
+  if (!abs.exhaustive) GTEST_SKIP() << "abstract space too large";
+
+  // Search for an instance realising everything the abstraction claims.
+  ConcreteSets con;
+  bool converged = false;
+  for (int n = 1; n <= 4 && !converged; ++n) {
+    con = RunConcrete(*c.sys.env, c.sys.dis, c.sys.dom, c.sys.num_vars, n,
+                      /*max_depth=*/80);
+    if (!con.exhaustive) {
+      GTEST_SKIP() << "concrete space too large at n=" << n;
+    }
+    converged = con.exhaustive && IsSubset(abs.env_states, con.env_states) &&
+                IsSubset(abs.dis_states, con.dis_states) &&
+                IsSubset(abs.messages, con.messages);
+  }
+  EXPECT_TRUE(converged) << "seed " << seed
+                         << ": abstraction not realised with <= 5 env "
+                            "threads (completeness violation or the "
+                            "instance genuinely needs more threads)";
+}
+
+TEST_P(EquivalenceTest, PolicyMinimalAgreesWithAll) {
+  const std::uint64_t seed = GetParam();
+  Corpus c = MakeCorpusSystem(seed, /*dis_cas=*/(seed % 3 == 0),
+                              /*env_loops=*/false);
+  AbstractSets all = RunAbstract(c.sys, ViewChoice::kAll);
+  if (!all.exhaustive) GTEST_SKIP() << "abstract space too large";
+  AbstractSets min = RunAbstract(c.sys, ViewChoice::kMinimal);
+  ASSERT_TRUE(min.exhaustive);
+  EXPECT_EQ(all.env_states, min.env_states) << "seed " << seed;
+  EXPECT_EQ(all.dis_states, min.dis_states) << "seed " << seed;
+  EXPECT_EQ(all.messages, min.messages) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, EquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// Loops in env threads: soundness direction only (concrete exploration is
+// depth-bounded; completeness convergence is not guaranteed at small n).
+class LoopyEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(LoopyEquivalenceTest, ConcreteBehavioursAppearInSimplified) {
+  const std::uint64_t seed = GetParam();
+  Corpus c = MakeCorpusSystem(seed, /*dis_cas=*/false, /*env_loops=*/true);
+  AbstractSets abs = RunAbstract(c.sys, ViewChoice::kAll);
+  if (!abs.exhaustive) GTEST_SKIP() << "abstract space too large";
+  for (int n = 1; n <= 2; ++n) {
+    ConcreteSets con = RunConcrete(*c.sys.env, c.sys.dis, c.sys.dom,
+                                   c.sys.num_vars, n, /*max_depth=*/25);
+    EXPECT_TRUE(IsSubset(con.env_states, abs.env_states))
+        << "seed " << seed << " n=" << n;
+    EXPECT_TRUE(IsSubset(con.messages, abs.messages))
+        << "seed " << seed << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoopyCorpus, LoopyEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace rapar

@@ -1,0 +1,92 @@
+// Unit tests for expressions: evaluation, modular arithmetic, printing.
+#include "lang/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rapar {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  RegTable regs_;
+  RegId r0_ = regs_.Add("r0");
+  RegId r1_ = regs_.Add("r1");
+
+  Value Eval(const ExprPtr& e, std::vector<Value> rv, Value dom = 8) {
+    return e->Eval(rv, dom);
+  }
+};
+
+TEST_F(ExprTest, ConstIsReducedModuloDomain) {
+  EXPECT_EQ(Eval(EConst(5), {0, 0}), 5);
+  EXPECT_EQ(Eval(EConst(9), {0, 0}), 1);  // 9 mod 8
+  EXPECT_EQ(Eval(EConst(8), {0, 0}), 0);
+}
+
+TEST_F(ExprTest, RegReadsValuation) {
+  EXPECT_EQ(Eval(EReg(r0_), {3, 7}), 3);
+  EXPECT_EQ(Eval(EReg(r1_), {3, 7}), 7);
+}
+
+TEST_F(ExprTest, ArithmeticIsModular) {
+  EXPECT_EQ(Eval(EAdd(EConst(5), EConst(6)), {}), 3);   // 11 mod 8
+  EXPECT_EQ(Eval(ESub(EConst(2), EConst(5)), {}), 5);   // -3 mod 8
+  EXPECT_EQ(Eval(EMul(EConst(3), EConst(5)), {}), 7);   // 15 mod 8
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EXPECT_EQ(Eval(EEq(EConst(3), EConst(3)), {}), 1);
+  EXPECT_EQ(Eval(EEq(EConst(3), EConst(4)), {}), 0);
+  EXPECT_EQ(Eval(ENe(EConst(3), EConst(4)), {}), 1);
+  EXPECT_EQ(Eval(ELt(EConst(3), EConst(4)), {}), 1);
+  EXPECT_EQ(Eval(ELt(EConst(4), EConst(4)), {}), 0);
+  EXPECT_EQ(Eval(ELe(EConst(4), EConst(4)), {}), 1);
+}
+
+TEST_F(ExprTest, BooleanConnectives) {
+  EXPECT_EQ(Eval(EAnd(EConst(1), EConst(2)), {}), 1);  // non-zero is true
+  EXPECT_EQ(Eval(EAnd(EConst(1), EConst(0)), {}), 0);
+  EXPECT_EQ(Eval(EOr(EConst(0), EConst(3)), {}), 1);
+  EXPECT_EQ(Eval(EOr(EConst(0), EConst(0)), {}), 0);
+  EXPECT_EQ(Eval(ENot(EConst(0)), {}), 1);
+  EXPECT_EQ(Eval(ENot(EConst(5)), {}), 0);
+}
+
+TEST_F(ExprTest, NestedExpression) {
+  // (r0 + 1 == r1) && !(r0 == 0)
+  ExprPtr e = EAnd(EEq(EAdd(EReg(r0_), EConst(1)), EReg(r1_)),
+                   ENot(ERegEq(r0_, 0)));
+  EXPECT_EQ(Eval(e, {2, 3}), 1);
+  EXPECT_EQ(Eval(e, {0, 1}), 0);  // r0 == 0 fails second conjunct
+  EXPECT_EQ(Eval(e, {2, 4}), 0);
+}
+
+TEST_F(ExprTest, CollectRegs) {
+  ExprPtr e = EAnd(ERegEq(r0_, 1), ELt(EReg(r1_), EReg(r0_)));
+  std::vector<RegId> regs;
+  e->CollectRegs(regs);
+  int c0 = 0, c1 = 0;
+  for (RegId r : regs) {
+    if (r == r0_) ++c0;
+    if (r == r1_) ++c1;
+  }
+  EXPECT_EQ(c0, 2);
+  EXPECT_EQ(c1, 1);
+}
+
+TEST_F(ExprTest, ToStringRendersNames) {
+  ExprPtr e = EEq(EAdd(EReg(r0_), EConst(1)), EReg(r1_));
+  EXPECT_EQ(e->ToString(regs_), "((r0 + 1) == r1)");
+}
+
+TEST_F(ExprTest, StructuralEquality) {
+  EXPECT_TRUE(ERegEq(r0_, 1)->Equals(*ERegEq(r0_, 1)));
+  EXPECT_FALSE(ERegEq(r0_, 1)->Equals(*ERegEq(r0_, 2)));
+  EXPECT_FALSE(ERegEq(r0_, 1)->Equals(*ERegEq(r1_, 1)));
+  EXPECT_FALSE(ERegEq(r0_, 1)->Equals(*ENot(ERegEq(r0_, 1))));
+}
+
+}  // namespace
+}  // namespace rapar

@@ -1,0 +1,232 @@
+// Parser tests: grammar coverage, error reporting, print/parse round-trip.
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/classify.h"
+
+namespace rapar {
+namespace {
+
+Program MustParse(const std::string& text) {
+  Expected<Program> p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+  return std::move(p).value();
+}
+
+TEST(ParserTest, MinimalProgram) {
+  Program p = MustParse(R"(
+    program tiny
+    vars x
+    regs r
+    dom 2
+    begin
+      skip
+    end
+  )");
+  EXPECT_EQ(p.name(), "tiny");
+  EXPECT_EQ(p.vars().size(), 1u);
+  EXPECT_EQ(p.regs().size(), 1u);
+  EXPECT_EQ(p.dom(), 2);
+  EXPECT_EQ(p.body()->kind(), StmtKind::kSkip);
+}
+
+TEST(ParserTest, ProducerConsumerFromFigure1) {
+  // The producer of Figure 1 (z is concretised to dom-1).
+  Program p = MustParse(R"(
+    program producer
+    vars x y
+    regs r
+    dom 8
+    begin
+      r := y;           // λ1: load
+      assume (r == 1);  // λ2
+      r := r + 3;
+      x := r            // λ3: store
+    end
+  )");
+  Classification c = Classify(p);
+  EXPECT_TRUE(c.cas_free);
+  EXPECT_TRUE(c.loop_free);
+}
+
+TEST(ParserTest, LoadVsAssignDisambiguation) {
+  Program p = MustParse(R"(
+    program q
+    vars x
+    regs r s
+    dom 4
+    begin
+      r := x;     // load: rhs is a variable
+      s := r + 1  // assign: rhs is an expression
+    end
+  )");
+  const Stmt& seq = *p.body();
+  ASSERT_EQ(seq.kind(), StmtKind::kSeq);
+  EXPECT_EQ(seq.children()[0]->kind(), StmtKind::kLoad);
+  EXPECT_EQ(seq.children()[1]->kind(), StmtKind::kAssign);
+}
+
+TEST(ParserTest, StoreRequiresRegisterSource) {
+  auto r = ParseProgram(R"(
+    program q
+    vars x
+    regs r
+    dom 4
+    begin
+      x := 1
+    end
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, CasChoiceLoop) {
+  Program p = MustParse(R"(
+    program q
+    vars x
+    regs r0 r1
+    dom 4
+    begin
+      r0 := 0;
+      r1 := 1;
+      loop {
+        choice {
+          cas(x, r0, r1)
+        } or {
+          skip
+        }
+      }
+    end
+  )");
+  Classification c = Classify(p);
+  EXPECT_FALSE(c.cas_free);
+  EXPECT_FALSE(c.loop_free);
+}
+
+TEST(ParserTest, IfElseDesugarsToChoice) {
+  Program p = MustParse(R"(
+    program q
+    vars x
+    regs r
+    dom 4
+    begin
+      if (r == 1) { skip } else { assert false }
+    end
+  )");
+  EXPECT_EQ(p.body()->kind(), StmtKind::kChoice);
+}
+
+TEST(ParserTest, WhileDesugarsToStarAssume) {
+  Program p = MustParse(R"(
+    program q
+    vars x
+    regs r
+    dom 4
+    begin
+      while (r < 3) { r := r + 1 }
+    end
+  )");
+  ASSERT_EQ(p.body()->kind(), StmtKind::kSeq);
+  EXPECT_EQ(p.body()->children()[0]->kind(), StmtKind::kStar);
+  EXPECT_EQ(p.body()->children()[1]->kind(), StmtKind::kAssume);
+}
+
+TEST(ParserTest, GreaterThanIsFlippedLessThan) {
+  Program p = MustParse(R"(
+    program q
+    vars x
+    regs r s
+    dom 4
+    begin
+      assume (r > s)
+    end
+  )");
+  const Expr& e = *p.body()->expr();
+  EXPECT_EQ(e.op(), ExprOp::kLt);
+  EXPECT_EQ(e.children()[0]->reg(), p.regs().Find("s"));
+  EXPECT_EQ(e.children()[1]->reg(), p.regs().Find("r"));
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto r = ParseProgram(R"(
+    program q
+    vars x
+    regs r
+    dom 4
+    begin
+      r := undeclared_name
+    end
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 7"), std::string::npos) << r.error();
+}
+
+TEST(ParserTest, RejectsVarInExpression) {
+  auto r = ParseProgram(R"(
+    program q
+    vars x
+    regs r
+    dom 4
+    begin
+      assume (x == 1)
+    end
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("load it into a register"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsDuplicateDeclaration) {
+  auto r = ParseProgram(R"(
+    program q
+    vars x
+    regs x
+    dom 4
+    begin
+      skip
+    end
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, RejectsDomainBelowTwo) {
+  auto r = ParseProgram(R"(
+    program q
+    vars x
+    regs r
+    dom 1
+    begin
+      skip
+    end
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, PrintParseRoundTrip) {
+  const char* kText = R"(
+    program rt
+    vars x y
+    regs r s
+    dom 5
+    begin
+      r := 1;
+      y := r;
+      loop {
+        s := x;
+        choice {
+          assume (s == 2);
+          x := s
+        } or {
+          skip
+        }
+      };
+      assert false
+    end
+  )";
+  Program p1 = MustParse(kText);
+  Program p2 = MustParse(p1.ToString());
+  // Round-trip is stable: printing again yields the same text.
+  EXPECT_EQ(p1.ToString(), p2.ToString());
+}
+
+}  // namespace
+}  // namespace rapar

@@ -1,0 +1,484 @@
+// The classical weak-memory litmus catalog under RA, checked against both
+// semantics. The expected verdicts are the RA folklore (Lahav et al.,
+// "Taming release-acquire consistency"): RA is exactly the model where
+//   MP, WRC (causality chains) are forbidden,
+//   SB, LB*, IRIW, RWC, 2+2W are allowed,
+//   per-location coherence (CoRR / CoWR / CoRW) always holds.
+// (*Com has no relaxed accesses and our semantics has no promises, so LB
+// weak outcomes are unobservable — noted below.)
+//
+// Each litmus is run (a) concretely with the exact thread set and (b) as
+// a parameterized system (observers as env threads where it makes sense),
+// and both semantics must agree with the catalog.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/parser.h"
+#include "ra/explorer.h"
+#include "simplified/explorer.h"
+
+namespace rapar {
+namespace {
+
+struct Threads {
+  std::vector<std::unique_ptr<Cfa>> owned;
+  std::vector<const Cfa*> ptrs;
+  Value dom = 0;
+  std::size_t num_vars = 0;
+};
+
+Threads Parse(const std::vector<std::string>& programs) {
+  Threads t;
+  for (const auto& text : programs) {
+    Expected<Program> p = ParseProgram(text);
+    EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+    Program prog = std::move(p).value();
+    t.dom = prog.dom();
+    t.num_vars = prog.vars().size();
+    t.owned.push_back(std::make_unique<Cfa>(Cfa::Build(prog)));
+  }
+  for (const auto& c : t.owned) t.ptrs.push_back(c.get());
+  return t;
+}
+
+// Concrete verdict: is the annotated outcome (assert false) observable?
+bool Concrete(const std::vector<std::string>& programs) {
+  Threads t = Parse(programs);
+  RaExplorer ex(t.ptrs, t.dom, t.num_vars);
+  RaExplorerOptions opts;
+  opts.max_states = 600'000;
+  opts.time_budget_ms = 30'000;
+  RaResult r = ex.CheckSafety(opts);
+  EXPECT_TRUE(r.violation || r.exhaustive) << "inconclusive";
+  return r.violation;
+}
+
+// Parameterized verdict: first program is the env template, the rest dis.
+bool Parameterized(const std::vector<std::string>& programs) {
+  Threads t = Parse(programs);
+  SimplSystem sys;
+  sys.env = t.ptrs[0];
+  sys.dis.assign(t.ptrs.begin() + 1, t.ptrs.end());
+  sys.dom = t.dom;
+  sys.num_vars = t.num_vars;
+  SimplExplorer ex(sys);
+  SimplExplorerOptions opts;
+  opts.time_budget_ms = 30'000;
+  SimplResult r = ex.Check(opts);
+  EXPECT_TRUE(r.violation || r.exhaustive) << "inconclusive";
+  return r.violation;
+}
+
+// Common variable header for 4-variable tests.
+#define HDR4 "vars x y a b\n"
+
+// --- IRIW: independent reads of independent writes -------------------------
+
+// Writers store x / y; two readers observe them in opposite orders. The
+// weak outcome is allowed under RA (no multi-copy atomicity without SC).
+TEST(LitmusCatalogTest, IriwAllowed) {
+  const char* wx = R"(
+    program wx
+    vars x y f1 f2
+    regs one
+    dom 2
+    begin
+      one := 1;
+      x := one
+    end)";
+  const char* wy = R"(
+    program wy
+    vars x y f1 f2
+    regs one
+    dom 2
+    begin
+      one := 1;
+      y := one
+    end)";
+  const char* r1 = R"(
+    program r1
+    vars x y f1 f2
+    regs p q one
+    dom 2
+    begin
+      p := x;
+      assume (p == 1);
+      q := y;
+      assume (q == 0);
+      one := 1;
+      f1 := one
+    end)";
+  const char* r2 = R"(
+    program r2
+    vars x y f1 f2
+    regs p q one
+    dom 2
+    begin
+      p := y;
+      assume (p == 1);
+      q := x;
+      assume (q == 0);
+      one := 1;
+      f2 := one
+    end)";
+  const char* check = R"(
+    program check
+    vars x y f1 f2
+    regs p q
+    dom 2
+    begin
+      p := f1;
+      assume (p == 1);
+      q := f2;
+      assume (q == 1);
+      assert false
+    end)";
+  EXPECT_TRUE(Concrete({wx, wy, r1, r2, check}));
+}
+
+// --- WRC: write-to-read causality — forbidden ------------------------------
+
+// T1 writes x; T2 reads x==1 then writes y; T3 reads y==1 then must see
+// x==1 (release/acquire chains are transitive).
+TEST(LitmusCatalogTest, WrcForbidden) {
+  const char* t1 = R"(
+    program t1
+    vars x y
+    regs one
+    dom 2
+    begin
+      one := 1;
+      x := one
+    end)";
+  const char* t2 = R"(
+    program t2
+    vars x y
+    regs r one
+    dom 2
+    begin
+      r := x;
+      assume (r == 1);
+      one := 1;
+      y := one
+    end)";
+  const char* t3 = R"(
+    program t3
+    vars x y
+    regs r s
+    dom 2
+    begin
+      r := y;
+      assume (r == 1);
+      s := x;
+      assume (s == 0);
+      assert false
+    end)";
+  EXPECT_FALSE(Concrete({t1, t2, t3}));
+  // Parameterized: unboundedly many forwarders (t2-shaped env threads)
+  // still cannot break the causality chain.
+  EXPECT_FALSE(Parameterized({t2, t1, t3}));
+}
+
+// --- RWC: read-to-write causality — allowed under RA ------------------------
+
+// T1: x:=1. T2: reads x==1, then reads y==0. T3: y:=1 then reads x==0.
+TEST(LitmusCatalogTest, RwcAllowed) {
+  const char* t1 = R"(
+    program t1
+    vars x y f1 f2
+    regs one
+    dom 2
+    begin
+      one := 1;
+      x := one
+    end)";
+  const char* t2 = R"(
+    program t2
+    vars x y f1 f2
+    regs r s one
+    dom 2
+    begin
+      r := x;
+      assume (r == 1);
+      s := y;
+      assume (s == 0);
+      one := 1;
+      f1 := one
+    end)";
+  const char* t3 = R"(
+    program t3
+    vars x y f1 f2
+    regs r one
+    dom 2
+    begin
+      one := 1;
+      y := one;
+      r := x;
+      assume (r == 0);
+      f2 := one
+    end)";
+  const char* check = R"(
+    program check
+    vars x y f1 f2
+    regs p q
+    dom 2
+    begin
+      p := f1;
+      assume (p == 1);
+      q := f2;
+      assume (q == 1);
+      assert false
+    end)";
+  EXPECT_TRUE(Concrete({t1, t2, t3, check}));
+}
+
+// --- 2+2W: the RA vs SRA separator — allowed under RA ------------------------
+
+// T1: x:=1; y:=2. T2: y:=1; x:=2. Weak outcome: both later reads see the
+// *first* writes as mo-final, i.e. a reader sees x==1 after T2 finished
+// and y==1 after T1 finished. Under RA each store only needs a timestamp
+// above its own view, so the cross mo-orders can both put the value-1
+// store last. (SRA forbids this.)
+TEST(LitmusCatalogTest, TwoPlusTwoWAllowed) {
+  const char* t1 = R"(
+    program t1
+    vars x y f1 f2
+    regs one two
+    dom 3
+    begin
+      one := 1;
+      two := 2;
+      x := one;
+      y := two;
+      f1 := one
+    end)";
+  const char* t2 = R"(
+    program t2
+    vars x y f1 f2
+    regs one two
+    dom 3
+    begin
+      one := 1;
+      two := 2;
+      y := one;
+      x := two;
+      f2 := one
+    end)";
+  // After both threads finish, a reader that keeps reading x can settle
+  // on 1 (x:=1 mo-after x:=2) and likewise y on 1.
+  const char* check = R"(
+    program check
+    vars x y f1 f2
+    regs p q r s
+    dom 3
+    begin
+      p := f1;
+      assume (p == 1);
+      q := f2;
+      assume (q == 1);
+      r := x;
+      assume (r == 1);
+      s := y;
+      assume (s == 1);
+      assert false
+    end)";
+  EXPECT_TRUE(Concrete({t1, t2, check}));
+}
+
+// --- Coherence shapes ---------------------------------------------------------
+
+TEST(LitmusCatalogTest, CoWRForbidden) {
+  // A thread that wrote x:=1 cannot subsequently read the init value.
+  const char* t = R"(
+    program t
+    vars x
+    regs one r
+    dom 2
+    begin
+      one := 1;
+      x := one;
+      r := x;
+      assume (r == 0);
+      assert false
+    end)";
+  EXPECT_FALSE(Concrete({t}));
+  EXPECT_FALSE(Parameterized({t}));
+}
+
+TEST(LitmusCatalogTest, CoRWForbidden) {
+  // Reading another thread's x==1 and then storing x:=2 places the store
+  // mo-after; the writer of 1 re-reading x can see 1 or 2 but a third
+  // party can never see mo-order 2 then 1.
+  const char* w = R"(
+    program w
+    vars x
+    regs one
+    dom 3
+    begin
+      one := 1;
+      x := one
+    end)";
+  const char* u = R"(
+    program u
+    vars x
+    regs r two
+    dom 3
+    begin
+      r := x;
+      assume (r == 1);
+      two := 2;
+      x := two
+    end)";
+  const char* reader = R"(
+    program reader
+    vars x
+    regs p q
+    dom 3
+    begin
+      p := x;
+      assume (p == 2);
+      q := x;
+      assume (q == 1);
+      assert false
+    end)";
+  EXPECT_FALSE(Concrete({w, u, reader}));
+}
+
+TEST(LitmusCatalogTest, MpChainLengthThreeForbidden) {
+  // Longer causality chain: x -> y -> z; seeing z==1 forbids x==0.
+  const char* t1 = R"(
+    program t1
+    vars x y z
+    regs one
+    dom 2
+    begin
+      one := 1;
+      x := one;
+      y := one
+    end)";
+  const char* t2 = R"(
+    program t2
+    vars x y z
+    regs r one
+    dom 2
+    begin
+      r := y;
+      assume (r == 1);
+      one := 1;
+      z := one
+    end)";
+  const char* t3 = R"(
+    program t3
+    vars x y z
+    regs r s
+    dom 2
+    begin
+      r := z;
+      assume (r == 1);
+      s := x;
+      assume (s == 0);
+      assert false
+    end)";
+  EXPECT_FALSE(Concrete({t1, t2, t3}));
+  EXPECT_FALSE(Parameterized({t2, t1, t3}));
+}
+
+// --- Parameterized variants ----------------------------------------------------
+
+TEST(LitmusCatalogTest, ParameterizedIriwReadersAllowed) {
+  // The readers become env threads: with unboundedly many observers the
+  // IRIW weak outcome remains observable (and nothing stronger leaks in).
+  const char* env_reader = R"(
+    program reader
+    vars x y f1 f2
+    regs p q one
+    dom 2
+    begin
+      one := 1;
+      choice {
+        p := x;
+        assume (p == 1);
+        q := y;
+        assume (q == 0);
+        f1 := one
+      } or {
+        p := y;
+        assume (p == 1);
+        q := x;
+        assume (q == 0);
+        f2 := one
+      }
+    end)";
+  const char* wx = R"(
+    program wx
+    vars x y f1 f2
+    regs one
+    dom 2
+    begin
+      one := 1;
+      x := one
+    end)";
+  const char* wy = R"(
+    program wy
+    vars x y f1 f2
+    regs one
+    dom 2
+    begin
+      one := 1;
+      y := one
+    end)";
+  const char* check = R"(
+    program check
+    vars x y f1 f2
+    regs p q
+    dom 2
+    begin
+      p := f1;
+      assume (p == 1);
+      q := f2;
+      assume (q == 1);
+      assert false
+    end)";
+  EXPECT_TRUE(Parameterized({env_reader, wx, wy, check}));
+}
+
+TEST(LitmusCatalogTest, ParameterizedSbAllowed) {
+  const char* env = R"(
+    program env
+    vars x y f1 f2
+    regs r one
+    dom 2
+    begin
+      one := 1;
+      choice {
+        x := one;
+        r := y;
+        assume (r == 0);
+        f1 := one
+      } or {
+        y := one;
+        r := x;
+        assume (r == 0);
+        f2 := one
+      }
+    end)";
+  const char* check = R"(
+    program check
+    vars x y f1 f2
+    regs p q
+    dom 2
+    begin
+      p := f1;
+      assume (p == 1);
+      q := f2;
+      assume (q == 1);
+      assert false
+    end)";
+  EXPECT_TRUE(Parameterized({env, check}));
+}
+
+}  // namespace
+}  // namespace rapar

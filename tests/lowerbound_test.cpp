@@ -1,0 +1,219 @@
+// Lower-bound constructions: QBF evaluation, the §5 TQBF → PureRA
+// reduction (Theorem 5.1), and the Theorem 1.1 env(acyc)+CAS
+// counter-machine construction.
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "lang/classify.h"
+#include "lowerbound/counter_machine.h"
+#include "lowerbound/qbf.h"
+#include "lowerbound/tqbf_reduction.h"
+#include "ra/explorer.h"
+
+namespace rapar {
+namespace {
+
+// --- QBF evaluation -----------------------------------------------------
+
+TEST(QbfTest, SimpleTautologyAndContradiction) {
+  // ∀u0. (u0 | !u0) — true.
+  Qbf taut;
+  taut.n = 0;
+  taut.matrix = QOr({QLit(Qbf::U(0)), QLit(Qbf::U(0), true)});
+  EXPECT_TRUE(EvalQbf(taut));
+
+  // ∀u0. u0 — false.
+  Qbf contra;
+  contra.n = 0;
+  contra.matrix = QLit(Qbf::U(0));
+  EXPECT_FALSE(EvalQbf(contra));
+}
+
+TEST(QbfTest, ExistsCanDependOnOuterUniversal) {
+  // ∀u0 ∃e1 ∀u1. (e1 <-> u0) written in NNF:
+  // (e1 & u0) | (!e1 & !u0) — true: choose e1 := u0.
+  Qbf qbf;
+  qbf.n = 1;
+  qbf.matrix =
+      QOr({QAnd({QLit(Qbf::E(1)), QLit(Qbf::U(0))}),
+           QAnd({QLit(Qbf::E(1), true), QLit(Qbf::U(0), true)})});
+  EXPECT_TRUE(EvalQbf(qbf));
+}
+
+TEST(QbfTest, ExistsCannotDependOnInnerUniversal) {
+  // ∀u0 ∃e1 ∀u1. (e1 <-> u1) — false: e1 is chosen before u1.
+  Qbf qbf;
+  qbf.n = 1;
+  qbf.matrix =
+      QOr({QAnd({QLit(Qbf::E(1)), QLit(Qbf::U(1))}),
+           QAnd({QLit(Qbf::E(1), true), QLit(Qbf::U(1), true)})});
+  EXPECT_FALSE(EvalQbf(qbf));
+}
+
+TEST(QbfTest, MatrixEvaluation) {
+  std::vector<bool> assign = {true, false, true};
+  EXPECT_TRUE(EvalMatrix(*QLit(0), assign));
+  EXPECT_FALSE(EvalMatrix(*QLit(1), assign));
+  EXPECT_TRUE(EvalMatrix(*QLit(1, true), assign));
+  EXPECT_TRUE(EvalMatrix(*QAnd({QLit(0), QLit(2)}), assign));
+  EXPECT_FALSE(EvalMatrix(*QAnd({QLit(0), QLit(1)}), assign));
+  EXPECT_TRUE(EvalMatrix(*QOr({QLit(1), QLit(2)}), assign));
+}
+
+TEST(QbfTest, RandomQbfShape) {
+  Rng rng(7);
+  Qbf qbf = RandomQbf(rng, 2, 6);
+  EXPECT_EQ(qbf.num_vars(), 5);
+  EXPECT_NE(qbf.matrix, nullptr);
+  EXPECT_FALSE(qbf.ToString().empty());
+}
+
+// --- TQBF → PureRA reduction ------------------------------------------------
+
+TEST(TqbfReductionTest, GeneratedProgramIsPureRaAndInClass) {
+  Rng rng(3);
+  Qbf qbf = RandomQbf(rng, 1, 4);
+  Program prog = TqbfToPureRa(qbf);
+  Classification c = Classify(prog);
+  EXPECT_TRUE(c.cas_free);
+  EXPECT_TRUE(c.loop_free);
+  EXPECT_TRUE(c.pure_ra);
+}
+
+bool VerifyQbfViaReduction(const Qbf& qbf) {
+  Expected<ParamSystem> sys = TqbfSystem(qbf);
+  EXPECT_TRUE(sys.ok()) << (sys.ok() ? "" : sys.error());
+  SafetyVerifier verifier(sys.value());
+  VerifierOptions opts;
+  opts.time_budget_ms = 60'000;
+  Verdict v = verifier.Verify(opts);
+  EXPECT_NE(v.result, Verdict::Result::kUnknown) << qbf.ToString();
+  return v.unsafe();
+}
+
+TEST(TqbfReductionTest, DepthZeroFormulas) {
+  // ∀u0. (u0 | !u0) — true -> unsafe.
+  Qbf taut;
+  taut.n = 0;
+  taut.matrix = QOr({QLit(Qbf::U(0)), QLit(Qbf::U(0), true)});
+  EXPECT_TRUE(VerifyQbfViaReduction(taut));
+
+  // ∀u0. u0 — false -> safe.
+  Qbf contra;
+  contra.n = 0;
+  contra.matrix = QLit(Qbf::U(0));
+  EXPECT_FALSE(VerifyQbfViaReduction(contra));
+}
+
+TEST(TqbfReductionTest, AlternationDepthOne) {
+  // True: ∃e1 may copy u0.
+  Qbf good;
+  good.n = 1;
+  good.matrix =
+      QOr({QAnd({QLit(Qbf::E(1)), QLit(Qbf::U(0))}),
+           QAnd({QLit(Qbf::E(1), true), QLit(Qbf::U(0), true)})});
+  ASSERT_TRUE(EvalQbf(good));
+  EXPECT_TRUE(VerifyQbfViaReduction(good));
+
+  // False: ∃e1 cannot predict u1.
+  Qbf bad;
+  bad.n = 1;
+  bad.matrix =
+      QOr({QAnd({QLit(Qbf::E(1)), QLit(Qbf::U(1))}),
+           QAnd({QLit(Qbf::E(1), true), QLit(Qbf::U(1), true)})});
+  ASSERT_FALSE(EvalQbf(bad));
+  EXPECT_FALSE(VerifyQbfViaReduction(bad));
+}
+
+class TqbfRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TqbfRandomTest, ReductionAgreesWithDirectEvaluation) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(GetParam() % 2);  // depth 0 or 1
+  Qbf qbf = RandomQbf(rng, n, 4);
+  EXPECT_EQ(VerifyQbfViaReduction(qbf), EvalQbf(qbf)) << qbf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, TqbfRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- Theorem 1.1 construction -------------------------------------------------
+
+// inc, inc, dec, dec, jz -> halt.
+CounterMachine PumpMachine() {
+  CounterMachine m;
+  m.num_states = 6;
+  m.initial = 0;
+  m.halt = 5;
+  using Op = CounterMachine::Op;
+  m.instrs = {
+      {Op::kInc, 0, 0, 1, 0}, {Op::kInc, 0, 1, 2, 0},
+      {Op::kDec, 0, 2, 3, 0}, {Op::kDec, 0, 3, 4, 0},
+      {Op::kJz, 0, 4, 5, 4},
+  };
+  return m;
+}
+
+// Halt requires decrementing twice after a single increment: unreachable
+// when steps execute exactly once.
+CounterMachine OverDecMachine() {
+  CounterMachine m;
+  m.num_states = 4;
+  m.initial = 0;
+  m.halt = 3;
+  using Op = CounterMachine::Op;
+  m.instrs = {
+      {Op::kInc, 0, 0, 1, 0},
+      {Op::kDec, 0, 1, 2, 0},
+      {Op::kDec, 0, 2, 3, 0},
+  };
+  return m;
+}
+
+TEST(CounterMachineTest, ReferenceSemantics) {
+  EXPECT_TRUE(MachineHalts(PumpMachine(), 4, 32));
+  EXPECT_FALSE(MachineHalts(OverDecMachine(), 4, 32));
+}
+
+TEST(CounterMachineTest, GeneratedProgramIsEnvAcycWithCas) {
+  Program prog = CounterMachineToEnvCas(PumpMachine(), 4);
+  Classification c = Classify(prog);
+  EXPECT_FALSE(c.cas_free);  // env(acyc) *with* CAS — the Thm 1.1 class
+  EXPECT_TRUE(c.loop_free);
+}
+
+RaResult RunMachineProgram(const CounterMachine& m, int bound, int n_env) {
+  Program prog = CounterMachineToEnvCas(m, bound);
+  Cfa cfa = Cfa::Build(prog);
+  std::vector<const Cfa*> threads(static_cast<std::size_t>(n_env), &cfa);
+  RaExplorer ex(threads, prog.dom(), prog.vars().size(),
+                {0, static_cast<std::size_t>(n_env)});
+  RaExplorerOptions opts;
+  opts.max_states = 600'000;
+  opts.time_budget_ms = 60'000;
+  return ex.CheckSafety(opts);
+}
+
+TEST(CounterMachineTest, HaltingMachineReachesAssert) {
+  // 5 machine steps need 5 simulator threads plus 1 observer.
+  RaResult r = RunMachineProgram(PumpMachine(), 4, 6);
+  EXPECT_TRUE(r.violation);
+}
+
+TEST(CounterMachineTest, CasHandoffExecutesStepsExactlyOnce) {
+  // If a step could run twice (broken lock atomicity), the counter would
+  // reach 2 and the double decrement would reach halt. CAS adjacency must
+  // prevent it, whatever the thread count.
+  RaResult r = RunMachineProgram(OverDecMachine(), 4, 4);
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(CounterMachineTest, TooFewThreadsCannotFinishTheSimulation) {
+  // Fewer simulator threads than machine steps: halt unreachable.
+  RaResult r = RunMachineProgram(PumpMachine(), 4, 3);
+  EXPECT_FALSE(r.violation);
+}
+
+}  // namespace
+}  // namespace rapar

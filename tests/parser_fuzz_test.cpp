@@ -1,0 +1,105 @@
+// Parser robustness: print/parse round-trips for random programs, and
+// mutation fuzzing (the parser must reject or accept, never crash, and
+// accepted mutants must re-print deterministically).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lang/parser.h"
+#include "lang/random_program.h"
+
+namespace rapar {
+namespace {
+
+class RoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripTest, RandomProgramsRoundTrip) {
+  Rng rng(GetParam());
+  RandomProgramOptions opts;
+  opts.num_vars = 1 + static_cast<int>(rng.Below(3));
+  opts.num_regs = 1 + static_cast<int>(rng.Below(3));
+  opts.dom = 2 + static_cast<int>(rng.Below(5));
+  opts.size = 3 + static_cast<int>(rng.Below(10));
+  opts.allow_cas = rng.Chance(1, 2);
+  opts.allow_loops = rng.Chance(1, 2);
+  Program p = RandomProgram(rng, opts, "fuzz");
+
+  const std::string text1 = p.ToString();
+  Expected<Program> q = ParseProgram(text1);
+  ASSERT_TRUE(q.ok()) << q.error() << "\n" << text1;
+  const std::string text2 = q.value().ToString();
+  EXPECT_EQ(text1, text2);
+
+  // Symbol tables survive the round trip.
+  EXPECT_EQ(p.vars().size(), q.value().vars().size());
+  EXPECT_EQ(p.regs().size(), q.value().regs().size());
+  EXPECT_EQ(p.dom(), q.value().dom());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RoundTripTest,
+                         ::testing::Range<std::uint64_t>(1, 60));
+
+class MutationFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationFuzzTest, MutatedSourcesNeverCrashTheParser) {
+  Rng rng(GetParam());
+  RandomProgramOptions opts;
+  opts.num_vars = 2;
+  opts.num_regs = 2;
+  opts.dom = 4;
+  opts.size = 6;
+  opts.allow_cas = true;
+  opts.allow_loops = true;
+  std::string text = RandomProgram(rng, opts, "mut").ToString();
+
+  static const char kNoise[] =
+      "abcxyz0189 ;:=(){}<>!&|+-*\n\tassume assert cas loop choice";
+  for (int round = 0; round < 30; ++round) {
+    std::string mutated = text;
+    const int edits = 1 + static_cast<int>(rng.Below(4));
+    for (int e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      const std::size_t pos = rng.Below(mutated.size());
+      switch (rng.Below(3)) {
+        case 0:  // replace
+          mutated[pos] = kNoise[rng.Below(sizeof(kNoise) - 1)];
+          break;
+        case 1:  // delete
+          mutated.erase(pos, 1);
+          break;
+        default:  // insert
+          mutated.insert(pos, 1, kNoise[rng.Below(sizeof(kNoise) - 1)]);
+          break;
+      }
+    }
+    Expected<Program> r = ParseProgram(mutated);
+    if (r.ok()) {
+      // Accepted mutants must be printable and re-parseable.
+      Expected<Program> again = ParseProgram(r.value().ToString());
+      EXPECT_TRUE(again.ok()) << r.value().ToString();
+    } else {
+      EXPECT_FALSE(r.error().empty());
+    }
+  }
+}
+
+TEST_P(MutationFuzzTest, TruncatedSourcesNeverCrashTheParser) {
+  Rng rng(GetParam() + 777);
+  RandomProgramOptions opts;
+  opts.num_vars = 2;
+  opts.num_regs = 2;
+  opts.dom = 3;
+  opts.size = 5;
+  std::string text = RandomProgram(rng, opts, "trunc").ToString();
+  for (std::size_t cut = 0; cut < text.size(); cut += 7) {
+    Expected<Program> r = ParseProgram(text.substr(0, cut));
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MutationFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace rapar

@@ -1,0 +1,523 @@
+// Litmus tests for the standard RA semantics (Figure 2): the explorer must
+// allow exactly the weak behaviours RA allows.
+//
+// Convention: all programs of one instance declare the same `vars` list in
+// the same order, so VarIds align across threads.
+#include "ra/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lang/parser.h"
+
+namespace rapar {
+namespace {
+
+struct Instance {
+  std::vector<std::unique_ptr<Cfa>> cfas;
+  std::vector<const Cfa*> ptrs;
+  Value dom = 0;
+  std::size_t num_vars = 0;
+};
+
+Instance MakeInstance(const std::vector<std::string>& programs) {
+  Instance inst;
+  for (const auto& text : programs) {
+    Expected<Program> p = ParseProgram(text);
+    EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+    Program prog = std::move(p).value();
+    if (inst.dom == 0) {
+      inst.dom = prog.dom();
+      inst.num_vars = prog.vars().size();
+    } else {
+      EXPECT_EQ(inst.dom, prog.dom());
+      EXPECT_EQ(inst.num_vars, prog.vars().size());
+    }
+    inst.cfas.push_back(std::make_unique<Cfa>(Cfa::Build(prog)));
+  }
+  for (const auto& c : inst.cfas) inst.ptrs.push_back(c.get());
+  return inst;
+}
+
+RaResult Check(const std::vector<std::string>& programs,
+               int max_depth = 200) {
+  Instance inst = MakeInstance(programs);
+  RaExplorer explorer(inst.ptrs, inst.dom, inst.num_vars);
+  RaExplorerOptions opts;
+  opts.max_depth = max_depth;
+  return explorer.CheckSafety(opts);
+}
+
+// --- Message passing (the Figure 1 guarantee) ------------------------------
+
+constexpr const char* kMpWriter = R"(
+  program writer
+  vars x y
+  regs r
+  dom 2
+  begin
+    r := 1;
+    y := r;
+    x := r
+  end
+)";
+
+TEST(RaLitmusTest, MessagePassingForbidden) {
+  // Reader sees x == 1; RA then forbids reading the overwritten y == 0.
+  const char* reader = R"(
+    program reader
+    vars x y
+    regs a b
+    dom 2
+    begin
+      a := x;
+      assume (a == 1);
+      b := y;
+      assume (b == 0);
+      assert false
+    end
+  )";
+  RaResult r = Check({kMpWriter, reader});
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(RaLitmusTest, MessagePassingPositiveCaseReachable) {
+  // Sanity: reading x == 1 then y == 1 is of course possible.
+  const char* reader = R"(
+    program reader
+    vars x y
+    regs a b
+    dom 2
+    begin
+      a := x;
+      assume (a == 1);
+      b := y;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  RaResult r = Check({kMpWriter, reader});
+  EXPECT_TRUE(r.violation);
+  EXPECT_FALSE(r.witness.empty());
+}
+
+TEST(RaLitmusTest, ReadBeforeAnyWriteSeesInit) {
+  const char* reader = R"(
+    program reader
+    vars x y
+    regs a
+    dom 2
+    begin
+      a := x;
+      assume (a == 0);
+      assert false
+    end
+  )";
+  RaResult r = Check({kMpWriter, reader});
+  EXPECT_TRUE(r.violation);
+}
+
+// --- Store buffering: allowed under RA (unlike SC) -------------------------
+
+TEST(RaLitmusTest, StoreBufferingAllowed) {
+  const char* left = R"(
+    program left
+    vars x y fa fb
+    regs r one
+    dom 2
+    begin
+      one := 1;
+      x := one;
+      r := y;
+      assume (r == 0);
+      fa := one
+    end
+  )";
+  const char* right = R"(
+    program right
+    vars x y fa fb
+    regs r one
+    dom 2
+    begin
+      one := 1;
+      y := one;
+      r := x;
+      assume (r == 0);
+      fb := one
+    end
+  )";
+  const char* checker = R"(
+    program checker
+    vars x y fa fb
+    regs a b
+    dom 2
+    begin
+      a := fa;
+      assume (a == 1);
+      b := fb;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  RaResult r = Check({left, right, checker});
+  // Both threads reading 0 (the SB weak behaviour) is allowed under RA.
+  EXPECT_TRUE(r.violation);
+}
+
+// --- Coherence (per-variable) ----------------------------------------------
+
+TEST(RaLitmusTest, CoherenceForbidsReadingBackwards) {
+  const char* writer = R"(
+    program writer
+    vars x
+    regs r
+    dom 4
+    begin
+      r := 1;
+      x := r;
+      r := 2;
+      x := r
+    end
+  )";
+  const char* reader = R"(
+    program reader
+    vars x
+    regs a b
+    dom 4
+    begin
+      a := x;
+      assume (a == 2);
+      b := x;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  RaResult r = Check({writer, reader});
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(RaLitmusTest, CoherenceAllowsRereadingSameMessage) {
+  const char* writer = R"(
+    program writer
+    vars x
+    regs r
+    dom 4
+    begin
+      r := 1;
+      x := r;
+      r := 2;
+      x := r
+    end
+  )";
+  const char* reader = R"(
+    program reader
+    vars x
+    regs a b
+    dom 4
+    begin
+      a := x;
+      assume (a == 1);
+      b := x;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  RaResult r = Check({writer, reader});
+  EXPECT_TRUE(r.violation);
+}
+
+// --- CAS atomicity ----------------------------------------------------------
+
+TEST(RaLitmusTest, TwoCasOnSameValueCannotBothSucceed) {
+  auto contender = [](const char* flag) {
+    return std::string(R"(
+      program contender
+      vars x f1 f2
+      regs zero one
+      dom 2
+      begin
+        zero := 0;
+        one := 1;
+        cas(x, zero, one);
+        )") + flag + R"( := one
+      end
+    )";
+  };
+  const char* checker = R"(
+    program checker
+    vars x f1 f2
+    regs a b
+    dom 2
+    begin
+      a := f1;
+      assume (a == 1);
+      b := f2;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  RaResult r =
+      Check({contender("f1"), contender("f2"), checker});
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(RaLitmusTest, SingleCasSucceeds) {
+  const char* t = R"(
+    program t
+    vars x
+    regs zero one a
+    dom 2
+    begin
+      zero := 0;
+      one := 1;
+      cas(x, zero, one);
+      a := x;
+      assume (a == 1);
+      assert false
+    end
+  )";
+  RaResult r = Check({t});
+  EXPECT_TRUE(r.violation);
+}
+
+TEST(RaLitmusTest, CasChainCountsAtomically) {
+  // Three threads each try cas(x, i, i+1); the final value can only be 3 if
+  // the threads performed a chain 0->1->2->3, and any interleaving yields
+  // exactly one success per value level.
+  auto inc = [](int from) {
+    return std::string("program inc\nvars x\nregs a b\ndom 4\nbegin\n  a := ") +
+           std::to_string(from) + ";\n  b := " + std::to_string(from + 1) +
+           ";\n  cas(x, a, b)\nend\n";
+  };
+  const char* checker = R"(
+    program checker
+    vars x
+    regs r
+    dom 4
+    begin
+      r := x;
+      assume (r == 3);
+      assert false
+    end
+  )";
+  RaResult r = Check({inc(0), inc(1), inc(2), checker});
+  EXPECT_TRUE(r.violation);
+}
+
+TEST(RaLitmusTest, CasFailureBranchNotModelled) {
+  // Our cas is the paper's: it blocks unless the expected value can be
+  // read. A cas on a never-written value cannot proceed, so the program
+  // cannot reach its assert.
+  const char* t = R"(
+    program t
+    vars x
+    regs two three
+    dom 4
+    begin
+      two := 2;
+      three := 3;
+      cas(x, two, three);
+      assert false
+    end
+  )";
+  RaResult r = Check({t});
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+// --- Store ordering / glue interaction --------------------------------------
+
+TEST(RaLitmusTest, StoreCannotSplitCasPair) {
+  // Thread A performs cas(x,0,1). Thread B stores 2 to x. If B's store
+  // could take a timestamp between the CAS load (init) and its store, a
+  // reader could observe x == 2 with a view strictly between; adjacency
+  // forbids it. Observable consequence: after reading 1, a reader can
+  // never read 2 unless B's store is mo-after the CAS store; and a reader
+  // that saw 2 then 1 must be impossible (2 cannot be mo-between 0 and 1).
+  const char* casser = R"(
+    program casser
+    vars x
+    regs zero one
+    dom 4
+    begin
+      zero := 0;
+      one := 1;
+      cas(x, zero, one)
+    end
+  )";
+  const char* storer = R"(
+    program storer
+    vars x
+    regs two
+    dom 4
+    begin
+      two := 2;
+      x := two
+    end
+  )";
+  // Reader observing 2 then 1 would require mo order init < 2 < 1, i.e. 2
+  // inside the CAS pair.
+  const char* reader = R"(
+    program reader
+    vars x
+    regs a b
+    dom 4
+    begin
+      a := x;
+      assume (a == 2);
+      b := x;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  RaResult r = Check({casser, storer, reader});
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+// --- Figure 1 end-to-end -----------------------------------------------------
+
+TEST(RaFigure1Test, ProducerConsumerSnippetReplays) {
+  // Figure 1 with the roles as in the paper: the consumer stores y := 1,
+  // the producer reads it, computes, and stores x; the consumer then loads
+  // x and can see either the init message or the produced value.
+  const char* producer = R"(
+    program producer
+    vars x y
+    regs r
+    dom 8
+    begin
+      r := y;           // λ1
+      assume (r == 1);  // λ2
+      r := r + 3;
+      x := r            // λ3  (stores 4)
+    end
+  )";
+  const char* consumer_sees_4 = R"(
+    program consumer
+    vars x y
+    regs s one
+    dom 8
+    begin
+      one := 1;
+      y := one;         // τ1
+      s := x;           // τ3
+      assume (s == 4);
+      assert false
+    end
+  )";
+  EXPECT_TRUE(Check({producer, consumer_sees_4}).violation);
+
+  const char* consumer_sees_0 = R"(
+    program consumer
+    vars x y
+    regs s one
+    dom 8
+    begin
+      one := 1;
+      y := one;
+      s := x;
+      assume (s == 0);
+      assert false
+    end
+  )";
+  EXPECT_TRUE(Check({producer, consumer_sees_0}).violation);
+
+  // But a value never produced is unreachable.
+  const char* consumer_sees_5 = R"(
+    program consumer
+    vars x y
+    regs s one
+    dom 8
+    begin
+      one := 1;
+      y := one;
+      s := x;
+      assume (s == 5);
+      assert false
+    end
+  )";
+  RaResult r = Check({producer, consumer_sees_5});
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+// --- Explorer bookkeeping -----------------------------------------------------
+
+TEST(RaExplorerTest, GeneratedMessagesAreRecorded) {
+  const char* t = R"(
+    program t
+    vars x
+    regs r
+    dom 4
+    begin
+      r := 2;
+      x := r
+    end
+  )";
+  Instance inst = MakeInstance({t});
+  RaExplorer explorer(inst.ptrs, inst.dom, inst.num_vars);
+  explorer.CheckSafety();
+  EXPECT_TRUE(explorer.generated_messages().count({0u, 2}) > 0);
+  EXPECT_FALSE(explorer.generated_messages().count({0u, 3}) > 0);
+}
+
+TEST(RaExplorerTest, SymmetryReductionPreservesVerdict) {
+  const char* env = R"(
+    program env
+    vars x
+    regs r
+    dom 4
+    begin
+      r := x;
+      r := r + 1;
+      x := r
+    end
+  )";
+  const char* checker = R"(
+    program checker
+    vars x
+    regs r
+    dom 4
+    begin
+      r := x;
+      assume (r == 3);
+      assert false
+    end
+  )";
+  Instance inst = MakeInstance({env, env, env, checker});
+  for (bool sym : {false, true}) {
+    RaExplorer explorer(inst.ptrs, inst.dom, inst.num_vars, {0, 3});
+    RaExplorerOptions opts;
+    opts.symmetry_reduction = sym;
+    RaResult r = explorer.CheckSafety(opts);
+    EXPECT_TRUE(r.violation) << "sym=" << sym;
+  }
+}
+
+TEST(RaExplorerTest, DepthBoundReportsNonExhaustive) {
+  const char* t = R"(
+    program t
+    vars x
+    regs r
+    dom 2
+    begin
+      loop { r := x }
+    end
+  )";
+  Instance inst = MakeInstance({t});
+  RaExplorer explorer(inst.ptrs, inst.dom, inst.num_vars);
+  RaExplorerOptions opts;
+  opts.max_depth = 2;
+  RaResult r = explorer.CheckSafety(opts);
+  EXPECT_FALSE(r.violation);
+  EXPECT_FALSE(r.exhaustive);
+}
+
+}  // namespace
+}  // namespace rapar

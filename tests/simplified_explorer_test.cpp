@@ -1,0 +1,442 @@
+// End-to-end tests of the saturating explorer for the simplified
+// semantics: parameterized litmus behaviours, Figure 3, CAS interaction,
+// MG goals, policy equivalence on these instances.
+#include "simplified/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/parser.h"
+#include "lang/unroll.h"
+
+namespace rapar {
+namespace {
+
+struct Sys {
+  std::vector<std::unique_ptr<Cfa>> owned;
+  SimplSystem sys;
+};
+
+// Builds a parameterized system from program texts: first the env
+// template, then the dis programs. All must declare the same vars/dom.
+Sys MakeSys(const std::string& env_text,
+            const std::vector<std::string>& dis_texts) {
+  Sys out;
+  auto parse = [&](const std::string& text) {
+    Expected<Program> p = ParseProgram(text);
+    EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+    return std::move(p).value();
+  };
+  Program env = parse(env_text);
+  out.sys.dom = env.dom();
+  out.sys.num_vars = env.vars().size();
+  out.owned.push_back(std::make_unique<Cfa>(Cfa::Build(env)));
+  out.sys.env = out.owned[0].get();
+  for (const auto& text : dis_texts) {
+    Program d = parse(text);
+    EXPECT_EQ(d.dom(), out.sys.dom);
+    EXPECT_EQ(d.vars().size(), out.sys.num_vars);
+    out.owned.push_back(std::make_unique<Cfa>(Cfa::Build(d)));
+    out.sys.dis.push_back(out.owned.back().get());
+  }
+  return out;
+}
+
+SimplResult RunSimpl(const Sys& s, SimplExplorerOptions opts = {}) {
+  SimplExplorer ex(s.sys);
+  return ex.Check(opts);
+}
+
+// --- Parameterized message passing ------------------------------------------
+
+TEST(SimplifiedLitmusTest, MessagePassingStillForbidden) {
+  // env writers: y := 1; x := 1. dis reader: x == 1 then y == 0 must be
+  // impossible even with unboundedly many writers.
+  const char* env = R"(
+    program writer
+    vars x y
+    regs one
+    dom 2
+    begin
+      one := 1;
+      y := one;
+      x := one
+    end
+  )";
+  const char* dis = R"(
+    program reader
+    vars x y
+    regs a b
+    dom 2
+    begin
+      a := x;
+      assume (a == 1);
+      b := y;
+      assume (b == 0);
+      assert false
+    end
+  )";
+  SimplResult r = RunSimpl(MakeSys(env, {dis}));
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(SimplifiedLitmusTest, MessagePassingPositiveReachable) {
+  const char* env = R"(
+    program writer
+    vars x y
+    regs one
+    dom 2
+    begin
+      one := 1;
+      y := one;
+      x := one
+    end
+  )";
+  const char* dis = R"(
+    program reader
+    vars x y
+    regs a b
+    dom 2
+    begin
+      a := x;
+      assume (a == 1);
+      b := y;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  SimplResult r = RunSimpl(MakeSys(env, {dis}));
+  EXPECT_TRUE(r.violation);
+  EXPECT_FALSE(r.witness.empty());
+}
+
+// --- Figure 3: unbounded consumption from env producers ---------------------
+
+// Producer: wait for the start flag, read the counter, increment, store.
+const char* kProducer = R"(
+  program producer
+  vars x y
+  regs r s
+  dom 8
+  begin
+    r := y;
+    assume (r == 1);
+    s := x;
+    s := s + 1;
+    x := s
+  end
+)";
+
+// Consumer for bound z: store y := 1, then read x expecting 1, 2, ..., z.
+std::string ConsumerForZ(int z) {
+  std::string body = "  one := 1;\n  y := one;\n";
+  for (int i = 1; i <= z; ++i) {
+    body += "  s := x;\n  assume (s == " + std::to_string(i) + ");\n";
+  }
+  body += "  assert false\n";
+  return "program consumer\nvars x y\nregs s one\ndom 8\nbegin\n" + body +
+         "end\n";
+}
+
+TEST(SimplifiedFigure3Test, ConsumerReadsIncreasingValues) {
+  for (int z = 1; z <= 4; ++z) {
+    SimplResult r = RunSimpl(MakeSys(kProducer, {ConsumerForZ(z)}));
+    EXPECT_TRUE(r.violation) << "z=" << z;
+  }
+}
+
+TEST(SimplifiedFigure3Test, ValueAboveProducerChainUnreachable) {
+  // Producers read x (init 0 or producer messages), so values 1..7 are all
+  // generable, but only in increasing chains; a consumer demanding value 2
+  // before any 1 exists is still fine (chains grow independently), yet a
+  // consumer demanding value 0 from a producer message can only read init.
+  const char* consumer = R"(
+    program consumer
+    vars x y
+    regs s one
+    dom 8
+    begin
+      one := 1;
+      y := one;
+      s := x;
+      assume (s == 2);
+      s := x;
+      assume (s == 1);
+      assert false
+    end
+  )";
+  // Reading 2 then 1 is fine in the simplified semantics: 1 is an env
+  // message, and env messages ignore timestamp checks (a fresh clone's
+  // timestamp can always be promoted above the reader's view).
+  SimplResult r = RunSimpl(MakeSys(kProducer, {consumer}));
+  EXPECT_TRUE(r.violation);
+}
+
+TEST(SimplifiedFigure3Test, GoalMessageQuery) {
+  // MG formulation: is a message (x, 3) generable?
+  Sys s = MakeSys(kProducer, {ConsumerForZ(1)});
+  SimplExplorerOptions opts;
+  opts.goal = {VarId(0), Value(3)};
+  SimplResult r = RunSimpl(s, opts);
+  EXPECT_TRUE(r.goal_reached);
+  EXPECT_FALSE(r.witness.empty());
+}
+
+// --- Env-only systems ---------------------------------------------------------
+
+TEST(SimplifiedEnvOnlyTest, EnvChainAcrossClones) {
+  // Each env thread advances the chain by one; the parameterized system
+  // reaches the top value even though each thread stores once.
+  const char* env = R"(
+    program chain
+    vars x
+    regs r s
+    dom 5
+    begin
+      r := x;
+      s := r + 1;
+      x := s;
+      r := x;
+      assume (r == 4);
+      assert false
+    end
+  )";
+  SimplResult r = RunSimpl(MakeSys(env, {}));
+  EXPECT_TRUE(r.violation);
+}
+
+TEST(SimplifiedEnvOnlyTest, UnproducedValueStaysUnreachable) {
+  const char* env = R"(
+    program writer
+    vars x
+    regs one r
+    dom 4
+    begin
+      one := 1;
+      x := one;
+      r := x;
+      assume (r == 3);
+      assert false
+    end
+  )";
+  SimplResult r = RunSimpl(MakeSys(env, {}));
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+// --- CAS by dis threads --------------------------------------------------------
+
+TEST(SimplifiedCasTest, TwoDisCasOnInitOnlyOneSucceeds) {
+  const char* env = R"(
+    program noop
+    vars x f1 f2
+    regs r
+    dom 2
+    begin
+      skip
+    end
+  )";
+  auto contender = [](const char* flag) {
+    return std::string(R"(
+      program contender
+      vars x f1 f2
+      regs zero one
+      dom 2
+      begin
+        zero := 0;
+        one := 1;
+        cas(x, zero, one);
+        )") + flag + R"( := one
+      end
+    )";
+  };
+  const char* checker = R"(
+    program checker
+    vars x f1 f2
+    regs a b
+    dom 2
+    begin
+      a := f1;
+      assume (a == 1);
+      b := f2;
+      assume (b == 1);
+      assert false
+    end
+  )";
+  SimplResult r = RunSimpl(MakeSys(
+      env, {contender("f1"), contender("f2"), checker}));
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(SimplifiedCasTest, DisCasOnEnvMessage) {
+  // env publishes 1; dis CAS(x, 1, 2) must succeed (clone adjacency), and
+  // unboundedly many env messages do not block it.
+  const char* env = R"(
+    program pub
+    vars x
+    regs one
+    dom 4
+    begin
+      one := 1;
+      x := one
+    end
+  )";
+  const char* dis = R"(
+    program casser
+    vars x
+    regs one two r
+    dom 4
+    begin
+      one := 1;
+      two := 2;
+      cas(x, one, two);
+      r := x;
+      assume (r == 2);
+      assert false
+    end
+  )";
+  SimplResult r = RunSimpl(MakeSys(env, {dis}));
+  EXPECT_TRUE(r.violation);
+}
+
+TEST(SimplifiedCasTest, EnvCannotInvadeFrozenGap) {
+  // dis CAS(x, 0, 1) freezes gap 0. An env store on x afterwards cannot
+  // produce a message readable "between" the pair: a reader that saw the
+  // CAS store can never read x == 0 again, and a reader that reads the env
+  // message gets a view above the CAS pair or in a higher gap — never
+  // between. Observable: after dis reads its own CAS result, reading 0 is
+  // impossible even though env stores 0.
+  const char* env = R"(
+    program storer0
+    vars x y
+    regs zero
+    dom 2
+    begin
+      zero := 0;
+      x := zero
+    end
+  )";
+  const char* dis = R"(
+    program casser
+    vars x y
+    regs zero one r
+    dom 2
+    begin
+      zero := 0;
+      one := 1;
+      cas(x, zero, one);
+      r := x;
+      assume (r == 0);
+      assert false
+    end
+  )";
+  // After the CAS the dis thread's view is at the CAS store; env messages
+  // with value 0 exist but any clone the dis thread could read has a
+  // timestamp above its view... which is allowed! Env clones can always be
+  // promoted above. So reading 0 IS possible here (from an env message
+  // stored after the CAS, in a higher gap). This distinguishes env
+  // messages from the init message.
+  SimplResult r = RunSimpl(MakeSys(env, {dis}));
+  EXPECT_TRUE(r.violation);
+}
+
+TEST(SimplifiedCasTest, InitUnreadableAfterCas) {
+  // Without env stores of 0, reading 0 after one's own CAS is impossible:
+  // the only 0-message is init, below the CAS pair.
+  const char* env = R"(
+    program noop
+    vars x
+    regs r
+    dom 2
+    begin
+      skip
+    end
+  )";
+  const char* dis = R"(
+    program casser
+    vars x
+    regs zero one r
+    dom 2
+    begin
+      zero := 0;
+      one := 1;
+      cas(x, zero, one);
+      r := x;
+      assume (r == 0);
+      assert false
+    end
+  )";
+  SimplResult r = RunSimpl(MakeSys(env, {dis}));
+  EXPECT_FALSE(r.violation);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+// --- Policies -------------------------------------------------------------------
+
+TEST(SimplifiedPolicyTest, MinimalAndAllAgreeOnVerdicts) {
+  struct Case {
+    const char* env;
+    std::vector<std::string> dis;
+    bool expect_violation;
+  };
+  std::vector<Case> cases = {
+      {kProducer, {ConsumerForZ(2)}, true},
+      {kProducer, {ConsumerForZ(3)}, true},
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    Sys s = MakeSys(cases[i].env, cases[i].dis);
+    for (ViewChoice policy : {ViewChoice::kMinimal, ViewChoice::kAll}) {
+      SimplExplorerOptions opts;
+      opts.policy = policy;
+      SimplResult r = RunSimpl(s, opts);
+      EXPECT_EQ(r.violation, cases[i].expect_violation)
+          << "case " << i << " policy " << static_cast<int>(policy);
+    }
+  }
+}
+
+// --- Witness replay ---------------------------------------------------------------
+
+TEST(SimplifiedWitnessTest, WitnessReplaysToViolation) {
+  Sys s = MakeSys(kProducer, {ConsumerForZ(2)});
+  SimplResult r = RunSimpl(s);
+  ASSERT_TRUE(r.violation);
+  ASSERT_FALSE(r.witness.empty());
+  SimplConfig final_cfg;
+  std::vector<StepEffect> effects =
+      ReplayWitness(s.sys, r.witness, &final_cfg);
+  EXPECT_EQ(effects.size(), r.witness.size());
+  // The witness contains at least: y := 1 (dis store), two env stores of
+  // increasing values, two dis loads.
+  int env_writes = 0, dis_writes = 0, reads = 0;
+  for (const StepEffect& e : effects) {
+    if (e.wrote && e.wrote_is_env) ++env_writes;
+    if (e.wrote && !e.wrote_is_env) ++dis_writes;
+    if (e.read) ++reads;
+  }
+  EXPECT_GE(env_writes, 2);
+  EXPECT_GE(dis_writes, 1);
+  EXPECT_GE(reads, 4);
+}
+
+TEST(SimplifiedWitnessTest, ExplorerStatsPopulated) {
+  Sys s = MakeSys(kProducer, {ConsumerForZ(1)});
+  SimplExplorer ex(s.sys);
+  SimplExplorerOptions opts;
+  opts.stop_on_violation = false;
+  SimplResult r = ex.Check(opts);
+  EXPECT_TRUE(r.violation);
+  EXPECT_GT(r.states, 1u);
+  // de-abstraction queries populated.
+  EXPECT_FALSE(ex.reachable_env_de().empty());
+  EXPECT_FALSE(ex.reachable_dis_de().empty());
+  EXPECT_FALSE(ex.generated_messages().empty());
+}
+
+}  // namespace
+}  // namespace rapar
