@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation"
+  "../bench/bench_ablation.pdb"
+  "CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o"
+  "CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_backends"
+  "../bench/bench_backends.pdb"
+  "CMakeFiles/bench_backends.dir/bench_backends.cpp.o"
+  "CMakeFiles/bench_backends.dir/bench_backends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

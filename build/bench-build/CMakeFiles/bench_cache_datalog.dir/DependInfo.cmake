@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cache_datalog.cpp" "bench-build/CMakeFiles/bench_cache_datalog.dir/bench_cache_datalog.cpp.o" "gcc" "bench-build/CMakeFiles/bench_cache_datalog.dir/bench_cache_datalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lowerbound/CMakeFiles/rapar_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rapar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/depgraph/CMakeFiles/rapar_depgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/rapar_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/rapar_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/simplified/CMakeFiles/rapar_simpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/rapar_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/rapar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rapar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cache_datalog"
+  "../bench/bench_cache_datalog.pdb"
+  "CMakeFiles/bench_cache_datalog.dir/bench_cache_datalog.cpp.o"
+  "CMakeFiles/bench_cache_datalog.dir/bench_cache_datalog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_ra_exec"
+  "../bench/bench_fig1_ra_exec.pdb"
+  "CMakeFiles/bench_fig1_ra_exec.dir/bench_fig1_ra_exec.cpp.o"
+  "CMakeFiles/bench_fig1_ra_exec.dir/bench_fig1_ra_exec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ra_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_semantics"
+  "../bench/bench_fig2_semantics.pdb"
+  "CMakeFiles/bench_fig2_semantics.dir/bench_fig2_semantics.cpp.o"
+  "CMakeFiles/bench_fig2_semantics.dir/bench_fig2_semantics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

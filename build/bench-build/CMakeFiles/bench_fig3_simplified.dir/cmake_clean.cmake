@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_simplified"
+  "../bench/bench_fig3_simplified.pdb"
+  "CMakeFiles/bench_fig3_simplified.dir/bench_fig3_simplified.cpp.o"
+  "CMakeFiles/bench_fig3_simplified.dir/bench_fig3_simplified.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_simplified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

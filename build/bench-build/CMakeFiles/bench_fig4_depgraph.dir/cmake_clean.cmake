@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_depgraph"
+  "../bench/bench_fig4_depgraph.pdb"
+  "CMakeFiles/bench_fig4_depgraph.dir/bench_fig4_depgraph.cpp.o"
+  "CMakeFiles/bench_fig4_depgraph.dir/bench_fig4_depgraph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_depgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

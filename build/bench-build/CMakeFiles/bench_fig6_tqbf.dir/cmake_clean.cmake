@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_tqbf"
+  "../bench/bench_fig6_tqbf.pdb"
+  "CMakeFiles/bench_fig6_tqbf.dir/bench_fig6_tqbf.cpp.o"
+  "CMakeFiles/bench_fig6_tqbf.dir/bench_fig6_tqbf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tqbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_analysis.dir/cost_analysis.cpp.o"
+  "CMakeFiles/cost_analysis.dir/cost_analysis.cpp.o.d"
+  "cost_analysis"
+  "cost_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

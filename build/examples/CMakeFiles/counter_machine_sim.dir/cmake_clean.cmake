@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_machine_sim.dir/counter_machine_sim.cpp.o"
+  "CMakeFiles/counter_machine_sim.dir/counter_machine_sim.cpp.o.d"
+  "counter_machine_sim"
+  "counter_machine_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_machine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

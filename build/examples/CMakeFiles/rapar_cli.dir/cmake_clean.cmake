@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_cli.dir/rapar_cli.cpp.o"
+  "CMakeFiles/rapar_cli.dir/rapar_cli.cpp.o.d"
+  "rapar_cli"
+  "rapar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqbf_solver.dir/tqbf_solver.cpp.o"
+  "CMakeFiles/tqbf_solver.dir/tqbf_solver.cpp.o.d"
+  "tqbf_solver"
+  "tqbf_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqbf_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

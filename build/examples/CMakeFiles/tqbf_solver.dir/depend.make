@@ -1,0 +1,2 @@
+# Empty dependencies file for tqbf_solver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_common.dir/hash.cpp.o"
+  "CMakeFiles/rapar_common.dir/hash.cpp.o.d"
+  "CMakeFiles/rapar_common.dir/strings.cpp.o"
+  "CMakeFiles/rapar_common.dir/strings.cpp.o.d"
+  "librapar_common.a"
+  "librapar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

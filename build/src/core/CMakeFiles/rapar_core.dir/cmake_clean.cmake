@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_core.dir/benchmarks.cpp.o"
+  "CMakeFiles/rapar_core.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/rapar_core.dir/param_system.cpp.o"
+  "CMakeFiles/rapar_core.dir/param_system.cpp.o.d"
+  "CMakeFiles/rapar_core.dir/trace_render.cpp.o"
+  "CMakeFiles/rapar_core.dir/trace_render.cpp.o.d"
+  "CMakeFiles/rapar_core.dir/verifier.cpp.o"
+  "CMakeFiles/rapar_core.dir/verifier.cpp.o.d"
+  "librapar_core.a"
+  "librapar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

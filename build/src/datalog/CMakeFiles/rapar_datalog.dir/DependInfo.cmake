@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/ast.cpp" "src/datalog/CMakeFiles/rapar_datalog.dir/ast.cpp.o" "gcc" "src/datalog/CMakeFiles/rapar_datalog.dir/ast.cpp.o.d"
+  "/root/repo/src/datalog/cache.cpp" "src/datalog/CMakeFiles/rapar_datalog.dir/cache.cpp.o" "gcc" "src/datalog/CMakeFiles/rapar_datalog.dir/cache.cpp.o.d"
+  "/root/repo/src/datalog/cache_to_linear.cpp" "src/datalog/CMakeFiles/rapar_datalog.dir/cache_to_linear.cpp.o" "gcc" "src/datalog/CMakeFiles/rapar_datalog.dir/cache_to_linear.cpp.o.d"
+  "/root/repo/src/datalog/engine.cpp" "src/datalog/CMakeFiles/rapar_datalog.dir/engine.cpp.o" "gcc" "src/datalog/CMakeFiles/rapar_datalog.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rapar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_datalog.dir/ast.cpp.o"
+  "CMakeFiles/rapar_datalog.dir/ast.cpp.o.d"
+  "CMakeFiles/rapar_datalog.dir/cache.cpp.o"
+  "CMakeFiles/rapar_datalog.dir/cache.cpp.o.d"
+  "CMakeFiles/rapar_datalog.dir/cache_to_linear.cpp.o"
+  "CMakeFiles/rapar_datalog.dir/cache_to_linear.cpp.o.d"
+  "CMakeFiles/rapar_datalog.dir/engine.cpp.o"
+  "CMakeFiles/rapar_datalog.dir/engine.cpp.o.d"
+  "librapar_datalog.a"
+  "librapar_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_depgraph.dir/dep_graph.cpp.o"
+  "CMakeFiles/rapar_depgraph.dir/dep_graph.cpp.o.d"
+  "librapar_depgraph.a"
+  "librapar_depgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_depgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_encoding.dir/datalog_verifier.cpp.o"
+  "CMakeFiles/rapar_encoding.dir/datalog_verifier.cpp.o.d"
+  "CMakeFiles/rapar_encoding.dir/dis_guess.cpp.o"
+  "CMakeFiles/rapar_encoding.dir/dis_guess.cpp.o.d"
+  "CMakeFiles/rapar_encoding.dir/makep.cpp.o"
+  "CMakeFiles/rapar_encoding.dir/makep.cpp.o.d"
+  "librapar_encoding.a"
+  "librapar_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

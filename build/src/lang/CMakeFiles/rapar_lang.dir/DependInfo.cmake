@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cpp" "src/lang/CMakeFiles/rapar_lang.dir/ast.cpp.o" "gcc" "src/lang/CMakeFiles/rapar_lang.dir/ast.cpp.o.d"
+  "/root/repo/src/lang/cfa.cpp" "src/lang/CMakeFiles/rapar_lang.dir/cfa.cpp.o" "gcc" "src/lang/CMakeFiles/rapar_lang.dir/cfa.cpp.o.d"
+  "/root/repo/src/lang/classify.cpp" "src/lang/CMakeFiles/rapar_lang.dir/classify.cpp.o" "gcc" "src/lang/CMakeFiles/rapar_lang.dir/classify.cpp.o.d"
+  "/root/repo/src/lang/expr.cpp" "src/lang/CMakeFiles/rapar_lang.dir/expr.cpp.o" "gcc" "src/lang/CMakeFiles/rapar_lang.dir/expr.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/lang/CMakeFiles/rapar_lang.dir/parser.cpp.o" "gcc" "src/lang/CMakeFiles/rapar_lang.dir/parser.cpp.o.d"
+  "/root/repo/src/lang/program.cpp" "src/lang/CMakeFiles/rapar_lang.dir/program.cpp.o" "gcc" "src/lang/CMakeFiles/rapar_lang.dir/program.cpp.o.d"
+  "/root/repo/src/lang/random_program.cpp" "src/lang/CMakeFiles/rapar_lang.dir/random_program.cpp.o" "gcc" "src/lang/CMakeFiles/rapar_lang.dir/random_program.cpp.o.d"
+  "/root/repo/src/lang/transform.cpp" "src/lang/CMakeFiles/rapar_lang.dir/transform.cpp.o" "gcc" "src/lang/CMakeFiles/rapar_lang.dir/transform.cpp.o.d"
+  "/root/repo/src/lang/unroll.cpp" "src/lang/CMakeFiles/rapar_lang.dir/unroll.cpp.o" "gcc" "src/lang/CMakeFiles/rapar_lang.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rapar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_lang.dir/ast.cpp.o"
+  "CMakeFiles/rapar_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/rapar_lang.dir/cfa.cpp.o"
+  "CMakeFiles/rapar_lang.dir/cfa.cpp.o.d"
+  "CMakeFiles/rapar_lang.dir/classify.cpp.o"
+  "CMakeFiles/rapar_lang.dir/classify.cpp.o.d"
+  "CMakeFiles/rapar_lang.dir/expr.cpp.o"
+  "CMakeFiles/rapar_lang.dir/expr.cpp.o.d"
+  "CMakeFiles/rapar_lang.dir/parser.cpp.o"
+  "CMakeFiles/rapar_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/rapar_lang.dir/program.cpp.o"
+  "CMakeFiles/rapar_lang.dir/program.cpp.o.d"
+  "CMakeFiles/rapar_lang.dir/random_program.cpp.o"
+  "CMakeFiles/rapar_lang.dir/random_program.cpp.o.d"
+  "CMakeFiles/rapar_lang.dir/transform.cpp.o"
+  "CMakeFiles/rapar_lang.dir/transform.cpp.o.d"
+  "CMakeFiles/rapar_lang.dir/unroll.cpp.o"
+  "CMakeFiles/rapar_lang.dir/unroll.cpp.o.d"
+  "librapar_lang.a"
+  "librapar_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librapar_lang.a"
+)

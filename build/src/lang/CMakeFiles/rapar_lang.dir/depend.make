@@ -1,0 +1,2 @@
+# Empty dependencies file for rapar_lang.
+# This may be replaced when dependencies are built.

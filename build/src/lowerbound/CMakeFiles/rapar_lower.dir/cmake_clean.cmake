@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_lower.dir/counter_machine.cpp.o"
+  "CMakeFiles/rapar_lower.dir/counter_machine.cpp.o.d"
+  "CMakeFiles/rapar_lower.dir/qbf.cpp.o"
+  "CMakeFiles/rapar_lower.dir/qbf.cpp.o.d"
+  "CMakeFiles/rapar_lower.dir/tqbf_reduction.cpp.o"
+  "CMakeFiles/rapar_lower.dir/tqbf_reduction.cpp.o.d"
+  "librapar_lower.a"
+  "librapar_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

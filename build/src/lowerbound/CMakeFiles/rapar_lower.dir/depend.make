@@ -1,0 +1,2 @@
+# Empty dependencies file for rapar_lower.
+# This may be replaced when dependencies are built.

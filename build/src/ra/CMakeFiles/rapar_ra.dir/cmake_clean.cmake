@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_ra.dir/config.cpp.o"
+  "CMakeFiles/rapar_ra.dir/config.cpp.o.d"
+  "CMakeFiles/rapar_ra.dir/explorer.cpp.o"
+  "CMakeFiles/rapar_ra.dir/explorer.cpp.o.d"
+  "CMakeFiles/rapar_ra.dir/view.cpp.o"
+  "CMakeFiles/rapar_ra.dir/view.cpp.o.d"
+  "librapar_ra.a"
+  "librapar_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

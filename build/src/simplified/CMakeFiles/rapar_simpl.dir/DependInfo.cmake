@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simplified/explorer.cpp" "src/simplified/CMakeFiles/rapar_simpl.dir/explorer.cpp.o" "gcc" "src/simplified/CMakeFiles/rapar_simpl.dir/explorer.cpp.o.d"
+  "/root/repo/src/simplified/simpl_config.cpp" "src/simplified/CMakeFiles/rapar_simpl.dir/simpl_config.cpp.o" "gcc" "src/simplified/CMakeFiles/rapar_simpl.dir/simpl_config.cpp.o.d"
+  "/root/repo/src/simplified/transitions.cpp" "src/simplified/CMakeFiles/rapar_simpl.dir/transitions.cpp.o" "gcc" "src/simplified/CMakeFiles/rapar_simpl.dir/transitions.cpp.o.d"
+  "/root/repo/src/simplified/witness_min.cpp" "src/simplified/CMakeFiles/rapar_simpl.dir/witness_min.cpp.o" "gcc" "src/simplified/CMakeFiles/rapar_simpl.dir/witness_min.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ra/CMakeFiles/rapar_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/rapar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rapar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapar_simpl.dir/explorer.cpp.o"
+  "CMakeFiles/rapar_simpl.dir/explorer.cpp.o.d"
+  "CMakeFiles/rapar_simpl.dir/simpl_config.cpp.o"
+  "CMakeFiles/rapar_simpl.dir/simpl_config.cpp.o.d"
+  "CMakeFiles/rapar_simpl.dir/transitions.cpp.o"
+  "CMakeFiles/rapar_simpl.dir/transitions.cpp.o.d"
+  "CMakeFiles/rapar_simpl.dir/witness_min.cpp.o"
+  "CMakeFiles/rapar_simpl.dir/witness_min.cpp.o.d"
+  "librapar_simpl.a"
+  "librapar_simpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapar_simpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

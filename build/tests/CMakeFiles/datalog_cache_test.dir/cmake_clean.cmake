@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_cache_test.dir/datalog_cache_test.cpp.o"
+  "CMakeFiles/datalog_cache_test.dir/datalog_cache_test.cpp.o.d"
+  "datalog_cache_test"
+  "datalog_cache_test.pdb"
+  "datalog_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_differential_test.dir/datalog_differential_test.cpp.o"
+  "CMakeFiles/datalog_differential_test.dir/datalog_differential_test.cpp.o.d"
+  "datalog_differential_test"
+  "datalog_differential_test.pdb"
+  "datalog_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_engine_test.dir/datalog_engine_test.cpp.o"
+  "CMakeFiles/datalog_engine_test.dir/datalog_engine_test.cpp.o.d"
+  "datalog_engine_test"
+  "datalog_engine_test.pdb"
+  "datalog_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

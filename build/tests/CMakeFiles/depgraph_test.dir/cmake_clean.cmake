@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depgraph_test.dir/depgraph_test.cpp.o"
+  "CMakeFiles/depgraph_test.dir/depgraph_test.cpp.o.d"
+  "depgraph_test"
+  "depgraph_test.pdb"
+  "depgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_catalog_test.dir/litmus_catalog_test.cpp.o"
+  "CMakeFiles/litmus_catalog_test.dir/litmus_catalog_test.cpp.o.d"
+  "litmus_catalog_test"
+  "litmus_catalog_test.pdb"
+  "litmus_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

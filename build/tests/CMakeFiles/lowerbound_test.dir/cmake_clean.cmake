@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowerbound_test.dir/lowerbound_test.cpp.o"
+  "CMakeFiles/lowerbound_test.dir/lowerbound_test.cpp.o.d"
+  "lowerbound_test"
+  "lowerbound_test.pdb"
+  "lowerbound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowerbound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_semantics_test.dir/ra_semantics_test.cpp.o"
+  "CMakeFiles/ra_semantics_test.dir/ra_semantics_test.cpp.o.d"
+  "ra_semantics_test"
+  "ra_semantics_test.pdb"
+  "ra_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

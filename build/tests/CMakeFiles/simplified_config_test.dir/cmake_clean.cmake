@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplified_config_test.dir/simplified_config_test.cpp.o"
+  "CMakeFiles/simplified_config_test.dir/simplified_config_test.cpp.o.d"
+  "simplified_config_test"
+  "simplified_config_test.pdb"
+  "simplified_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplified_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

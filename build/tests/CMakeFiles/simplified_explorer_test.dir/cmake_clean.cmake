@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplified_explorer_test.dir/simplified_explorer_test.cpp.o"
+  "CMakeFiles/simplified_explorer_test.dir/simplified_explorer_test.cpp.o.d"
+  "simplified_explorer_test"
+  "simplified_explorer_test.pdb"
+  "simplified_explorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplified_explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_render_test.dir/trace_render_test.cpp.o"
+  "CMakeFiles/trace_render_test.dir/trace_render_test.cpp.o.d"
+  "trace_render_test"
+  "trace_render_test.pdb"
+  "trace_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

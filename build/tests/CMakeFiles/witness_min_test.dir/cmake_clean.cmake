@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_min_test.dir/witness_min_test.cpp.o"
+  "CMakeFiles/witness_min_test.dir/witness_min_test.cpp.o.d"
+  "witness_min_test"
+  "witness_min_test.pdb"
+  "witness_min_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
