@@ -4,6 +4,14 @@
 //   rapar_cli mg     --env FILE [--dis FILE]... --var NAME --val N [options]
 //   rapar_cli dump-datalog --env FILE [--dis FILE]... [--var NAME --val N]
 //   rapar_cli classify FILE...
+//   rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]
+//
+// lint runs the analysis passes (reachability, liveness, constant
+// propagation, footprints) and reports diagnostics in compiler format
+// (file:line:col: severity: CODE: message plus a source caret). Bare FILE
+// arguments are linted as env candidates; with --env/--dis the files are
+// checked as one system, so a store only counts as dead if no thread of
+// the system reads the variable.
 //
 // Options:
 //   --backend simplified|datalog|concrete   (default simplified)
@@ -13,6 +21,7 @@
 //   --witness          print the witness run on UNSAFE
 //
 // Exit code: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = usage/input error.
+// For lint: 0 = clean (notes allowed), 1 = warnings/errors reported.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,10 +29,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
+#include "analysis/footprint.h"
 #include "core/verifier.h"
 #include "encoding/makep.h"
 #include "lang/classify.h"
 #include "lang/parser.h"
+#include "lang/transform.h"
 
 namespace {
 
@@ -50,7 +62,8 @@ int Usage() {
       "  rapar_cli mg --env FILE [--dis FILE]... --var NAME --val N ...\n"
       "  rapar_cli dump-datalog --env FILE [--dis FILE]... [--var NAME "
       "--val N]\n"
-      "  rapar_cli classify FILE...\n");
+      "  rapar_cli classify FILE...\n"
+      "  rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]\n");
   return 3;
 }
 
@@ -134,6 +147,84 @@ int Classify(const Options& opts) {
                 p.value().regs().size(), p.value().dom());
   }
   return 0;
+}
+
+int Lint(const Options& opts) {
+  struct Input {
+    std::string path;
+    rapar::ThreadRole role;
+    std::string text;
+    rapar::Program program;  // parsed, later rewritten onto shared vars
+  };
+  std::vector<Input> inputs;
+  auto add = [&](const std::string& path, rapar::ThreadRole role) {
+    inputs.push_back(Input{path, role, "", rapar::Program()});
+  };
+  if (!opts.env_file.empty()) add(opts.env_file, rapar::ThreadRole::kEnv);
+  for (const std::string& path : opts.dis_files) {
+    add(path, rapar::ThreadRole::kDis);
+  }
+  for (const std::string& path : opts.files) {
+    add(path, rapar::ThreadRole::kEnv);
+  }
+  if (inputs.empty()) return Usage();
+
+  for (Input& in : inputs) {
+    if (!ReadFile(in.path, &in.text)) {
+      std::fprintf(stderr, "cannot read %s\n", in.path.c_str());
+      return 3;
+    }
+    rapar::Expected<rapar::Program> p = rapar::ParseProgram(in.text);
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s: %s\n", in.path.c_str(), p.error().c_str());
+      return 3;
+    }
+    in.program = std::move(p).value();
+  }
+
+  // Unify variable tables by name so the observed-variable set spans the
+  // whole system: a store is dead only if *no* thread loads or CASes the
+  // variable (same convention as ParamSystem::Builder, but lint must not
+  // reject ill-classed systems — reporting them is its job).
+  rapar::VarTable shared;
+  std::vector<std::vector<rapar::VarId>> mappings;
+  for (const Input& in : inputs) {
+    std::vector<rapar::VarId> mapping;
+    for (const std::string& name : in.program.vars().names()) {
+      mapping.push_back(shared.Add(name));
+    }
+    mappings.push_back(std::move(mapping));
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const rapar::Program& p = inputs[i].program;
+    inputs[i].program =
+        rapar::Program(p.name(), shared, p.regs(), p.dom(),
+                       rapar::RemapVars(p.body(), mappings[i]));
+  }
+  std::vector<rapar::Cfa> cfas;
+  cfas.reserve(inputs.size());
+  for (const Input& in : inputs) {
+    cfas.push_back(rapar::Cfa::Build(in.program));
+  }
+  std::vector<const rapar::Cfa*> cfa_ptrs;
+  for (const rapar::Cfa& c : cfas) cfa_ptrs.push_back(&c);
+  rapar::LintOptions lint;
+  lint.observed_vars = rapar::ObservedVars(cfa_ptrs, shared.size());
+
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+  for (const Input& in : inputs) {
+    lint.role = in.role;
+    const std::vector<rapar::Diagnostic> diags =
+        rapar::LintProgram(in.program, lint);
+    for (const rapar::Diagnostic& d : diags) {
+      std::printf("%s\n",
+                  rapar::RenderDiagnostic(d, in.path, in.text).c_str());
+      (d.severity == rapar::Severity::kNote ? notes : warnings) += 1;
+    }
+  }
+  std::printf("%zu warning(s), %zu note(s)\n", warnings, notes);
+  return warnings > 0 ? 1 : 0;
 }
 
 rapar::Expected<rapar::ParamSystem> BuildSystem(const Options& opts) {
@@ -250,6 +341,7 @@ int main(int argc, char** argv) {
   Options opts;
   if (!ParseArgs(argc, argv, &opts)) return Usage();
   if (opts.command == "classify") return Classify(opts);
+  if (opts.command == "lint") return Lint(opts);
   if (opts.command == "verify") return RunVerify(opts, /*mg=*/false);
   if (opts.command == "mg") return RunVerify(opts, /*mg=*/true);
   if (opts.command == "dump-datalog") return DumpDatalog(opts);

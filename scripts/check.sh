@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full hygiene check: build the sanitizer preset and run the test suite
+# under ASan+UBSan, then (optionally, CHECK_WERROR=1) verify the tree is
+# warning-clean with -Werror.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$jobs"
+
+if [[ "${CHECK_WERROR:-0}" == "1" ]]; then
+  cmake --preset werror
+  cmake --build --preset werror -j "$jobs"
+fi
+
+echo "check.sh: all green"

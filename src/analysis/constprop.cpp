@@ -1,0 +1,119 @@
+#include "analysis/constprop.h"
+
+#include "analysis/dataflow.h"
+#include "lang/value.h"
+
+namespace rapar {
+
+namespace {
+
+// Node state: unreachable (bottom) or a vector of abstract registers.
+struct State {
+  bool reached = false;
+  std::vector<ConstVal> regs;
+};
+
+// If `guard` has the shape `r == c` (or `c == r`), returns (r, c).
+std::optional<std::pair<RegId, Value>> EqRefinement(const Expr& guard) {
+  if (guard.op() != ExprOp::kEq || guard.children().size() != 2) {
+    return std::nullopt;
+  }
+  const Expr& a = *guard.children()[0];
+  const Expr& b = *guard.children()[1];
+  if (a.op() == ExprOp::kReg && b.op() == ExprOp::kConst) {
+    return std::make_pair(a.reg(), b.constant());
+  }
+  if (a.op() == ExprOp::kConst && b.op() == ExprOp::kReg) {
+    return std::make_pair(b.reg(), a.constant());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Value> EvalConst(const Expr& e, const std::vector<ConstVal>& regs,
+                               Value dom) {
+  std::vector<RegId> read;
+  e.CollectRegs(read);
+  for (RegId r : read) {
+    if (!regs[r.index()].is_const()) return std::nullopt;
+  }
+  std::vector<Value> rv(regs.size(), 0);
+  for (RegId r : read) rv[r.index()] = regs[r.index()].value();
+  return e.Eval(rv, dom);
+}
+
+ConstPropResult RunConstProp(const Cfa& cfa) {
+  const Value dom = cfa.program().dom();
+  const std::size_t nregs = cfa.program().regs().size();
+
+  State entry;
+  entry.reached = true;
+  // Both semantics initialise every register to kInitValue.
+  entry.regs.assign(nregs, ConstVal::Of(kInitValue));
+  State bottom;  // reached=false
+
+  auto transfer = [&](const CfaEdge& edge, const State& in) -> State {
+    if (!in.reached) return in;
+    State out = in;
+    switch (edge.instr.kind) {
+      case Instr::Kind::kAssume: {
+        std::optional<Value> v = EvalConst(*edge.instr.expr, in.regs, dom);
+        if (v.has_value() && *v == 0) return State{};  // infeasible edge
+        // assume (r == c) pins r to c on the guarded branch.
+        if (auto eq = EqRefinement(*edge.instr.expr); eq.has_value()) {
+          out.regs[eq->first.index()] = ConstVal::Of(eq->second);
+        }
+        return out;
+      }
+      case Instr::Kind::kAssign: {
+        std::optional<Value> v = EvalConst(*edge.instr.expr, in.regs, dom);
+        out.regs[edge.instr.reg.index()] =
+            v.has_value() ? ConstVal::Of(*v) : ConstVal::Top();
+        return out;
+      }
+      case Instr::Kind::kLoad:
+        out.regs[edge.instr.reg.index()] = ConstVal::Top();
+        return out;
+      default:
+        return out;  // nop / store / cas / assert-fail touch no register
+    }
+  };
+  auto join = [](State& into, const State& from) -> bool {
+    if (!from.reached) return false;
+    if (!into.reached) {
+      into = from;
+      return true;
+    }
+    bool changed = false;
+    for (std::size_t r = 0; r < into.regs.size(); ++r) {
+      changed |= into.regs[r].JoinWith(from.regs[r]);
+    }
+    return changed;
+  };
+
+  std::vector<State> solved =
+      SolveForward(cfa, std::move(entry), bottom, transfer, join);
+
+  ConstPropResult result;
+  result.node_reachable.resize(cfa.num_nodes());
+  result.at_node.resize(cfa.num_nodes());
+  for (std::size_t n = 0; n < cfa.num_nodes(); ++n) {
+    result.node_reachable[n] = solved[n].reached;
+    result.at_node[n] = std::move(solved[n].regs);
+  }
+  result.guards.assign(cfa.edges().size(), GuardVerdict::kUnknown);
+  for (std::size_t i = 0; i < cfa.edges().size(); ++i) {
+    const CfaEdge& edge = cfa.edges()[i];
+    if (edge.instr.kind != Instr::Kind::kAssume) continue;
+    if (!result.node_reachable[edge.from.index()]) continue;
+    std::optional<Value> v =
+        EvalConst(*edge.instr.expr, result.at_node[edge.from.index()], dom);
+    if (!v.has_value()) continue;
+    result.guards[i] =
+        *v == 0 ? GuardVerdict::kAlwaysFalse : GuardVerdict::kAlwaysTrue;
+  }
+  return result;
+}
+
+}  // namespace rapar

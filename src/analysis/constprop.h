@@ -1,0 +1,78 @@
+// Register constant propagation over a CFA.
+//
+// Forward may-analysis on the flat lattice Bot < Const(v) < Top per
+// register. Registers start at kInitValue (both semantics initialise
+// registers to 0), loads go to Top (the loaded value is unconstrained),
+// and `assume (r == c)` refines r to c on the guarded edge. A node whose
+// state is Bot is unreachable — either structurally or because every path
+// to it crosses a constantly-false guard.
+#ifndef RAPAR_ANALYSIS_CONSTPROP_H_
+#define RAPAR_ANALYSIS_CONSTPROP_H_
+
+#include <optional>
+#include <vector>
+
+#include "lang/cfa.h"
+
+namespace rapar {
+
+// One abstract register value.
+class ConstVal {
+ public:
+  static ConstVal Top() { return ConstVal(kTop, 0); }
+  static ConstVal Of(Value v) { return ConstVal(kConst, v); }
+
+  bool is_top() const { return state_ == kTop; }
+  bool is_const() const { return state_ == kConst; }
+  Value value() const { return value_; }
+
+  // Lattice join; returns true if *this changed.
+  bool JoinWith(const ConstVal& o) {
+    if (is_top() || (is_const() && o.is_const() && value_ == o.value_)) {
+      return false;
+    }
+    if (o.is_top() || (is_const() && value_ != o.value_)) {
+      state_ = kTop;
+      return true;
+    }
+    return false;
+  }
+
+  bool operator==(const ConstVal& o) const {
+    return state_ == o.state_ && (state_ != kConst || value_ == o.value_);
+  }
+
+ private:
+  enum State : char { kConst, kTop };
+  ConstVal(State s, Value v) : state_(s), value_(v) {}
+  State state_;
+  Value value_;
+};
+
+// Verdict for each assume edge.
+enum class GuardVerdict {
+  kUnknown,      // guard reads a non-constant register (or not an assume)
+  kAlwaysTrue,   // guard evaluates to non-zero in every reaching state
+  kAlwaysFalse,  // guard evaluates to zero in every reaching state
+};
+
+struct ConstPropResult {
+  // Per node: whether it is reachable from the entry, and (if so) the
+  // abstract register values on entry to the node.
+  std::vector<bool> node_reachable;
+  std::vector<std::vector<ConstVal>> at_node;
+  // Per edge (indexed by EdgeId): guard verdict; kUnknown for non-assume
+  // edges and for edges leaving unreachable nodes.
+  std::vector<GuardVerdict> guards;
+};
+
+ConstPropResult RunConstProp(const Cfa& cfa);
+
+// Evaluates `e` under abstract register values; nullopt when any register
+// the expression reads is not a known constant.
+std::optional<Value> EvalConst(const Expr& e, const std::vector<ConstVal>& regs,
+                               Value dom);
+
+}  // namespace rapar
+
+#endif  // RAPAR_ANALYSIS_CONSTPROP_H_

@@ -1,0 +1,14 @@
+#include "analysis/dataflow.h"
+
+namespace rapar {
+
+std::vector<std::vector<EdgeId>> ComputeInEdges(const Cfa& cfa) {
+  std::vector<std::vector<EdgeId>> in_edges(cfa.num_nodes());
+  for (std::size_t i = 0; i < cfa.edges().size(); ++i) {
+    in_edges[cfa.edges()[i].to.index()].push_back(
+        EdgeId(static_cast<std::uint32_t>(i)));
+  }
+  return in_edges;
+}
+
+}  // namespace rapar

@@ -1,0 +1,92 @@
+// A small reusable dataflow framework over Cfa.
+//
+// All passes in this library (constprop, liveness, reachability) are
+// instances of the classic worklist iteration: per-node abstract states,
+// edge transfer functions, and a join that reports whether anything
+// changed. The framework is deliberately template-only — domains are
+// plain structs, transfer functions are lambdas — so new passes cost only
+// their lattice.
+#ifndef RAPAR_ANALYSIS_DATAFLOW_H_
+#define RAPAR_ANALYSIS_DATAFLOW_H_
+
+#include <vector>
+
+#include "lang/cfa.h"
+
+namespace rapar {
+
+// In-edge lists, the mirror of Cfa::OutEdges (the Cfa only stores forward
+// adjacency; backward passes need predecessors).
+std::vector<std::vector<EdgeId>> ComputeInEdges(const Cfa& cfa);
+
+// Forward fixpoint: states are attached to nodes, edges transfer.
+//
+//   transfer(edge, in_state)       -> State   (state after the edge)
+//   join(into_state, from_state)   -> bool    (true if into changed)
+//
+// `entry_state` seeds the entry node; every other node starts at `bottom`.
+// Runs to fixpoint (the caller's lattice must have finite height).
+template <typename State, typename Transfer, typename Join>
+std::vector<State> SolveForward(const Cfa& cfa, State entry_state,
+                                State bottom, Transfer&& transfer,
+                                Join&& join) {
+  std::vector<State> at_node(cfa.num_nodes(), bottom);
+  at_node[cfa.entry().index()] = std::move(entry_state);
+  std::vector<bool> queued(cfa.num_nodes(), false);
+  std::vector<NodeId> worklist{cfa.entry()};
+  queued[cfa.entry().index()] = true;
+  while (!worklist.empty()) {
+    NodeId node = worklist.back();
+    worklist.pop_back();
+    queued[node.index()] = false;
+    for (EdgeId e : cfa.OutEdges(node)) {
+      const CfaEdge& edge = cfa.Edge(e);
+      State out = transfer(edge, at_node[node.index()]);
+      if (join(at_node[edge.to.index()], out) && !queued[edge.to.index()]) {
+        queued[edge.to.index()] = true;
+        worklist.push_back(edge.to);
+      }
+    }
+  }
+  return at_node;
+}
+
+// Backward fixpoint: states are attached to nodes, edges transfer from
+// their target's state to a contribution at their source.
+//
+//   transfer(edge, state_at_target) -> State
+//   join(into_state, from_state)    -> bool
+//
+// Every node starts at `bottom` (which is also the state of terminal
+// nodes unless transfer says otherwise).
+template <typename State, typename Transfer, typename Join>
+std::vector<State> SolveBackward(const Cfa& cfa, State bottom,
+                                 Transfer&& transfer, Join&& join) {
+  const std::vector<std::vector<EdgeId>> in_edges = ComputeInEdges(cfa);
+  std::vector<State> at_node(cfa.num_nodes(), bottom);
+  std::vector<bool> queued(cfa.num_nodes(), true);
+  std::vector<NodeId> worklist;
+  worklist.reserve(cfa.num_nodes());
+  for (std::size_t n = cfa.num_nodes(); n-- > 0;) {
+    worklist.push_back(NodeId(static_cast<std::uint32_t>(n)));
+  }
+  while (!worklist.empty()) {
+    NodeId node = worklist.back();
+    worklist.pop_back();
+    queued[node.index()] = false;
+    for (EdgeId e : in_edges[node.index()]) {
+      const CfaEdge& edge = cfa.Edge(e);
+      State out = transfer(edge, at_node[node.index()]);
+      if (join(at_node[edge.from.index()], out) &&
+          !queued[edge.from.index()]) {
+        queued[edge.from.index()] = true;
+        worklist.push_back(edge.from);
+      }
+    }
+  }
+  return at_node;
+}
+
+}  // namespace rapar
+
+#endif  // RAPAR_ANALYSIS_DATAFLOW_H_

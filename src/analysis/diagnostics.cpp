@@ -1,0 +1,166 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "analysis/footprint.h"
+#include "analysis/liveness.h"
+#include "analysis/reachability.h"
+#include "common/strings.h"
+#include "lang/cfa.h"
+
+namespace rapar {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void SortDiagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.valid() != b.loc.valid()) return a.loc.valid();
+                     if (a.loc.valid() && !(a.loc == b.loc)) {
+                       return a.loc < b.loc;
+                     }
+                     return a.code < b.code;
+                   });
+}
+
+std::string RenderDiagnostic(const Diagnostic& d, const std::string& file,
+                             const std::string& source_text) {
+  std::string out;
+  if (d.loc.valid()) {
+    out = StrCat(file, ":", d.loc.line, ":", d.loc.col, ": ");
+  } else if (!file.empty()) {
+    out = StrCat(file, ": ");
+  }
+  out += StrCat(SeverityName(d.severity), ": ", d.code, ": ", d.message);
+  if (d.loc.valid() && !source_text.empty()) {
+    const std::string caret = SourceCaret(source_text, d.loc.line, d.loc.col);
+    if (!caret.empty()) out += StrCat("\n", caret);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> LintProgram(const Program& program,
+                                    const LintOptions& options) {
+  const Cfa cfa = Cfa::Build(program);
+  const Classification cls = Classify(program);
+  const ReachabilityResult reach = AnalyzeReachability(cfa);
+  const LivenessResult live = AnalyzeLiveness(cfa);
+
+  std::vector<Diagnostic> diags;
+  auto emit = [&](Severity sev, const char* code, std::string message,
+                  SrcLoc loc) {
+    diags.push_back(Diagnostic{sev, code, std::move(message), loc});
+  };
+
+  // --- decidability landscape (Table 1) --------------------------------
+  if (options.role == ThreadRole::kEnv && !cls.cas_free) {
+    emit(Severity::kWarning, "RA001",
+         StrCat("env thread uses cas (", cls.cas_detail,
+                ") — the system is env(cas), where parameterized safety "
+                "verification is undecidable (Theorem 1.1)"),
+         cls.cas_loc);
+  }
+  if (options.role == ThreadRole::kDis && !cls.loop_free) {
+    emit(Severity::kWarning, "RA010",
+         StrCat("dis thread has a loop (", cls.loop_detail,
+                ") — outside the dis(acyc) regime of Theorems 1.2/5.1; "
+                "unroll it to a bounded depth to decide safety"),
+         cls.loop_loc);
+  }
+  if (!cls.pure_ra) {
+    emit(Severity::kNote, "RA002",
+         StrCat("not PureRA (§5): ", cls.pure_ra_detail), SrcLoc{});
+  }
+
+  // --- reachability ------------------------------------------------------
+  // One diagnostic per distinct source position; a single statement can
+  // compile to several edges (e.g. a loop head's two nops).
+  std::set<std::pair<int, int>> seen;
+  auto emit_once = [&](Severity sev, const char* code, std::string message,
+                       SrcLoc loc) {
+    if (loc.valid() && !seen.insert({loc.line, loc.col}).second) return;
+    if (!loc.valid() && !seen.insert({-1, -1}).second) return;
+    emit(sev, code, std::move(message), loc);
+  };
+  for (std::size_t i = 0; i < cfa.edges().size(); ++i) {
+    const CfaEdge& edge = cfa.edges()[i];
+    if (!reach.node_reachable[edge.from.index()]) {
+      if (edge.instr.kind == Instr::Kind::kAssertFail) {
+        emit_once(Severity::kNote, "RA009",
+                  "assert false is unreachable — the assertion can never "
+                  "fail",
+                  edge.instr.loc);
+      } else {
+        emit_once(Severity::kWarning, "RA006", "unreachable code",
+                  edge.instr.loc);
+      }
+      continue;
+    }
+    if (reach.guards[i] == GuardVerdict::kAlwaysFalse) {
+      emit(Severity::kWarning, "RA007",
+           StrCat("assume is constantly false (",
+                  edge.instr.expr->ToString(program.regs()),
+                  ") — the guarded branch is unreachable"),
+           edge.instr.loc);
+    } else if (reach.guards[i] == GuardVerdict::kAlwaysTrue) {
+      emit(Severity::kNote, "RA008",
+           StrCat("assume is constantly true (",
+                  edge.instr.expr->ToString(program.regs()),
+                  ") — the guard can be folded away"),
+           edge.instr.loc);
+    }
+  }
+
+  // --- liveness ----------------------------------------------------------
+  for (std::size_t i = 0; i < cfa.edges().size(); ++i) {
+    const CfaEdge& edge = cfa.edges()[i];
+    if (reach.edge_dead[i]) continue;  // already covered above
+    if (live.assign_dead[i]) {
+      emit(Severity::kWarning, "RA004",
+           StrCat("dead store to register: '",
+                  edge.instr.ToString(program.vars(), program.regs()),
+                  "' is never read"),
+           edge.instr.loc);
+    } else if (live.load_dead[i]) {
+      emit(Severity::kNote, "RA005",
+           StrCat("loaded value is never used: '",
+                  edge.instr.ToString(program.vars(), program.regs()),
+                  "' (the load is kept — it still merges views under RA)"),
+           edge.instr.loc);
+    }
+  }
+
+  // --- footprint / store slicing ----------------------------------------
+  const std::vector<bool>& observed =
+      options.observed_vars.empty()
+          ? ObservedVars({&cfa}, program.vars().size())
+          : options.observed_vars;
+  for (std::size_t i = 0; i < cfa.edges().size(); ++i) {
+    const CfaEdge& edge = cfa.edges()[i];
+    if (reach.edge_dead[i]) continue;
+    if (edge.instr.kind != Instr::Kind::kStore) continue;
+    if (observed[edge.instr.var.index()]) continue;
+    emit(Severity::kWarning, "RA003",
+         StrCat("dead store: no thread ever loads or CASes '",
+                program.vars().Name(edge.instr.var),
+                "' — the message can never be observed"),
+         edge.instr.loc);
+  }
+
+  SortDiagnostics(diags);
+  return diags;
+}
+
+}  // namespace rapar

@@ -1,0 +1,72 @@
+// Diagnostics engine: lint a Com program against the paper's decidability
+// landscape and the dataflow passes of this library.
+//
+// Codes (stable, referenced by DESIGN.md and tests):
+//   RA001  warning  env thread uses cas — system is env(cas), safety
+//                   verification undecidable (Theorem 1.1)
+//   RA002  note     program is not PureRA (§5) — names the first violating
+//                   instruction
+//   RA003  warning  dead store: the variable is never loaded or CAS'd by
+//                   any thread, the message can never be observed
+//   RA004  warning  dead register assignment: the assigned value is never
+//                   read
+//   RA005  note     loaded value is never used (the load is kept — it
+//                   still merges views under RA)
+//   RA006  warning  unreachable code
+//   RA007  warning  assume is constantly false — guarded branch
+//                   unreachable
+//   RA008  note     assume is constantly true — guard foldable
+//   RA009  note     assert false is unreachable, the assertion can never
+//                   fail
+//   RA010  warning  dis thread has a loop — outside the dis(acyc) regime
+//                   of Theorems 1.2/5.1
+#ifndef RAPAR_ANALYSIS_DIAGNOSTICS_H_
+#define RAPAR_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/classify.h"
+#include "lang/program.h"
+#include "lang/source_loc.h"
+
+namespace rapar {
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* SeverityName(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  std::string code;     // "RA001" ...
+  std::string message;  // one line, no trailing period
+  SrcLoc loc;           // invalid for synthetic (builder-made) programs
+};
+
+// Stable presentation order: source position (unknown last), then code.
+void SortDiagnostics(std::vector<Diagnostic>& diags);
+
+// Renders one diagnostic in the conventional compiler format
+//   file:line:col: severity: CODE: message
+// followed by a source caret (see common/strings.h) when `source_text` is
+// non-empty and the location is known.
+std::string RenderDiagnostic(const Diagnostic& d, const std::string& file,
+                             const std::string& source_text);
+
+struct LintOptions {
+  // The role the program plays in its system; RA001 applies only to env
+  // (Theorem 1.1), RA010 only to dis.
+  ThreadRole role = ThreadRole::kEnv;
+  // Variables loaded or CAS'd anywhere in the enclosing system (indexed by
+  // VarId over the shared table). When empty, the program's own footprint
+  // is used — the single-template view, where the program is also its own
+  // (unboundedly replicated) audience.
+  std::vector<bool> observed_vars;
+};
+
+std::vector<Diagnostic> LintProgram(const Program& program,
+                                    const LintOptions& options = {});
+
+}  // namespace rapar
+
+#endif  // RAPAR_ANALYSIS_DIAGNOSTICS_H_

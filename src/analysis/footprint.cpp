@@ -1,0 +1,43 @@
+#include "analysis/footprint.h"
+
+namespace rapar {
+
+VarFootprint ComputeFootprint(const Cfa& cfa) {
+  const std::size_t num_vars = cfa.program().vars().size();
+  VarFootprint fp;
+  fp.loaded.assign(num_vars, false);
+  fp.stored.assign(num_vars, false);
+  fp.cased.assign(num_vars, false);
+  for (const CfaEdge& edge : cfa.edges()) {
+    switch (edge.instr.kind) {
+      case Instr::Kind::kLoad:
+        fp.loaded[edge.instr.var.index()] = true;
+        break;
+      case Instr::Kind::kStore:
+        fp.stored[edge.instr.var.index()] = true;
+        break;
+      case Instr::Kind::kCas:
+        fp.cased[edge.instr.var.index()] = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return fp;
+}
+
+std::vector<bool> ObservedVars(const std::vector<const Cfa*>& cfas,
+                               std::size_t num_vars) {
+  std::vector<bool> observed(num_vars, false);
+  for (const Cfa* cfa : cfas) {
+    for (const CfaEdge& edge : cfa->edges()) {
+      if (edge.instr.kind == Instr::Kind::kLoad ||
+          edge.instr.kind == Instr::Kind::kCas) {
+        observed[edge.instr.var.index()] = true;
+      }
+    }
+  }
+  return observed;
+}
+
+}  // namespace rapar

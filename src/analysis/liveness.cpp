@@ -1,0 +1,77 @@
+#include "analysis/liveness.h"
+
+#include "analysis/dataflow.h"
+
+namespace rapar {
+
+namespace {
+
+void GenExpr(const Expr& e, std::vector<bool>& live) {
+  std::vector<RegId> read;
+  e.CollectRegs(read);
+  for (RegId r : read) live[r.index()] = true;
+}
+
+}  // namespace
+
+LivenessResult AnalyzeLiveness(const Cfa& cfa) {
+  const std::size_t nregs = cfa.program().regs().size();
+  const std::vector<bool> bottom(nregs, false);
+
+  auto transfer = [&](const CfaEdge& edge,
+                      const std::vector<bool>& at_target) -> std::vector<bool> {
+    std::vector<bool> out = at_target;
+    switch (edge.instr.kind) {
+      case Instr::Kind::kAssign:
+        out[edge.instr.reg.index()] = false;  // kill before gen: r := e may
+        GenExpr(*edge.instr.expr, out);       // read r itself
+        break;
+      case Instr::Kind::kLoad:
+        out[edge.instr.reg.index()] = false;
+        break;
+      case Instr::Kind::kAssume:
+        GenExpr(*edge.instr.expr, out);
+        break;
+      case Instr::Kind::kStore:
+        out[edge.instr.reg.index()] = true;
+        break;
+      case Instr::Kind::kCas:
+        out[edge.instr.reg.index()] = true;
+        out[edge.instr.reg2.index()] = true;
+        break;
+      default:
+        break;  // nop / assert-fail
+    }
+    return out;
+  };
+  auto join = [](std::vector<bool>& into, const std::vector<bool>& from) {
+    bool changed = false;
+    for (std::size_t r = 0; r < into.size(); ++r) {
+      if (from[r] && !into[r]) {
+        into[r] = true;
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  LivenessResult result;
+  result.live_at_node = SolveBackward(cfa, bottom, transfer, join);
+  result.assign_dead.assign(cfa.edges().size(), false);
+  result.load_dead.assign(cfa.edges().size(), false);
+  for (std::size_t i = 0; i < cfa.edges().size(); ++i) {
+    const CfaEdge& edge = cfa.edges()[i];
+    if (edge.instr.kind != Instr::Kind::kAssign &&
+        edge.instr.kind != Instr::Kind::kLoad) {
+      continue;
+    }
+    const bool dead =
+        !result.live_at_node[edge.to.index()][edge.instr.reg.index()];
+    if (!dead) continue;
+    (edge.instr.kind == Instr::Kind::kAssign ? result.assign_dead
+                                             : result.load_dead)[i] = true;
+  }
+  return result;
+}
+
+}  // namespace rapar

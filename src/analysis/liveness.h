@@ -1,0 +1,33 @@
+// Backward register liveness and dead-store detection.
+//
+// A register is live at a node if some path from the node reads it before
+// (or without) overwriting it. An assignment or load whose target is not
+// live at the edge's target node is dead: its value is never read.
+// Dead *assignments* can be dropped outright. Dead *loads* must be kept —
+// under RA a load still merges the message's view into the thread's view
+// and advances the per-variable timestamp, so removing one can change
+// reachable configurations; they are diagnostics-only.
+#ifndef RAPAR_ANALYSIS_LIVENESS_H_
+#define RAPAR_ANALYSIS_LIVENESS_H_
+
+#include <vector>
+
+#include "lang/cfa.h"
+
+namespace rapar {
+
+struct LivenessResult {
+  // Per node: which registers are live on entry to the node.
+  std::vector<std::vector<bool>> live_at_node;
+  // Per edge (indexed by EdgeId): a kAssign whose target register is not
+  // live after the edge.
+  std::vector<bool> assign_dead;
+  // Per edge: a kLoad whose target register is not live after the edge.
+  std::vector<bool> load_dead;
+};
+
+LivenessResult AnalyzeLiveness(const Cfa& cfa);
+
+}  // namespace rapar
+
+#endif  // RAPAR_ANALYSIS_LIVENESS_H_

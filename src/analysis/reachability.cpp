@@ -1,0 +1,29 @@
+#include "analysis/reachability.h"
+
+namespace rapar {
+
+ReachabilityResult AnalyzeReachability(const Cfa& cfa) {
+  // Constant propagation already computes feasibility-aware reachability:
+  // a constantly-false assume transfers to bottom, so nodes behind it stay
+  // unreachable unless another path reaches them.
+  ConstPropResult cp = RunConstProp(cfa);
+
+  ReachabilityResult result;
+  result.node_reachable = std::move(cp.node_reachable);
+  result.guards = std::move(cp.guards);
+  result.edge_dead.assign(cfa.edges().size(), false);
+  for (std::size_t i = 0; i < cfa.edges().size(); ++i) {
+    const CfaEdge& edge = cfa.edges()[i];
+    const bool dead = !result.node_reachable[edge.from.index()] ||
+                      result.guards[i] == GuardVerdict::kAlwaysFalse;
+    if (!dead) continue;
+    result.edge_dead[i] = true;
+    ++result.num_dead_edges;
+    if (edge.instr.kind == Instr::Kind::kAssertFail) {
+      result.dead_assert_edges.push_back(EdgeId(static_cast<std::uint32_t>(i)));
+    }
+  }
+  return result;
+}
+
+}  // namespace rapar

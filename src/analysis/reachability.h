@@ -1,0 +1,38 @@
+// Reachability & dead-edge analysis.
+//
+// An edge is *dead* when no execution can ever traverse it: its source
+// node is unreachable from the entry, or it is an assume whose guard is
+// constantly false (register constant propagation proves it). Removing
+// dead edges preserves every verdict of every backend — they contribute
+// no steps, no messages and no assertion violations (Theorem 3.4
+// soundness is untouched because the simplified semantics only ever
+// traverses CFA edges).
+#ifndef RAPAR_ANALYSIS_REACHABILITY_H_
+#define RAPAR_ANALYSIS_REACHABILITY_H_
+
+#include <vector>
+
+#include "analysis/constprop.h"
+#include "lang/cfa.h"
+
+namespace rapar {
+
+struct ReachabilityResult {
+  // Per node: reachable from entry through feasible edges.
+  std::vector<bool> node_reachable;
+  // Per edge (indexed by EdgeId): can never be traversed.
+  std::vector<bool> edge_dead;
+  // The guard verdicts that justified the dead assume edges (shared with
+  // diagnostics so constantly-true guards can be reported/folded too).
+  std::vector<GuardVerdict> guards;
+  // kAssertFail edges among the dead ones — assertions that can
+  // structurally never fire.
+  std::vector<EdgeId> dead_assert_edges;
+  std::size_t num_dead_edges = 0;
+};
+
+ReachabilityResult AnalyzeReachability(const Cfa& cfa);
+
+}  // namespace rapar
+
+#endif  // RAPAR_ANALYSIS_REACHABILITY_H_

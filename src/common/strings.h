@@ -23,6 +23,16 @@ std::string Join(const std::vector<std::string>& parts,
 // Splits `s` on whitespace into tokens.
 std::vector<std::string> SplitWhitespace(const std::string& s);
 
+// Renders the 1-based `line` of `text` with a caret under 1-based `col`:
+//
+//    7 |       r := undeclared_name
+//      |            ^
+//
+// Returns "" when `line` is out of range (e.g. positions from synthetic
+// programs). Shared by parser errors and analysis diagnostics so both
+// render source context identically.
+std::string SourceCaret(const std::string& text, int line, int col);
+
 }  // namespace rapar
 
 #endif  // RAPAR_COMMON_STRINGS_H_

@@ -66,12 +66,15 @@ Expected<ParamSystem> ParamSystem::Builder::Build() const {
     sys.dis_programs_.push_back(std::move(unified));
   }
 
-  // Class validation.
+  // Class validation: Table 1 requires CAS-freedom of the env threads
+  // specifically (dis threads may CAS).
   Classification env_class = Classify(sys.env_program_);
   if (!env_class.cas_free) {
     return Expected<ParamSystem>::Error(
-        "env program uses CAS: the class env(cas) is undecidable "
-        "(Theorem 1.1); rejected");
+        StrCat("env program '", sys.env_program_.name(),
+               "' must be CAS-free: ", env_class.cas_detail,
+               " puts the system in env(cas), undecidable (Theorem 1.1); "
+               "rejected"));
   }
 
   sys.env_cfa_ = std::make_unique<Cfa>(Cfa::Build(sys.env_program_));
@@ -101,10 +104,13 @@ int ParamSystem::Q0() const {
 std::string ParamSystem::Signature() const {
   Classification env_class = Classify(env_program_);
   std::string out = StrCat("env(", env_class.ToString(), ")");
+  std::vector<Classification> dis_classes;
   for (std::size_t i = 0; i < dis_programs_.size(); ++i) {
-    Classification c = Classify(dis_programs_[i]);
-    out += StrCat(" || dis", i + 1, "(", c.ToString(), ")");
+    dis_classes.push_back(Classify(dis_programs_[i]));
+    out += StrCat(" || dis", i + 1, "(", dis_classes.back().ToString(), ")");
   }
+  // Append the paper's Table 1 class of the whole system.
+  out += StrCat("  [", ClassifySystem(env_class, dis_classes).ToString(), "]");
   return out;
 }
 

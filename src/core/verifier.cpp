@@ -1,7 +1,9 @@
 #include "core/verifier.h"
 
 #include <map>
+#include <memory>
 
+#include "analysis/prepass.h"
 #include "common/strings.h"
 #include "core/trace_render.h"
 #include "depgraph/dep_graph.h"
@@ -11,6 +13,41 @@
 #include "simplified/witness_min.h"
 
 namespace rapar {
+
+namespace {
+
+// The system view a backend runs against: either the ParamSystem's own
+// SimplSystem, or one rebuilt over pruned CFA copies owned here. unique_ptr
+// storage keeps the Cfa addresses stable if the struct moves.
+struct PreparedSystem {
+  SimplSystem simpl;
+  PrepassStats stats;
+  std::unique_ptr<Cfa> env;
+  std::vector<std::unique_ptr<Cfa>> dis;
+};
+
+PreparedSystem Prepare(const ParamSystem& system,
+                       std::optional<std::pair<VarId, Value>> goal,
+                       bool enable_prepass) {
+  PreparedSystem p;
+  p.simpl = system.simpl();
+  if (!enable_prepass) return p;
+  PrepassResult r = RunPrepass(*p.simpl.env, p.simpl.dis,
+                               goal.has_value() ? goal->first
+                                                : VarId::Invalid());
+  p.stats = r.stats;
+  if (!r.stats.Any()) return p;  // nothing pruned: keep original CFAs
+  p.env = std::make_unique<Cfa>(std::move(r.env));
+  p.simpl.env = p.env.get();
+  p.simpl.dis.clear();
+  for (Cfa& d : r.dis) {
+    p.dis.push_back(std::make_unique<Cfa>(std::move(d)));
+    p.simpl.dis.push_back(p.dis.back().get());
+  }
+  return p;
+}
+
+}  // namespace
 
 std::string Verdict::ToString() const {
   std::string out;
@@ -32,6 +69,7 @@ std::string Verdict::ToString() const {
     out += StrCat(", env-thread bound=", *env_thread_bound);
   }
   out += ")";
+  if (prepass.Any()) out += StrCat(" [prepass: ", prepass.ToString(), "]");
   return out;
 }
 
@@ -64,7 +102,9 @@ Verdict SafetyVerifier::VerifyMessageGeneration(
 Verdict SafetyVerifier::RunSimplified(
     std::optional<std::pair<VarId, Value>> goal,
     const VerifierOptions& options) const {
-  SimplExplorer explorer(system_.simpl());
+  const PreparedSystem prep =
+      Prepare(system_, goal, options.enable_prepass);
+  SimplExplorer explorer(prep.simpl);
   SimplExplorerOptions opts;
   opts.goal = goal;
   opts.max_states = options.max_states;
@@ -74,6 +114,7 @@ Verdict SafetyVerifier::RunSimplified(
 
   Verdict v;
   v.states = r.states;
+  v.prepass = prep.stats;
   const bool hit = goal.has_value() ? r.goal_reached : r.violation;
   if (hit) {
     v.result = Verdict::Result::kUnsafe;
@@ -82,16 +123,16 @@ Verdict SafetyVerifier::RunSimplified(
       const WitnessProperty property =
           goal.has_value() ? GoalProperty(goal->first, goal->second)
                            : ViolationProperty();
-      r.witness = MinimizeWitness(system_.simpl(), std::move(r.witness),
-                                  property);
+      r.witness =
+          MinimizeWitness(prep.simpl, std::move(r.witness), property);
     }
     TraceRenderOptions render;
     render.elide_silent = true;
-    v.witness = RenderTrace(system_.simpl(), r.witness, render);
+    v.witness = RenderTrace(prep.simpl, r.witness, render);
     // §4.3 env-thread bound from the witness dependency graph.
     if (!r.witness.empty()) {
       std::map<std::uint32_t, int> final_reads;
-      DepGraph g = DepGraph::Build(system_.simpl(), r.witness, &final_reads);
+      DepGraph g = DepGraph::Build(prep.simpl, r.witness, &final_reads);
       long long total = 0;
       if (goal.has_value()) {
         const long long c = g.CostOfMessage(goal->first, goal->second);
@@ -115,11 +156,14 @@ Verdict SafetyVerifier::RunSimplified(
 Verdict SafetyVerifier::RunDatalog(
     std::optional<std::pair<VarId, Value>> goal,
     const VerifierOptions& options) const {
+  const PreparedSystem prep =
+      Prepare(system_, goal, options.enable_prepass);
   DatalogVerifierOptions opts;
   opts.goal_message = goal;
   opts.guess.max_guesses = options.max_guesses;
-  DatalogVerdict dv = DatalogVerify(system_.simpl(), opts);
+  DatalogVerdict dv = DatalogVerify(prep.simpl, opts);
   Verdict v;
+  v.prepass = prep.stats;
   v.guesses = dv.guesses;
   v.tuples = dv.total_tuples;
   if (dv.unsafe) {
@@ -136,13 +180,14 @@ Verdict SafetyVerifier::RunDatalog(
 Verdict SafetyVerifier::RunConcrete(
     std::optional<std::pair<VarId, Value>> goal,
     const VerifierOptions& options) const {
+  const PreparedSystem prep =
+      Prepare(system_, goal, options.enable_prepass);
   std::vector<const Cfa*> threads;
   for (int i = 0; i < options.concrete_env_threads; ++i) {
-    threads.push_back(&system_.env_cfa());
+    threads.push_back(prep.simpl.env);
   }
-  for (std::size_t i = 0; i < system_.num_dis(); ++i) {
-    threads.push_back(&system_.dis_cfa(i));
-  }
+  threads.insert(threads.end(), prep.simpl.dis.begin(),
+                 prep.simpl.dis.end());
   RaExplorer explorer(
       threads, system_.dom(), system_.vars().size(),
       {0, static_cast<std::size_t>(options.concrete_env_threads)});
@@ -155,6 +200,7 @@ Verdict SafetyVerifier::RunConcrete(
 
   Verdict v;
   v.states = r.states;
+  v.prepass = prep.stats;
   bool hit;
   if (goal.has_value()) {
     hit = explorer.generated_messages().count(

@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/prepass.h"
 #include "core/param_system.h"
 
 namespace rapar {
@@ -31,6 +32,11 @@ enum class Backend {
 
 struct VerifierOptions {
   Backend backend = Backend::kSimplifiedExplorer;
+  // Run the analysis pre-pass (dead-edge elimination, guard folding,
+  // store slicing, dead-assignment dropping — see analysis/prepass.h)
+  // before handing the CFAs to the backend. Verdict-preserving; the
+  // pruned counts are reported in Verdict::prepass.
+  bool enable_prepass = true;
   // kConcrete: number of env threads in the instance.
   int concrete_env_threads = 2;
   // Resource bounds (apply per backend as applicable).
@@ -57,6 +63,9 @@ struct Verdict {
   // the bug (from the witness dependency graph); unset when safe or not
   // computed.
   std::optional<long long> env_thread_bound;
+  // What the analysis pre-pass pruned (all zero when disabled or nothing
+  // was prunable).
+  PrepassStats prepass;
 
   std::string ToString() const;
 };

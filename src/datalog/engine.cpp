@@ -123,10 +123,14 @@ class Evaluator {
     if (at == r.body.size()) return EvalNativesAndEmit(r, env, 0);
     if (at == skip) return JoinRest(r, env, at + 1, skip);
     const Atom& atom = r.body[at];
-    for (const auto& tuple : db_.Tuples(atom.pred)) {
+    // Index-based scan over a size snapshot: the recursion below can Emit
+    // into atom.pred, reallocating its tuple storage. Tuples inserted
+    // mid-scan are joined later via their own worklist delta.
+    const std::size_t n = db_.Tuples(atom.pred).size();
+    for (std::size_t ti = 0; ti < n; ++ti) {
       if (stats_ != nullptr) ++stats_->join_attempts;
       const std::size_t mark = env.Mark();
-      if (Match(atom.args, tuple, env)) {
+      if (Match(atom.args, db_.Tuples(atom.pred)[ti], env)) {
         if (JoinRest(r, env, at + 1, skip)) return true;
       }
       env.Undo(mark);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "analysis/reachability.h"
 #include "common/strings.h"
 
 namespace rapar {
@@ -196,7 +197,13 @@ class Builder {
 
   void AddEnvRules() {
     const Cfa& cfa = *sys_.env;
-    for (const CfaEdge& edge : cfa.edges()) {
+    // Dead env edges (unreachable source or constantly-false guard) would
+    // generate rules that can never fire; skip them so the emitted program
+    // stays small even when the caller did not run the verifier pre-pass.
+    const ReachabilityResult reach = AnalyzeReachability(cfa);
+    for (std::size_t ei = 0; ei < cfa.edges().size(); ++ei) {
+      if (reach.edge_dead[ei]) continue;
+      const CfaEdge& edge = cfa.edges()[ei];
       const Instr& instr = edge.instr;
       switch (instr.kind) {
         case Instr::Kind::kNop: {

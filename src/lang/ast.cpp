@@ -131,6 +131,13 @@ StmtPtr SWhile(ExprPtr e, StmtPtr body) {
   return SSeq(SStar(SSeq(SAssume(e), std::move(body))), SAssume(ENot(e)));
 }
 
+StmtPtr WithLoc(const StmtPtr& s, SrcLoc loc) {
+  assert(s != nullptr);
+  if (s->loc() == loc) return s;
+  return std::make_shared<Stmt>(s->kind(), s->expr(), s->var(), s->reg(),
+                                s->reg2(), s->children(), loc);
+}
+
 void VisitStmts(const StmtPtr& root,
                 const std::function<void(const Stmt&)>& fn) {
   if (root == nullptr) return;

@@ -14,6 +14,7 @@
 
 #include "common/ids.h"
 #include "lang/expr.h"
+#include "lang/source_loc.h"
 #include "lang/symbols.h"
 
 namespace rapar {
@@ -38,13 +39,14 @@ using StmtPtr = std::shared_ptr<const Stmt>;
 class Stmt {
  public:
   Stmt(StmtKind kind, ExprPtr expr, VarId var, RegId reg, RegId reg2,
-       std::vector<StmtPtr> children)
+       std::vector<StmtPtr> children, SrcLoc loc = {})
       : kind_(kind),
         expr_(std::move(expr)),
         var_(var),
         reg_(reg),
         reg2_(reg2),
-        children_(std::move(children)) {}
+        children_(std::move(children)),
+        loc_(loc) {}
 
   StmtKind kind() const { return kind_; }
   // kAssume/kAssign: the expression.
@@ -58,6 +60,9 @@ class Stmt {
   RegId reg2() const { return reg2_; }
   // kSeq/kChoice: two children; kStar: one child.
   const std::vector<StmtPtr>& children() const { return children_; }
+  // Source position of the statement's first token; invalid for programs
+  // assembled via the S* factories.
+  SrcLoc loc() const { return loc_; }
 
   // Renders the statement as parseable program text (see parser.h for the
   // grammar). `indent` is the current indentation depth.
@@ -71,6 +76,7 @@ class Stmt {
   RegId reg_;
   RegId reg2_;
   std::vector<StmtPtr> children_;
+  SrcLoc loc_;
 };
 
 // --- Factories -------------------------------------------------------------
@@ -95,6 +101,9 @@ StmtPtr SCas(VarId x, RegId expected, RegId desired);
 StmtPtr SIfElse(ExprPtr e, StmtPtr then_branch, StmtPtr else_branch);
 // while (e) { body }  ==  (assume e; body)* ; assume !e
 StmtPtr SWhile(ExprPtr e, StmtPtr body);
+
+// Returns a copy of `s` with the source location set (children unchanged).
+StmtPtr WithLoc(const StmtPtr& s, SrcLoc loc);
 
 // --- Traversal helpers -------------------------------------------------------
 

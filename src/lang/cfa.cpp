@@ -35,6 +35,20 @@ Cfa Cfa::Build(const Program& program) {
   return cfa;
 }
 
+Cfa Cfa::FromParts(Program program, std::size_t num_nodes,
+                   std::vector<CfaEdge> edges) {
+  Cfa cfa(std::move(program));
+  cfa.num_nodes_ = num_nodes;
+  cfa.out_edges_.resize(num_nodes);
+  for (CfaEdge& e : edges) {
+    assert(e.from.index() < num_nodes && e.to.index() < num_nodes);
+    EdgeId id(static_cast<std::uint32_t>(cfa.edges_.size()));
+    cfa.out_edges_[e.from.index()].push_back(id);
+    cfa.edges_.push_back(std::move(e));
+  }
+  return cfa;
+}
+
 NodeId Cfa::NewNode() {
   NodeId id(static_cast<std::uint32_t>(num_nodes_++));
   out_edges_.emplace_back();
@@ -49,21 +63,27 @@ void Cfa::AddEdge(NodeId from, NodeId to, Instr instr) {
 
 void Cfa::Compile(const StmtPtr& stmt, NodeId from, NodeId to) {
   assert(stmt != nullptr);
+  const SrcLoc loc = stmt->loc();
+  auto instr_at = [loc](Instr::Kind kind) {
+    Instr instr(kind);
+    instr.loc = loc;
+    return instr;
+  };
   switch (stmt->kind()) {
     case StmtKind::kSkip:
-      AddEdge(from, to, Instr(Instr::Kind::kNop));
+      AddEdge(from, to, instr_at(Instr::Kind::kNop));
       return;
     case StmtKind::kAssume: {
-      Instr instr{Instr::Kind::kAssume};
+      Instr instr = instr_at(Instr::Kind::kAssume);
       instr.expr = stmt->expr();
       AddEdge(from, to, std::move(instr));
       return;
     }
     case StmtKind::kAssertFail:
-      AddEdge(from, to, Instr(Instr::Kind::kAssertFail));
+      AddEdge(from, to, instr_at(Instr::Kind::kAssertFail));
       return;
     case StmtKind::kAssign: {
-      Instr instr{Instr::Kind::kAssign};
+      Instr instr = instr_at(Instr::Kind::kAssign);
       instr.expr = stmt->expr();
       instr.reg = stmt->reg();
       AddEdge(from, to, std::move(instr));
@@ -83,27 +103,27 @@ void Cfa::Compile(const StmtPtr& stmt, NodeId from, NodeId to) {
       // Fresh head node so the loop does not capture unrelated edges at
       // `from`.
       NodeId head = NewNode();
-      AddEdge(from, head, Instr(Instr::Kind::kNop));
+      AddEdge(from, head, instr_at(Instr::Kind::kNop));
       Compile(stmt->children()[0], head, head);
-      AddEdge(head, to, Instr(Instr::Kind::kNop));
+      AddEdge(head, to, instr_at(Instr::Kind::kNop));
       return;
     }
     case StmtKind::kLoad: {
-      Instr instr{Instr::Kind::kLoad};
+      Instr instr = instr_at(Instr::Kind::kLoad);
       instr.var = stmt->var();
       instr.reg = stmt->reg();
       AddEdge(from, to, std::move(instr));
       return;
     }
     case StmtKind::kStore: {
-      Instr instr{Instr::Kind::kStore};
+      Instr instr = instr_at(Instr::Kind::kStore);
       instr.var = stmt->var();
       instr.reg = stmt->reg();
       AddEdge(from, to, std::move(instr));
       return;
     }
     case StmtKind::kCas: {
-      Instr instr{Instr::Kind::kCas};
+      Instr instr = instr_at(Instr::Kind::kCas);
       instr.var = stmt->var();
       instr.reg = stmt->reg();
       instr.reg2 = stmt->reg2();

@@ -36,6 +36,7 @@ struct Instr {
   RegId reg = RegId::Invalid();  // kAssign/kLoad target; kStore source;
                                  // kCas expected-value register
   RegId reg2 = RegId::Invalid();  // kCas desired-value register
+  SrcLoc loc;                     // source position of the originating Stmt
 
   // True if the instruction interacts with shared memory.
   bool IsMemoryAccess() const {
@@ -61,6 +62,12 @@ class Cfa {
   // Compiles `program` into a CFA. Never fails: every Com statement has a
   // direct translation.
   static Cfa Build(const Program& program);
+
+  // Builds a CFA from an explicit node count and edge list (used by
+  // analysis/prepass.h to construct pruned variants of a compiled CFA).
+  // Node ids must be < num_nodes; node 0 remains the entry.
+  static Cfa FromParts(Program program, std::size_t num_nodes,
+                       std::vector<CfaEdge> edges);
 
   const Program& program() const { return program_; }
   NodeId entry() const { return NodeId(0); }

@@ -7,6 +7,21 @@
 
 namespace rapar {
 
+namespace {
+
+// "at 9:7" when the location is known, "" otherwise.
+std::string LocSuffix(SrcLoc loc) {
+  return loc.valid() ? StrCat(" at ", loc.line, ":", loc.col) : std::string();
+}
+
+// Renders `instr` followed by its position, for explanation strings.
+std::string InstrDetail(const Instr& instr, const Program& program) {
+  return instr.ToString(program.vars(), program.regs()) +
+         LocSuffix(instr.loc);
+}
+
+}  // namespace
+
 std::string Classification::ToString() const {
   std::vector<std::string> tags;
   if (cas_free) tags.push_back("nocas");
@@ -15,30 +30,103 @@ std::string Classification::ToString() const {
   return tags.empty() ? "(unrestricted)" : Join(tags, ",");
 }
 
+std::string Classification::TableClass(ThreadRole role) const {
+  if (role == ThreadRole::kEnv) {
+    // Table 1 keys env threads on CAS-freedom: env(nocas) is the decidable
+    // side of Theorem 1.1, env with cas the undecidable one.
+    std::string tags = cas_free ? "nocas" : "cas";
+    if (loop_free) tags += ",acyc";
+    return StrCat("env(", tags, ")");
+  }
+  return StrCat("dis(", loop_free ? "acyc" : "cyc", ")");
+}
+
 Classification Classify(const Program& program) {
   Classification c;
   c.cas_free = true;
   c.loop_free = true;
   VisitStmts(program.body(), [&](const Stmt& s) {
-    if (s.kind() == StmtKind::kCas) c.cas_free = false;
-    if (s.kind() == StmtKind::kStar) c.loop_free = false;
+    if (s.kind() == StmtKind::kCas && c.cas_free) {
+      c.cas_free = false;
+      c.cas_loc = s.loc();
+      c.cas_detail = StrCat("cas(", program.vars().Name(s.var()), ", ",
+                            program.regs().Name(s.reg()), ", ",
+                            program.regs().Name(s.reg2()), ")",
+                            LocSuffix(s.loc()));
+    }
+    if (s.kind() == StmtKind::kStar && c.loop_free) {
+      c.loop_free = false;
+      c.loop_loc = s.loc();
+      c.loop_detail = StrCat("loop", LocSuffix(s.loc()));
+    }
   });
-  c.pure_ra = IsPureRA(program);
+  c.pure_ra = IsPureRA(program, &c.pure_ra_detail);
   return c;
 }
 
-bool IsPureRA(const Program& program) {
+std::string SystemClassInfo::ToString() const {
+  return StrCat(name, ": ", complexity);
+}
+
+SystemClassInfo ClassifySystem(const Classification& env,
+                               const std::vector<Classification>& dis) {
+  SystemClassInfo info;
+  const bool have_dis = !dis.empty();
+  bool dis_acyc = true;
+  for (const Classification& d : dis) dis_acyc &= d.loop_free;
+
+  if (!env.cas_free) {
+    // Theorem 1.1: CAS in the env threads is the undecidability frontier —
+    // even acyclic env programs then simulate counter machines.
+    info.name = StrCat(have_dis ? "dis + " : "", env.TableClass(ThreadRole::kEnv));
+    info.decidable = false;
+    info.complexity = "undecidable (Theorem 1.1)";
+    info.detail =
+        "the env threads are not CAS-free: env(cas) systems simulate "
+        "Minsky counter machines even when every env program is acyclic";
+    return info;
+  }
+  if (!dis_acyc) {
+    info.name = StrCat("dis(cyc) + ", env.TableClass(ThreadRole::kEnv));
+    info.decidable = true;
+    info.complexity =
+        "outside the decision procedure until dis loops are unrolled "
+        "(bounded regime, §4)";
+    info.detail =
+        "env threads are CAS-free but a dis program has loops; apply "
+        "UnrollDis(k) to enter dis(acyc) + env(nocas)";
+    return info;
+  }
+  info.name = have_dis
+                  ? StrCat("dis(acyc) + ", env.TableClass(ThreadRole::kEnv))
+                  : env.TableClass(ThreadRole::kEnv);
+  info.decidable = true;
+  info.complexity = "PSPACE-complete (Theorems 1.2, 5.1)";
+  info.detail =
+      "env threads are CAS-free and every dis program is acyclic; "
+      "PSPACE-hardness holds already for PureRA programs (Theorem 5.1)";
+  return info;
+}
+
+bool IsPureRA(const Program& program, std::string* reason) {
   const Cfa cfa = Cfa::Build(program);
   const std::size_t nregs = program.regs().size();
   std::vector<bool> is_load_target(nregs, false);
   std::vector<bool> is_store_source(nregs, false);
   std::vector<bool> assigned_non_one(nregs, false);
   std::vector<bool> assigned(nregs, false);
+  auto fail = [&](std::string why) {
+    if (reason != nullptr) *reason = std::move(why);
+    return false;
+  };
 
   for (const auto& e : cfa.edges()) {
     switch (e.instr.kind) {
       case Instr::Kind::kAssign: {
-        if (e.instr.expr->op() != ExprOp::kConst) return false;
+        if (e.instr.expr->op() != ExprOp::kConst) {
+          return fail(StrCat("register assignment of a non-constant: ",
+                             InstrDetail(e.instr, program)));
+        }
         assigned[e.instr.reg.index()] = true;
         if (e.instr.expr->constant() != 1) {
           assigned_non_one[e.instr.reg.index()] = true;
@@ -52,18 +140,22 @@ bool IsPureRA(const Program& program) {
         is_store_source[e.instr.reg.index()] = true;
         break;
       case Instr::Kind::kCas:
-        return false;  // PureRA is in particular CAS-free
+        // PureRA is in particular CAS-free.
+        return fail(StrCat("cas instruction: ", InstrDetail(e.instr, program)));
       default:
         break;
     }
   }
 
-  for (std::size_t r = 0; r < nregs; ++r) {
-    if (is_store_source[r]) {
-      // Store sources must hold exactly the constant one.
-      if (is_load_target[r] || assigned_non_one[r] || !assigned[r]) {
-        return false;
-      }
+  for (const auto& e : cfa.edges()) {
+    if (e.instr.kind != Instr::Kind::kStore) continue;
+    const std::size_t r = e.instr.reg.index();
+    // Store sources must hold exactly the constant one.
+    if (is_load_target[r] || assigned_non_one[r] || !assigned[r]) {
+      return fail(StrCat("store source register '",
+                         program.regs().Name(e.instr.reg),
+                         "' does not hold the constant one: ",
+                         InstrDetail(e.instr, program)));
     }
   }
 
@@ -71,31 +163,47 @@ bool IsPureRA(const Program& program) {
   for (const auto& e : cfa.edges()) {
     if (e.instr.kind != Instr::Kind::kLoad) continue;
     const RegId scratch = e.instr.reg;
-    if (is_store_source[scratch.index()]) return false;
+    if (is_store_source[scratch.index()]) {
+      return fail(StrCat("load target '", program.regs().Name(scratch),
+                         "' is also a store source: ",
+                         InstrDetail(e.instr, program)));
+    }
     for (EdgeId out_id : cfa.OutEdges(e.to)) {
       const Instr& next = cfa.Edge(out_id).instr;
-      if (next.kind != Instr::Kind::kAssume) return false;
+      if (next.kind != Instr::Kind::kAssume) {
+        return fail(StrCat("load is not followed by a check-value guard: ",
+                           InstrDetail(e.instr, program), " then ",
+                           InstrDetail(next, program)));
+      }
       const Expr& guard = *next.expr;
       const bool shape_ok =
           guard.op() == ExprOp::kEq && guard.children().size() == 2 &&
           guard.children()[0]->op() == ExprOp::kReg &&
           guard.children()[0]->reg() == scratch &&
           guard.children()[1]->op() == ExprOp::kConst;
-      if (!shape_ok) return false;
+      if (!shape_ok) {
+        return fail(StrCat("guard after a load is not 'scratch == const': ",
+                           InstrDetail(next, program)));
+      }
     }
   }
 
   // Scratch registers must not feed general expressions: any expression in
   // an assume has already been shape-checked above only for loads; remaining
-  // assumes may not read load targets.
+  // assumes may not read non-scratch registers.
   for (const auto& e : cfa.edges()) {
     if (e.instr.kind != Instr::Kind::kAssume) continue;
     std::vector<RegId> read;
     e.instr.expr->CollectRegs(read);
     for (RegId r : read) {
-      if (!is_load_target[r.index()]) return false;  // only scratch checks
+      if (!is_load_target[r.index()]) {
+        return fail(StrCat("assume reads the general register '",
+                           program.regs().Name(r),
+                           "': ", InstrDetail(e.instr, program)));
+      }
     }
   }
+  if (reason != nullptr) reason->clear();
   return true;
 }
 

@@ -3,12 +3,21 @@
 #define RAPAR_LANG_CLASSIFY_H_
 
 #include <string>
+#include <vector>
 
 #include "lang/program.h"
+#include "lang/source_loc.h"
 
 namespace rapar {
 
-// Syntactic classification of a single thread program.
+// The role a program plays in a parameterized system: the env template
+// (unboundedly many copies) or one distinguished thread.
+enum class ThreadRole { kEnv, kDis };
+
+// Syntactic classification of a single thread program. The *_detail
+// strings explain a failed restriction (first violating instruction, with
+// source position when available); they are empty when the restriction
+// holds.
 struct Classification {
   // `nocas`: the program contains no cas(...) instruction.
   bool cas_free = false;
@@ -19,10 +28,41 @@ struct Classification {
   // conventions checked by IsPureRA below.
   bool pure_ra = false;
 
+  std::string cas_detail;      // first cas(...), e.g. "cas(x, r0, r1) at 9:7"
+  std::string loop_detail;     // first loop construct
+  std::string pure_ra_detail;  // first PureRA-violating instruction
+
+  // Source location of the first cas / loop (invalid when absent or when
+  // the program was built without positions).
+  SrcLoc cas_loc;
+  SrcLoc loop_loc;
+
+  // Tag list, e.g. "nocas,acyc,pure-ra" or "(unrestricted)".
   std::string ToString() const;
+
+  // The paper's Table 1 name of the class this program occupies in the
+  // given role. The env naming is keyed on CAS-freedom (the decidability
+  // frontier of Theorem 1.1), the dis naming on acyclicity:
+  //   env: "env(nocas)", "env(nocas,acyc)", "env(cas)", "env(cas,acyc)"
+  //   dis: "dis(acyc)",  "dis(cyc)"
+  std::string TableClass(ThreadRole role) const;
 };
 
 Classification Classify(const Program& program);
+
+// Whole-system class: Table 1 row/column for env ‖ dis_1 ‖ … ‖ dis_n.
+struct SystemClassInfo {
+  std::string name;        // e.g. "dis(acyc) + env(nocas)"
+  bool decidable = true;
+  std::string complexity;  // e.g. "PSPACE-complete (Theorems 1.2, 5.1)"
+  std::string detail;      // why — names the governing restriction
+
+  // "dis(acyc) + env(nocas): PSPACE-complete (Theorems 1.2, 5.1)".
+  std::string ToString() const;
+};
+
+SystemClassInfo ClassifySystem(const Classification& env,
+                               const std::vector<Classification>& dis);
 
 // PureRA check. The paper's PureRA forbids registers and allows only
 // (a) stores of the constant one and (b) load-and-check-value steps. Com
@@ -33,8 +73,10 @@ Classification Classify(const Program& program);
 //   * every load targets a scratch register that is used only in an
 //     immediately following `assume (scratch == const)` guard.
 // Programs produced by lowerbound/tqbf_reduction satisfy this by
-// construction.
-bool IsPureRA(const Program& program);
+// construction. When the check fails and `reason` is non-null, it receives
+// a description of the first violating instruction (with source position
+// when available).
+bool IsPureRA(const Program& program, std::string* reason = nullptr);
 
 }  // namespace rapar
 

@@ -18,9 +18,13 @@ struct Token {
   int col;
 };
 
-// Thrown internally; converted to Expected::Error at the API boundary.
+// Thrown internally; converted to Expected::Error at the API boundary,
+// where the carried position selects the caret snippet line.
 struct ParseError : std::runtime_error {
-  explicit ParseError(const std::string& msg) : std::runtime_error(msg) {}
+  ParseError(const std::string& msg, int line, int col)
+      : std::runtime_error(msg), line(line), col(col) {}
+  int line;
+  int col;
 };
 
 class Lexer {
@@ -96,7 +100,8 @@ class Lexer {
         continue;
       }
       throw ParseError(StrCat("unexpected character '", c, "' at line ", line,
-                              ", column ", col));
+                              ", column ", col),
+                       line, col);
     }
     tokens_.push_back({Token::Kind::kEnd, "<eof>", line, col});
   }
@@ -146,7 +151,8 @@ class Parser {
 
   [[noreturn]] static void FailAt(const Token& t, const std::string& msg) {
     throw ParseError(StrCat(msg, " (at line ", t.line, ", column ", t.col,
-                            ", near '", t.text, "')"));
+                            ", near '", t.text, "')"),
+                     t.line, t.col);
   }
 
   bool AtIdent(const std::string& word) const {
@@ -223,7 +229,15 @@ class Parser {
     return body;
   }
 
+  // Parses one statement and stamps it with the position of its first
+  // token (compound statements carry the position of the construct; their
+  // children carry their own).
   StmtPtr ParseStmt() {
+    const SrcLoc loc{Peek().line, Peek().col};
+    return WithLoc(ParseStmtAt(), loc);
+  }
+
+  StmtPtr ParseStmtAt() {
     if (AtIdent("skip")) {
       Take();
       return SSkip();
@@ -415,7 +429,10 @@ Expected<Program> ParseProgram(const std::string& text) {
     Parser parser(text);
     return parser.Parse();
   } catch (const ParseError& e) {
-    return Expected<Program>::Error(e.what());
+    std::string msg = e.what();
+    const std::string snippet = SourceCaret(text, e.line, e.col);
+    if (!snippet.empty()) msg += "\n" + snippet;
+    return Expected<Program>::Error(msg);
   }
 }
 

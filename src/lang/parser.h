@@ -37,7 +37,9 @@
 namespace rapar {
 
 // Parses a complete program. On error, the message contains the 1-based
-// line and column of the offending token.
+// line and column of the offending token plus the offending source line
+// with a caret (the same rendering analysis diagnostics use). Parsed
+// statements carry their source positions (Stmt::loc).
 Expected<Program> ParseProgram(const std::string& text);
 
 }  // namespace rapar

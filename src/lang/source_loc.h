@@ -1,0 +1,25 @@
+// Source positions (1-based line/column) attached by the parser to
+// statements and carried through CFA construction, so analysis diagnostics
+// and parse errors render against the same coordinates.
+#ifndef RAPAR_LANG_SOURCE_LOC_H_
+#define RAPAR_LANG_SOURCE_LOC_H_
+
+namespace rapar {
+
+struct SrcLoc {
+  int line = 0;  // 1-based; 0 = unknown (programs built via the C++ DSL)
+  int col = 0;   // 1-based
+
+  bool valid() const { return line > 0; }
+
+  friend bool operator==(const SrcLoc& a, const SrcLoc& b) {
+    return a.line == b.line && a.col == b.col;
+  }
+  friend bool operator<(const SrcLoc& a, const SrcLoc& b) {
+    return a.line != b.line ? a.line < b.line : a.col < b.col;
+  }
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_LANG_SOURCE_LOC_H_

@@ -10,21 +10,27 @@ StmtPtr RemapVars(const StmtPtr& stmt, const std::vector<VarId>& mapping) {
     assert(v.index() < mapping.size());
     return mapping[v.index()];
   };
+  // Rebuilt nodes keep their source positions so diagnostics on unified
+  // system programs still point into the original text.
   switch (stmt->kind()) {
     case StmtKind::kLoad:
-      return SLoad(stmt->reg(), remap(stmt->var()));
+      return WithLoc(SLoad(stmt->reg(), remap(stmt->var())), stmt->loc());
     case StmtKind::kStore:
-      return SStore(remap(stmt->var()), stmt->reg());
+      return WithLoc(SStore(remap(stmt->var()), stmt->reg()), stmt->loc());
     case StmtKind::kCas:
-      return SCas(remap(stmt->var()), stmt->reg(), stmt->reg2());
+      return WithLoc(SCas(remap(stmt->var()), stmt->reg(), stmt->reg2()),
+                     stmt->loc());
     case StmtKind::kSeq:
-      return SSeq(RemapVars(stmt->children()[0], mapping),
-                  RemapVars(stmt->children()[1], mapping));
+      return WithLoc(SSeq(RemapVars(stmt->children()[0], mapping),
+                          RemapVars(stmt->children()[1], mapping)),
+                     stmt->loc());
     case StmtKind::kChoice:
-      return SChoice(RemapVars(stmt->children()[0], mapping),
-                     RemapVars(stmt->children()[1], mapping));
+      return WithLoc(SChoice(RemapVars(stmt->children()[0], mapping),
+                             RemapVars(stmt->children()[1], mapping)),
+                     stmt->loc());
     case StmtKind::kStar:
-      return SStar(RemapVars(stmt->children()[0], mapping));
+      return WithLoc(SStar(RemapVars(stmt->children()[0], mapping)),
+                     stmt->loc());
     default:
       return stmt;
   }

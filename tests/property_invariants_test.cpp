@@ -53,7 +53,9 @@ TEST_P(ViewLatticeTest, LeqIsPartialOrder) {
   View a = RandomView(rng, vars, 9);
   View b = RandomView(rng, vars, 9);
   EXPECT_TRUE(a.Leq(a));
-  if (a.Leq(b) && b.Leq(a)) EXPECT_TRUE(a == b);
+  if (a.Leq(b) && b.Leq(a)) {
+    EXPECT_TRUE(a == b);
+  }
   // Monotone: joins dominate.
   EXPECT_TRUE(a.Leq(a.Join(b)));
 }
