@@ -3,6 +3,7 @@
 //   rapar_cli verify --env FILE [--dis FILE]... [options]
 //   rapar_cli mg     --env FILE [--dis FILE]... --var NAME --val N [options]
 //   rapar_cli dump-datalog --env FILE [--dis FILE]... [--var NAME --val N]
+//   rapar_cli dlanalyze --env FILE [--dis FILE]... [--guess N] [--dot]
 //   rapar_cli classify FILE...
 //   rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]
 //
@@ -13,15 +14,26 @@
 // checked as one system, so a store only counts as dead if no thread of
 // the system reads the variable.
 //
+// dlanalyze runs makeP for one guess (--guess N, default 0) and reports
+// the static analysis of the emitted Datalog program: predicate
+// dependency graph, per-SCC width/solver classification, and the RA02x
+// diagnostics of the query-driven optimizer (src/dlopt/). --dot prints
+// the dependency graph in Graphviz format instead (query cone filled).
+//
 // Options:
 //   --backend simplified|datalog|concrete   (default simplified)
 //   --threads N        env threads for the concrete backend (default 2)
 //   --unroll K         unroll bound for dis loops (default 0 = reject)
 //   --budget-ms N      wall-clock budget (default 30000)
 //   --witness          print the witness run on UNSAFE
+//   --format text|json lint/dlanalyze output format (default text); json
+//                      is a flat array of diagnostic objects with stable
+//                      keys file, line, col, code, severity, message
+//   --guess N          dlanalyze: which makeP guess to analyze
+//   --dot              dlanalyze: emit the dependency graph as Graphviz
 //
 // Exit code: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = usage/input error.
-// For lint: 0 = clean (notes allowed), 1 = warnings/errors reported.
+// For lint/dlanalyze: 0 = clean (notes allowed), 1 = warnings/errors.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +44,7 @@
 #include "analysis/diagnostics.h"
 #include "analysis/footprint.h"
 #include "core/verifier.h"
+#include "dlopt/dl_diagnostics.h"
 #include "encoding/makep.h"
 #include "lang/classify.h"
 #include "lang/parser.h"
@@ -51,6 +64,9 @@ struct Options {
   bool witness = false;
   std::string goal_var;
   int goal_val = -1;
+  std::string format = "text";
+  int guess_index = 0;
+  bool dot = false;
 };
 
 int Usage() {
@@ -62,8 +78,11 @@ int Usage() {
       "  rapar_cli mg --env FILE [--dis FILE]... --var NAME --val N ...\n"
       "  rapar_cli dump-datalog --env FILE [--dis FILE]... [--var NAME "
       "--val N]\n"
+      "  rapar_cli dlanalyze --env FILE [--dis FILE]... [--guess N] "
+      "[--dot]\n"
       "  rapar_cli classify FILE...\n"
-      "  rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]\n");
+      "  rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]\n"
+      "options: --format text|json (lint, dlanalyze)\n");
   return 3;
 }
 
@@ -110,6 +129,18 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->budget_ms = std::atoll(v);
     } else if (arg == "--witness") {
       opts->witness = true;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->format = v;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      opts->format = arg.substr(std::strlen("--format="));
+    } else if (arg == "--guess") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->guess_index = std::atoi(v);
+    } else if (arg == "--dot") {
+      opts->dot = true;
     } else if (arg == "--var") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -126,6 +157,55 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     }
   }
   return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+// The machine-readable diagnostic format (--format=json): a flat array of
+// objects with the stable keys file, line, col, code, severity, message.
+// line/col are 0 when the diagnostic has no source position (dlanalyze
+// diagnostics describe the generated encoding, not a source file).
+void PrintDiagnosticsJson(
+    const std::vector<std::pair<std::string, rapar::Diagnostic>>& diags) {
+  std::printf("[");
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const auto& [file, d] = diags[i];
+    std::printf(
+        "%s\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, "
+        "\"code\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\"}",
+        i == 0 ? "" : ",", JsonEscape(file).c_str(), d.loc.line, d.loc.col,
+        JsonEscape(d.code).c_str(), rapar::SeverityName(d.severity),
+        JsonEscape(d.message).c_str());
+  }
+  std::printf("%s]\n", diags.empty() ? "" : "\n");
 }
 
 int Classify(const Options& opts) {
@@ -213,17 +293,26 @@ int Lint(const Options& opts) {
 
   std::size_t warnings = 0;
   std::size_t notes = 0;
+  std::vector<std::pair<std::string, rapar::Diagnostic>> all;
   for (const Input& in : inputs) {
     lint.role = in.role;
     const std::vector<rapar::Diagnostic> diags =
         rapar::LintProgram(in.program, lint);
     for (const rapar::Diagnostic& d : diags) {
-      std::printf("%s\n",
-                  rapar::RenderDiagnostic(d, in.path, in.text).c_str());
+      if (opts.format == "json") {
+        all.emplace_back(in.path, d);
+      } else {
+        std::printf("%s\n",
+                    rapar::RenderDiagnostic(d, in.path, in.text).c_str());
+      }
       (d.severity == rapar::Severity::kNote ? notes : warnings) += 1;
     }
   }
-  std::printf("%zu warning(s), %zu note(s)\n", warnings, notes);
+  if (opts.format == "json") {
+    PrintDiagnosticsJson(all);
+  } else {
+    std::printf("%zu warning(s), %zu note(s)\n", warnings, notes);
+  }
   return warnings > 0 ? 1 : 0;
 }
 
@@ -335,6 +424,90 @@ int DumpDatalog(const Options& opts) {
   return 0;
 }
 
+int DlAnalyze(const Options& opts) {
+  if (opts.env_file.empty()) return Usage();
+  rapar::Expected<rapar::ParamSystem> sys = BuildSystem(opts);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "%s\n", sys.error().c_str());
+    return 3;
+  }
+  bool complete = true;
+  rapar::GuessEnumOptions gopts;
+  std::vector<rapar::DisGuess> guesses =
+      rapar::EnumerateDisGuesses(sys.value().simpl(), gopts, &complete);
+  if (opts.guess_index < 0 ||
+      static_cast<std::size_t>(opts.guess_index) >= guesses.size()) {
+    std::fprintf(stderr, "--guess %d out of range (have %zu guesses)\n",
+                 opts.guess_index, guesses.size());
+    return 3;
+  }
+  rapar::MakePOptions mopts;
+  if (!opts.goal_var.empty() && opts.goal_val >= 0) {
+    rapar::VarId var = sys.value().vars().Find(opts.goal_var);
+    if (!var.valid()) {
+      std::fprintf(stderr, "unknown variable '%s'\n",
+                   opts.goal_var.c_str());
+      return 3;
+    }
+    mopts.goal_message = {var, static_cast<rapar::Value>(opts.goal_val)};
+  }
+  const rapar::DisGuess& guess = guesses[opts.guess_index];
+  rapar::MakePResult q = rapar::MakeP(sys.value().simpl(), guess, mopts);
+  rapar::dlopt::DlAnalysis a =
+      rapar::dlopt::AnalyzeDlProgram(*q.prog, q.goal);
+
+  if (opts.dot) {
+    std::printf("%s", a.graph
+                          .ToDot(*q.prog,
+                                 a.graph.ReachableFrom(q.goal.pred))
+                          .c_str());
+    return 0;
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+  for (const rapar::Diagnostic& d : a.diagnostics) {
+    switch (d.severity) {
+      case rapar::Severity::kError:
+        ++errors;
+        break;
+      case rapar::Severity::kWarning:
+        ++warnings;
+        break;
+      case rapar::Severity::kNote:
+        ++notes;
+        break;
+    }
+  }
+
+  if (opts.format == "json") {
+    std::vector<std::pair<std::string, rapar::Diagnostic>> all;
+    for (const rapar::Diagnostic& d : a.diagnostics) {
+      all.emplace_back("makeP", d);
+    }
+    PrintDiagnosticsJson(all);
+    return errors + warnings > 0 ? 1 : 0;
+  }
+
+  std::printf("system: %s\n", sys.value().Signature().c_str());
+  std::printf("// guess %d of %zu%s\n%s\n", opts.guess_index,
+              guesses.size(), complete ? "" : " (capped)",
+              guess.ToString(sys.value().simpl()).c_str());
+  std::printf("== dependency graph ==\n%s",
+              a.graph.ToText(*q.prog).c_str());
+  std::printf("== width / solver classification ==\n%s",
+              a.width.ToString(*q.prog, a.graph).c_str());
+  std::printf("== optimization ==\n%s\n", a.opt.stats.ToString().c_str());
+  std::printf("== diagnostics ==\n");
+  for (const rapar::Diagnostic& d : a.diagnostics) {
+    std::printf("%s\n", rapar::RenderDiagnostic(d, "makeP", "").c_str());
+  }
+  std::printf("%zu error(s), %zu warning(s), %zu note(s)\n", errors,
+              warnings, notes);
+  return errors + warnings > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -345,5 +518,6 @@ int main(int argc, char** argv) {
   if (opts.command == "verify") return RunVerify(opts, /*mg=*/false);
   if (opts.command == "mg") return RunVerify(opts, /*mg=*/true);
   if (opts.command == "dump-datalog") return DumpDatalog(opts);
+  if (opts.command == "dlanalyze") return DlAnalyze(opts);
   return Usage();
 }

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Full hygiene check: build the sanitizer preset and run the test suite
-# under ASan+UBSan, then (optionally, CHECK_WERROR=1) verify the tree is
-# warning-clean with -Werror.
+# Full hygiene check: build + test the default preset, then the test
+# suite again under ASan+UBSan, then (optionally, CHECK_WERROR=1) verify
+# the tree is warning-clean with -Werror. CI (.github/workflows/ci.yml)
+# runs the same presets.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${CHECK_SKIP_DEFAULT:-0}" != "1" ]]; then
+  cmake --preset default
+  cmake --build --preset default -j "$jobs"
+  ctest --preset default -j "$jobs"
+fi
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"

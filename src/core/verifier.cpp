@@ -70,6 +70,7 @@ std::string Verdict::ToString() const {
   }
   out += ")";
   if (prepass.Any()) out += StrCat(" [prepass: ", prepass.ToString(), "]");
+  if (dlopt.Any()) out += StrCat(" [dlopt: ", dlopt.ToString(), "]");
   return out;
 }
 
@@ -161,11 +162,16 @@ Verdict SafetyVerifier::RunDatalog(
   DatalogVerifierOptions opts;
   opts.goal_message = goal;
   opts.guess.max_guesses = options.max_guesses;
+  opts.enable_dlopt = options.enable_dlopt;
   DatalogVerdict dv = DatalogVerify(prep.simpl, opts);
   Verdict v;
   v.prepass = prep.stats;
   v.guesses = dv.guesses;
   v.tuples = dv.total_tuples;
+  v.rule_firings = dv.rule_firings;
+  v.join_attempts = dv.join_attempts;
+  v.dlopt = dv.dlopt;
+  v.width_report = dv.width_report;
   if (dv.unsafe) {
     v.result = Verdict::Result::kUnsafe;
     v.witness = dv.witness_guess;

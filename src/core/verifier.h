@@ -21,6 +21,7 @@
 
 #include "analysis/prepass.h"
 #include "core/param_system.h"
+#include "dlopt/optimize.h"
 
 namespace rapar {
 
@@ -37,6 +38,10 @@ struct VerifierOptions {
   // before handing the CFAs to the backend. Verdict-preserving; the
   // pruned counts are reported in Verdict::prepass.
   bool enable_prepass = true;
+  // kDatalog: optimize every emitted query instance (dead-rule, demand
+  // specialization, dedup/subsumption — see src/dlopt/optimize.h) before
+  // evaluation. Verdict-preserving; pruned counts land in Verdict::dlopt.
+  bool enable_dlopt = true;
   // kConcrete: number of env threads in the instance.
   int concrete_env_threads = 2;
   // Resource bounds (apply per backend as applicable).
@@ -57,6 +62,9 @@ struct Verdict {
   std::size_t states = 0;   // explored abstract/concrete states
   std::size_t guesses = 0;  // Datalog backend: makeP executions
   std::size_t tuples = 0;   // Datalog backend: derived tuples
+  // Datalog backend engine counters (summed across query instances).
+  std::size_t rule_firings = 0;
+  std::size_t join_attempts = 0;
   // Human-readable witness (step trace or guess) when unsafe.
   std::string witness;
   // §4.3: over-approximate number of env threads sufficient to exhibit
@@ -66,6 +74,12 @@ struct Verdict {
   // What the analysis pre-pass pruned (all zero when disabled or nothing
   // was prunable).
   PrepassStats prepass;
+  // What the Datalog program optimizer pruned, summed over all evaluated
+  // query instances (all zero when disabled or on other backends).
+  dlopt::DlOptStats dlopt;
+  // Static width/solver classification of the first optimized query
+  // instance (Datalog backend only).
+  std::string width_report;
 
   std::string ToString() const;
 };

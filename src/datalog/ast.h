@@ -58,6 +58,12 @@ struct Atom {
 // binding for that variable; otherwise it is a boolean check.
 struct Native {
   std::string name;
+  // Semantic identity token: two natives with equal `tag`, `inputs` and
+  // `output` compute the same function. Emitters must make the tag capture
+  // everything `fn` closes over (e.g. "assume:r0==1", not just "assume");
+  // an empty tag means "unknown function" and compares equal to nothing,
+  // which keeps rule dedup/subsumption (src/dlopt/) conservative.
+  std::string tag;
   std::vector<Term> inputs;
   std::optional<VarSym> output;
   // Returns false to reject the binding. If `output` is set, writes the
@@ -93,6 +99,10 @@ class Program {
 
   void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
   void AddFact(Atom atom) { rules_.push_back(Rule{std::move(atom), {}, {}}); }
+  // Replaces the rule list wholesale; predicate and constant tables are
+  // untouched. Used by the dlopt transforms, which rewrite rules over the
+  // original symbol numbering.
+  void SetRules(std::vector<Rule> rules) { rules_ = std::move(rules); }
 
   std::size_t num_preds() const { return preds_.size(); }
   const PredInfo& pred(PredId p) const { return preds_[p]; }

@@ -215,6 +215,7 @@ class Evaluator {
 
 bool Query(const Program& prog, const Atom& goal, EvalStats* stats,
            const EvalOptions& options) {
+  if (stats != nullptr) *stats = EvalStats{};
   Evaluator ev(prog, &goal, stats, options);
   if (ev.Run()) return true;
   // Fixpoint reached without early exit; check membership.
@@ -231,11 +232,27 @@ bool Query(const Program& prog, const Atom& goal, EvalStats* stats,
 
 Database Eval(const Program& prog, EvalStats* stats,
               const EvalOptions& options) {
+  if (stats != nullptr) *stats = EvalStats{};
   EvalOptions opts = options;
   opts.early_exit = false;
   Evaluator ev(prog, nullptr, stats, opts);
   ev.Run();
   return ev.TakeDb();
+}
+
+bool Engine::Solve(const Program& prog, const Atom& goal,
+                   const EvalOptions& options) {
+  last_ = EvalStats{};
+  ++solves_;
+  try {
+    const bool derived = Query(prog, goal, &last_, options);
+    total_ += last_;
+    return derived;
+  } catch (...) {
+    // Budget blown mid-evaluation: keep what the aborted solve did.
+    total_ += last_;
+    throw;
+  }
 }
 
 }  // namespace rapar::dl

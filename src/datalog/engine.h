@@ -48,6 +48,14 @@ struct EvalStats {
   std::size_t rule_firings = 0;  // successful rule instantiations
   std::size_t join_attempts = 0;
   bool goal_found = false;
+
+  EvalStats& operator+=(const EvalStats& o) {
+    tuples += o.tuples;
+    rule_firings += o.rule_firings;
+    join_attempts += o.join_attempts;
+    goal_found = goal_found || o.goal_found;
+    return *this;
+  }
 };
 
 struct EvalOptions {
@@ -58,13 +66,40 @@ struct EvalOptions {
 };
 
 // Evaluates `prog` to fixpoint (or until `goal` is derived). `goal` must
-// be ground. Returns whether Prog ⊢ goal.
+// be ground. Returns whether Prog ⊢ goal. `*stats` is reset at entry: the
+// counters describe this evaluation only, never an accumulation across
+// calls (callers that want totals sum explicitly, or use Engine below).
 bool Query(const Program& prog, const Atom& goal, EvalStats* stats = nullptr,
            const EvalOptions& options = {});
 
 // Full fixpoint evaluation; returns the database of all derived tuples.
+// Resets `*stats` at entry like Query.
 Database Eval(const Program& prog, EvalStats* stats = nullptr,
               const EvalOptions& options = {});
+
+// A reusable solver handle for callers that evaluate many query instances
+// (the Datalog verifier runs one per makeP guess). Per-solve statistics
+// are reset on every Solve — previously a reused stats struct silently
+// accumulated across solves — while `total_stats` keeps the running sums.
+class Engine {
+ public:
+  // Decides prog ⊢ goal (ground). Propagates the tuple-budget exception
+  // of EvalOptions::max_tuples; the partial stats of the aborted solve
+  // are still recorded.
+  bool Solve(const Program& prog, const Atom& goal,
+             const EvalOptions& options = {});
+
+  // Statistics of the most recent Solve only.
+  const EvalStats& last_stats() const { return last_; }
+  // Running sums over all Solve calls on this engine.
+  const EvalStats& total_stats() const { return total_; }
+  std::size_t solves() const { return solves_; }
+
+ private:
+  EvalStats last_;
+  EvalStats total_;
+  std::size_t solves_ = 0;
+};
 
 }  // namespace rapar::dl
 

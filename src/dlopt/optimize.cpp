@@ -1,0 +1,364 @@
+#include "dlopt/optimize.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "dlopt/pred_graph.h"
+#include "dlopt/rule_checks.h"
+
+namespace rapar::dlopt {
+
+DlOptStats& DlOptStats::operator+=(const DlOptStats& o) {
+  rules_before += o.rules_before;
+  rules_after += o.rules_after;
+  unproductive_removed += o.unproductive_removed;
+  unreachable_removed += o.unreachable_removed;
+  demand_removed += o.demand_removed;
+  duplicates_removed += o.duplicates_removed;
+  subsumed_removed += o.subsumed_removed;
+  copy_aliased_removed += o.copy_aliased_removed;
+  preds_before += o.preds_before;
+  preds_after += o.preds_after;
+  return *this;
+}
+
+std::string DlOptStats::ToString() const {
+  return StrCat("rules ", rules_before, " -> ", rules_after,
+                " (unreachable ", unreachable_removed, ", unproductive ",
+                unproductive_removed, ", demand ", demand_removed,
+                ", dup ", duplicates_removed, ", subsumed ",
+                subsumed_removed, ", aliased ", copy_aliased_removed,
+                ")");
+}
+
+namespace {
+
+// Per-predicate, per-position demanded constants; ⊤ ("any value") as soon
+// as some occurrence binds the position with a variable.
+struct Demand {
+  std::vector<std::vector<bool>> top;                     // [pred][pos]
+  std::vector<std::vector<std::unordered_set<dl::Sym>>> consts;
+
+  explicit Demand(const dl::Program& prog) {
+    top.resize(prog.num_preds());
+    consts.resize(prog.num_preds());
+    for (std::size_t p = 0; p < prog.num_preds(); ++p) {
+      top[p].assign(prog.pred(p).arity, false);
+      consts[p].resize(prog.pred(p).arity);
+    }
+  }
+
+  void AddUse(const dl::Atom& a) {
+    for (std::size_t i = 0; i < a.args.size(); ++i) {
+      if (a.args[i].kind == dl::Term::Kind::kConst) {
+        consts[a.pred][i].insert(a.args[i].val);
+      } else {
+        top[a.pred][i] = true;
+      }
+    }
+  }
+
+  // A head deriving `a` can be consumed: every constant head position is
+  // demanded.
+  bool HeadDemanded(const dl::Atom& a) const {
+    for (std::size_t i = 0; i < a.args.size(); ++i) {
+      if (a.args[i].kind != dl::Term::Kind::kConst) continue;
+      if (top[a.pred][i]) continue;
+      if (consts[a.pred][i].count(a.args[i].val) == 0) return false;
+    }
+    return true;
+  }
+};
+
+class Optimizer {
+ public:
+  Optimizer(const dl::Program& prog, const dl::Atom& goal,
+            const DlOptOptions& options)
+      : prog_(prog),
+        goal_(goal),
+        options_(options),
+        rules_(prog.rules()) {
+    cause_.assign(rules_.size(), RemovalCause::kKept);
+  }
+
+  OptimizeResult Run() {
+    DlOptStats stats;
+    stats.rules_before = rules_.size();
+    stats.preds_before = MentionedPreds();
+
+    // Passes 1–3 shrink each other's inputs; iterate to fixpoint, then
+    // run the (pricier) structural passes once and give the cheap passes
+    // one more chance on their output.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      if (options_.dead_rule_elimination) {
+        changed |= DropUnproductive(&stats.unproductive_removed);
+        changed |= DropUnreachable(&stats.unreachable_removed);
+      }
+      if (options_.demand_specialization) {
+        changed |= DropUndemanded(&stats.demand_removed);
+      }
+      if (options_.copy_alias_elimination) {
+        changed |= DropCopyAliases(&stats.copy_aliased_removed);
+      }
+    }
+    if (options_.duplicate_elimination) {
+      if (DropDuplicates(&stats.duplicates_removed)) changed = true;
+    }
+    if (options_.subsumption_elimination) {
+      if (DropSubsumed(&stats.subsumed_removed)) changed = true;
+    }
+    while (changed) {
+      changed = false;
+      if (options_.dead_rule_elimination) {
+        changed |= DropUnproductive(&stats.unproductive_removed);
+        changed |= DropUnreachable(&stats.unreachable_removed);
+      }
+      if (options_.demand_specialization) {
+        changed |= DropUndemanded(&stats.demand_removed);
+      }
+      if (options_.copy_alias_elimination) {
+        changed |= DropCopyAliases(&stats.copy_aliased_removed);
+      }
+    }
+
+    OptimizeResult result{prog_, std::move(stats), {}};
+    std::vector<dl::Rule> rules;
+    for (std::size_t i = 0; i < cause_.size(); ++i) {
+      if (Alive(i)) rules.push_back(rules_[i]);
+    }
+    result.stats.rules_after = rules.size();
+    result.prog.SetRules(std::move(rules));
+    result.stats.preds_after = MentionedPreds();
+    result.cause = std::move(cause_);
+    return result;
+  }
+
+ private:
+  bool Alive(std::size_t i) const {
+    return cause_[i] == RemovalCause::kKept;
+  }
+  std::size_t MentionedPreds() const {
+    std::vector<bool> seen(prog_.num_preds(), false);
+    for (std::size_t i = 0; i < cause_.size(); ++i) {
+      if (!Alive(i)) continue;
+      const dl::Rule& r = rules_[i];
+      seen[r.head.pred] = true;
+      for (const dl::Atom& a : r.body) seen[a.pred] = true;
+    }
+    std::size_t n = 0;
+    for (bool b : seen) n += b;
+    return n;
+  }
+
+  // Least fixpoint of "can hold a tuple" over the alive rules.
+  bool DropUnproductive(std::size_t* count) {
+    std::vector<bool> productive(prog_.num_preds(), false);
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (std::size_t i = 0; i < cause_.size(); ++i) {
+        if (!Alive(i)) continue;
+        const dl::Rule& r = rules_[i];
+        if (productive[r.head.pred]) continue;
+        bool all = true;
+        for (const dl::Atom& a : r.body) {
+          if (!productive[a.pred]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          productive[r.head.pred] = true;
+          grew = true;
+        }
+      }
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < cause_.size(); ++i) {
+      if (!Alive(i)) continue;
+      for (const dl::Atom& a : rules_[i].body) {
+        if (!productive[a.pred]) {
+          cause_[i] = RemovalCause::kUnproductive;
+          ++*count;
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool DropUnreachable(std::size_t* count) {
+    std::vector<bool> reach(prog_.num_preds(), false);
+    std::deque<dl::PredId> work{goal_.pred};
+    reach[goal_.pred] = true;
+    // Backward reachability over alive rules only.
+    std::vector<std::vector<std::size_t>> by_head(prog_.num_preds());
+    for (std::size_t i = 0; i < cause_.size(); ++i) {
+      if (Alive(i)) by_head[rules_[i].head.pred].push_back(i);
+    }
+    while (!work.empty()) {
+      const dl::PredId p = work.front();
+      work.pop_front();
+      for (std::size_t i : by_head[p]) {
+        for (const dl::Atom& a : rules_[i].body) {
+          if (!reach[a.pred]) {
+            reach[a.pred] = true;
+            work.push_back(a.pred);
+          }
+        }
+      }
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < cause_.size(); ++i) {
+      if (Alive(i) && !reach[rules_[i].head.pred]) {
+        cause_[i] = RemovalCause::kUnreachable;
+        ++*count;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool DropUndemanded(std::size_t* count) {
+    Demand demand(prog_);
+    demand.AddUse(goal_);
+    for (std::size_t i = 0; i < cause_.size(); ++i) {
+      if (!Alive(i)) continue;
+      for (const dl::Atom& a : rules_[i].body) demand.AddUse(a);
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < cause_.size(); ++i) {
+      if (Alive(i) && !demand.HeadDemanded(rules_[i].head)) {
+        cause_[i] = RemovalCause::kUndemanded;
+        ++*count;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  // A rule is an identity copy when it derives p(X0..Xn) :- q(X0..Xn)
+  // with the head and body argument vectors equal, all distinct
+  // variables, and no natives: then p ⊆ q instance-for-instance. When it
+  // is also p's *only* derivation (no other rule, no fact) and p is not
+  // the query predicate, p ≡ q — rewrite every occurrence of p to q and
+  // drop the rule. makeP's dis-chain nop/assume/assign steps have exactly
+  // this shape.
+  static bool IsIdentityCopy(const dl::Rule& r) {
+    if (r.body.size() != 1 || !r.natives.empty()) return false;
+    const dl::Atom& b = r.body[0];
+    if (b.pred == r.head.pred) return false;
+    if (r.head.args.size() != b.args.size()) return false;
+    std::unordered_set<dl::VarSym> seen;
+    for (std::size_t i = 0; i < b.args.size(); ++i) {
+      const dl::Term& h = r.head.args[i];
+      const dl::Term& t = b.args[i];
+      if (h.kind != dl::Term::Kind::kVar || t.kind != dl::Term::Kind::kVar) {
+        return false;
+      }
+      if (h.val != t.val) return false;
+      if (!seen.insert(h.val).second) return false;  // repeated variable
+    }
+    return true;
+  }
+
+  bool DropCopyAliases(std::size_t* count) {
+    bool changed = false;
+    bool again = true;
+    while (again) {
+      again = false;
+      // Defining-rule census over the alive rules (facts included).
+      std::vector<std::size_t> defs(prog_.num_preds(), 0);
+      std::vector<std::size_t> def_rule(prog_.num_preds(), 0);
+      for (std::size_t i = 0; i < cause_.size(); ++i) {
+        if (!Alive(i)) continue;
+        ++defs[rules_[i].head.pred];
+        def_rule[rules_[i].head.pred] = i;
+      }
+      for (std::size_t p = 0; p < prog_.num_preds(); ++p) {
+        if (defs[p] != 1 || p == goal_.pred) continue;
+        const std::size_t i = def_rule[p];
+        if (!IsIdentityCopy(rules_[i])) continue;
+        const dl::PredId q = rules_[i].body[0].pred;
+        cause_[i] = RemovalCause::kCopyAliased;
+        ++*count;
+        for (std::size_t j = 0; j < cause_.size(); ++j) {
+          if (!Alive(j)) continue;
+          for (dl::Atom& a : rules_[j].body) {
+            if (a.pred == p) a.pred = q;
+          }
+        }
+        changed = again = true;
+        break;  // census is stale; rescan (chains collapse link by link)
+      }
+    }
+    return changed;
+  }
+
+  bool DropDuplicates(std::size_t* count) {
+    std::unordered_set<std::string> seen;
+    bool changed = false;
+    for (std::size_t i = 0; i < cause_.size(); ++i) {
+      if (!Alive(i)) continue;
+      if (!seen.insert(CanonicalRuleKey(rules_[i])).second) {
+        cause_[i] = RemovalCause::kDuplicate;
+        ++*count;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool DropSubsumed(std::size_t* count) {
+    std::unordered_map<dl::PredId, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < cause_.size(); ++i) {
+      if (Alive(i)) groups[rules_[i].head.pred].push_back(i);
+    }
+    bool changed = false;
+    for (const auto& [pred, members] : groups) {
+      if (members.size() < 2 ||
+          members.size() > options_.max_subsumption_group) {
+        continue;
+      }
+      for (std::size_t j : members) {
+        if (!Alive(j)) continue;
+        for (std::size_t i : members) {
+          if (i == j || !Alive(i)) continue;
+          if (Subsumes(rules_[i], rules_[j])) {
+            cause_[j] = RemovalCause::kSubsumed;
+            ++*count;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+  const dl::Program& prog_;
+  const dl::Atom goal_;
+  const DlOptOptions& options_;
+  // Working copy: aliasing rewrites these in place; indices match the
+  // input program's rule list (and cause_).
+  std::vector<dl::Rule> rules_;
+  std::vector<RemovalCause> cause_;
+};
+
+}  // namespace
+
+OptimizeResult OptimizeForQuery(const dl::Program& prog,
+                                const dl::Atom& goal,
+                                const DlOptOptions& options) {
+  assert(goal.pred < prog.num_preds());
+  Optimizer opt(prog, goal, options);
+  return opt.Run();
+}
+
+}  // namespace rapar::dlopt

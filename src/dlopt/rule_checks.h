@@ -1,0 +1,54 @@
+// Rule-level static checks over datalog::Rule (rapar_dlopt).
+//
+//   * canonicalisation & duplicate detection — rules equal up to a
+//     renaming of their (rule-local) variables are interchangeable; makeP
+//     can emit duplicates when distinct CFA edges compile to the same
+//     rule (e.g. two nop edges between the same locations);
+//   * subsumption — r subsumes r' when some substitution θ maps head(r)
+//     onto head(r') and θ(body(r)) ⊆ body(r') with θ(natives(r)) ⊆
+//     natives(r'): every instance r' derives, r derives too, so r' is
+//     redundant. Natives compare by (tag, inputs, output) and only when
+//     the tag is non-empty — an empty tag is an unknown function and
+//     defeats both checks (conservative);
+//   * range restriction — every head variable must be bound by a body
+//     atom or a native output, and every native input must be bound by
+//     the body or an *earlier* native's output (the engine's evaluation
+//     order). Violations make the engine assert; the validator reports
+//     them statically (diagnostic RA025).
+#ifndef RAPAR_DLOPT_RULE_CHECKS_H_
+#define RAPAR_DLOPT_RULE_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace rapar::dlopt {
+
+// A printable canonical form: variables renumbered in first-occurrence
+// order (head, then body, then natives). Two rules with equal keys are
+// duplicates — provided every native carries a non-empty tag; a rule with
+// an untagged native gets a unique key and never collides.
+std::string CanonicalRuleKey(const dl::Rule& rule);
+
+// True if `general` subsumes `specific` (see above). Reflexive on
+// fully-tagged rules; conservative (may return false for genuinely
+// subsumed pairs — the matcher does not search all body multisets beyond
+// a small backtracking budget).
+bool Subsumes(const dl::Rule& general, const dl::Rule& specific);
+
+struct RangeRestrictionViolation {
+  std::size_t rule_index = 0;
+  // Human-readable cause ("head variable X3 is unbound", "input of native
+  // 'leq' is unbound").
+  std::string detail;
+};
+
+// Validates every rule of `prog`; returns all violations (empty = safe to
+// evaluate).
+std::vector<RangeRestrictionViolation> ValidateRangeRestriction(
+    const dl::Program& prog);
+
+}  // namespace rapar::dlopt
+
+#endif  // RAPAR_DLOPT_RULE_CHECKS_H_

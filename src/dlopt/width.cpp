@@ -1,0 +1,134 @@
+#include "dlopt/width.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rapar::dlopt {
+
+const char* WidthClassName(WidthClass w) {
+  switch (w) {
+    case WidthClass::kEdbOnly:
+      return "edb-only";
+    case WidthClass::kLinear:
+      return "linear";
+    case WidthClass::kCache:
+      return "cache";
+    case WidthClass::kWide:
+      return "wide";
+  }
+  return "?";
+}
+
+namespace {
+
+WidthClass ClassOf(std::size_t max_idb_body, bool has_rules) {
+  if (!has_rules) return WidthClass::kEdbOnly;
+  if (max_idb_body <= 1) return WidthClass::kLinear;
+  if (max_idb_body <= 2) return WidthClass::kCache;
+  return WidthClass::kWide;
+}
+
+}  // namespace
+
+WidthReport AnalyzeWidth(const dl::Program& prog, const PredGraph& graph,
+                         std::optional<dl::PredId> query) {
+  const std::vector<bool> idb = prog.IdbPreds();
+  std::vector<bool> in_cone(graph.num_preds, true);
+  if (query.has_value()) in_cone = graph.ReachableFrom(*query);
+
+  std::vector<SccWidth> per_scc(graph.num_sccs());
+  for (std::size_t c = 0; c < graph.num_sccs(); ++c) {
+    per_scc[c].scc = c;
+    per_scc[c].recursive = graph.scc_recursive[c];
+  }
+  for (const dl::Rule& r : prog.rules()) {
+    SccWidth& w =
+        per_scc[static_cast<std::size_t>(graph.scc_of[r.head.pred])];
+    if (r.IsFact()) {
+      ++w.num_facts;
+      continue;
+    }
+    ++w.num_rules;
+    std::size_t idb_atoms = 0;
+    for (const dl::Atom& a : r.body) {
+      if (idb[a.pred]) ++idb_atoms;
+    }
+    w.max_body_atoms = std::max(w.max_body_atoms, r.body.size());
+    w.max_idb_body_atoms = std::max(w.max_idb_body_atoms, idb_atoms);
+  }
+
+  WidthReport report;
+  bool cone_recursive = false;
+  std::size_t cone_max_idb = 0;
+  bool cone_has_rules = false;
+  for (std::size_t c = 0; c < graph.num_sccs(); ++c) {
+    SccWidth& w = per_scc[c];
+    if (w.num_rules + w.num_facts == 0) continue;  // declaration-only
+    w.cls = ClassOf(w.max_idb_body_atoms, w.num_rules > 0);
+    w.linear_transform_applicable =
+        w.num_rules > 0 && w.max_body_atoms <= 3;
+    const bool scc_in_cone =
+        std::any_of(graph.sccs[c].begin(), graph.sccs[c].end(),
+                    [&](dl::PredId p) { return in_cone[p]; });
+    if (scc_in_cone) {
+      cone_has_rules = cone_has_rules || w.num_rules > 0;
+      cone_recursive = cone_recursive || w.recursive;
+      cone_max_idb = std::max(cone_max_idb, w.max_idb_body_atoms);
+      report.max_body_atoms =
+          std::max(report.max_body_atoms, w.max_body_atoms);
+    }
+    report.sccs.push_back(w);
+  }
+  report.program_cls = ClassOf(cone_max_idb, cone_has_rules);
+  report.program_recursive = cone_recursive;
+  if (!cone_recursive && cone_has_rules && query.has_value()) {
+    // Non-recursive cone: derivation height ≤ condensation height H, so a
+    // depth-first cache evaluation needs at most H·B + 1 atoms live.
+    const std::size_t h = graph.CondensationHeight(*query);
+    report.static_k_bound = h * std::max<std::size_t>(
+                                    report.max_body_atoms, 1) +
+                            1;
+  }
+  return report;
+}
+
+std::string WidthReport::ToString(const dl::Program& prog,
+                                  const PredGraph& graph) const {
+  std::string out;
+  for (const SccWidth& w : sccs) {
+    out += StrCat("scc ", w.scc, " [", WidthClassName(w.cls),
+                  w.recursive ? ", recursive" : "", "]");
+    out += StrCat(" rules=", w.num_rules, " facts=", w.num_facts,
+                  " max-body=", w.max_body_atoms,
+                  " max-idb-body=", w.max_idb_body_atoms);
+    if (w.num_rules > 0) {
+      out += StrCat("  solvers: standard");
+      if (w.cls == WidthClass::kLinear || w.cls == WidthClass::kCache) {
+        out += ", cache(⊢_k)";
+      }
+      if (w.linear_transform_applicable) out += ", linearise(Lemma 4.2)";
+    }
+    out += "  {";
+    bool first = true;
+    for (dl::PredId p : graph.sccs[w.scc]) {
+      if (!graph.mentioned[p]) continue;
+      out += StrCat(first ? "" : " ", prog.pred(p).name);
+      first = false;
+    }
+    out += "}\n";
+  }
+  out += StrCat("program: ", WidthClassName(program_cls),
+                program_recursive ? " (recursive)" : " (non-recursive)",
+                ", max body ", max_body_atoms);
+  if (static_k_bound.has_value()) {
+    out += StrCat(", static cache bound k <= ", *static_k_bound);
+  } else if (program_recursive) {
+    out += ", no static cache bound (recursive; Lemma 4.4's dynamic "
+           "O(Q0^2) bound applies)";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace rapar::dlopt

@@ -1,6 +1,8 @@
 #include "encoding/datalog_verifier.h"
 
 #include "datalog/engine.h"
+#include "dlopt/pred_graph.h"
+#include "dlopt/width.h"
 
 namespace rapar {
 
@@ -16,20 +18,39 @@ DatalogVerdict DatalogVerify(const SimplSystem& sys,
   MakePOptions mp;
   mp.goal_message = options.goal_message;
 
+  dl::Engine engine;
+  dl::EvalOptions eval_opts;
+  eval_opts.max_tuples = options.max_tuples_per_query;
+
   for (const DisGuess& guess : guesses) {
     MakePResult q = MakeP(sys, guess, mp);
     verdict.total_rules += q.prog->size();
-    dl::EvalStats stats;
-    dl::EvalOptions eval_opts;
-    eval_opts.max_tuples = options.max_tuples_per_query;
+
+    const dl::Program* prog = q.prog.get();
+    dlopt::OptimizeResult opt;
+    if (options.enable_dlopt) {
+      opt = dlopt::OptimizeForQuery(*q.prog, q.goal);
+      verdict.dlopt += opt.stats;
+      prog = &opt.prog;
+    }
+    verdict.total_rules_after += prog->size();
+    if (verdict.width_report.empty()) {
+      const dlopt::PredGraph graph = dlopt::PredGraph::Build(*prog);
+      verdict.width_report =
+          dlopt::AnalyzeWidth(*prog, graph, q.goal.pred)
+              .ToString(*prog, graph);
+    }
+
     bool derived = false;
     try {
-      derived = dl::Query(*q.prog, q.goal, &stats, eval_opts);
+      derived = engine.Solve(*prog, q.goal, eval_opts);
     } catch (const std::runtime_error&) {
       verdict.exhaustive = false;  // budget blown: result inconclusive
     }
     ++verdict.queries_evaluated;
-    verdict.total_tuples += stats.tuples;
+    verdict.total_tuples = engine.total_stats().tuples;
+    verdict.rule_firings = engine.total_stats().rule_firings;
+    verdict.join_attempts = engine.total_stats().join_attempts;
     if (derived) {
       verdict.unsafe = true;
       verdict.witness_guess = guess.ToString(sys);

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "dlopt/optimize.h"
 #include "encoding/makep.h"
 
 namespace rapar {
@@ -17,6 +18,11 @@ struct DatalogVerifierOptions {
   GuessEnumOptions guess;
   // Tuple budget per query evaluation (0 = unlimited).
   std::size_t max_tuples_per_query = 2'000'000;
+  // Run the query-driven program optimizer (src/dlopt/) on every emitted
+  // (Prog, g) before evaluation. Verdict-preserving by construction
+  // (tests/dlopt_differential_test.cpp checks it); off only for debugging
+  // or differential testing.
+  bool enable_dlopt = true;
 };
 
 struct DatalogVerdict {
@@ -26,9 +32,19 @@ struct DatalogVerdict {
   bool exhaustive = true;
   std::size_t guesses = 0;
   std::size_t queries_evaluated = 0;
-  // Aggregate Datalog statistics.
+  // Aggregate Datalog statistics (per-solve, summed by dl::Engine).
   std::size_t total_tuples = 0;
-  std::size_t total_rules = 0;
+  std::size_t total_rules = 0;        // emitted by makeP, pre-dlopt
+  std::size_t total_rules_after = 0;  // evaluated after dlopt pruning
+  std::size_t rule_firings = 0;
+  std::size_t join_attempts = 0;
+  // Aggregate optimizer statistics over all evaluated guesses (zero when
+  // dlopt is disabled; rules_before/after mirror total_rules{,_after}).
+  dlopt::DlOptStats dlopt;
+  // Static width/solver classification of the first guess's optimized
+  // program (the makeP shape is uniform across guesses), empty when no
+  // guess was evaluated.
+  std::string width_report;
   // The witnessing guess (pretty-printed) when unsafe.
   std::string witness_guess;
 };

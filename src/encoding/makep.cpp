@@ -88,6 +88,7 @@ class Builder {
   static Native LeqCheck(Term a, Term b) {
     Native n;
     n.name = "leq";
+    n.tag = "leq";
     n.inputs = {a, b};
     n.fn = [](std::span<const Sym> in, Sym*) { return in[0] <= in[1]; };
     return n;
@@ -96,6 +97,7 @@ class Builder {
   static Native MaxFn(Term a, Term b, dl::VarSym out) {
     Native n;
     n.name = "max";
+    n.tag = "max";
     n.inputs = {a, b};
     n.output = out;
     n.fn = [](std::span<const Sym> in, Sym* o) {
@@ -108,6 +110,7 @@ class Builder {
   Native ExprCheck(const ExprPtr& expr) const {
     Native n;
     n.name = "assume";
+    n.tag = StrCat("assume:", expr->ToString(sys_.env->program().regs()));
     for (std::size_t r = 0; r < m_; ++r) {
       n.inputs.push_back(V(static_cast<dl::VarSym>(r)));
     }
@@ -125,6 +128,7 @@ class Builder {
   Native ExprFn(const ExprPtr& expr, dl::VarSym out) const {
     Native n;
     n.name = "eval";
+    n.tag = StrCat("eval:", expr->ToString(sys_.env->program().regs()));
     for (std::size_t r = 0; r < m_; ++r) {
       n.inputs.push_back(V(static_cast<dl::VarSym>(r)));
     }

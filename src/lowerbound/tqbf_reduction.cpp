@@ -32,17 +32,25 @@ class ReductionBuilder {
     tmp_ = regs_.Add("tmp");
   }
 
-  Program Build() {
+  Program Build(bool assert_in_env = true) {
     std::vector<StmtPtr> roles;
     roles.push_back(Ag());
     roles.push_back(Satc());
     for (int i = qbf_.n - 1; i >= 0; --i) roles.push_back(Fe(i));
-    roles.push_back(AssertRole());
+    if (assert_in_env) roles.push_back(AssertRole());
     // one := 1 precedes the role choice (PureRA store source).
     StmtPtr body =
         SSeq(SAssign(one_, EConst(1)), SChoiceN(std::move(roles)));
     return Program("tqbf_env", vars_, regs_, /*dom=*/2, std::move(body));
   }
+
+  // The asserting role as a standalone program (same symbol tables), for
+  // the distinguished-thread variant of the reduction.
+  Program BuildAssertThread() {
+    return Program("tqbf_assert", vars_, regs_, /*dom=*/2, AssertRole());
+  }
+
+  VarId WitnessVar(int level, int j) const { return a_[level][j]; }
 
  private:
   static std::string VarName(int b) {
@@ -153,6 +161,27 @@ Program TqbfToPureRa(const Qbf& qbf) {
 Expected<ParamSystem> TqbfSystem(const Qbf& qbf) {
   ParamSystem::Builder b;
   b.Env(TqbfToPureRa(qbf));
+  return b.Build();
+}
+
+TqbfWitnessQuery TqbfLevelQuery(const Qbf& qbf, int level, int j) {
+  assert(qbf.matrix != nullptr);
+  assert(level >= 0 && level <= qbf.n);
+  assert(j == 0 || j == 1);
+  ReductionBuilder builder(qbf);
+  ParamSystem::Builder b;
+  b.Env(builder.Build(/*assert_in_env=*/false));
+  return TqbfWitnessQuery{b.Build(), builder.WitnessVar(level, j),
+                          Value{1}};
+}
+
+Expected<ParamSystem> TqbfDisSystem(const Qbf& qbf) {
+  assert(qbf.matrix != nullptr);
+  ReductionBuilder builder(qbf);
+  Program env = builder.Build(/*assert_in_env=*/false);
+  Program assert_thread = builder.BuildAssertThread();
+  ParamSystem::Builder b;
+  b.Env(std::move(env)).Dis(std::move(assert_thread));
   return b.Build();
 }
 

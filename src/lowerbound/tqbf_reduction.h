@@ -34,6 +34,29 @@ Program TqbfToPureRa(const Qbf& qbf);
 // Convenience: the full parameterized system (no dis threads).
 Expected<ParamSystem> TqbfSystem(const Qbf& qbf);
 
+// The same reduction with the asserting role as the distinguished
+// thread: env keeps the guesser/checker roles, dis reads both level-0
+// witnesses and fails the assertion. Unsafe iff Ψ is true, exactly like
+// TqbfSystem, but the verdict goes through the dis-run guess machinery
+// (Lemmas 4.3/4.4) instead of the goal-message shortcut.
+Expected<ParamSystem> TqbfDisSystem(const Qbf& qbf);
+
+// The witness-generation form of the reduction — the induction behind
+// Theorem 5.1 stated as MG queries (§4.1): drop the assert role and ask
+// whether the level-i witness message (a_{i,j}, 1) can be generated.
+// (a_{i,1}, 1) is generable iff the quantifier suffix from level i is
+// true with u_i = 1, and (a_{i,0}, 1) likewise with u_i = 0; by
+// parameterized monotonicity Ψ is true iff both level-0 witnesses are
+// generable. Higher levels involve fewer roles, so the MG query's
+// backward cone shrinks with i — the family that exercises query-driven
+// demand slicing on the hardness construction.
+struct TqbfWitnessQuery {
+  Expected<ParamSystem> system;  // AG/SATC/FE roles only, no assert
+  VarId goal_var;                // a_{level,j}
+  Value goal_value;              // 1
+};
+TqbfWitnessQuery TqbfLevelQuery(const Qbf& qbf, int level, int j = 0);
+
 }  // namespace rapar
 
 #endif  // RAPAR_LOWERBOUND_TQBF_REDUCTION_H_

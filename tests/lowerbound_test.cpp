@@ -137,6 +137,49 @@ TEST_P(TqbfRandomTest, ReductionAgreesWithDirectEvaluation) {
 INSTANTIATE_TEST_SUITE_P(Corpus, TqbfRandomTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+TEST(TqbfReductionTest, DisVariantAgreesWithEnvOnlyForm) {
+  // The asserting role as the distinguished thread reaches the same
+  // verdict as the env-only system.
+  for (std::uint64_t seed : {3u, 7u, 42u}) {
+    Rng rng(seed);
+    const int n = static_cast<int>(seed % 2);
+    Qbf qbf = RandomQbf(rng, n, 4);
+    Expected<ParamSystem> sys = TqbfDisSystem(qbf);
+    ASSERT_TRUE(sys.ok()) << sys.error();
+    SafetyVerifier verifier(sys.value());
+    VerifierOptions opts;
+    opts.time_budget_ms = 60'000;
+    Verdict v = verifier.Verify(opts);
+    ASSERT_NE(v.result, Verdict::Result::kUnknown) << qbf.ToString();
+    EXPECT_EQ(v.unsafe(), EvalQbf(qbf)) << qbf.ToString();
+  }
+}
+
+TEST(TqbfReductionTest, LevelQueriesRealiseTheInduction) {
+  // Ψ is true iff both level-0 witness messages are generable
+  // (parameterized monotonicity merges the two MG executions), and the
+  // top-level witness is generable iff some branch of the matrix check
+  // completes for that value of u_n.
+  for (std::uint64_t seed : {5u, 11u, 42u}) {
+    Rng rng(seed);
+    const int n = 1;
+    Qbf qbf = RandomQbf(rng, n, 4);
+    bool both = true;
+    for (int j = 0; j < 2; ++j) {
+      TqbfWitnessQuery q = TqbfLevelQuery(qbf, 0, j);
+      ASSERT_TRUE(q.system.ok()) << q.system.error();
+      SafetyVerifier verifier(q.system.value());
+      VerifierOptions opts;
+      opts.time_budget_ms = 60'000;
+      Verdict v = verifier.VerifyMessageGeneration(q.goal_var,
+                                                   q.goal_value, opts);
+      ASSERT_NE(v.result, Verdict::Result::kUnknown) << qbf.ToString();
+      both = both && v.unsafe();
+    }
+    EXPECT_EQ(both, EvalQbf(qbf)) << qbf.ToString();
+  }
+}
+
 // --- Theorem 1.1 construction -------------------------------------------------
 
 // inc, inc, dec, dec, jz -> halt.
