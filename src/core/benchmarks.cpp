@@ -60,6 +60,43 @@ BenchmarkCase ProducerConsumer(int z) {
   return c;
 }
 
+BenchmarkCase ProducerConsumerSafe(int z) {
+  const int dom = z + 2;
+  std::string producer =
+      StrCat("program producer\nvars x y\nregs r s\ndom ", dom,
+             "\nbegin\n  r := y;\n  assume (r == 1);\n");
+  if (z == 1) {
+    producer += "  s := 1;\n  x := s\n";
+  } else {
+    producer += "  choice {\n";
+    for (int i = 1; i <= z; ++i) {
+      producer += StrCat("    s := ", i, ";\n    x := s\n");
+      producer += (i < z) ? "  } or {\n" : "  }\n";
+    }
+  }
+  producer += "end\n";
+
+  std::string consumer = StrCat(
+      "program consumer\nvars x y\nregs s one\ndom ", dom,
+      "\nbegin\n  one := 1;\n  y := one;\n");
+  for (int i = 1; i <= z + 1; ++i) {
+    consumer += StrCat("  s := x;\n  assume (s == ", i, ");\n");
+  }
+  consumer += "  assert false\nend\n";
+
+  ParamSystem::Builder b;
+  b.Env(MustParse(producer)).Dis(MustParse(consumer));
+  BenchmarkCase c{
+      StrCat("producer-consumer-safe(z=", z, ")"),
+      "env(nocas) || dis(acyc)",
+      "Safe producer-consumer: producers publish only 1..z but the "
+      "consumer's last demand is z+1, so the assertion is unreachable "
+      "for every instance size (safe).",
+      MustBuild(b),
+      /*expected_unsafe=*/false};
+  return c;
+}
+
 BenchmarkCase PetersonRa() {
   // Entry protocol per thread, one-shot (wait loops re-modelled as
   // load+assume per §1 of the paper). Critical-section overlap is

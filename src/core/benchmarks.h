@@ -29,6 +29,12 @@ struct BenchmarkCase {
 
 // Figure 1/3: producer-consumer; consumer demands values 1..z.
 BenchmarkCase ProducerConsumer(int z);
+// Safe variant: the consumer additionally demands the value z+1, which no
+// producer ever publishes — the assertion is unreachable. Verifying it
+// requires the exhaustive guess enumeration (no early exit), which makes
+// the family a join-heavy workload for engine benchmarking; not part of
+// StandardBenchmarks().
+BenchmarkCase ProducerConsumerSafe(int z);
 // Peterson's mutual exclusion (RA version, no SC fences): unsafe under RA.
 BenchmarkCase PetersonRa();
 // Dekker-style store-buffering mutual exclusion core: unsafe under RA.

@@ -71,6 +71,16 @@ std::string Verdict::ToString() const {
   out += ")";
   if (prepass.Any()) out += StrCat(" [prepass: ", prepass.ToString(), "]");
   if (dlopt.Any()) out += StrCat(" [dlopt: ", dlopt.ToString(), "]");
+  if (rule_firings > 0 || join_attempts > 0) {
+    out += StrCat(" [engine: firings=", rule_firings,
+                  ", joins=", join_attempts);
+    if (index_builds > 0) {
+      out += StrCat(", index probes=", index_probes, " hits=", index_hits,
+                    " builds=", index_builds);
+    }
+    if (fact_reuses > 0) out += StrCat(", edb reuses=", fact_reuses);
+    out += "]";
+  }
   return out;
 }
 
@@ -163,6 +173,7 @@ Verdict SafetyVerifier::RunDatalog(
   opts.goal_message = goal;
   opts.guess.max_guesses = options.max_guesses;
   opts.enable_dlopt = options.enable_dlopt;
+  opts.engine = options.engine;
   DatalogVerdict dv = DatalogVerify(prep.simpl, opts);
   Verdict v;
   v.prepass = prep.stats;
@@ -170,6 +181,10 @@ Verdict SafetyVerifier::RunDatalog(
   v.tuples = dv.total_tuples;
   v.rule_firings = dv.rule_firings;
   v.join_attempts = dv.join_attempts;
+  v.index_probes = dv.index_probes;
+  v.index_hits = dv.index_hits;
+  v.index_builds = dv.index_builds;
+  v.fact_reuses = dv.fact_reuses;
   v.dlopt = dv.dlopt;
   v.width_report = dv.width_report;
   if (dv.unsafe) {

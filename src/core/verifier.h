@@ -21,6 +21,7 @@
 
 #include "analysis/prepass.h"
 #include "core/param_system.h"
+#include "datalog/engine.h"
 #include "dlopt/optimize.h"
 
 namespace rapar {
@@ -42,6 +43,11 @@ struct VerifierOptions {
   // specialization, dedup/subsumption — see src/dlopt/optimize.h) before
   // evaluation. Verdict-preserving; pruned counts land in Verdict::dlopt.
   bool enable_dlopt = true;
+  // kDatalog: evaluation-core tuning — argument-hash join indexes,
+  // cheapest-first body ordering, EDB snapshot reuse across guesses
+  // (dl::EngineOptions). All on by default; the bench_backends index
+  // ablation flips them off to measure the effect.
+  dl::EngineOptions engine;
   // kConcrete: number of env threads in the instance.
   int concrete_env_threads = 2;
   // Resource bounds (apply per backend as applicable).
@@ -65,6 +71,13 @@ struct Verdict {
   // Datalog backend engine counters (summed across query instances).
   std::size_t rule_firings = 0;
   std::size_t join_attempts = 0;
+  // Argument-hash index counters (zero with indexing disabled or on other
+  // backends), and the number of solves that re-seeded the previous
+  // guess's EDB snapshot instead of rebuilding the fact database.
+  std::size_t index_probes = 0;
+  std::size_t index_hits = 0;
+  std::size_t index_builds = 0;
+  std::size_t fact_reuses = 0;
   // Human-readable witness (step trace or guess) when unsafe.
   std::string witness;
   // §4.3: over-approximate number of env threads sufficient to exhibit

@@ -1,9 +1,11 @@
 #include "datalog/engine.h"
 
 #include <cassert>
+#include <cstdint>
 #include <deque>
-#include <stdexcept>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 
 namespace rapar::dl {
 
@@ -68,78 +70,450 @@ bool Match(const std::vector<Term>& pattern, const std::vector<Sym>& tuple,
   return true;
 }
 
+// --- input validation -------------------------------------------------------
+//
+// These conditions were previously assert-only, i.e. undefined behavior in
+// NDEBUG builds (reading Term::val of a variable as a constant, or
+// dereferencing an empty optional for an unbound native input). They are
+// now checked once per evaluation and reported as std::invalid_argument.
+
+void ValidateGoal(const Program& prog, const Atom& goal) {
+  if (goal.pred >= prog.num_preds()) {
+    throw std::invalid_argument("datalog goal: unknown predicate id " +
+                                std::to_string(goal.pred));
+  }
+  const PredInfo& info = prog.pred(goal.pred);
+  if (goal.args.size() != info.arity) {
+    throw std::invalid_argument(
+        "datalog goal: arity mismatch for '" + info.name + "': got " +
+        std::to_string(goal.args.size()) + " args, declared " +
+        std::to_string(info.arity));
+  }
+  for (const Term& t : goal.args) {
+    if (t.kind != Term::Kind::kConst) {
+      throw std::invalid_argument("datalog goal: atom on '" + info.name +
+                                  "' is not ground (has a variable)");
+    }
+  }
+}
+
+// Range restriction / rule safety, the engine-side mirror of
+// dlopt::ValidateRangeRestriction: every native input must be bound by the
+// body or an earlier native's output (natives run after the body join, in
+// order), and every head variable by the body or some native output. Also
+// checks every atom against its predicate's declared arity, which the join
+// relies on (Match unifies positionally).
+void ValidateProgram(const Program& prog) {
+  std::vector<char> bound;
+  for (std::size_t ri = 0; ri < prog.rules().size(); ++ri) {
+    const Rule& r = prog.rules()[ri];
+    auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("datalog rule #" + std::to_string(ri) +
+                                  " is unsafe (" + why + "): " +
+                                  prog.RuleToString(r));
+    };
+    auto check_arity = [&](const Atom& a) {
+      if (a.pred >= prog.num_preds()) fail("unknown predicate id");
+      if (a.args.size() != prog.pred(a.pred).arity) {
+        fail("arity mismatch on '" + prog.pred(a.pred).name + "'");
+      }
+    };
+    check_arity(r.head);
+    bound.assign(MaxVar(r), 0);
+    for (const Atom& a : r.body) {
+      check_arity(a);
+      for (const Term& t : a.args) {
+        if (t.kind == Term::Kind::kVar) bound[t.val] = 1;
+      }
+    }
+    for (const Native& n : r.natives) {
+      for (const Term& t : n.inputs) {
+        if (t.kind == Term::Kind::kVar && !bound[t.val]) {
+          fail("input of native '" + n.name +
+               "' is not bound by the body or an earlier native");
+        }
+      }
+      if (n.output.has_value()) bound[*n.output] = 1;
+    }
+    for (const Term& t : r.head.args) {
+      if (t.kind == Term::Kind::kVar && !bound[t.val]) {
+        fail("head variable is not bound by the body or a native output");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// --- reusable evaluator state -----------------------------------------------
+
+// A lazy hash index over one predicate's extension for one bound-position
+// signature (bit i set = argument i is a lookup key). `consumed` counts
+// how many tuples of the extension have been folded in; probes catch the
+// index up incrementally before reading, so emission stays O(1) and only
+// signatures a join actually demands are ever built.
+struct ArgIndex {
+  std::size_t consumed = 0;
+  std::unordered_map<std::vector<Sym>, std::vector<std::uint32_t>,
+                     rapar::VectorHash<Sym>>
+      buckets;
+};
+
+// State that persists across Engine::Solve calls: the database, worklist,
+// binding frames, join-order scratch and argument-hash indexes keep their
+// allocations, and the seeded-EDB snapshot lets a solve whose fact set
+// matches the previous one skip re-seeding entirely.
+struct EvaluatorArena {
+  Database db{0};
+  std::deque<std::pair<PredId, std::uint32_t>> work;
+  // pred -> (rule index, body position) of every body occurrence.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      rule_index;
+  std::vector<std::uint32_t> max_var;  // per rule
+  // pred -> signature mask -> index.
+  std::vector<std::unordered_map<std::uint64_t, ArgIndex>> indexes;
+  Bindings env;
+  std::vector<std::vector<std::uint32_t>> scratch;  // per join depth
+  std::vector<Sym> keybuf;
+  std::vector<std::uint32_t> order_buf;
+  std::vector<char> picked;
+  std::vector<char> planned_bound;
+  std::vector<std::uint8_t> own_growth;  // fallback hints (0 = EDB, 2 = IDB)
+
+  // Seeded-EDB snapshot of the previous solve. `facts_valid` holds only
+  // when `db`'s first `base_counts[p]` tuples of every predicate are
+  // exactly the facts described by `fact_flat` (flattened, exact — no
+  // fingerprint collisions).
+  bool facts_valid = false;
+  std::vector<Sym> fact_flat;
+  std::vector<std::size_t> base_counts;
+  // (pred, tuple index) of each seeded fact in emission order: reuse
+  // replays the exact worklist of a fresh seeding, so derivation order —
+  // and with it early-exit statistics — is identical either way.
+  std::vector<std::pair<PredId, std::uint32_t>> fact_order;
+  std::size_t fact_firings = 0;
+  std::size_t fact_tuples = 0;
+};
+
+namespace {
+
+// Flattens the program's facts (pred, args...) for exact EDB-reuse
+// comparison across solves. Deliberately excludes the predicate count:
+// the Datalog backend's per-guess programs share their EDB but differ in
+// derived-only predicates (guess-specific dis-chain lengths), and the
+// rollback adapts the database's predicate count separately.
+void FlattenFacts(const Program& prog, std::vector<Sym>* out) {
+  out->clear();
+  for (const Rule& r : prog.rules()) {
+    if (!r.IsFact()) continue;
+    out->push_back(r.head.pred);
+    out->push_back(static_cast<Sym>(r.head.args.size()));
+    for (const Term& t : r.head.args) out->push_back(t.val);
+  }
+}
+
 class Evaluator {
  public:
   Evaluator(const Program& prog, const Atom* goal, EvalStats* stats,
-            const EvalOptions& options)
+            const EvalOptions& options, EvaluatorArena& a, bool allow_reuse,
+            bool* reused_out)
       : prog_(prog),
         goal_(goal),
         stats_(stats),
         options_(options),
-        db_(prog.num_preds()) {
-    // Index: predicate -> (rule index, body position).
-    rule_index_.resize(prog.num_preds());
-    for (std::size_t ri = 0; ri < prog.rules().size(); ++ri) {
-      const Rule& r = prog.rules()[ri];
-      for (std::size_t bi = 0; bi < r.body.size(); ++bi) {
-        rule_index_[r.body[bi].pred].push_back({ri, bi});
-      }
-    }
-  }
+        a_(a),
+        allow_reuse_(allow_reuse && options.engine.reuse_facts),
+        reused_out_(reused_out) {}
 
-  // Returns true if the goal was derived (always false without a goal).
+  // Returns true if the goal was derived (always false without a goal or
+  // with early_exit off; Query's fallback membership check covers those).
   bool Run() {
-    // Seed with facts and with rules whose body is empty but have natives
-    // (treated as facts after native evaluation).
-    for (const Rule& r : prog_.rules()) {
-      if (!r.body.empty()) continue;
-      Bindings env;
-      env.Reset(MaxVar(r));
-      if (EvalNativesAndEmit(r, env, 0)) return true;
+    SetUpRules();
+    if (goal_ != nullptr) {
+      goal_tuple_.clear();
+      for (const Term& t : goal_->args) goal_tuple_.push_back(t.val);
     }
-    // Worklist: process newly derived tuples.
-    while (!work_.empty()) {
-      auto [pred, idx] = work_.front();
-      work_.pop_front();
-      const std::vector<Sym> tuple = db_.Tuples(pred)[idx];
-      for (auto [ri, bi] : rule_index_[pred]) {
+    bool reused = false;
+    if (SeedFacts(&reused)) return true;
+    if (reused_out_ != nullptr) *reused_out_ = reused;
+    // Body-less rules with natives seed like facts, after native eval.
+    for (const Rule& r : prog_.rules()) {
+      if (!r.body.empty() || r.IsFact()) continue;
+      a_.env.Reset(MaxVar(r));
+      if (EvalNativesAndEmit(r, 0)) return true;
+    }
+    // Worklist: join each newly derived tuple as the delta of every body
+    // occurrence of its predicate.
+    while (!a_.work.empty()) {
+      const auto [pred, idx] = a_.work.front();
+      a_.work.pop_front();
+      const std::vector<Sym> tuple = a_.db.Tuples(pred)[idx];
+      for (const auto& [ri, bi] : a_.rule_index[pred]) {
         const Rule& r = prog_.rules()[ri];
-        Bindings env;
-        env.Reset(MaxVar(r));
-        if (!Match(r.body[bi].args, tuple, env)) continue;
-        if (JoinRest(r, env, 0, bi)) return true;
+        a_.env.Reset(a_.max_var[ri]);
+        if (!Match(r.body[bi].args, tuple, a_.env)) continue;
+        PlanOrder(r, ri, bi);
+        if (JoinOrdered(r, 0)) return true;
       }
     }
     return false;
   }
-
-  Database TakeDb() { return std::move(db_); }
 
  private:
-  // Joins body atoms other than the delta position `skip`, starting from
-  // body index `at`; then evaluates natives and emits the head.
-  bool JoinRest(const Rule& r, Bindings& env, std::size_t at,
-                std::size_t skip) {
-    if (at == r.body.size()) return EvalNativesAndEmit(r, env, 0);
-    if (at == skip) return JoinRest(r, env, at + 1, skip);
-    const Atom& atom = r.body[at];
-    // Index-based scan over a size snapshot: the recursion below can Emit
-    // into atom.pred, reallocating its tuple storage. Tuples inserted
-    // mid-scan are joined later via their own worklist delta.
-    const std::size_t n = db_.Tuples(atom.pred).size();
+  void SetUpRules() {
+    const std::size_t np = prog_.num_preds();
+    a_.rule_index.resize(np);
+    for (auto& v : a_.rule_index) v.clear();
+    a_.max_var.clear();
+    std::size_t max_body = 1;
+    for (std::size_t ri = 0; ri < prog_.rules().size(); ++ri) {
+      const Rule& r = prog_.rules()[ri];
+      a_.max_var.push_back(static_cast<std::uint32_t>(MaxVar(r)));
+      if (r.body.size() > max_body) max_body = r.body.size();
+      for (std::size_t bi = 0; bi < r.body.size(); ++bi) {
+        a_.rule_index[r.body[bi].pred].push_back(
+            {static_cast<std::uint32_t>(ri), static_cast<std::uint32_t>(bi)});
+      }
+    }
+    if (a_.scratch.size() < max_body) a_.scratch.resize(max_body);
+    a_.indexes.resize(np);
+    a_.work.clear();
+    if (options_.hints == nullptr && options_.engine.reorder_joins) {
+      a_.own_growth.assign(np, 0);
+      for (const Rule& r : prog_.rules()) {
+        if (!r.IsFact()) a_.own_growth[r.head.pred] = 2;
+      }
+    }
+  }
+
+  // Seeds the EDB: either rolls the database back to the previous solve's
+  // fact snapshot (same fact set) or re-inserts every fact. Returns true
+  // when a fact is the goal and evaluation can stop immediately.
+  bool SeedFacts(bool* reused) {
+    FlattenFacts(prog_, &flat_);
+    const std::size_t np = prog_.num_preds();
+    bool can_reuse = allow_reuse_ && a_.facts_valid && flat_ == a_.fact_flat;
+    if (can_reuse) {
+      // Roll back to the fact snapshot and adapt the predicate count.
+      // Matching fact sequences guarantee every fact predicate exists in
+      // both programs, so extensions dropped by a shrink are empty.
+      a_.db.TruncateTo(a_.base_counts);
+      a_.db.SetNumPreds(np);
+      a_.base_counts.resize(np, 0);
+      if (goal_ != nullptr && options_.early_exit &&
+          a_.db.Contains(goal_->pred, goal_tuple_)) {
+        // A goal that is itself a fact would early-exit partway through a
+        // fresh seeding; take the fresh path so statistics stay identical
+        // whether or not the snapshot is reused (the solve is trivially
+        // cheap either way).
+        can_reuse = false;
+      }
+    }
+    if (can_reuse) {
+      *reused = true;
+      total_tuples_ = 0;
+      for (std::size_t p = 0; p < a_.base_counts.size(); ++p) {
+        total_tuples_ += a_.base_counts[p];
+        // Indexes that consumed derived tuples are stale; EDB-only
+        // indexes (consumed within the fact snapshot) survive rollback.
+        for (auto& [mask, ix] : a_.indexes[p]) {
+          if (ix.consumed > a_.base_counts[p]) {
+            ix.buckets.clear();
+            ix.consumed = 0;
+          }
+        }
+      }
+      // Replay the fresh seeding's exact worklist order.
+      a_.work.insert(a_.work.end(), a_.fact_order.begin(),
+                     a_.fact_order.end());
+      if (stats_ != nullptr) {
+        stats_->rule_firings += a_.fact_firings;
+        stats_->tuples += a_.fact_tuples;
+      }
+      if (options_.max_tuples != 0 && total_tuples_ > options_.max_tuples) {
+        throw BudgetExceeded(options_.max_tuples);
+      }
+      return false;
+    }
+    // Fresh seeding: the snapshot is invalid until completed.
+    *reused = false;
+    a_.facts_valid = false;
+    a_.db.Reset(prog_.num_preds());
+    for (auto& per_pred : a_.indexes) {
+      for (auto& [mask, ix] : per_pred) {
+        ix.buckets.clear();
+        ix.consumed = 0;
+      }
+    }
+    total_tuples_ = 0;
+    seeding_firings_ = 0;
+    seeding_tuples_ = 0;
+    seeding_ = true;
+    for (const Rule& r : prog_.rules()) {
+      if (!r.IsFact()) continue;
+      a_.env.Reset(0);
+      if (EvalNativesAndEmit(r, 0)) {
+        seeding_ = false;
+        return true;  // a fact was the goal; snapshot stays invalid
+      }
+    }
+    seeding_ = false;
+    a_.fact_flat = std::move(flat_);
+    a_.base_counts.assign(prog_.num_preds(), 0);
+    for (std::size_t p = 0; p < prog_.num_preds(); ++p) {
+      a_.base_counts[p] = a_.db.Tuples(static_cast<PredId>(p)).size();
+    }
+    a_.fact_order.assign(a_.work.begin(), a_.work.end());
+    a_.fact_firings = seeding_firings_;
+    a_.fact_tuples = seeding_tuples_;
+    a_.facts_valid = true;
+    return false;
+  }
+
+  std::uint8_t GrowthOf(PredId p) const {
+    if (options_.hints != nullptr && p < options_.hints->growth.size()) {
+      return options_.hints->growth[p];
+    }
+    return p < a_.own_growth.size() ? a_.own_growth[p] : 2;
+  }
+
+  // Chooses the join order for the body atoms other than the delta
+  // position `skip`: cheapest-first by (has a bound argument, live
+  // extension cardinality, growth class). With reordering disabled the
+  // original body order is kept (the legacy scan behavior).
+  void PlanOrder(const Rule& r, std::size_t ri, std::size_t skip) {
+    a_.order_buf.clear();
+    const std::size_t b = r.body.size();
+    if (b <= 1) return;
+    if (!options_.engine.reorder_joins) {
+      for (std::size_t i = 0; i < b; ++i) {
+        if (i != skip) a_.order_buf.push_back(static_cast<std::uint32_t>(i));
+      }
+      return;
+    }
+    a_.picked.assign(b, 0);
+    a_.picked[skip] = 1;
+    a_.planned_bound.assign(a_.max_var[ri], 0);
+    for (const Term& t : r.body[skip].args) {
+      if (t.kind == Term::Kind::kVar) a_.planned_bound[t.val] = 1;
+    }
+    for (std::size_t step = 1; step < b; ++step) {
+      std::size_t best = b;
+      bool best_bound = false;
+      std::size_t best_n = 0;
+      std::uint8_t best_growth = 0;
+      for (std::size_t i = 0; i < b; ++i) {
+        if (a_.picked[i]) continue;
+        const Atom& atom = r.body[i];
+        const std::size_t n = a_.db.Tuples(atom.pred).size();
+        bool has_bound = false;
+        for (const Term& t : atom.args) {
+          if (t.kind == Term::Kind::kConst ||
+              (t.kind == Term::Kind::kVar && a_.planned_bound[t.val])) {
+            has_bound = true;
+            break;
+          }
+        }
+        const std::uint8_t growth = GrowthOf(atom.pred);
+        const bool better =
+            best == b ||
+            std::make_tuple(!has_bound, n, growth) <
+                std::make_tuple(!best_bound, best_n, best_growth);
+        if (better) {
+          best = i;
+          best_bound = has_bound;
+          best_n = n;
+          best_growth = growth;
+        }
+      }
+      a_.picked[best] = 1;
+      a_.order_buf.push_back(static_cast<std::uint32_t>(best));
+      for (const Term& t : r.body[best].args) {
+        if (t.kind == Term::Kind::kVar) a_.planned_bound[t.val] = 1;
+      }
+    }
+  }
+
+  // Joins the body atoms in the planned order, starting at order index
+  // `oi`; then evaluates natives and emits the head.
+  bool JoinOrdered(const Rule& r, std::size_t oi) {
+    if (oi == a_.order_buf.size()) return EvalNativesAndEmit(r, 0);
+    const Atom& atom = r.body[a_.order_buf[oi]];
+    const auto& ext = a_.db.Tuples(atom.pred);
+    // Size snapshot: the recursion below can Emit into atom.pred,
+    // growing its extension. Tuples inserted mid-join are joined later
+    // via their own worklist delta.
+    const std::size_t n = ext.size();
+    if (options_.engine.use_index && atom.args.size() <= 64) {
+      std::uint64_t mask = 0;
+      a_.keybuf.clear();
+      for (std::size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& t = atom.args[i];
+        if (t.kind == Term::Kind::kConst) {
+          mask |= std::uint64_t{1} << i;
+          a_.keybuf.push_back(t.val);
+        } else if (a_.env.Bound(t.val)) {
+          mask |= std::uint64_t{1} << i;
+          a_.keybuf.push_back(a_.env.Get(t.val));
+        }
+      }
+      if (mask != 0) return ProbeIndexed(r, oi, atom, mask, n);
+    }
     for (std::size_t ti = 0; ti < n; ++ti) {
       if (stats_ != nullptr) ++stats_->join_attempts;
-      const std::size_t mark = env.Mark();
-      if (Match(atom.args, db_.Tuples(atom.pred)[ti], env)) {
-        if (JoinRest(r, env, at + 1, skip)) return true;
+      const std::size_t mark = a_.env.Mark();
+      if (Match(atom.args, a_.db.Tuples(atom.pred)[ti], a_.env)) {
+        if (JoinOrdered(r, oi + 1)) return true;
       }
-      env.Undo(mark);
+      a_.env.Undo(mark);
     }
     return false;
   }
 
-  bool EvalNativesAndEmit(const Rule& r, Bindings& env, std::size_t at) {
-    if (at == r.natives.size()) return Emit(r, env);
+  // Indexed probe: candidates come from the (pred, mask) bucket keyed by
+  // the bound argument values in `keybuf` instead of a full scan.
+  bool ProbeIndexed(const Rule& r, std::size_t oi, const Atom& atom,
+                    std::uint64_t mask, std::size_t n) {
+    auto [it, fresh] = a_.indexes[atom.pred].try_emplace(mask);
+    ArgIndex& ix = it->second;
+    if (fresh && stats_ != nullptr) ++stats_->index_builds;
+    // Catch the index up over tuples emitted since the last probe.
+    const auto& ext = a_.db.Tuples(atom.pred);
+    if (ix.consumed < n) {
+      for (std::size_t ti = ix.consumed; ti < n; ++ti) {
+        catchup_key_.clear();
+        const std::vector<Sym>& tup = ext[ti];
+        for (std::size_t i = 0; i < tup.size(); ++i) {
+          if (mask & (std::uint64_t{1} << i)) catchup_key_.push_back(tup[i]);
+        }
+        ix.buckets[catchup_key_].push_back(static_cast<std::uint32_t>(ti));
+      }
+      ix.consumed = n;
+    }
+    if (stats_ != nullptr) ++stats_->index_probes;
+    const auto bucket = ix.buckets.find(a_.keybuf);
+    if (bucket == ix.buckets.end()) return false;
+    // Copy the candidate list: recursion below may rehash the bucket map
+    // (deeper probes catch up the same index) or grow this bucket.
+    std::vector<std::uint32_t>& cands = a_.scratch[oi];
+    cands.clear();
+    for (const std::uint32_t ti : bucket->second) {
+      if (ti < n) cands.push_back(ti);
+    }
+    if (stats_ != nullptr) stats_->index_hits += cands.size();
+    for (const std::uint32_t ti : cands) {
+      if (stats_ != nullptr) ++stats_->join_attempts;
+      const std::size_t mark = a_.env.Mark();
+      if (Match(atom.args, a_.db.Tuples(atom.pred)[ti], a_.env)) {
+        if (JoinOrdered(r, oi + 1)) return true;
+      }
+      a_.env.Undo(mark);
+    }
+    return false;
+  }
+
+  bool EvalNativesAndEmit(const Rule& r, std::size_t at) {
+    if (at == r.natives.size()) return Emit(r);
     const Native& n = r.natives[at];
     std::vector<Sym> inputs;
     inputs.reserve(n.inputs.size());
@@ -147,57 +521,53 @@ class Evaluator {
       if (t.kind == Term::Kind::kConst) {
         inputs.push_back(t.val);
       } else {
-        assert(env.Bound(t.val) && "native input must be bound");
-        inputs.push_back(env.Get(t.val));
+        // Guaranteed bound by ValidateProgram.
+        assert(a_.env.Bound(t.val) && "native input must be bound");
+        inputs.push_back(a_.env.Get(t.val));
       }
     }
     Sym out = 0;
     if (!n.fn(inputs, &out)) return false;
-    const std::size_t mark = env.Mark();
+    const std::size_t mark = a_.env.Mark();
     if (n.output.has_value()) {
-      if (env.Bound(*n.output)) {
-        if (env.Get(*n.output) != out) return false;
+      if (a_.env.Bound(*n.output)) {
+        if (a_.env.Get(*n.output) != out) return false;
       } else {
-        env.Bind(*n.output, out);
+        a_.env.Bind(*n.output, out);
       }
     }
-    bool found = EvalNativesAndEmit(r, env, at + 1);
-    if (!found) env.Undo(mark);
+    const bool found = EvalNativesAndEmit(r, at + 1);
+    if (!found) a_.env.Undo(mark);
     return found;
   }
 
-  bool Emit(const Rule& r, Bindings& env) {
+  bool Emit(const Rule& r) {
     std::vector<Sym> tuple;
     tuple.reserve(r.head.args.size());
     for (const Term& t : r.head.args) {
       if (t.kind == Term::Kind::kConst) {
         tuple.push_back(t.val);
       } else {
-        assert(env.Bound(t.val) && "unsafe rule: unbound head variable");
-        tuple.push_back(env.Get(t.val));
+        // Guaranteed bound by ValidateProgram.
+        assert(a_.env.Bound(t.val) && "unsafe rule: unbound head variable");
+        tuple.push_back(a_.env.Get(t.val));
       }
     }
     if (stats_ != nullptr) ++stats_->rule_firings;
-    if (!db_.Insert(r.head.pred, tuple)) return false;
+    if (seeding_) ++seeding_firings_;
+    if (!a_.db.Insert(r.head.pred, tuple)) return false;
     if (stats_ != nullptr) ++stats_->tuples;
-    const std::size_t idx = db_.Tuples(r.head.pred).size() - 1;
-    work_.push_back({r.head.pred, idx});
-    if (goal_ != nullptr && options_.early_exit && r.head.pred == goal_->pred) {
-      bool is_goal = true;
-      for (std::size_t i = 0; i < tuple.size(); ++i) {
-        assert(goal_->args[i].kind == Term::Kind::kConst);
-        if (goal_->args[i].val != tuple[i]) {
-          is_goal = false;
-          break;
-        }
-      }
-      if (is_goal) {
-        if (stats_ != nullptr) stats_->goal_found = true;
-        return true;
-      }
+    if (seeding_) ++seeding_tuples_;
+    ++total_tuples_;
+    const std::size_t idx = a_.db.Tuples(r.head.pred).size() - 1;
+    a_.work.push_back({r.head.pred, static_cast<std::uint32_t>(idx)});
+    if (goal_ != nullptr && options_.early_exit &&
+        r.head.pred == goal_->pred && tuple == goal_tuple_) {
+      if (stats_ != nullptr) stats_->goal_found = true;
+      return true;
     }
-    if (options_.max_tuples != 0 && db_.TotalTuples() > options_.max_tuples) {
-      throw std::runtime_error("datalog evaluation exceeded tuple budget");
+    if (options_.max_tuples != 0 && total_tuples_ > options_.max_tuples) {
+      throw BudgetExceeded(options_.max_tuples);
     }
     return false;
   }
@@ -206,28 +576,46 @@ class Evaluator {
   const Atom* goal_;
   EvalStats* stats_;
   const EvalOptions& options_;
-  Database db_;
-  std::deque<std::pair<PredId, std::size_t>> work_;
-  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> rule_index_;
+  EvaluatorArena& a_;
+  const bool allow_reuse_;
+  bool* reused_out_;
+  std::vector<Sym> goal_tuple_;
+  std::vector<Sym> flat_;
+  std::vector<Sym> catchup_key_;
+  std::size_t total_tuples_ = 0;
+  bool seeding_ = false;
+  std::size_t seeding_firings_ = 0;
+  std::size_t seeding_tuples_ = 0;
 };
+
+// Shared driver behind Query/Eval/Engine::Solve. `goal` may be null (full
+// fixpoint). When `reused` is non-null it reports whether the EDB snapshot
+// was rolled back instead of re-seeded.
+bool RunEvaluation(const Program& prog, const Atom* goal, EvalStats* stats,
+                   const EvalOptions& options, EvaluatorArena& arena,
+                   bool allow_reuse, bool* reused) {
+  ValidateProgram(prog);
+  if (goal != nullptr) ValidateGoal(prog, *goal);
+  Evaluator ev(prog, goal, stats, options, arena, allow_reuse, reused);
+  if (ev.Run()) return true;
+  if (goal == nullptr) return false;
+  // Fixpoint reached without early exit; check membership.
+  std::vector<Sym> tuple;
+  tuple.reserve(goal->args.size());
+  for (const Term& t : goal->args) tuple.push_back(t.val);
+  const bool found = arena.db.Contains(goal->pred, tuple);
+  if (stats != nullptr && found) stats->goal_found = true;
+  return found;
+}
 
 }  // namespace
 
 bool Query(const Program& prog, const Atom& goal, EvalStats* stats,
            const EvalOptions& options) {
   if (stats != nullptr) *stats = EvalStats{};
-  Evaluator ev(prog, &goal, stats, options);
-  if (ev.Run()) return true;
-  // Fixpoint reached without early exit; check membership.
-  Database db = ev.TakeDb();
-  std::vector<Sym> tuple;
-  for (const Term& t : goal.args) {
-    assert(t.kind == Term::Kind::kConst);
-    tuple.push_back(t.val);
-  }
-  bool found = db.Contains(goal.pred, tuple);
-  if (stats != nullptr && found) stats->goal_found = true;
-  return found;
+  EvaluatorArena arena;
+  return RunEvaluation(prog, &goal, stats, options, arena,
+                       /*allow_reuse=*/false, nullptr);
 }
 
 Database Eval(const Program& prog, EvalStats* stats,
@@ -235,21 +623,31 @@ Database Eval(const Program& prog, EvalStats* stats,
   if (stats != nullptr) *stats = EvalStats{};
   EvalOptions opts = options;
   opts.early_exit = false;
-  Evaluator ev(prog, nullptr, stats, opts);
-  ev.Run();
-  return ev.TakeDb();
+  EvaluatorArena arena;
+  RunEvaluation(prog, nullptr, stats, opts, arena, /*allow_reuse=*/false,
+                nullptr);
+  return std::move(arena.db);
 }
+
+Engine::Engine() : arena_(std::make_unique<EvaluatorArena>()) {}
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
 
 bool Engine::Solve(const Program& prog, const Atom& goal,
                    const EvalOptions& options) {
   last_ = EvalStats{};
   ++solves_;
+  bool reused = false;
   try {
-    const bool derived = Query(prog, goal, &last_, options);
+    const bool derived = RunEvaluation(prog, &goal, &last_, options, *arena_,
+                                       /*allow_reuse=*/true, &reused);
+    if (reused) ++fact_reuses_;
     total_ += last_;
     return derived;
   } catch (...) {
     // Budget blown mid-evaluation: keep what the aborted solve did.
+    if (reused) ++fact_reuses_;
     total_ += last_;
     throw;
   }

@@ -1,8 +1,11 @@
-// Bottom-up (semi-naive) Datalog evaluation.
+// Bottom-up (semi-naive) Datalog evaluation with argument-hash indexes.
 #ifndef RAPAR_DATALOG_ENGINE_H_
 #define RAPAR_DATALOG_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -35,6 +38,40 @@ class Database {
     return n;
   }
 
+  std::size_t num_preds() const { return exts_.size(); }
+
+  // Empties every extension, keeping allocated bucket/vector capacity so a
+  // reusing caller (Engine) avoids re-allocation churn across solves.
+  void Reset(std::size_t num_preds) {
+    exts_.resize(num_preds);
+    for (auto& e : exts_) {
+      e.index.clear();
+      e.tuples.clear();
+    }
+  }
+
+  // Grows or shrinks the predicate count, preserving existing extensions.
+  // The EDB-reuse rollback uses this when consecutive programs share
+  // their facts but differ in derived-only predicates (the Datalog
+  // backend's per-guess dis-chain predicates). Extensions being dropped
+  // must already be empty — the caller truncates to the fact snapshot
+  // first, and a predicate absent from the new program cannot have facts.
+  void SetNumPreds(std::size_t num_preds) { exts_.resize(num_preds); }
+
+  // Removes, per predicate, every tuple inserted after the first
+  // `keep[pred]` ones (insertion order). Engine uses this to roll a
+  // database back to its seeded-EDB snapshot between solves.
+  void TruncateTo(const std::vector<std::size_t>& keep) {
+    for (std::size_t p = 0; p < exts_.size(); ++p) {
+      auto& e = exts_[p];
+      const std::size_t k = p < keep.size() ? keep[p] : 0;
+      for (std::size_t i = k; i < e.tuples.size(); ++i) {
+        e.index.erase(e.tuples[i]);
+      }
+      if (e.tuples.size() > k) e.tuples.resize(k);
+    }
+  }
+
  private:
   struct Ext {
     std::unordered_set<std::vector<Sym>, rapar::VectorHash<Sym>> index;
@@ -46,46 +83,121 @@ class Database {
 struct EvalStats {
   std::size_t tuples = 0;        // derived tuples (including facts)
   std::size_t rule_firings = 0;  // successful rule instantiations
-  std::size_t join_attempts = 0;
+  std::size_t join_attempts = 0; // candidate tuples unified against a body atom
+  // Argument-hash index counters (all zero when indexing is disabled).
+  std::size_t index_probes = 0;  // indexed lookups answered from a bucket
+  std::size_t index_hits = 0;    // candidate tuples those lookups yielded
+  std::size_t index_builds = 0;  // distinct (predicate, signature) indexes
   bool goal_found = false;
 
   EvalStats& operator+=(const EvalStats& o) {
     tuples += o.tuples;
     rule_firings += o.rule_firings;
     join_attempts += o.join_attempts;
+    index_probes += o.index_probes;
+    index_hits += o.index_hits;
+    index_builds += o.index_builds;
     goal_found = goal_found || o.goal_found;
     return *this;
   }
 };
 
+// Thrown when evaluation derives more than EvalOptions::max_tuples tuples.
+// Derives from std::runtime_error so legacy catch sites keep working, but
+// lets callers (Engine::Solve, the Datalog verifier) tell a budget abort
+// apart from a genuine failure.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  explicit BudgetExceeded(std::size_t budget)
+      : std::runtime_error("datalog evaluation exceeded tuple budget (" +
+                           std::to_string(budget) + ")"),
+        budget_(budget) {}
+  std::size_t budget() const { return budget_; }
+
+ private:
+  std::size_t budget_ = 0;
+};
+
+// Per-predicate growth classification used by the join planner. 0 = EDB
+// (extension is static once facts are seeded), 1 = derived but in a
+// non-recursive SCC (stabilises once its stratum saturates), 2 = derived
+// and recursive. dlopt::MakeJoinHints builds one from the width/SCC
+// analysis; without hints the engine derives a conservative 0/2 split
+// from Program::IdbPreds.
+struct JoinHints {
+  std::vector<std::uint8_t> growth;
+};
+
+// Evaluation-core tuning knobs, separate from the per-call limits in
+// EvalOptions so callers (VerifierOptions::engine) can ablate them.
+struct EngineOptions {
+  // Build lazy per-(predicate, bound-position signature) hash indexes and
+  // probe them in joins instead of scanning the full extension.
+  bool use_index = true;
+  // Order the remaining body atoms cheapest-first (live extension
+  // cardinality, boundness, growth class) per delta instantiation.
+  bool reorder_joins = true;
+  // Engine only: when consecutive Solve calls share the same fact set,
+  // roll the database back to the seeded-EDB snapshot instead of
+  // rebuilding it from scratch.
+  bool reuse_facts = true;
+};
+
 struct EvalOptions {
   // Stop as soon as the goal atom is derived (early exit).
   bool early_exit = true;
-  // Abort evaluation after this many derived tuples (0 = unlimited).
+  // Abort evaluation (BudgetExceeded) after this many derived tuples
+  // (0 = unlimited).
   std::size_t max_tuples = 0;
+  // Evaluation-core tuning (indexes, join order, EDB reuse).
+  EngineOptions engine;
+  // Optional growth classification for the join planner; must outlive the
+  // call. When null the engine computes its own conservative hints.
+  const JoinHints* hints = nullptr;
 };
 
-// Evaluates `prog` to fixpoint (or until `goal` is derived). `goal` must
-// be ground. Returns whether Prog ⊢ goal. `*stats` is reset at entry: the
-// counters describe this evaluation only, never an accumulation across
-// calls (callers that want totals sum explicitly, or use Engine below).
+// Evaluates `prog` to fixpoint (or until `goal` is derived). Returns
+// whether Prog ⊢ goal. `*stats` is reset at entry: the counters describe
+// this evaluation only, never an accumulation across calls (callers that
+// want totals sum explicitly, or use Engine below).
+//
+// Validates its inputs instead of asserting: a goal that is non-ground,
+// arity-mismatched, or on an unknown predicate, and a program with an
+// unsafe rule (head variable or native input not bound by the body /
+// earlier native outputs) raise std::invalid_argument — also in NDEBUG
+// builds, where the former assert-only checks compiled to nothing.
 bool Query(const Program& prog, const Atom& goal, EvalStats* stats = nullptr,
            const EvalOptions& options = {});
 
 // Full fixpoint evaluation; returns the database of all derived tuples.
-// Resets `*stats` at entry like Query.
+// Resets `*stats` at entry like Query; validates rule safety like Query.
 Database Eval(const Program& prog, EvalStats* stats = nullptr,
               const EvalOptions& options = {});
+
+struct EvaluatorArena;
 
 // A reusable solver handle for callers that evaluate many query instances
 // (the Datalog verifier runs one per makeP guess). Per-solve statistics
 // are reset on every Solve — previously a reused stats struct silently
 // accumulated across solves — while `total_stats` keeps the running sums.
+//
+// The engine owns an evaluator arena: the database, worklist, binding
+// frames and argument-hash indexes persist across Solve calls, so
+// repeated solves reuse their allocations, and when the fact set of the
+// next program fingerprints equal to the previous one the seeded EDB
+// tuples (and their still-clean indexes) are rolled back and re-used
+// instead of re-inserted (EngineOptions::reuse_facts).
 class Engine {
  public:
-  // Decides prog ⊢ goal (ground). Propagates the tuple-budget exception
-  // of EvalOptions::max_tuples; the partial stats of the aborted solve
-  // are still recorded.
+  Engine();
+  ~Engine();
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+
+  // Decides prog ⊢ goal (ground). Throws BudgetExceeded when
+  // EvalOptions::max_tuples is hit; the partial stats of the aborted
+  // solve are still recorded. Throws std::invalid_argument on an invalid
+  // goal or unsafe rule (see Query).
   bool Solve(const Program& prog, const Atom& goal,
              const EvalOptions& options = {});
 
@@ -94,11 +206,16 @@ class Engine {
   // Running sums over all Solve calls on this engine.
   const EvalStats& total_stats() const { return total_; }
   std::size_t solves() const { return solves_; }
+  // Solves whose EDB seeding was satisfied from the previous solve's
+  // fact snapshot (reuse_facts).
+  std::size_t fact_reuses() const { return fact_reuses_; }
 
  private:
   EvalStats last_;
   EvalStats total_;
   std::size_t solves_ = 0;
+  std::size_t fact_reuses_ = 0;
+  std::unique_ptr<EvaluatorArena> arena_;
 };
 
 }  // namespace rapar::dl

@@ -131,4 +131,17 @@ std::string WidthReport::ToString(const dl::Program& prog,
   return out;
 }
 
+dl::JoinHints MakeJoinHints(const PredGraph& graph) {
+  dl::JoinHints hints;
+  hints.growth.assign(graph.num_preds, 0);
+  for (std::size_t p = 0; p < graph.num_preds; ++p) {
+    if (!graph.is_idb[p]) continue;
+    const int c = graph.scc_of[p];
+    const bool recursive =
+        c >= 0 && graph.scc_recursive[static_cast<std::size_t>(c)];
+    hints.growth[p] = recursive ? 2 : 1;
+  }
+  return hints;
+}
+
 }  // namespace rapar::dlopt

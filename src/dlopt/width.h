@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "datalog/ast.h"
+#include "datalog/engine.h"
 #include "dlopt/pred_graph.h"
 
 namespace rapar::dlopt {
@@ -77,6 +78,14 @@ struct WidthReport {
 // constrain which solver the query needs).
 WidthReport AnalyzeWidth(const dl::Program& prog, const PredGraph& graph,
                          std::optional<dl::PredId> query = std::nullopt);
+
+// Join-planner hints for the evaluation engine, from the same
+// linearity/recursion classification the width report is built on:
+// EDB predicates (static extensions) rank 0, derived predicates in a
+// non-recursive SCC rank 1 (they stabilise once their stratum saturates),
+// mutually recursive predicates rank 2. The engine's cheapest-first body
+// ordering uses the rank as a growth tie-break (engine.h, JoinHints).
+dl::JoinHints MakeJoinHints(const PredGraph& graph);
 
 }  // namespace rapar::dlopt
 

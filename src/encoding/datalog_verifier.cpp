@@ -21,6 +21,17 @@ DatalogVerdict DatalogVerify(const SimplSystem& sys,
   dl::Engine engine;
   dl::EvalOptions eval_opts;
   eval_opts.max_tuples = options.max_tuples_per_query;
+  eval_opts.engine = options.engine;
+
+  auto finish_stats = [&] {
+    verdict.total_tuples = engine.total_stats().tuples;
+    verdict.rule_firings = engine.total_stats().rule_firings;
+    verdict.join_attempts = engine.total_stats().join_attempts;
+    verdict.index_probes = engine.total_stats().index_probes;
+    verdict.index_hits = engine.total_stats().index_hits;
+    verdict.index_builds = engine.total_stats().index_builds;
+    verdict.fact_reuses = engine.fact_reuses();
+  };
 
   for (const DisGuess& guess : guesses) {
     MakePResult q = MakeP(sys, guess, mp);
@@ -28,10 +39,17 @@ DatalogVerdict DatalogVerify(const SimplSystem& sys,
 
     const dl::Program* prog = q.prog.get();
     dlopt::OptimizeResult opt;
+    dl::JoinHints hints;
+    eval_opts.hints = nullptr;
     if (options.enable_dlopt) {
       opt = dlopt::OptimizeForQuery(*q.prog, q.goal);
       verdict.dlopt += opt.stats;
       prog = &opt.prog;
+      // The width/SCC classification doubles as the engine's join-order
+      // growth hint (EDB < non-recursive IDB < recursive IDB).
+      const dlopt::PredGraph graph = dlopt::PredGraph::Build(*prog);
+      hints = dlopt::MakeJoinHints(graph);
+      eval_opts.hints = &hints;
     }
     verdict.total_rules_after += prog->size();
     if (verdict.width_report.empty()) {
@@ -44,13 +62,11 @@ DatalogVerdict DatalogVerify(const SimplSystem& sys,
     bool derived = false;
     try {
       derived = engine.Solve(*prog, q.goal, eval_opts);
-    } catch (const std::runtime_error&) {
+    } catch (const dl::BudgetExceeded&) {
       verdict.exhaustive = false;  // budget blown: result inconclusive
     }
     ++verdict.queries_evaluated;
-    verdict.total_tuples = engine.total_stats().tuples;
-    verdict.rule_firings = engine.total_stats().rule_firings;
-    verdict.join_attempts = engine.total_stats().join_attempts;
+    finish_stats();
     if (derived) {
       verdict.unsafe = true;
       verdict.witness_guess = guess.ToString(sys);

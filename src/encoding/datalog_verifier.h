@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "datalog/engine.h"
 #include "dlopt/optimize.h"
 #include "encoding/makep.h"
 
@@ -18,6 +19,9 @@ struct DatalogVerifierOptions {
   GuessEnumOptions guess;
   // Tuple budget per query evaluation (0 = unlimited).
   std::size_t max_tuples_per_query = 2'000'000;
+  // Evaluation-core tuning (argument-hash indexes, cheapest-first join
+  // ordering, EDB snapshot reuse across guesses); see dl::EngineOptions.
+  dl::EngineOptions engine;
   // Run the query-driven program optimizer (src/dlopt/) on every emitted
   // (Prog, g) before evaluation. Verdict-preserving by construction
   // (tests/dlopt_differential_test.cpp checks it); off only for debugging
@@ -38,6 +42,13 @@ struct DatalogVerdict {
   std::size_t total_rules_after = 0;  // evaluated after dlopt pruning
   std::size_t rule_firings = 0;
   std::size_t join_attempts = 0;
+  // Argument-hash index counters (zero when EngineOptions::use_index is
+  // off) and the number of solves seeded from the previous guess's EDB
+  // snapshot instead of re-inserting every fact.
+  std::size_t index_probes = 0;
+  std::size_t index_hits = 0;
+  std::size_t index_builds = 0;
+  std::size_t fact_reuses = 0;
   // Aggregate optimizer statistics over all evaluated guesses (zero when
   // dlopt is disabled; rules_before/after mirror total_rules{,_after}).
   dlopt::DlOptStats dlopt;

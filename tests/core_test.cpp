@@ -186,5 +186,14 @@ TEST(BenchmarkSuiteTest, MessageGenerationQueries) {
   EXPECT_TRUE(verifier.VerifyMessageGeneration(x, 3).safe());
 }
 
+TEST(BenchmarkSuiteTest, ProducerConsumerSafeVariantIsSafe) {
+  BenchmarkCase pc = ProducerConsumerSafe(2);
+  SafetyVerifier verifier(pc.system);
+  EXPECT_TRUE(verifier.Verify().safe());
+  VerifierOptions opts;
+  opts.backend = Backend::kDatalog;
+  EXPECT_TRUE(verifier.Verify(opts).safe());
+}
+
 }  // namespace
 }  // namespace rapar

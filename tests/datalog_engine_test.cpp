@@ -127,7 +127,181 @@ TEST(DatalogEngineTest, TupleBudgetThrows) {
   TcProgram tc;
   EvalOptions opts;
   opts.max_tuples = 4;
+  // BudgetExceeded derives from runtime_error (legacy catch sites).
   EXPECT_THROW(Eval(tc.prog, nullptr, opts), std::runtime_error);
+  try {
+    Eval(tc.prog, nullptr, opts);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.budget(), 4u);
+  }
+}
+
+// --- input validation (release-build UB fixes) ----------------------------
+// These used to be assert-only: in an NDEBUG build a non-ground goal read
+// Term::val of a variable as a constant and an unbound native input
+// dereferenced an empty optional. They are structured errors now.
+
+TEST(DatalogEngineTest, NonGroundGoalIsRejected) {
+  TcProgram tc;
+  EXPECT_THROW(Query(tc.prog, Atom{tc.path, {V(0), C(tc.a)}}),
+               std::invalid_argument);
+}
+
+TEST(DatalogEngineTest, ArityMismatchedGoalIsRejected) {
+  TcProgram tc;
+  EXPECT_THROW(Query(tc.prog, Atom{tc.path, {C(tc.a)}}),
+               std::invalid_argument);
+  EXPECT_THROW(Query(tc.prog, Atom{tc.path, {C(tc.a), C(tc.b), C(tc.c)}}),
+               std::invalid_argument);
+}
+
+TEST(DatalogEngineTest, UnknownGoalPredicateIsRejected) {
+  TcProgram tc;
+  EXPECT_THROW(Query(tc.prog, Atom{static_cast<PredId>(99), {}}),
+               std::invalid_argument);
+}
+
+TEST(DatalogEngineTest, UnboundNativeInputIsRejected) {
+  // q(X) :- p(X), f[Y] -> Z: Y is bound by nothing when the native runs.
+  Program prog;
+  PredId p = prog.AddPred("p", 1);
+  PredId q = prog.AddPred("q", 1);
+  Sym a = prog.ConstSym("a");
+  prog.AddFact(Atom{p, {C(a)}});
+  Rule r;
+  r.head = Atom{q, {V(0)}};
+  r.body = {Atom{p, {V(0)}}};
+  Native f;
+  f.name = "f";
+  f.inputs = {V(1)};  // unbound
+  f.output = 2;
+  f.fn = [](std::span<const Sym>, Sym* out) {
+    *out = 0;
+    return true;
+  };
+  r.natives.push_back(std::move(f));
+  prog.AddRule(std::move(r));
+  EXPECT_THROW(Eval(prog), std::invalid_argument);
+  EXPECT_THROW(Query(prog, Atom{q, {C(a)}}), std::invalid_argument);
+}
+
+TEST(DatalogEngineTest, NativeInputBoundByEarlierOutputIsAccepted) {
+  // q(Z) :- p(X), f[X] -> Y, g[Y] -> Z: chained outputs are fine.
+  Program prog;
+  PredId p = prog.AddPred("p", 1);
+  PredId q = prog.AddPred("q", 1);
+  Sym a = prog.ConstSym("a");
+  prog.AddFact(Atom{p, {C(a)}});
+  Rule r;
+  r.head = Atom{q, {V(2)}};
+  r.body = {Atom{p, {V(0)}}};
+  auto id = [](std::span<const Sym> in, Sym* out) {
+    *out = in[0];
+    return true;
+  };
+  Native f;
+  f.name = "f";
+  f.inputs = {V(0)};
+  f.output = 1;
+  f.fn = id;
+  Native g;
+  g.name = "g";
+  g.inputs = {V(1)};
+  g.output = 2;
+  g.fn = id;
+  r.natives.push_back(std::move(f));
+  r.natives.push_back(std::move(g));
+  prog.AddRule(std::move(r));
+  EXPECT_TRUE(Query(prog, Atom{q, {C(a)}}));
+}
+
+TEST(DatalogEngineTest, UnboundHeadVariableIsRejected) {
+  Program prog;
+  PredId p = prog.AddPred("p", 1);
+  PredId q = prog.AddPred("q", 1);
+  Sym a = prog.ConstSym("a");
+  prog.AddFact(Atom{p, {C(a)}});
+  // q(Y) :- p(X): Y is unbound.
+  prog.AddRule(Rule{Atom{q, {V(1)}}, {Atom{p, {V(0)}}}, {}});
+  EXPECT_THROW(Eval(prog), std::invalid_argument);
+}
+
+TEST(DatalogEngineTest, BodyAtomArityMismatchIsRejected) {
+  Program prog;
+  PredId p = prog.AddPred("p", 2);
+  PredId q = prog.AddPred("q", 1);
+  prog.AddRule(Rule{Atom{q, {V(0)}}, {Atom{p, {V(0)}}}, {}});  // p used /1
+  EXPECT_THROW(Eval(prog), std::invalid_argument);
+}
+
+// --- argument-hash indexes and engine reuse -------------------------------
+
+TEST(DatalogEngineTest, IndexReducesJoinAttempts) {
+  TcProgram tc;
+  EvalStats indexed, scanned;
+  EvalOptions scan;
+  scan.engine.use_index = false;
+  scan.engine.reorder_joins = false;
+  Eval(tc.prog, &scanned, scan);
+  Eval(tc.prog, &indexed);
+  EXPECT_EQ(indexed.tuples, scanned.tuples);
+  EXPECT_LT(indexed.join_attempts, scanned.join_attempts);
+  EXPECT_GT(indexed.index_probes, 0u);
+  EXPECT_GT(indexed.index_builds, 0u);
+  EXPECT_EQ(scanned.index_probes, 0u);
+  EXPECT_EQ(scanned.index_builds, 0u);
+}
+
+TEST(DatalogEngineTest, EngineReusesFactSnapshotAcrossSolves) {
+  TcProgram tc;
+  Engine engine;
+  EXPECT_FALSE(engine.Solve(tc.prog, Atom{tc.path, {C(tc.d), C(tc.a)}}));
+  EXPECT_EQ(engine.fact_reuses(), 0u);
+  const std::size_t first = engine.last_stats().tuples;
+  EXPECT_FALSE(engine.Solve(tc.prog, Atom{tc.path, {C(tc.d), C(tc.a)}}));
+  EXPECT_EQ(engine.fact_reuses(), 1u);
+  EXPECT_EQ(engine.last_stats().tuples, first);  // same fixpoint either way
+
+  // A different fact set invalidates the snapshot.
+  TcProgram other;
+  other.prog.AddFact(Atom{other.edge, {C(other.d), C(other.a)}});
+  EXPECT_TRUE(
+      engine.Solve(other.prog, Atom{other.path, {C(other.d), C(other.b)}}));
+  EXPECT_EQ(engine.fact_reuses(), 1u);
+}
+
+TEST(DatalogEngineTest, EngineReusesAcrossDifferentDerivedPredicates) {
+  // The Datalog backend's per-guess programs share their EDB but differ
+  // in derived-only predicates; reuse must survive a predicate-count
+  // change in both directions (grow, then shrink).
+  TcProgram a;
+  Engine engine;
+  EXPECT_FALSE(engine.Solve(a.prog, Atom{a.path, {C(a.d), C(a.a)}}));
+  EXPECT_EQ(engine.fact_reuses(), 0u);
+
+  TcProgram b;
+  PredId twohop = b.prog.AddPred("twohop", 2);
+  b.prog.AddRule(Rule{
+      Atom{twohop, {V(0), V(2)}},
+      {Atom{b.edge, {V(0), V(1)}}, Atom{b.edge, {V(1), V(2)}}},
+      {}});
+  EXPECT_TRUE(engine.Solve(b.prog, Atom{twohop, {C(b.a), C(b.c)}}));
+  EXPECT_EQ(engine.fact_reuses(), 1u);
+
+  TcProgram c;
+  EXPECT_TRUE(engine.Solve(c.prog, Atom{c.path, {C(c.a), C(c.d)}}));
+  EXPECT_EQ(engine.fact_reuses(), 2u);
+}
+
+TEST(DatalogEngineTest, EngineReuseDisabledNeverRollsBack) {
+  TcProgram tc;
+  Engine engine;
+  EvalOptions opts;
+  opts.engine.reuse_facts = false;
+  EXPECT_FALSE(engine.Solve(tc.prog, Atom{tc.path, {C(tc.d), C(tc.a)}}, opts));
+  EXPECT_FALSE(engine.Solve(tc.prog, Atom{tc.path, {C(tc.d), C(tc.a)}}, opts));
+  EXPECT_EQ(engine.fact_reuses(), 0u);
 }
 
 TEST(DatalogEngineTest, ProgramPrinting) {

@@ -1,0 +1,86 @@
+// Release-build guard: the engine translation units linked into this
+// binary are compiled with NDEBUG (see tests/CMakeLists.txt), so every
+// assert() in them is a no-op. Malformed goals and unsafe rules used to
+// be caught only by asserts — in a release build a non-ground goal read
+// Term::val of a variable as a constant symbol and an unbound native
+// input dereferenced an empty optional. These tests pin the explicit
+// validation path: structured std::invalid_argument, never UB.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "datalog/engine.h"
+
+namespace rapar::dl {
+namespace {
+
+Program Tc() {
+  Program prog;
+  PredId edge = prog.AddPred("edge", 2);
+  PredId path = prog.AddPred("path", 2);
+  Sym a = prog.ConstSym("a"), b = prog.ConstSym("b"), c = prog.ConstSym("c");
+  prog.AddFact(Atom{edge, {C(a), C(b)}});
+  prog.AddFact(Atom{edge, {C(b), C(c)}});
+  prog.AddRule(Rule{Atom{path, {V(0), V(1)}}, {Atom{edge, {V(0), V(1)}}}, {}});
+  prog.AddRule(Rule{Atom{path, {V(0), V(2)}},
+                    {Atom{path, {V(0), V(1)}}, Atom{edge, {V(1), V(2)}}},
+                    {}});
+  return prog;
+}
+
+TEST(DatalogReleaseGuardTest, AssertsAreCompiledOut) {
+#ifndef NDEBUG
+  FAIL() << "this binary must be built with NDEBUG to exercise the "
+            "release path";
+#endif
+}
+
+TEST(DatalogReleaseGuardTest, NonGroundGoalThrowsCleanly) {
+  Program prog = Tc();
+  const PredId path = 1;
+  EXPECT_THROW(Query(prog, Atom{path, {V(0), C(0)}}), std::invalid_argument);
+}
+
+TEST(DatalogReleaseGuardTest, ArityMismatchedGoalThrowsCleanly) {
+  Program prog = Tc();
+  const PredId path = 1;
+  EXPECT_THROW(Query(prog, Atom{path, {C(0)}}), std::invalid_argument);
+}
+
+TEST(DatalogReleaseGuardTest, UnknownPredicateGoalThrowsCleanly) {
+  Program prog = Tc();
+  EXPECT_THROW(Query(prog, Atom{static_cast<PredId>(42), {C(0)}}),
+               std::invalid_argument);
+}
+
+TEST(DatalogReleaseGuardTest, UnboundNativeInputThrowsCleanly) {
+  Program prog;
+  PredId p = prog.AddPred("p", 1);
+  PredId q = prog.AddPred("q", 1);
+  Sym a = prog.ConstSym("a");
+  prog.AddFact(Atom{p, {C(a)}});
+  Rule r;
+  r.head = Atom{q, {V(0)}};
+  r.body = {Atom{p, {V(0)}}};
+  Native f;
+  f.name = "f";
+  f.inputs = {V(7)};  // never bound
+  f.output = 8;
+  f.fn = [](std::span<const Sym>, Sym* out) {
+    *out = 0;
+    return true;
+  };
+  r.natives.push_back(std::move(f));
+  prog.AddRule(std::move(r));
+  EXPECT_THROW(Eval(prog), std::invalid_argument);
+}
+
+TEST(DatalogReleaseGuardTest, ValidQueriesStillWork) {
+  Program prog = Tc();
+  const PredId path = 1;
+  EXPECT_TRUE(Query(prog, Atom{path, {C(0), C(2)}}));   // a ->* c
+  EXPECT_FALSE(Query(prog, Atom{path, {C(2), C(0)}}));  // c -/-> a
+}
+
+}  // namespace
+}  // namespace rapar::dl
