@@ -4,6 +4,13 @@
 // the saturation explorer is the production path, the Datalog path
 // realises the PSPACE argument, the concrete path is the baseline whose
 // state space the parameterization removes.
+//
+// --json[=PATH] additionally writes the parallel-scaling table as JSON
+// (default PATH: BENCH_parallel.json) for CI artifact upload.
+#include <cstring>
+#include <fstream>
+#include <thread>
+
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -206,13 +213,115 @@ void PrintIndexAblation() {
       "is the plain scan evaluator)\n");
 }
 
+// Parallel guess-level verification: the work-stealing driver at 1/2/4/8
+// worker threads on guess-heavy workloads. The verdict, witness and tuple
+// counts must be bit-identical at every thread count (the determinism
+// rule of encoding/datalog_verifier.h); only the wall clock may change.
+// Safe instances are the interesting regime — every guess must be solved,
+// so the fan-out has real work to steal. With --json the rows are also
+// written to a JSON file for CI artifact upload.
+void PrintParallelScaling(const char* json_path) {
+  Header("parallel scaling on the Datalog backend (worker threads)");
+  std::printf("hardware threads: %u\n",
+              std::thread::hardware_concurrency());
+  Row({"instance", "threads", "ms", "speedup", "verdict", "tuples",
+       "parity"},
+      13);
+  Rule(7, 13);
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return std::string(buf);
+  };
+  std::string json = "{\n  \"bench\": \"parallel_scaling\",\n";
+  json += StrCat("  \"hardware_threads\": ",
+                 std::thread::hardware_concurrency(), ",\n");
+  json += "  \"workloads\": [";
+  bool first_workload = true;
+
+  auto run = [&](const ParamSystem& sys, const std::string& name,
+                 std::optional<std::pair<VarId, Value>> goal) {
+    SafetyVerifier verifier(sys);
+    VerifierOptions opts;
+    opts.backend = Backend::kDatalog;
+    opts.time_budget_ms = 60'000;
+    opts.max_guesses = 30'000;
+    Verdict base;
+    double base_ms = 0;
+    json += StrCat(first_workload ? "" : ",", "\n    {\"name\": \"", name,
+                   "\", \"results\": [");
+    first_workload = false;
+    bool first_row = true;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      opts.threads = threads;
+      Verdict v;
+      const double ms = TimeMs([&] {
+        v = goal.has_value() ? verifier.VerifyMessageGeneration(
+                                   goal->first, goal->second, opts)
+                             : verifier.Verify(opts);
+      });
+      if (threads == 1) {
+        base = v;
+        base_ms = ms;
+      }
+      // The determinism contract, checked on every row: identical
+      // verdict, witness and aggregate statistics vs --threads=1.
+      const bool parity = v.result == base.result &&
+                          v.witness == base.witness &&
+                          v.guesses == base.guesses &&
+                          v.tuples == base.tuples &&
+                          v.rule_firings == base.rule_firings;
+      const double speedup = ms > 0 ? base_ms / ms : 0.0;
+      const char* verdict =
+          v.unsafe() ? "UNSAFE" : (v.safe() ? "SAFE" : "unknown");
+      Row({threads == 1 ? name : "", std::to_string(threads), fmt(ms),
+           StrCat(fmt(speedup), "x"), verdict, std::to_string(v.tuples),
+           parity ? "ok" : "MISMATCH"},
+          13);
+      json += StrCat(first_row ? "" : ",", "\n      {\"threads\": ",
+                     threads, ", \"ms\": ", fmt(ms),
+                     ", \"speedup\": ", fmt(speedup), ", \"verdict\": \"",
+                     verdict, "\", \"tuples\": ", v.tuples,
+                     ", \"parity\": ", parity ? "true" : "false", "}");
+      first_row = false;
+    }
+    json += "\n    ]}";
+  };
+
+  for (int z : {8, 12}) {
+    const BenchmarkCase safe_pc = ProducerConsumerSafe(z);
+    run(safe_pc.system, safe_pc.name, std::nullopt);
+  }
+  Rng rng(42);
+  const Qbf qbf = RandomQbf(rng, 3, 3);
+  Expected<ParamSystem> tqbf = TqbfSystem(qbf);
+  if (tqbf.ok()) run(tqbf.value(), "tqbf(n=3) safety", std::nullopt);
+  TqbfWitnessQuery q = TqbfLevelQuery(qbf, qbf.n);
+  if (q.system.ok()) {
+    run(q.system.value(), StrCat("tqbf(n=3) MG(a_", qbf.n, ")"),
+        std::make_pair(q.goal_var, q.goal_value));
+  }
+  std::printf(
+      "(speedup = ms(threads=1) / ms; parity checks verdict, witness and "
+      "aggregate statistics against the serial run — 'ok' means "
+      "bit-identical)\n");
+
+  json += "\n  ]\n}\n";
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << json;
+    std::printf("wrote %s\n", json_path);
+  }
+}
+
 }  // namespace
 }  // namespace rapar
 
-static void PrintReproduction() {
+static void PrintReproduction(const char* json_path) {
   rapar::PrintComparison();
   rapar::PrintDlOptAblation();
   rapar::PrintIndexAblation();
+  rapar::PrintParallelScaling(json_path);
 }
 
 static void BM_Backend(benchmark::State& state) {
@@ -237,4 +346,25 @@ static void BM_Backend(benchmark::State& state) {
 BENCHMARK(BM_Backend)
     ->ArgsProduct({{0, 2, 6, 8}, {0, 1, 2}});
 
-RAPAR_BENCH_MAIN()
+// RAPAR_BENCH_MAIN plus a --json[=PATH] flag (stripped before the
+// google-benchmark flag parser sees it).
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_parallel.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  PrintReproduction(json_path);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

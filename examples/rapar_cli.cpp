@@ -22,7 +22,11 @@
 //
 // Options:
 //   --backend simplified|datalog|concrete   (default simplified)
-//   --threads N        env threads for the concrete backend (default 2)
+//   --threads N        concrete backend: env threads in the instance
+//                      (default 2); datalog backend: worker threads for
+//                      the per-guess solves (default 0 = all hardware
+//                      threads, 1 = serial) — the verdict and witness are
+//                      identical for every N
 //   --unroll K         unroll bound for dis loops (default 0 = reject)
 //   --budget-ms N      wall-clock budget (default 30000)
 //   --witness          print the witness run on UNSAFE
@@ -59,6 +63,7 @@ struct Options {
   std::vector<std::string> files;  // classify
   std::string backend = "simplified";
   int threads = 2;
+  bool threads_set = false;
   int unroll = 0;
   long long budget_ms = 30'000;
   bool witness = false;
@@ -119,6 +124,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       const char* v = next();
       if (v == nullptr) return false;
       opts->threads = std::atoi(v);
+      opts->threads_set = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opts->threads = std::atoi(arg.c_str() + std::strlen("--threads="));
+      opts->threads_set = true;
     } else if (arg == "--unroll") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -366,6 +375,15 @@ int RunVerify(const Options& opts, bool mg) {
     return 3;
   }
   vopts.concrete_env_threads = opts.threads;
+  if (vopts.backend == rapar::Backend::kDatalog) {
+    // For the Datalog backend --threads selects the worker-pool size
+    // (0 = all hardware threads, which is also the default).
+    vopts.threads =
+        opts.threads_set ? static_cast<unsigned>(opts.threads < 0
+                                                     ? 0
+                                                     : opts.threads)
+                         : 0;
+  }
   vopts.time_budget_ms = opts.budget_ms;
 
   rapar::SafetyVerifier verifier(sys.value());

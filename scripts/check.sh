@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full hygiene check: build + test the default preset, then the test
-# suite again under ASan+UBSan, then (optionally, CHECK_WERROR=1) verify
-# the tree is warning-clean with -Werror. CI (.github/workflows/ci.yml)
-# runs the same presets.
+# suite again under ASan+UBSan, then the concurrency-sensitive suites
+# under ThreadSanitizer, then (optionally, CHECK_WERROR=1) verify the
+# tree is warning-clean with -Werror. CI (.github/workflows/ci.yml) runs
+# the same presets.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,15 @@ fi
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
+
+# The parallel verification driver and the engine it fans out, raced
+# under TSan. Only the two concurrency-relevant suites are built: the
+# rest of the tree is single-threaded and covered by the presets above.
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" \
+  --target parallel_differential_test datalog_index_differential_test
+ctest --preset tsan -R 'ParallelDifferential|IndexDifferential' \
+  -j "$jobs"
 
 if [[ "${CHECK_WERROR:-0}" == "1" ]]; then
   cmake --preset werror

@@ -1,0 +1,36 @@
+// Cooperative cancellation for the parallel drivers: one writer flips the
+// flag, any number of workers poll it on their fast paths. Deliberately
+// minimal — no callbacks, no linked sources — because the verifier's
+// cancellation topology is a single "first terminating event wins" fan-in
+// (see encoding/datalog_verifier.cpp).
+#ifndef RAPAR_COMMON_CANCELLATION_H_
+#define RAPAR_COMMON_CANCELLATION_H_
+
+#include <atomic>
+
+namespace rapar {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  // Idempotent; safe from any thread.
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  // Cheap enough to poll per work item. Cancellation is advisory: a poll
+  // may lag the Cancel by one item, so callers needing an exact cut-off
+  // combine the token with their own ordered bookkeeping (the Datalog
+  // driver keeps a monotone stop index next to it).
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_COMMON_CANCELLATION_H_

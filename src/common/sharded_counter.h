@@ -1,0 +1,50 @@
+// Sharded statistics counter: increments land on a per-thread shard
+// (cache-line padded) so concurrent workers never contend on one atomic;
+// Total() folds the shards. Monotone-add only — exactly the shape of the
+// parallel driver's telemetry (solve counts, skip counts), which tolerates
+// the relaxed, point-in-time nature of Total().
+#ifndef RAPAR_COMMON_SHARDED_COUNTER_H_
+#define RAPAR_COMMON_SHARDED_COUNTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace rapar {
+
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void Add(std::size_t delta) noexcept {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // Sum over all shards. Exact once concurrent writers have quiesced
+  // (e.g. after ThreadPool::Wait); a lower bound while they are running.
+  std::size_t Total() const noexcept {
+    std::size_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::size_t> value{0};
+  };
+
+  static std::size_t ShardIndex() noexcept {
+    // Thread-id hash, computed once per thread.
+    static thread_local const std::size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+    return shard;
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace rapar
+
+#endif  // RAPAR_COMMON_SHARDED_COUNTER_H_

@@ -81,6 +81,23 @@ std::string Verdict::ToString() const {
     if (fact_reuses > 0) out += StrCat(", edb reuses=", fact_reuses);
     out += "]";
   }
+  if (parallel.Any()) {
+    out += StrCat(" [parallel: threads=", parallel.threads,
+                  ", batches=", parallel.batches,
+                  ", steals=", parallel.steals,
+                  ", solves=", parallel.solves);
+    if (parallel.discarded > 0) {
+      out += StrCat(", discarded=", parallel.discarded);
+    }
+    if (parallel.skipped > 0) out += StrCat(", skipped=", parallel.skipped);
+    if (parallel.early_exit_index != kNoGuessIndex) {
+      out += StrCat(", early exit at guess ", parallel.early_exit_index);
+    }
+    out += "]";
+  }
+  if (budget_aborted_guess != kNoGuessIndex) {
+    out += StrCat(" [budget aborted at guess ", budget_aborted_guess, "]");
+  }
   return out;
 }
 
@@ -174,6 +191,7 @@ Verdict SafetyVerifier::RunDatalog(
   opts.guess.max_guesses = options.max_guesses;
   opts.enable_dlopt = options.enable_dlopt;
   opts.engine = options.engine;
+  opts.threads = options.threads;
   DatalogVerdict dv = DatalogVerify(prep.simpl, opts);
   Verdict v;
   v.prepass = prep.stats;
@@ -185,8 +203,10 @@ Verdict SafetyVerifier::RunDatalog(
   v.index_hits = dv.index_hits;
   v.index_builds = dv.index_builds;
   v.fact_reuses = dv.fact_reuses;
+  v.budget_aborted_guess = dv.budget_aborted_guess;
   v.dlopt = dv.dlopt;
   v.width_report = dv.width_report;
+  v.parallel = dv.parallel;
   if (dv.unsafe) {
     v.result = Verdict::Result::kUnsafe;
     v.witness = dv.witness_guess;

@@ -23,6 +23,7 @@
 #include "core/param_system.h"
 #include "datalog/engine.h"
 #include "dlopt/optimize.h"
+#include "encoding/datalog_verifier.h"
 
 namespace rapar {
 
@@ -48,6 +49,11 @@ struct VerifierOptions {
   // (dl::EngineOptions). All on by default; the bench_backends index
   // ablation flips them off to measure the effect.
   dl::EngineOptions engine;
+  // kDatalog: worker threads for the per-guess solves. 1 = legacy serial
+  // loop, 0 = std::thread::hardware_concurrency(), N > 1 = work-stealing
+  // pool of N workers. Verdict, witness and aggregate statistics are
+  // thread-count independent (see encoding/datalog_verifier.h).
+  unsigned threads = 1;
   // kConcrete: number of env threads in the instance.
   int concrete_env_threads = 2;
   // Resource bounds (apply per backend as applicable).
@@ -78,6 +84,10 @@ struct Verdict {
   std::size_t index_hits = 0;
   std::size_t index_builds = 0;
   std::size_t fact_reuses = 0;
+  // Datalog backend: index of the guess whose query blew the tuple budget
+  // (the scan stops there and the verdict degrades to kUnknown);
+  // kNoGuessIndex when no abort occurred.
+  std::size_t budget_aborted_guess = kNoGuessIndex;
   // Human-readable witness (step trace or guess) when unsafe.
   std::string witness;
   // §4.3: over-approximate number of env threads sufficient to exhibit
@@ -93,6 +103,9 @@ struct Verdict {
   // Static width/solver classification of the first optimized query
   // instance (Datalog backend only).
   std::string width_report;
+  // Parallel-driver telemetry (Datalog backend): threads used, chunks
+  // dispatched, deque steals, early-exit index.
+  ParallelStats parallel;
 
   std::string ToString() const;
 };

@@ -1,79 +1,345 @@
 #include "encoding/datalog_verifier.h"
 
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <semaphore>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/sharded_counter.h"
+#include "common/thread_pool.h"
 #include "datalog/engine.h"
 #include "dlopt/pred_graph.h"
 #include "dlopt/width.h"
 
 namespace rapar {
 
-DatalogVerdict DatalogVerify(const SimplSystem& sys,
-                             const DatalogVerifierOptions& options) {
-  DatalogVerdict verdict;
-  bool complete = true;
-  std::vector<DisGuess> guesses =
-      EnumerateDisGuesses(sys, options.guess, &complete);
-  verdict.exhaustive = complete;
-  verdict.guesses = guesses.size();
+namespace {
 
-  MakePOptions mp;
-  mp.goal_message = options.goal_message;
+// Everything one guess contributes to the verdict. Produced by exactly one
+// worker, read only after the pool has quiesced; schedule-independent
+// except for stats.index_builds (see the header's determinism rule).
+struct GuessOutcome {
+  bool evaluated = false;
+  bool derived = false;
+  bool budget_aborted = false;
+  std::size_t rules_emitted = 0;
+  std::size_t rules_after = 0;
+  dlopt::DlOptStats dlopt;
+  dl::EvalStats stats;
+  std::string witness;       // filled when derived
+  std::string width_report;  // filled for guess 0 only
 
-  dl::Engine engine;
-  dl::EvalOptions eval_opts;
-  eval_opts.max_tuples = options.max_tuples_per_query;
-  eval_opts.engine = options.engine;
+  bool terminating() const { return derived || budget_aborted; }
+};
 
-  auto finish_stats = [&] {
-    verdict.total_tuples = engine.total_stats().tuples;
-    verdict.rule_firings = engine.total_stats().rule_firings;
-    verdict.join_attempts = engine.total_stats().join_attempts;
-    verdict.index_probes = engine.total_stats().index_probes;
-    verdict.index_hits = engine.total_stats().index_hits;
-    verdict.index_builds = engine.total_stats().index_builds;
-    verdict.fact_reuses = engine.fact_reuses();
-  };
+// Per-worker solver: owns the dl::Engine so arena reuse and EDB snapshot
+// rollback keep working across the guesses this worker happens to solve.
+class GuessSolver {
+ public:
+  GuessSolver(const SimplSystem& sys, const DatalogVerifierOptions& options)
+      : sys_(sys), options_(options) {
+    mp_.goal_message = options.goal_message;
+    eval_.max_tuples = options.max_tuples_per_query;
+    eval_.engine = options.engine;
+  }
 
-  for (const DisGuess& guess : guesses) {
-    MakePResult q = MakeP(sys, guess, mp);
-    verdict.total_rules += q.prog->size();
+  GuessOutcome Solve(const DisGuess& guess, bool want_width_report) {
+    GuessOutcome out;
+    out.evaluated = true;
+    MakePResult q = MakeP(sys_, guess, mp_);
+    out.rules_emitted = q.prog->size();
 
     const dl::Program* prog = q.prog.get();
     dlopt::OptimizeResult opt;
     dl::JoinHints hints;
-    eval_opts.hints = nullptr;
-    if (options.enable_dlopt) {
+    std::optional<dlopt::PredGraph> graph;
+    eval_.hints = nullptr;
+    if (options_.enable_dlopt) {
       opt = dlopt::OptimizeForQuery(*q.prog, q.goal);
-      verdict.dlopt += opt.stats;
+      out.dlopt = opt.stats;
       prog = &opt.prog;
       // The width/SCC classification doubles as the engine's join-order
       // growth hint (EDB < non-recursive IDB < recursive IDB).
-      const dlopt::PredGraph graph = dlopt::PredGraph::Build(*prog);
-      hints = dlopt::MakeJoinHints(graph);
-      eval_opts.hints = &hints;
+      graph.emplace(dlopt::PredGraph::Build(*prog));
+      hints = dlopt::MakeJoinHints(*graph);
+      eval_.hints = &hints;
     }
-    verdict.total_rules_after += prog->size();
-    if (verdict.width_report.empty()) {
-      const dlopt::PredGraph graph = dlopt::PredGraph::Build(*prog);
-      verdict.width_report =
-          dlopt::AnalyzeWidth(*prog, graph, q.goal.pred)
-              .ToString(*prog, graph);
+    out.rules_after = prog->size();
+    if (want_width_report) {
+      // Reuse the join-hint graph instead of building a second one for
+      // the report (they describe the same optimized program).
+      if (!graph.has_value()) graph.emplace(dlopt::PredGraph::Build(*prog));
+      out.width_report = dlopt::AnalyzeWidth(*prog, *graph, q.goal.pred)
+                             .ToString(*prog, *graph);
     }
 
-    bool derived = false;
     try {
-      derived = engine.Solve(*prog, q.goal, eval_opts);
+      out.derived = engine_.Solve(*prog, q.goal, eval_);
     } catch (const dl::BudgetExceeded&) {
-      verdict.exhaustive = false;  // budget blown: result inconclusive
+      out.budget_aborted = true;  // partial stats of the solve still count
     }
-    ++verdict.queries_evaluated;
-    finish_stats();
-    if (derived) {
-      verdict.unsafe = true;
-      verdict.witness_guess = guess.ToString(sys);
-      return verdict;
+    out.stats = engine_.last_stats();
+    if (out.derived) out.witness = guess.ToString(sys_);
+    return out;
+  }
+
+  std::size_t fact_reuses() const { return engine_.fact_reuses(); }
+
+ private:
+  const SimplSystem& sys_;
+  const DatalogVerifierOptions& options_;
+  MakePOptions mp_;
+  dl::EvalOptions eval_;
+  dl::Engine engine_;
+};
+
+// Folds one evaluated guess into the verdict aggregates (enumeration
+// order; only the scanned prefix is ever passed here).
+void Accumulate(DatalogVerdict& v, const GuessOutcome& o) {
+  ++v.queries_evaluated;
+  v.total_rules += o.rules_emitted;
+  v.total_rules_after += o.rules_after;
+  v.dlopt += o.dlopt;
+  v.total_tuples += o.stats.tuples;
+  v.rule_firings += o.stats.rule_firings;
+  v.join_attempts += o.stats.join_attempts;
+  v.index_probes += o.stats.index_probes;
+  v.index_hits += o.stats.index_hits;
+  v.index_builds += o.stats.index_builds;
+  if (v.width_report.empty() && !o.width_report.empty()) {
+    v.width_report = o.width_report;
+  }
+}
+
+// Seals the verdict for a terminating event at guess index `idx`.
+void FinishEarly(DatalogVerdict& v, std::size_t idx, const GuessOutcome& o) {
+  v.guesses = idx + 1;
+  v.parallel.early_exit_index = idx;
+  if (o.derived) {
+    v.unsafe = true;
+    v.witness_guess = o.witness;
+    // Definitive regardless of the unscanned remainder.
+    v.exhaustive = true;
+  } else {
+    v.exhaustive = false;
+    v.budget_aborted_guess = idx;
+  }
+}
+
+void FetchMin(std::atomic<std::size_t>& a, std::size_t v) {
+  std::size_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// --- serial driver ----------------------------------------------------------
+
+// threads == 1: the legacy in-order loop on the calling thread, one
+// engine, streaming enumeration. The parallel driver's results are defined
+// to match this path bit for bit (modulo index_builds/fact_reuses).
+DatalogVerdict SerialVerify(const SimplSystem& sys,
+                            const DatalogVerifierOptions& options) {
+  DatalogVerdict verdict;
+  verdict.parallel.threads = 1;
+  DisGuessCursor cursor(sys, options.guess);
+  GuessSolver solver(sys, options);
+  const std::size_t batch =
+      options.batch_size == 0 ? 1 : options.batch_size;
+
+  std::vector<DisGuess> chunk;
+  std::size_t idx = 0;
+  for (;;) {
+    chunk.clear();
+    const std::size_t n = cursor.NextChunk(batch, &chunk);
+    if (n == 0) break;
+    ++verdict.parallel.batches;
+    for (const DisGuess& guess : chunk) {
+      GuessOutcome o = solver.Solve(guess, /*want_width_report=*/idx == 0);
+      ++verdict.parallel.solves;
+      Accumulate(verdict, o);
+      if (o.terminating()) {
+        cursor.Cancel();
+        FinishEarly(verdict, idx, o);
+        verdict.fact_reuses = solver.fact_reuses();
+        return verdict;
+      }
+      ++idx;
     }
   }
+  verdict.guesses = cursor.produced();
+  verdict.exhaustive = cursor.complete();
+  verdict.fact_reuses = solver.fact_reuses();
   return verdict;
+}
+
+// --- parallel driver --------------------------------------------------------
+
+struct Batch {
+  std::size_t start = 0;                // enumeration index of outcomes[0]
+  std::vector<GuessOutcome> outcomes;   // one slot per guess in the chunk
+  std::string error;                    // first worker exception, if any
+};
+
+DatalogVerdict ParallelVerify(const SimplSystem& sys,
+                              const DatalogVerifierOptions& options,
+                              unsigned threads) {
+  DatalogVerdict verdict;
+  ThreadPool pool(threads);
+  const unsigned workers = pool.size();
+  verdict.parallel.threads = workers;
+
+  std::vector<std::unique_ptr<GuessSolver>> solvers;
+  solvers.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    solvers.push_back(std::make_unique<GuessSolver>(sys, options));
+  }
+
+  const std::size_t batch_size =
+      options.batch_size == 0 ? 1 : options.batch_size;
+  // Buffer a few chunks per worker so the producer stays ahead without
+  // materializing the guess space.
+  DisGuessCursor cursor(sys, options.guess, batch_size * workers * 4);
+
+  // First terminating event wins: the token is the fast "something
+  // happened" flag, stop_idx the exact ordered cut-off. A worker may skip
+  // a guess only when its index is strictly above stop_idx, so the final
+  // minimum's prefix is always fully evaluated.
+  CancellationToken cancel;
+  std::atomic<std::size_t> stop_idx{kNoGuessIndex};
+  ShardedCounter solves;
+  ShardedCounter skipped;
+
+  // Batch slots live in a deque (stable addresses) created by the
+  // dispatcher before Submit and read after Wait; each is written by
+  // exactly one task in between.
+  std::deque<Batch> batches;
+  std::mutex batches_m;
+  // Backpressure: bound the chunks owned by queued/running tasks.
+  std::counting_semaphore<> slots(static_cast<std::ptrdiff_t>(workers) * 4);
+
+  std::size_t next_index = 0;
+  std::vector<DisGuess> chunk;
+  while (!cancel.cancelled()) {
+    chunk.clear();
+    const std::size_t n = cursor.NextChunk(batch_size, &chunk);
+    if (n == 0) break;
+    slots.acquire();
+    Batch* slot;
+    {
+      std::lock_guard<std::mutex> lock(batches_m);
+      batches.emplace_back();
+      slot = &batches.back();
+    }
+    slot->start = next_index;
+    slot->outcomes.resize(n);
+    next_index += n;
+    pool.Submit([&, slot, guesses = std::move(chunk)] {
+      const int w = ThreadPool::CurrentWorkerIndex();
+      GuessSolver& solver = *solvers[static_cast<std::size_t>(w)];
+      try {
+        for (std::size_t i = 0; i < guesses.size(); ++i) {
+          const std::size_t idx = slot->start + i;
+          if (idx > stop_idx.load(std::memory_order_relaxed)) {
+            skipped.Add(guesses.size() - i);
+            break;
+          }
+          GuessOutcome o =
+              solver.Solve(guesses[i], /*want_width_report=*/idx == 0);
+          solves.Add(1);
+          const bool terminating = o.terminating();
+          slot->outcomes[i] = std::move(o);
+          if (terminating) {
+            FetchMin(stop_idx, idx);
+            cancel.Cancel();
+            // Indices above idx in this batch can no longer matter.
+            skipped.Add(guesses.size() - i - 1);
+            break;
+          }
+        }
+      } catch (const std::exception& e) {
+        slot->error = e.what();
+        cancel.Cancel();
+      }
+      slots.release();
+    });
+    chunk = {};  // moved-from; restore a valid empty vector
+  }
+  // Terminating events only occur in dispatched chunks, and chunks are
+  // dispatched in enumeration order — once the token fires, every index
+  // at or below the eventual minimum has already been handed out, so the
+  // rest of the enumeration is dead weight.
+  cursor.Cancel();
+  pool.Wait();
+
+  for (const Batch& b : batches) {
+    if (!b.error.empty()) {
+      throw std::runtime_error("datalog verifier worker failed: " + b.error);
+    }
+  }
+
+  // The deterministic stop: the lowest-index terminating outcome. This can
+  // only be lower than the racy stop_idx snapshot workers saw, never
+  // higher, and its whole prefix is evaluated (skips happen strictly above
+  // some stop_idx value >= the final minimum).
+  std::size_t stop = kNoGuessIndex;
+  const GuessOutcome* event = nullptr;
+  for (const Batch& b : batches) {
+    for (std::size_t i = 0; i < b.outcomes.size(); ++i) {
+      const GuessOutcome& o = b.outcomes[i];
+      if (o.evaluated && o.terminating() && b.start + i < stop) {
+        stop = b.start + i;
+        event = &o;
+      }
+    }
+  }
+
+  verdict.parallel.batches = batches.size();
+  verdict.parallel.steals = pool.steals();
+  verdict.parallel.solves = solves.Total();
+  verdict.parallel.skipped = skipped.Total();
+
+  for (const Batch& b : batches) {
+    for (std::size_t i = 0; i < b.outcomes.size(); ++i) {
+      const GuessOutcome& o = b.outcomes[i];
+      if (b.start + i > stop) {
+        verdict.parallel.discarded += o.evaluated ? 1 : 0;
+        continue;
+      }
+      Accumulate(verdict, o);
+    }
+  }
+  for (const auto& solver : solvers) {
+    verdict.fact_reuses += solver->fact_reuses();
+  }
+
+  if (event != nullptr) {
+    FinishEarly(verdict, stop, *event);
+  } else {
+    verdict.guesses = cursor.produced();
+    verdict.exhaustive = cursor.complete();
+  }
+  return verdict;
+}
+
+}  // namespace
+
+DatalogVerdict DatalogVerify(const SimplSystem& sys,
+                             const DatalogVerifierOptions& options) {
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads == 1) return SerialVerify(sys, options);
+  return ParallelVerify(sys, options, threads);
 }
 
 }  // namespace rapar

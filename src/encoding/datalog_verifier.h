@@ -1,9 +1,32 @@
 // The Datalog-backed safety verifier (Theorem 4.1): enumerates makeP's
 // nondeterministic guesses and evaluates each emitted query instance.
 // Unsafe iff some execution of makeP yields (Prog, g) with Prog ⊢ g.
+//
+// The guesses are mutually independent, so the driver fans them out:
+// guesses stream from a DisGuessCursor in chunks, a work-stealing
+// ThreadPool solves the chunks with one dl::Engine per worker (arena and
+// EDB-snapshot reuse stay intact within a worker), and the first
+// terminating event — a derived goal or a blown tuple budget — cancels
+// the remaining work.
+//
+// Determinism rule: the verdict, witness guess, guesses-scanned count and
+// the aggregate statistics are *independent of the thread count*. The
+// driver reports the lowest-enumeration-index terminating guess, and a
+// worker may skip a guess only when its index is provably above the
+// current minimum, so every guess below the reported stop index is
+// evaluated exactly once regardless of scheduling. Statistics aggregate
+// the per-guess results of exactly the prefix [0, stop index] in
+// enumeration order; racing solves beyond it are discarded (counted in
+// ParallelStats::discarded). The per-guess numbers themselves are
+// schedule-independent because a solve's stats do not depend on which
+// engine runs it (PR 3 made EDB-snapshot reuse stats-neutral) — with the
+// one exception of index_builds and fact_reuses, which depend on the
+// subsequence of guesses a worker happens to see and are therefore the
+// only verdict fields that may vary with the thread count.
 #ifndef RAPAR_ENCODING_DATALOG_VERIFIER_H_
 #define RAPAR_ENCODING_DATALOG_VERIFIER_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
@@ -12,6 +35,9 @@
 #include "encoding/makep.h"
 
 namespace rapar {
+
+// "No guess index": sentinel for the optional index fields below.
+inline constexpr std::size_t kNoGuessIndex = static_cast<std::size_t>(-1);
 
 struct DatalogVerifierOptions {
   // MG goal message; when unset only assert-false violations count.
@@ -27,29 +53,74 @@ struct DatalogVerifierOptions {
   // (tests/dlopt_differential_test.cpp checks it); off only for debugging
   // or differential testing.
   bool enable_dlopt = true;
+  // Worker threads for the per-guess solves. 1 (default) runs the legacy
+  // serial loop on the calling thread; 0 resolves to
+  // std::thread::hardware_concurrency(); N > 1 uses a work-stealing pool
+  // of N workers. The verdict, witness and aggregate statistics are
+  // identical for every value (see the determinism rule above).
+  unsigned threads = 1;
+  // Guesses per work unit pulled from the streaming enumerator. Small
+  // enough to load-balance, large enough to amortize dispatch; also the
+  // serial loop's chunk size.
+  std::size_t batch_size = 32;
+};
+
+// How the parallel driver ran. threads == 1 means the serial loop (the
+// batches/chunk fields still describe the streaming enumeration).
+struct ParallelStats {
+  unsigned threads = 1;
+  std::size_t batches = 0;  // guess chunks dispatched
+  std::size_t steals = 0;   // ThreadPool deque steals
+  std::size_t solves = 0;   // Solve calls issued (incl. discarded ones)
+  // Solves that raced past the deterministic stop prefix; their stats are
+  // excluded from the verdict aggregates.
+  std::size_t discarded = 0;
+  // Guesses skipped outright after the early exit fired.
+  std::size_t skipped = 0;
+  // Index of the terminating guess (witness or budget abort);
+  // kNoGuessIndex when every guess was scanned.
+  std::size_t early_exit_index = kNoGuessIndex;
+
+  bool Any() const { return threads > 1; }
 };
 
 struct DatalogVerdict {
   bool unsafe = false;
   // All guesses were enumerated and evaluated: a negative answer is
-  // definitive.
+  // definitive. Forced true on an unsafe verdict (which is definitive
+  // regardless of how much of the guess space was scanned) and false
+  // after a budget abort or a hit enumeration cap.
   bool exhaustive = true;
+  // Guesses scanned: on early termination (witness found or budget
+  // aborted at index i) this is i + 1 — the enumeration stops as soon as
+  // the verdict is decided — otherwise the full enumeration count.
   std::size_t guesses = 0;
   std::size_t queries_evaluated = 0;
-  // Aggregate Datalog statistics (per-solve, summed by dl::Engine).
+  // Aggregate Datalog statistics over the scanned prefix (per-solve,
+  // summed in enumeration order; thread-count independent).
   std::size_t total_tuples = 0;
   std::size_t total_rules = 0;        // emitted by makeP, pre-dlopt
   std::size_t total_rules_after = 0;  // evaluated after dlopt pruning
   std::size_t rule_firings = 0;
   std::size_t join_attempts = 0;
   // Argument-hash index counters (zero when EngineOptions::use_index is
-  // off) and the number of solves seeded from the previous guess's EDB
-  // snapshot instead of re-inserting every fact.
+  // off) and the number of solves seeded from a previous guess's EDB
+  // snapshot instead of re-inserting every fact. index_builds and
+  // fact_reuses depend on the per-worker guess subsequence, so they are
+  // the only fields that may vary with DatalogVerifierOptions::threads.
   std::size_t index_probes = 0;
   std::size_t index_hits = 0;
   std::size_t index_builds = 0;
   std::size_t fact_reuses = 0;
-  // Aggregate optimizer statistics over all evaluated guesses (zero when
+  // Budget-abort semantics: when a query blows max_tuples_per_query the
+  // scan *stops* at that guess — its index is recorded here, exhaustive
+  // becomes false, and the remaining guesses are not evaluated (a witness
+  // hiding beyond the aborted guess is only found by rerunning with a
+  // larger budget). kNoGuessIndex when no abort occurred. Before PR 4 the
+  // loop kept evaluating the remaining guesses after an abort; stopping
+  // makes the inconclusive case cheap and the abort point reportable.
+  std::size_t budget_aborted_guess = kNoGuessIndex;
+  // Aggregate optimizer statistics over the scanned prefix (zero when
   // dlopt is disabled; rules_before/after mirror total_rules{,_after}).
   dlopt::DlOptStats dlopt;
   // Static width/solver classification of the first guess's optimized
@@ -58,6 +129,8 @@ struct DatalogVerdict {
   std::string width_report;
   // The witnessing guess (pretty-printed) when unsafe.
   std::string witness_guess;
+  // Parallel-driver telemetry (threads, batches, steals, early exit).
+  ParallelStats parallel;
 };
 
 DatalogVerdict DatalogVerify(const SimplSystem& sys,

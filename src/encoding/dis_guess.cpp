@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <functional>
+#include <utility>
 
 #include "common/strings.h"
 
@@ -115,18 +116,31 @@ void EnumPaths(const Cfa& cfa, Value dom, std::size_t cap,
   }
 }
 
+// Receives guesses in enumeration order; returns false to abort the
+// remaining enumeration (cursor cancelled). The vector wrapper always
+// returns true.
+using GuessSink = std::function<bool(DisGuess&&)>;
+
+// The shared enumeration core behind EnumerateDisGuesses and
+// DisGuessCursor. Produces guesses into a sink instead of a vector so the
+// cursor's bounded buffer can apply backpressure; the enumeration order
+// and the max_guesses cap semantics are those of the original
+// materializing enumerator.
 class GuessBuilder {
  public:
   GuessBuilder(const SimplSystem& sys, const GuessEnumOptions& options,
-               std::vector<DisGuess>& out, bool* complete)
-      : sys_(sys), options_(options), out_(out), complete_(complete) {}
+               GuessSink sink, bool* complete)
+      : sys_(sys),
+        options_(options),
+        sink_(std::move(sink)),
+        complete_(complete) {}
 
   void Run() {
     const std::size_t n = sys_.dis.size();
     if (n == 0) {
       DisGuess g;
       g.mem.resize(sys_.num_vars);
-      out_.push_back(std::move(g));
+      Emit(std::move(g));
       return;
     }
     per_thread_paths_.resize(n);
@@ -142,17 +156,28 @@ class GuessBuilder {
  private:
   const Cfa& DisCfa(std::size_t t) const { return *sys_.dis[t]; }
 
-  bool Overflow() {
-    if (out_.size() >= options_.max_guesses) {
+  // Enumeration must stop: the cap was hit or the sink cancelled.
+  bool Stopped() {
+    if (stopped_) return true;
+    if (produced_ >= options_.max_guesses) {
       *complete_ = false;
+      stopped_ = true;
       return true;
     }
     return false;
   }
 
+  void Emit(DisGuess&& guess) {
+    if (!sink_(std::move(guess))) {
+      stopped_ = true;
+      return;
+    }
+    ++produced_;
+  }
+
   // Phase A product: choose one path per thread.
   void PickPaths(std::size_t t) {
-    if (Overflow()) return;
+    if (Stopped()) return;
     if (t == chosen_.size()) {
       MergeStores();
       return;
@@ -160,7 +185,7 @@ class GuessBuilder {
     for (std::size_t i = 0; i < per_thread_paths_[t].size(); ++i) {
       chosen_[t] = i;
       PickPaths(t + 1);
-      if (Overflow()) return;
+      if (Stopped()) return;
     }
   }
 
@@ -222,7 +247,7 @@ class GuessBuilder {
       const std::vector<std::vector<std::vector<std::pair<int, int>>>>&
           merges,
       std::size_t x, std::vector<std::size_t>& pick) {
-    if (Overflow()) return;
+    if (Stopped()) return;
     if (x == merges.size()) {
       BuildMemAndResolveReads(merges, pick);
       return;
@@ -230,7 +255,7 @@ class GuessBuilder {
     for (std::size_t i = 0; i < merges[x].size(); ++i) {
       pick[x] = i;
       ProductMerges(merges, x + 1, pick);
-      if (Overflow()) return;
+      if (Stopped()) return;
     }
   }
 
@@ -268,7 +293,7 @@ class GuessBuilder {
 
   // Recursively resolves read sources for thread t from step s on.
   void ResolveReads(DisGuess& guess, std::size_t t, std::size_t s) {
-    if (Overflow()) return;
+    if (Stopped()) return;
     if (t == guess.threads.size()) {
       Finalise(guess);
       return;
@@ -292,7 +317,7 @@ class GuessBuilder {
         step.read_from_env = false;
         step.read_dis_pos = p;
         ResolveReads(guess, t, s + 1);
-        if (Overflow()) return;
+        if (Stopped()) return;
       }
       step.read_from_env = true;
       step.read_dis_pos = -1;
@@ -312,7 +337,7 @@ class GuessBuilder {
         guess.mem[x][p - 1].glued = true;
         ResolveReads(guess, t, s + 1);
         guess.mem[x][p - 1].glued = false;
-        if (Overflow()) return;
+        if (Stopped()) return;
       }
       // CAS on an env message: the clone sits directly below; no glue.
       step.read_from_env = true;
@@ -325,14 +350,16 @@ class GuessBuilder {
   }
 
   void Finalise(DisGuess& guess) {
-    if (Overflow()) return;
-    out_.push_back(guess);
+    if (Stopped()) return;
+    Emit(DisGuess(guess));  // copy: the recursion keeps mutating `guess`
   }
 
   const SimplSystem& sys_;
   const GuessEnumOptions& options_;
-  std::vector<DisGuess>& out_;
+  GuessSink sink_;
   bool* complete_;
+  std::size_t produced_ = 0;
+  bool stopped_ = false;
   std::vector<std::vector<ThreadGuess>> per_thread_paths_;
   std::vector<std::size_t> chosen_;
 };
@@ -344,9 +371,96 @@ std::vector<DisGuess> EnumerateDisGuesses(const SimplSystem& sys,
                                           bool* complete) {
   *complete = true;
   std::vector<DisGuess> out;
-  GuessBuilder builder(sys, options, out, complete);
+  GuessBuilder builder(
+      sys, options,
+      [&out](DisGuess&& g) {
+        out.push_back(std::move(g));
+        return true;
+      },
+      complete);
   builder.Run();
   return out;
+}
+
+// --- DisGuessCursor ---------------------------------------------------------
+
+DisGuessCursor::DisGuessCursor(const SimplSystem& sys,
+                               const GuessEnumOptions& options,
+                               std::size_t buffer_capacity)
+    : capacity_(buffer_capacity == 0 ? 1 : buffer_capacity) {
+  producer_ = std::jthread([this, &sys, opts = options] {
+    bool complete = true;
+    GuessBuilder builder(
+        sys, opts, [this](DisGuess&& g) { return Push(std::move(g)); },
+        &complete);
+    builder.Run();
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      done_ = true;
+      complete_ = complete && !cancelled_;
+    }
+    can_consume_.notify_all();
+  });
+}
+
+DisGuessCursor::~DisGuessCursor() {
+  Cancel();
+  // producer_ (jthread) joins on destruction.
+}
+
+bool DisGuessCursor::Push(DisGuess&& guess) {
+  std::unique_lock<std::mutex> lock(m_);
+  can_produce_.wait(lock, [this] {
+    return buffer_.size() < capacity_ || cancelled_;
+  });
+  if (cancelled_) return false;
+  buffer_.push_back(std::move(guess));
+  ++produced_;
+  lock.unlock();
+  can_consume_.notify_one();
+  return true;
+}
+
+std::size_t DisGuessCursor::NextChunk(std::size_t max_chunk,
+                                      std::vector<DisGuess>* out) {
+  std::unique_lock<std::mutex> lock(m_);
+  can_consume_.wait(lock,
+                    [this] { return !buffer_.empty() || done_ || cancelled_; });
+  if (cancelled_) return 0;
+  std::size_t n = 0;
+  while (n < max_chunk && !buffer_.empty()) {
+    out->push_back(std::move(buffer_.front()));
+    buffer_.pop_front();
+    ++n;
+  }
+  lock.unlock();
+  can_produce_.notify_all();
+  return n;
+}
+
+void DisGuessCursor::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    cancelled_ = true;
+    buffer_.clear();
+  }
+  can_produce_.notify_all();
+  can_consume_.notify_all();
+}
+
+std::size_t DisGuessCursor::produced() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return produced_;
+}
+
+bool DisGuessCursor::exhausted() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return cancelled_ || (done_ && buffer_.empty());
+}
+
+bool DisGuessCursor::complete() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return done_ && complete_;
 }
 
 std::string DisGuess::ToString(const SimplSystem& sys) const {

@@ -12,12 +12,25 @@
 // The enumerator below realises the nondeterminism by exhaustive
 // enumeration with pruning; it is exponential in the dis programs (as the
 // NP guess must be) and intended for the small instances the Datalog
-// backend is exercised on.
+// backend is exercised on. Two front ends share one enumeration core:
+//
+//   * EnumerateDisGuesses — materializes every guess into a vector
+//     (legacy API, fine for tests and small systems);
+//   * DisGuessCursor — streams guesses in enumeration order through a
+//     bounded buffer, so consumers (the parallel verification driver)
+//     pull chunks on demand instead of holding up to max_guesses = 200'000
+//     skeletons in memory, and can cancel enumeration the moment a verdict
+//     is decided.
 #ifndef RAPAR_ENCODING_DIS_GUESS_H_
 #define RAPAR_ENCODING_DIS_GUESS_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "simplified/transitions.h"
@@ -79,10 +92,68 @@ struct GuessEnumOptions {
 // Enumerates all valid dis-run guesses of `sys` (up to the cap). Register
 // effects, assumes and CAS value-matching are checked during enumeration;
 // view feasibility is left to the Datalog derivation. Sets *complete to
-// false if the cap was hit.
+// false if the cap was hit. Thin wrapper over the streaming enumeration
+// core; yields exactly the DisGuessCursor sequence.
 std::vector<DisGuess> EnumerateDisGuesses(const SimplSystem& sys,
                                           const GuessEnumOptions& options,
                                           bool* complete);
+
+// Resumable streaming enumeration: produces the same guesses in the same
+// order as EnumerateDisGuesses, but on demand. A producer thread runs the
+// enumeration into a bounded buffer (backpressure keeps memory constant in
+// the guess count); NextChunk pops guesses in order. Cancel() aborts the
+// remaining enumeration — the consumer's early exit (verdict decided)
+// propagates back into the exponential search instead of letting it run
+// to the cap.
+//
+// `sys` must outlive the cursor. One consumer at a time (the parallel
+// driver pulls chunks from its dispatcher thread only).
+class DisGuessCursor {
+ public:
+  DisGuessCursor(const SimplSystem& sys, const GuessEnumOptions& options,
+                 std::size_t buffer_capacity = 1024);
+  ~DisGuessCursor();
+
+  DisGuessCursor(const DisGuessCursor&) = delete;
+  DisGuessCursor& operator=(const DisGuessCursor&) = delete;
+
+  // Appends up to `max_chunk` guesses to *out (preserving existing
+  // elements) and returns how many were appended. Blocks while the
+  // producer is still working; 0 means the enumeration is exhausted or
+  // was cancelled.
+  std::size_t NextChunk(std::size_t max_chunk, std::vector<DisGuess>* out);
+
+  // Stops the producer; subsequent NextChunk calls return 0 (guesses
+  // already buffered are discarded). Idempotent, safe from any thread.
+  void Cancel();
+
+  // Guesses handed to the buffer so far; equals the total enumeration
+  // count once exhausted() holds.
+  std::size_t produced() const;
+
+  // NextChunk has returned 0: no further guesses will arrive.
+  bool exhausted() const;
+
+  // The enumeration ran to completion without hitting max_guesses. Only
+  // meaningful once exhausted() holds; false when Cancel() arrived while
+  // the enumeration was still running (a Cancel after completion — e.g.
+  // the parallel driver's unconditional cleanup — leaves it true).
+  bool complete() const;
+
+ private:
+  bool Push(DisGuess&& guess);  // producer side; false = cancelled
+
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::condition_variable can_produce_;
+  std::condition_variable can_consume_;
+  std::deque<DisGuess> buffer_;
+  std::size_t produced_ = 0;
+  bool done_ = false;       // producer finished (exhausted or cancelled)
+  bool cancelled_ = false;
+  bool complete_ = false;   // cap not hit; valid once done_
+  std::jthread producer_;   // last member: joins before state dies
+};
 
 }  // namespace rapar
 
