@@ -34,16 +34,16 @@ void PrintSweep() {
 
     VerifierOptions copts;
     copts.backend = Backend::kConcrete;
-    copts.concrete_env_threads = z;
+    copts.concrete.env_threads = z;
     copts.time_budget_ms = 20'000;
     Verdict vc;
     const double conc_ms = TimeMs([&] { vc = verifier.Verify(copts); });
 
     Row({std::to_string(z), vs.unsafe() ? "UNSAFE" : "safe",
-         std::to_string(vs.states), std::to_string(simpl_ms),
+         std::to_string(vs.states()), std::to_string(simpl_ms),
          vc.result == Verdict::Result::kUnknown
              ? "(budget)"
-             : std::to_string(vc.states),
+             : std::to_string(vc.states()),
          std::to_string(conc_ms)},
         16);
   }
@@ -75,7 +75,7 @@ static void BM_ConcreteVerify(benchmark::State& state) {
   rapar::SafetyVerifier verifier(bench.system);
   rapar::VerifierOptions opts;
   opts.backend = rapar::Backend::kConcrete;
-  opts.concrete_env_threads = z;
+  opts.concrete.env_threads = z;
   for (auto _ : state) {
     rapar::Verdict v = verifier.Verify(opts);
     benchmark::DoNotOptimize(v.result);

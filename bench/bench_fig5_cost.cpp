@@ -55,7 +55,7 @@ void PrintThreadBoundValidation() {
       if (n <= 0) return "n/a";
       VerifierOptions opts;
       opts.backend = Backend::kConcrete;
-      opts.concrete_env_threads = n;
+      opts.concrete.env_threads = n;
       opts.time_budget_ms = 20'000;
       Verdict cv = verifier.Verify(opts);
       if (cv.unsafe()) return "bug reached";

@@ -43,7 +43,7 @@ void PrintDecidableCell() {
     const double ms = TimeMs([&] { v = verifier.Verify(opts); });
     Row({bench.name, bench.paper_class,
          v.unsafe() ? "UNSAFE" : (v.safe() ? "SAFE" : "UNKNOWN"),
-         std::to_string(v.states),
+         std::to_string(v.states()),
          std::to_string(static_cast<int>(ms * 1000) / 1000.0)},
         26);
   }

@@ -30,7 +30,7 @@ int main() {
     auto concrete = [&](int n) {
       rapar::VerifierOptions opts;
       opts.backend = rapar::Backend::kConcrete;
-      opts.concrete_env_threads = n;
+      opts.concrete.env_threads = n;
       opts.time_budget_ms = 30'000;
       rapar::Verdict cv = verifier.Verify(opts);
       if (cv.unsafe()) return "bug reached";

@@ -7,37 +7,28 @@
 //   rapar_cli classify FILE...
 //   rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]
 //
+// Every subcommand answers `--help` with its own flag list. Flags are
+// declared once in the kFlags table below — name, arity, applicable
+// subcommands, help text — so parsing, validation and help stay in sync.
+// An unknown flag (or one that does not apply to the subcommand) is a
+// usage error: exit 3.
+//
 // lint runs the analysis passes (reachability, liveness, constant
-// propagation, footprints) and reports diagnostics in compiler format
-// (file:line:col: severity: CODE: message plus a source caret). Bare FILE
-// arguments are linted as env candidates; with --env/--dis the files are
-// checked as one system, so a store only counts as dead if no thread of
-// the system reads the variable.
-//
+// propagation, footprints) and reports diagnostics in compiler format.
 // dlanalyze runs makeP for one guess (--guess N, default 0) and reports
-// the static analysis of the emitted Datalog program: predicate
-// dependency graph, per-SCC width/solver classification, and the RA02x
-// diagnostics of the query-driven optimizer (src/dlopt/). --dot prints
-// the dependency graph in Graphviz format instead (query cone filled).
+// the static analysis of the emitted Datalog program; --dot prints the
+// predicate dependency graph in Graphviz format instead.
 //
-// Options:
-//   --backend simplified|datalog|concrete   (default simplified)
-//   --threads N        concrete backend: env threads in the instance
-//                      (default 2); datalog backend: worker threads for
-//                      the per-guess solves (default 0 = all hardware
-//                      threads, 1 = serial) — the verdict and witness are
-//                      identical for every N
-//   --unroll K         unroll bound for dis loops (default 0 = reject)
-//   --budget-ms N      wall-clock budget (default 30000)
-//   --witness          print the witness run on UNSAFE
-//   --format text|json lint/dlanalyze output format (default text); json
-//                      is a flat array of diagnostic objects with stable
-//                      keys file, line, col, code, severity, message
-//   --guess N          dlanalyze: which makeP guess to analyze
-//   --dot              dlanalyze: emit the dependency graph as Graphviz
+// Machine-readable output (--format=json) uses the stable envelopes of
+// core/result_json.h: verify/mg emit the verdict envelope (schema_version,
+// verdict, exit_code, witness, options echo, telemetry), lint/dlanalyze
+// the diagnostics envelope. --trace=FILE writes a Chrome trace-event JSON
+// of the run (open in Perfetto or chrome://tracing); --metrics prints the
+// telemetry registry after the verdict.
 //
 // Exit code: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = usage/input error.
 // For lint/dlanalyze: 0 = clean (notes allowed), 1 = warnings/errors.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,12 +38,15 @@
 
 #include "analysis/diagnostics.h"
 #include "analysis/footprint.h"
+#include "core/result_json.h"
 #include "core/verifier.h"
 #include "dlopt/dl_diagnostics.h"
 #include "encoding/makep.h"
 #include "lang/classify.h"
 #include "lang/parser.h"
 #include "lang/transform.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -60,7 +54,7 @@ struct Options {
   std::string command;
   std::string env_file;
   std::vector<std::string> dis_files;
-  std::vector<std::string> files;  // classify
+  std::vector<std::string> files;  // classify / bare lint inputs
   std::string backend = "simplified";
   int threads = 2;
   bool threads_set = false;
@@ -72,14 +66,104 @@ struct Options {
   std::string format = "text";
   int guess_index = 0;
   bool dot = false;
+  std::string trace_file;
+  bool metrics = false;
+  bool help = false;
 };
 
-int Usage() {
+// --- declarative flag table -------------------------------------------------
+
+struct FlagSpec {
+  const char* name;        // "--env"
+  bool takes_value;
+  const char* value_name;  // shown in help; null for boolean flags
+  // Space-separated subcommands the flag applies to.
+  const char* commands;
+  const char* help;
+  void (*apply)(Options&, const char*);
+};
+
+constexpr char kAllCommands[] =
+    "verify mg dump-datalog dlanalyze classify lint";
+
+const FlagSpec kFlags[] = {
+    {"--env", true, "FILE", "verify mg dump-datalog dlanalyze lint",
+     "env thread program",
+     [](Options& o, const char* v) { o.env_file = v; }},
+    {"--dis", true, "FILE", "verify mg dump-datalog dlanalyze lint",
+     "add a dis thread program (repeatable)",
+     [](Options& o, const char* v) { o.dis_files.push_back(v); }},
+    {"--backend", true, "B", "verify mg",
+     "simplified|datalog|concrete (default simplified)",
+     [](Options& o, const char* v) { o.backend = v; }},
+    {"--threads", true, "N", "verify mg",
+     "concrete: env threads in the instance (default 2); datalog: worker "
+     "threads (default 0 = all hardware threads, 1 = serial)",
+     [](Options& o, const char* v) {
+       o.threads = std::atoi(v);
+       o.threads_set = true;
+     }},
+    {"--unroll", true, "K", "verify mg dump-datalog dlanalyze",
+     "unroll bound for dis loops (default 0 = reject loops)",
+     [](Options& o, const char* v) { o.unroll = std::atoi(v); }},
+    {"--budget-ms", true, "N", "verify mg",
+     "wall-clock budget in ms, 0 = unlimited (default 30000)",
+     [](Options& o, const char* v) { o.budget_ms = std::atoll(v); }},
+    {"--witness", false, nullptr, "verify mg",
+     "print the witness run on UNSAFE",
+     [](Options& o, const char*) { o.witness = true; }},
+    {"--var", true, "NAME", "mg dump-datalog dlanalyze",
+     "goal message variable",
+     [](Options& o, const char* v) { o.goal_var = v; }},
+    {"--val", true, "N", "mg dump-datalog dlanalyze", "goal message value",
+     [](Options& o, const char* v) { o.goal_val = std::atoi(v); }},
+    {"--format", true, "F", "verify mg lint dlanalyze",
+     "text|json (default text); json uses the stable schema of "
+     "core/result_json.h",
+     [](Options& o, const char* v) { o.format = v; }},
+    {"--guess", true, "N", "dlanalyze", "which makeP guess to analyze",
+     [](Options& o, const char* v) { o.guess_index = std::atoi(v); }},
+    {"--dot", false, nullptr, "dlanalyze",
+     "emit the dependency graph as Graphviz",
+     [](Options& o, const char*) { o.dot = true; }},
+    {"--trace", true, "FILE", "verify mg",
+     "write a Chrome trace-event JSON of the run (Perfetto-loadable)",
+     [](Options& o, const char* v) { o.trace_file = v; }},
+    {"--metrics", false, nullptr, "verify mg",
+     "print the telemetry registry after the verdict",
+     [](Options& o, const char*) { o.metrics = true; }},
+    {"--help", false, nullptr, kAllCommands, "show this help",
+     [](Options& o, const char*) { o.help = true; }},
+};
+
+// Word-exact membership of `cmd` in the space-separated `list`.
+bool CommandIn(const std::string& cmd, const char* list) {
+  const char* p = list;
+  while (*p != '\0') {
+    const char* end = std::strchr(p, ' ');
+    const std::size_t len =
+        end != nullptr ? static_cast<std::size_t>(end - p) : std::strlen(p);
+    if (cmd.size() == len && std::strncmp(cmd.c_str(), p, len) == 0) {
+      return true;
+    }
+    if (end == nullptr) break;
+    p = end + 1;
+  }
+  return false;
+}
+
+const FlagSpec* FindFlag(const std::string& name) {
+  for (const FlagSpec& f : kFlags) {
+    if (name == f.name) return &f;
+  }
+  return nullptr;
+}
+
+int GlobalUsage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  rapar_cli verify --env FILE [--dis FILE]... [--backend B]\n"
-      "            [--threads N] [--unroll K] [--budget-ms N] [--witness]\n"
+      "  rapar_cli verify --env FILE [--dis FILE]... [options]\n"
       "  rapar_cli mg --env FILE [--dis FILE]... --var NAME --val N ...\n"
       "  rapar_cli dump-datalog --env FILE [--dis FILE]... [--var NAME "
       "--val N]\n"
@@ -87,8 +171,88 @@ int Usage() {
       "[--dot]\n"
       "  rapar_cli classify FILE...\n"
       "  rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]\n"
-      "options: --format text|json (lint, dlanalyze)\n");
+      "run `rapar_cli <command> --help` for the command's flags\n");
   return 3;
+}
+
+// Per-subcommand help, generated from the flag table.
+int CommandHelp(const std::string& cmd) {
+  std::printf("usage: rapar_cli %s [flags]\nflags:\n", cmd.c_str());
+  for (const FlagSpec& f : kFlags) {
+    if (!CommandIn(cmd, f.commands)) continue;
+    std::string lhs = f.name;
+    if (f.takes_value) {
+      lhs += ' ';
+      lhs += f.value_name;
+    }
+    std::printf("  %-18s %s\n", lhs.c_str(), f.help);
+  }
+  return 0;
+}
+
+// Parses argv into `opts`. Returns 0 on success, 3 (after printing the
+// error) on a usage error.
+int ParseArgs(int argc, char** argv, Options* opts) {
+  if (argc < 2) return GlobalUsage();
+  opts->command = argv[1];
+  if (opts->command == "--help" || opts->command == "-h") {
+    GlobalUsage();
+    return 3;
+  }
+  if (!CommandIn(opts->command, kAllCommands)) {
+    std::fprintf(stderr, "unknown command: %s\n", opts->command.c_str());
+    return GlobalUsage();
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.empty()) continue;
+    if (arg[0] != '-') {
+      if (opts->command != "classify" && opts->command != "lint") {
+        std::fprintf(stderr,
+                     "unexpected argument '%s' (command %s takes no "
+                     "positional arguments)\n",
+                     arg.c_str(), opts->command.c_str());
+        return 3;
+      }
+      opts->files.push_back(arg);
+      continue;
+    }
+    // --flag=value or --flag [value]
+    std::string name = arg;
+    const char* inline_value = nullptr;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = argv[i] + eq + 1;
+    }
+    const FlagSpec* spec = FindFlag(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown flag: %s\n", name.c_str());
+      return 3;
+    }
+    if (!CommandIn(opts->command, spec->commands)) {
+      std::fprintf(stderr, "flag %s does not apply to command %s\n",
+                   name.c_str(), opts->command.c_str());
+      return 3;
+    }
+    const char* value = nullptr;
+    if (spec->takes_value) {
+      if (inline_value != nullptr) {
+        value = inline_value;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag %s expects a value (%s)\n", name.c_str(),
+                     spec->value_name);
+        return 3;
+      }
+    } else if (inline_value != nullptr) {
+      std::fprintf(stderr, "flag %s takes no value\n", name.c_str());
+      return 3;
+    }
+    spec->apply(*opts, value);
+  }
+  return 0;
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -100,125 +264,8 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
-bool ParseArgs(int argc, char** argv, Options* opts) {
-  if (argc < 2) return false;
-  opts->command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--env") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->env_file = v;
-    } else if (arg == "--dis") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->dis_files.push_back(v);
-    } else if (arg == "--backend") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->backend = v;
-    } else if (arg == "--threads") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->threads = std::atoi(v);
-      opts->threads_set = true;
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      opts->threads = std::atoi(arg.c_str() + std::strlen("--threads="));
-      opts->threads_set = true;
-    } else if (arg == "--unroll") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->unroll = std::atoi(v);
-    } else if (arg == "--budget-ms") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->budget_ms = std::atoll(v);
-    } else if (arg == "--witness") {
-      opts->witness = true;
-    } else if (arg == "--format") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->format = v;
-    } else if (arg.rfind("--format=", 0) == 0) {
-      opts->format = arg.substr(std::strlen("--format="));
-    } else if (arg == "--guess") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->guess_index = std::atoi(v);
-    } else if (arg == "--dot") {
-      opts->dot = true;
-    } else if (arg == "--var") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->goal_var = v;
-    } else if (arg == "--val") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts->goal_val = std::atoi(v);
-    } else if (!arg.empty() && arg[0] != '-') {
-      opts->files.push_back(arg);
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
-
-// The machine-readable diagnostic format (--format=json): a flat array of
-// objects with the stable keys file, line, col, code, severity, message.
-// line/col are 0 when the diagnostic has no source position (dlanalyze
-// diagnostics describe the generated encoding, not a source file).
-void PrintDiagnosticsJson(
-    const std::vector<std::pair<std::string, rapar::Diagnostic>>& diags) {
-  std::printf("[");
-  for (std::size_t i = 0; i < diags.size(); ++i) {
-    const auto& [file, d] = diags[i];
-    std::printf(
-        "%s\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, "
-        "\"code\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\"}",
-        i == 0 ? "" : ",", JsonEscape(file).c_str(), d.loc.line, d.loc.col,
-        JsonEscape(d.code).c_str(), rapar::SeverityName(d.severity),
-        JsonEscape(d.message).c_str());
-  }
-  std::printf("%s]\n", diags.empty() ? "" : "\n");
-}
-
 int Classify(const Options& opts) {
-  if (opts.files.empty()) return Usage();
+  if (opts.files.empty()) return GlobalUsage();
   for (const std::string& path : opts.files) {
     std::string text;
     if (!ReadFile(path, &text)) {
@@ -256,7 +303,7 @@ int Lint(const Options& opts) {
   for (const std::string& path : opts.files) {
     add(path, rapar::ThreadRole::kEnv);
   }
-  if (inputs.empty()) return Usage();
+  if (inputs.empty()) return GlobalUsage();
 
   for (Input& in : inputs) {
     if (!ReadFile(in.path, &in.text)) {
@@ -318,7 +365,7 @@ int Lint(const Options& opts) {
     }
   }
   if (opts.format == "json") {
-    PrintDiagnosticsJson(all);
+    std::fputs(rapar::DiagnosticsToJson("lint", all).c_str(), stdout);
   } else {
     std::printf("%zu warning(s), %zu note(s)\n", warnings, notes);
   }
@@ -355,13 +402,29 @@ rapar::Expected<rapar::ParamSystem> BuildSystem(const Options& opts) {
 }
 
 int RunVerify(const Options& opts, bool mg) {
-  if (opts.env_file.empty()) return Usage();
-  rapar::Expected<rapar::ParamSystem> sys = BuildSystem(opts);
+  if (opts.env_file.empty()) return GlobalUsage();
+  const bool json = opts.format == "json";
+
+  // The recorder must outlive the whole run so the parse phase is on the
+  // trace too.
+  rapar::obs::TraceRecorder recorder;
+  rapar::obs::TraceRecorder* trace =
+      opts.trace_file.empty() ? nullptr : &recorder;
+
+  const auto parse_start = std::chrono::steady_clock::now();
+  rapar::Expected<rapar::ParamSystem> sys = [&] {
+    rapar::obs::ScopedSpan span(trace, "parse");
+    return BuildSystem(opts);
+  }();
+  const double parse_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - parse_start)
+          .count();
   if (!sys.ok()) {
     std::fprintf(stderr, "%s\n", sys.error().c_str());
     return 3;
   }
-  std::printf("system: %s\n", sys.value().Signature().c_str());
+  if (!json) std::printf("system: %s\n", sys.value().Signature().c_str());
 
   rapar::VerifierOptions vopts;
   if (opts.backend == "simplified") {
@@ -374,17 +437,18 @@ int RunVerify(const Options& opts, bool mg) {
     std::fprintf(stderr, "unknown backend '%s'\n", opts.backend.c_str());
     return 3;
   }
-  vopts.concrete_env_threads = opts.threads;
+  vopts.concrete.env_threads = opts.threads;
   if (vopts.backend == rapar::Backend::kDatalog) {
     // For the Datalog backend --threads selects the worker-pool size
     // (0 = all hardware threads, which is also the default).
-    vopts.threads =
+    vopts.datalog.threads =
         opts.threads_set ? static_cast<unsigned>(opts.threads < 0
                                                      ? 0
                                                      : opts.threads)
                          : 0;
   }
   vopts.time_budget_ms = opts.budget_ms;
+  vopts.obs.trace = trace;
 
   rapar::SafetyVerifier verifier(sys.value());
   rapar::Verdict v;
@@ -399,15 +463,41 @@ int RunVerify(const Options& opts, bool mg) {
   } else {
     v = verifier.Verify(vopts);
   }
-  std::printf("%s\n", v.ToString().c_str());
-  if (v.unsafe() && opts.witness) {
-    std::printf("witness:\n%s", v.witness.c_str());
+  v.telemetry.SetGauge(rapar::obs::metric::kPhaseParseMs, parse_ms);
+
+  if (trace != nullptr && !recorder.WriteFile(opts.trace_file)) {
+    std::fprintf(stderr, "cannot write trace file '%s'\n",
+                 opts.trace_file.c_str());
+    return 3;
   }
-  return v.unsafe() ? 1 : (v.safe() ? 0 : 2);
+
+  if (json) {
+    std::fputs(rapar::VerdictToJson(v, vopts, mg ? "mg" : "verify",
+                                    sys.value().Signature())
+                   .c_str(),
+               stdout);
+  } else {
+    std::printf("%s\n", v.ToString().c_str());
+    if (v.unsafe() && opts.witness) {
+      std::printf("witness:\n%s", v.witness.c_str());
+    }
+    if (opts.metrics) {
+      std::printf("metrics:\n");
+      for (const rapar::obs::Telemetry::Entry& e : v.telemetry.entries()) {
+        if (e.is_gauge) {
+          std::printf("  %s=%.3f\n", e.name.c_str(), e.gauge);
+        } else {
+          std::printf("  %s=%llu\n", e.name.c_str(),
+                      static_cast<unsigned long long>(e.counter));
+        }
+      }
+    }
+  }
+  return rapar::VerdictExitCode(v);
 }
 
 int DumpDatalog(const Options& opts) {
-  if (opts.env_file.empty()) return Usage();
+  if (opts.env_file.empty()) return GlobalUsage();
   rapar::Expected<rapar::ParamSystem> sys = BuildSystem(opts);
   if (!sys.ok()) {
     std::fprintf(stderr, "%s\n", sys.error().c_str());
@@ -443,7 +533,7 @@ int DumpDatalog(const Options& opts) {
 }
 
 int DlAnalyze(const Options& opts) {
-  if (opts.env_file.empty()) return Usage();
+  if (opts.env_file.empty()) return GlobalUsage();
   rapar::Expected<rapar::ParamSystem> sys = BuildSystem(opts);
   if (!sys.ok()) {
     std::fprintf(stderr, "%s\n", sys.error().c_str());
@@ -504,7 +594,7 @@ int DlAnalyze(const Options& opts) {
     for (const rapar::Diagnostic& d : a.diagnostics) {
       all.emplace_back("makeP", d);
     }
-    PrintDiagnosticsJson(all);
+    std::fputs(rapar::DiagnosticsToJson("dlanalyze", all).c_str(), stdout);
     return errors + warnings > 0 ? 1 : 0;
   }
 
@@ -530,12 +620,14 @@ int DlAnalyze(const Options& opts) {
 
 int main(int argc, char** argv) {
   Options opts;
-  if (!ParseArgs(argc, argv, &opts)) return Usage();
+  const int parse_rc = ParseArgs(argc, argv, &opts);
+  if (parse_rc != 0) return parse_rc;
+  if (opts.help) return CommandHelp(opts.command);
   if (opts.command == "classify") return Classify(opts);
   if (opts.command == "lint") return Lint(opts);
   if (opts.command == "verify") return RunVerify(opts, /*mg=*/false);
   if (opts.command == "mg") return RunVerify(opts, /*mg=*/true);
   if (opts.command == "dump-datalog") return DumpDatalog(opts);
   if (opts.command == "dlanalyze") return DlAnalyze(opts);
-  return Usage();
+  return GlobalUsage();
 }

@@ -1,0 +1,402 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rapar {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Newline() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_value) out_ += ',';
+    if (pretty_) Newline();
+    stack_.back().has_value = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame{true, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  const bool had = !stack_.empty() && stack_.back().has_value;
+  stack_.pop_back();
+  if (had && pretty_) Newline();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame{false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  const bool had = !stack_.empty() && stack_.back().has_value;
+  stack_.pop_back();
+  if (had && pretty_) Newline();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!stack_.empty()) {
+    if (stack_.back().has_value) out_ += ',';
+    if (pretty_) Newline();
+    stack_.back().has_value = true;
+  }
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += pretty_ ? "\": " : "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(long long value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(std::uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser. Depth-limited so adversarially nested input
+// cannot blow the stack (our own emitters never get close).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<JsonValue> Parse() {
+    JsonValue v;
+    std::string err;
+    if (!ParseValue(&v, &err, 0)) return Expected<JsonValue>::Error(err);
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Expected<JsonValue>::Error(
+          "trailing garbage at offset " + std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(std::string* err, const std::string& what) {
+    *err = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* err, int depth) {
+    if (depth > kMaxDepth) return Fail(err, "nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail(err, "unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, err, depth);
+      case '[':
+        return ParseArray(out, err, depth);
+      case '"': {
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string, err);
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = true;
+          return true;
+        }
+        return Fail(err, "invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = false;
+          return true;
+        }
+        return Fail(err, "invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out->kind = JsonValue::Kind::kNull;
+          return true;
+        }
+        return Fail(err, "invalid literal");
+      default:
+        return ParseNumber(out, err);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, std::string* err, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail(err, "expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key, err)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail(err, "expected ':'");
+      }
+      ++pos_;
+      JsonValue v;
+      if (!ParseValue(&v, err, depth + 1)) return false;
+      out->members.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail(err, "unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail(err, "expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, std::string* err, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!ParseValue(&v, err, depth + 1)) return false;
+      out->items.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail(err, "unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail(err, "expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out, std::string* err) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail(err, "bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail(err, "bad \\u escape");
+              }
+            }
+            // UTF-8 encode (surrogate pairs unhandled: our emitters only
+            // produce \u00xx control-character escapes).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Fail(err, "bad escape");
+        }
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return Fail(err, "unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out, std::string* err) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail(err, "expected value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail(err, "bad number");
+    if (tok.find_first_of(".eE") == std::string::npos) {
+      out->number_is_int = true;
+      out->integer = std::strtoll(tok.c_str(), nullptr, 10);
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace rapar

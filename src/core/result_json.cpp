@@ -1,0 +1,142 @@
+#include "core/result_json.h"
+
+#include "common/json.h"
+
+namespace rapar {
+
+namespace {
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kSimplifiedExplorer:
+      return "simplified";
+    case Backend::kDatalog:
+      return "datalog";
+    case Backend::kConcrete:
+      return "concrete";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const char* VerdictName(Verdict::Result r) {
+  switch (r) {
+    case Verdict::Result::kSafe:
+      return "safe";
+    case Verdict::Result::kUnsafe:
+      return "unsafe";
+    case Verdict::Result::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+int VerdictExitCode(const Verdict& v) {
+  return v.unsafe() ? 1 : (v.safe() ? 0 : 2);
+}
+
+std::string VerdictToJson(const Verdict& v, const VerifierOptions& options,
+                          std::string_view command,
+                          std::string_view system_signature) {
+  JsonWriter w(/*pretty=*/true);
+  w.BeginObject();
+  w.Key("schema_version").Int(kResultSchemaVersion);
+  w.Key("tool").String("rapar");
+  w.Key("command").String(command);
+  if (!system_signature.empty()) {
+    w.Key("system").String(system_signature);
+  }
+  w.Key("verdict").String(VerdictName(v.result));
+  w.Key("exit_code").Int(VerdictExitCode(v));
+  w.Key("witness");
+  if (v.witness.empty()) {
+    w.Null();
+  } else {
+    w.String(v.witness);
+  }
+  w.Key("env_thread_bound");
+  if (v.env_thread_bound.has_value()) {
+    w.Int(*v.env_thread_bound);
+  } else {
+    w.Null();
+  }
+  w.Key("stopped_phase");
+  if (v.stopped_phase.empty()) {
+    w.Null();
+  } else {
+    w.String(v.stopped_phase);
+  }
+  if (!v.width_report.empty()) {
+    w.Key("width_report").String(v.width_report);
+  }
+  w.Key("options").BeginObject();
+  w.Key("backend").String(BackendName(options.backend));
+  w.Key("enable_prepass").Bool(options.enable_prepass);
+  w.Key("datalog").BeginObject();
+  w.Key("enable_dlopt").Bool(options.datalog.enable_dlopt);
+  w.Key("threads").UInt(options.datalog.threads);
+  w.Key("batch_size").UInt(options.datalog.batch_size);
+  w.EndObject();
+  w.Key("concrete").BeginObject();
+  w.Key("env_threads").Int(options.concrete.env_threads);
+  w.EndObject();
+  w.Key("max_states").UInt(options.max_states);
+  w.Key("max_depth").Int(options.max_depth);
+  w.Key("time_budget_ms").Int(options.time_budget_ms);
+  w.Key("max_guesses").UInt(options.max_guesses);
+  w.EndObject();
+  w.Key("telemetry");
+  v.telemetry.WriteJson(w);
+  w.EndObject();
+  std::string out = w.TakeString();
+  out += '\n';
+  return out;
+}
+
+std::string DiagnosticsToJson(
+    std::string_view command,
+    const std::vector<std::pair<std::string, Diagnostic>>& diagnostics) {
+  std::size_t errors = 0, warnings = 0, notes = 0;
+  for (const auto& [file, d] : diagnostics) {
+    switch (d.severity) {
+      case Severity::kError:
+        ++errors;
+        break;
+      case Severity::kWarning:
+        ++warnings;
+        break;
+      case Severity::kNote:
+        ++notes;
+        break;
+    }
+  }
+  JsonWriter w(/*pretty=*/true);
+  w.BeginObject();
+  w.Key("schema_version").Int(kResultSchemaVersion);
+  w.Key("tool").String("rapar");
+  w.Key("command").String(command);
+  w.Key("diagnostics").BeginArray();
+  for (const auto& [file, d] : diagnostics) {
+    w.BeginObject();
+    w.Key("file").String(file);
+    w.Key("line").Int(d.loc.line);
+    w.Key("col").Int(d.loc.col);
+    w.Key("code").String(d.code);
+    w.Key("severity").String(SeverityName(d.severity));
+    w.Key("message").String(d.message);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("summary").BeginObject();
+  w.Key("errors").UInt(errors);
+  w.Key("warnings").UInt(warnings);
+  w.Key("notes").UInt(notes);
+  w.EndObject();
+  w.EndObject();
+  std::string out = w.TakeString();
+  out += '\n';
+  return out;
+}
+
+}  // namespace rapar

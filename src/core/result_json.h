@@ -1,0 +1,52 @@
+// Stable machine-readable result envelopes (--format=json).
+//
+// Two shapes, shared by rapar_cli and the golden-schema tests so the
+// emitters cannot drift from what the tests pin down:
+//
+//   VerdictToJson      — verify/mg: schema_version, tool, command, system
+//                        signature, verdict, exit_code, witness,
+//                        env_thread_bound, stopped_phase, the effective
+//                        options, and the full telemetry registry.
+//   DiagnosticsToJson  — lint/dlanalyze: schema_version, tool, command,
+//                        diagnostics array (file, line, col, code,
+//                        severity, message) and a severity summary.
+//
+// Versioning contract: fields may be ADDED under the same
+// schema_version; renaming or removing one (or changing a type) bumps
+// kResultSchemaVersion. Consumers should ignore unknown fields.
+#ifndef RAPAR_CORE_RESULT_JSON_H_
+#define RAPAR_CORE_RESULT_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "core/verifier.h"
+
+namespace rapar {
+
+inline constexpr int kResultSchemaVersion = 1;
+
+// "safe", "unsafe" or "unknown".
+const char* VerdictName(Verdict::Result r);
+// The CLI exit code the verdict maps to (0 / 1 / 2).
+int VerdictExitCode(const Verdict& v);
+
+// Renders the verify/mg envelope. `command` is "verify" or "mg";
+// `system_signature` is ParamSystem::Signature() (empty = omitted).
+std::string VerdictToJson(const Verdict& v, const VerifierOptions& options,
+                          std::string_view command,
+                          std::string_view system_signature);
+
+// Renders the diagnostics envelope for lint/dlanalyze. Each entry pairs
+// the file the diagnostic is about (or a pseudo-file like "makeP") with
+// the diagnostic itself.
+std::string DiagnosticsToJson(
+    std::string_view command,
+    const std::vector<std::pair<std::string, Diagnostic>>& diagnostics);
+
+}  // namespace rapar
+
+#endif  // RAPAR_CORE_RESULT_JSON_H_

@@ -1,5 +1,6 @@
 #include "core/verifier.h"
 
+#include <chrono>
 #include <map>
 #include <memory>
 
@@ -16,6 +17,14 @@ namespace rapar {
 
 namespace {
 
+namespace metric = obs::metric;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 // The system view a backend runs against: either the ParamSystem's own
 // SimplSystem, or one rebuilt over pruned CFA copies owned here. unique_ptr
 // storage keeps the Cfa addresses stable if the struct moves.
@@ -28,14 +37,27 @@ struct PreparedSystem {
 
 PreparedSystem Prepare(const ParamSystem& system,
                        std::optional<std::pair<VarId, Value>> goal,
-                       bool enable_prepass) {
+                       const VerifierOptions& options,
+                       obs::Telemetry& telemetry) {
+  obs::ScopedSpan span(options.obs.trace, "prepass");
+  const auto start = std::chrono::steady_clock::now();
   PreparedSystem p;
   p.simpl = system.simpl();
-  if (!enable_prepass) return p;
+  if (!options.enable_prepass) {
+    telemetry.SetGauge(metric::kPhasePrepassMs, MsSince(start));
+    return p;
+  }
   PrepassResult r = RunPrepass(*p.simpl.env, p.simpl.dis,
                                goal.has_value() ? goal->first
                                                 : VarId::Invalid());
   p.stats = r.stats;
+  telemetry.SetCounter(metric::kPrepassDeadEdges,
+                       r.stats.dead_edges_removed);
+  telemetry.SetCounter(metric::kPrepassGuardsFolded, r.stats.guards_folded);
+  telemetry.SetCounter(metric::kPrepassStoresSliced, r.stats.stores_sliced);
+  telemetry.SetCounter(metric::kPrepassAssignsDropped,
+                       r.stats.assigns_dropped);
+  telemetry.SetGauge(metric::kPhasePrepassMs, MsSince(start));
   if (!r.stats.Any()) return p;  // nothing pruned: keep original CFAs
   p.env = std::make_unique<Cfa>(std::move(r.env));
   p.simpl.env = p.env.get();
@@ -47,7 +69,123 @@ PreparedSystem Prepare(const ParamSystem& system,
   return p;
 }
 
+void ExportDatalogStats(const DatalogVerdict& dv, obs::Telemetry& t) {
+  t.SetCounter(metric::kGuesses, dv.guesses);
+  t.SetCounter(metric::kQueries, dv.queries_evaluated);
+  t.SetCounter(metric::kTuples, dv.total_tuples);
+  t.SetCounter(metric::kRulesEmitted, dv.total_rules);
+  t.SetCounter(metric::kRulesEvaluated, dv.total_rules_after);
+  if (dv.budget_aborted_guess != kNoGuessIndex) {
+    t.SetCounter(metric::kBudgetAbortedGuess, dv.budget_aborted_guess);
+  }
+  t.SetCounter(metric::kRuleFirings, dv.rule_firings);
+  t.SetCounter(metric::kJoinAttempts, dv.join_attempts);
+  t.SetCounter(metric::kIndexProbes, dv.index_probes);
+  t.SetCounter(metric::kIndexHits, dv.index_hits);
+  t.SetCounter(metric::kIndexBuilds, dv.index_builds);
+  t.SetCounter(metric::kFactReuses, dv.fact_reuses);
+  const dlopt::DlOptStats& o = dv.dlopt;
+  t.SetCounter(metric::kDlOptRulesBefore, o.rules_before);
+  t.SetCounter(metric::kDlOptRulesAfter, o.rules_after);
+  t.SetCounter(metric::kDlOptUnproductive, o.unproductive_removed);
+  t.SetCounter(metric::kDlOptUnreachable, o.unreachable_removed);
+  t.SetCounter(metric::kDlOptDemand, o.demand_removed);
+  t.SetCounter(metric::kDlOptDuplicates, o.duplicates_removed);
+  t.SetCounter(metric::kDlOptSubsumed, o.subsumed_removed);
+  t.SetCounter(metric::kDlOptCopyAliased, o.copy_aliased_removed);
+  t.SetCounter(metric::kDlOptPredsBefore, o.preds_before);
+  t.SetCounter(metric::kDlOptPredsAfter, o.preds_after);
+  const ParallelStats& p = dv.parallel;
+  t.SetCounter(metric::kParThreads, p.threads);
+  t.SetCounter(metric::kParBatches, p.batches);
+  t.SetCounter(metric::kParSteals, p.steals);
+  t.SetCounter(metric::kParSolves, p.solves);
+  t.SetCounter(metric::kParDiscarded, p.discarded);
+  t.SetCounter(metric::kParSkipped, p.skipped);
+  if (p.early_exit_index != kNoGuessIndex) {
+    t.SetCounter(metric::kParEarlyExitIndex, p.early_exit_index);
+  }
+}
+
 }  // namespace
+
+std::size_t Verdict::states() const {
+  return telemetry.counter(metric::kStates);
+}
+std::size_t Verdict::guesses() const {
+  return telemetry.counter(metric::kGuesses);
+}
+std::size_t Verdict::tuples() const {
+  return telemetry.counter(metric::kTuples);
+}
+std::size_t Verdict::rule_firings() const {
+  return telemetry.counter(metric::kRuleFirings);
+}
+std::size_t Verdict::join_attempts() const {
+  return telemetry.counter(metric::kJoinAttempts);
+}
+std::size_t Verdict::index_probes() const {
+  return telemetry.counter(metric::kIndexProbes);
+}
+std::size_t Verdict::index_hits() const {
+  return telemetry.counter(metric::kIndexHits);
+}
+std::size_t Verdict::index_builds() const {
+  return telemetry.counter(metric::kIndexBuilds);
+}
+std::size_t Verdict::fact_reuses() const {
+  return telemetry.counter(metric::kFactReuses);
+}
+
+std::size_t Verdict::budget_aborted_guess() const {
+  return telemetry.Has(metric::kBudgetAbortedGuess)
+             ? static_cast<std::size_t>(
+                   telemetry.counter(metric::kBudgetAbortedGuess))
+             : kNoGuessIndex;
+}
+
+PrepassStats Verdict::prepass() const {
+  PrepassStats s;
+  s.dead_edges_removed = telemetry.counter(metric::kPrepassDeadEdges);
+  s.guards_folded = telemetry.counter(metric::kPrepassGuardsFolded);
+  s.stores_sliced = telemetry.counter(metric::kPrepassStoresSliced);
+  s.assigns_dropped = telemetry.counter(metric::kPrepassAssignsDropped);
+  return s;
+}
+
+::rapar::dlopt::DlOptStats Verdict::dlopt() const {
+  ::rapar::dlopt::DlOptStats s;
+  s.rules_before = telemetry.counter(metric::kDlOptRulesBefore);
+  s.rules_after = telemetry.counter(metric::kDlOptRulesAfter);
+  s.unproductive_removed = telemetry.counter(metric::kDlOptUnproductive);
+  s.unreachable_removed = telemetry.counter(metric::kDlOptUnreachable);
+  s.demand_removed = telemetry.counter(metric::kDlOptDemand);
+  s.duplicates_removed = telemetry.counter(metric::kDlOptDuplicates);
+  s.subsumed_removed = telemetry.counter(metric::kDlOptSubsumed);
+  s.copy_aliased_removed = telemetry.counter(metric::kDlOptCopyAliased);
+  s.preds_before = telemetry.counter(metric::kDlOptPredsBefore);
+  s.preds_after = telemetry.counter(metric::kDlOptPredsAfter);
+  return s;
+}
+
+ParallelStats Verdict::parallel() const {
+  ParallelStats p;
+  p.threads = telemetry.Has(metric::kParThreads)
+                  ? static_cast<unsigned>(
+                        telemetry.counter(metric::kParThreads))
+                  : 1;
+  p.batches = telemetry.counter(metric::kParBatches);
+  p.steals = telemetry.counter(metric::kParSteals);
+  p.solves = telemetry.counter(metric::kParSolves);
+  p.discarded = telemetry.counter(metric::kParDiscarded);
+  p.skipped = telemetry.counter(metric::kParSkipped);
+  p.early_exit_index =
+      telemetry.Has(metric::kParEarlyExitIndex)
+          ? static_cast<std::size_t>(
+                telemetry.counter(metric::kParEarlyExitIndex))
+          : kNoGuessIndex;
+  return p;
+}
 
 std::string Verdict::ToString() const {
   std::string out;
@@ -62,89 +200,119 @@ std::string Verdict::ToString() const {
       out = "UNKNOWN";
       break;
   }
-  out += StrCat(" (states=", states);
-  if (guesses > 0) out += StrCat(", guesses=", guesses);
-  if (tuples > 0) out += StrCat(", tuples=", tuples);
+  out += StrCat(" (states=", states());
+  if (guesses() > 0) out += StrCat(", guesses=", guesses());
+  if (tuples() > 0) out += StrCat(", tuples=", tuples());
   if (env_thread_bound.has_value()) {
     out += StrCat(", env-thread bound=", *env_thread_bound);
   }
   out += ")";
-  if (prepass.Any()) out += StrCat(" [prepass: ", prepass.ToString(), "]");
-  if (dlopt.Any()) out += StrCat(" [dlopt: ", dlopt.ToString(), "]");
-  if (rule_firings > 0 || join_attempts > 0) {
-    out += StrCat(" [engine: firings=", rule_firings,
-                  ", joins=", join_attempts);
-    if (index_builds > 0) {
-      out += StrCat(", index probes=", index_probes, " hits=", index_hits,
-                    " builds=", index_builds);
+  const PrepassStats pre = prepass();
+  if (pre.Any()) out += StrCat(" [prepass: ", pre.ToString(), "]");
+  const ::rapar::dlopt::DlOptStats opt = dlopt();
+  if (opt.Any()) out += StrCat(" [dlopt: ", opt.ToString(), "]");
+  if (rule_firings() > 0 || join_attempts() > 0) {
+    out += StrCat(" [engine: firings=", rule_firings(),
+                  ", joins=", join_attempts());
+    if (index_builds() > 0) {
+      out += StrCat(", index probes=", index_probes(),
+                    " hits=", index_hits(), " builds=", index_builds());
     }
-    if (fact_reuses > 0) out += StrCat(", edb reuses=", fact_reuses);
+    if (fact_reuses() > 0) out += StrCat(", edb reuses=", fact_reuses());
     out += "]";
   }
-  if (parallel.Any()) {
-    out += StrCat(" [parallel: threads=", parallel.threads,
-                  ", batches=", parallel.batches,
-                  ", steals=", parallel.steals,
-                  ", solves=", parallel.solves);
-    if (parallel.discarded > 0) {
-      out += StrCat(", discarded=", parallel.discarded);
+  const ParallelStats par = parallel();
+  if (par.Any()) {
+    out += StrCat(" [parallel: threads=", par.threads,
+                  ", batches=", par.batches,
+                  ", steals=", par.steals,
+                  ", solves=", par.solves);
+    if (par.discarded > 0) {
+      out += StrCat(", discarded=", par.discarded);
     }
-    if (parallel.skipped > 0) out += StrCat(", skipped=", parallel.skipped);
-    if (parallel.early_exit_index != kNoGuessIndex) {
-      out += StrCat(", early exit at guess ", parallel.early_exit_index);
+    if (par.skipped > 0) out += StrCat(", skipped=", par.skipped);
+    if (par.early_exit_index != kNoGuessIndex) {
+      out += StrCat(", early exit at guess ", par.early_exit_index);
     }
     out += "]";
   }
-  if (budget_aborted_guess != kNoGuessIndex) {
-    out += StrCat(" [budget aborted at guess ", budget_aborted_guess, "]");
+  if (budget_aborted_guess() != kNoGuessIndex) {
+    out += StrCat(" [budget aborted at guess ", budget_aborted_guess(), "]");
+  }
+  if (!stopped_phase.empty()) {
+    out += StrCat(" [deadline hit in ", stopped_phase, "]");
   }
   return out;
 }
 
 Verdict SafetyVerifier::Verify(const VerifierOptions& options) const {
-  switch (options.backend) {
-    case Backend::kSimplifiedExplorer:
-      return RunSimplified(std::nullopt, options);
-    case Backend::kDatalog:
-      return RunDatalog(std::nullopt, options);
-    case Backend::kConcrete:
-      return RunConcrete(std::nullopt, options);
-  }
-  return {};
+  return Run(std::nullopt, options);
 }
 
 Verdict SafetyVerifier::VerifyMessageGeneration(
     VarId var, Value val, const VerifierOptions& options) const {
-  const std::pair<VarId, Value> goal{var, val};
+  return Run(std::pair<VarId, Value>{var, val}, options);
+}
+
+Verdict SafetyVerifier::Run(std::optional<std::pair<VarId, Value>> goal,
+                            const VerifierOptions& options) const {
+  const char* span_name = "verify";
   switch (options.backend) {
     case Backend::kSimplifiedExplorer:
-      return RunSimplified(goal, options);
+      span_name = "verify:simplified";
+      break;
     case Backend::kDatalog:
-      return RunDatalog(goal, options);
+      span_name = "verify:datalog";
+      break;
     case Backend::kConcrete:
-      return RunConcrete(goal, options);
+      span_name = "verify:concrete";
+      break;
   }
-  return {};
+  const auto start = std::chrono::steady_clock::now();
+  Verdict v;
+  {
+    obs::ScopedSpan span(options.obs.trace, span_name);
+    switch (options.backend) {
+      case Backend::kSimplifiedExplorer:
+        v = RunSimplified(goal, options);
+        break;
+      case Backend::kDatalog:
+        v = RunDatalog(goal, options);
+        break;
+      case Backend::kConcrete:
+        v = RunConcrete(goal, options);
+        break;
+    }
+  }
+  v.telemetry.SetGauge(obs::metric::kPhaseTotalMs, MsSince(start));
+  return v;
 }
 
 Verdict SafetyVerifier::RunSimplified(
     std::optional<std::pair<VarId, Value>> goal,
     const VerifierOptions& options) const {
-  const PreparedSystem prep =
-      Prepare(system_, goal, options.enable_prepass);
+  Verdict v;
+  const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
   SimplExplorer explorer(prep.simpl);
   SimplExplorerOptions opts;
   opts.goal = goal;
   opts.max_states = options.max_states;
   opts.max_depth = options.max_depth;
   opts.time_budget_ms = options.time_budget_ms;
-  SimplResult r = explorer.Check(opts);
+  SimplResult r;
+  {
+    obs::ScopedSpan span(options.obs.trace, "explore");
+    const auto start = std::chrono::steady_clock::now();
+    r = explorer.Check(opts);
+    v.telemetry.SetGauge(metric::kPhaseSolveMs, MsSince(start));
+  }
 
-  Verdict v;
-  v.states = r.states;
-  v.prepass = prep.stats;
+  v.telemetry.SetCounter(metric::kStates, r.states);
+  if (r.budget_hit) v.stopped_phase = "explore";
   const bool hit = goal.has_value() ? r.goal_reached : r.violation;
   if (hit) {
+    obs::ScopedSpan span(options.obs.trace, "witness");
+    const auto start = std::chrono::steady_clock::now();
     v.result = Verdict::Result::kUnsafe;
     // Strip saturation noise from the witness (bounded effort).
     if (r.witness.size() <= 400) {
@@ -173,6 +341,7 @@ Verdict SafetyVerifier::RunSimplified(
       }
       v.env_thread_bound = total;
     }
+    v.telemetry.SetGauge(metric::kPhaseWitnessMs, MsSince(start));
   } else if (r.exhaustive) {
     v.result = Verdict::Result::kSafe;
   } else {
@@ -184,29 +353,27 @@ Verdict SafetyVerifier::RunSimplified(
 Verdict SafetyVerifier::RunDatalog(
     std::optional<std::pair<VarId, Value>> goal,
     const VerifierOptions& options) const {
-  const PreparedSystem prep =
-      Prepare(system_, goal, options.enable_prepass);
+  Verdict v;
+  const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
   DatalogVerifierOptions opts;
   opts.goal_message = goal;
   opts.guess.max_guesses = options.max_guesses;
-  opts.enable_dlopt = options.enable_dlopt;
-  opts.engine = options.engine;
-  opts.threads = options.threads;
-  DatalogVerdict dv = DatalogVerify(prep.simpl, opts);
-  Verdict v;
-  v.prepass = prep.stats;
-  v.guesses = dv.guesses;
-  v.tuples = dv.total_tuples;
-  v.rule_firings = dv.rule_firings;
-  v.join_attempts = dv.join_attempts;
-  v.index_probes = dv.index_probes;
-  v.index_hits = dv.index_hits;
-  v.index_builds = dv.index_builds;
-  v.fact_reuses = dv.fact_reuses;
-  v.budget_aborted_guess = dv.budget_aborted_guess;
-  v.dlopt = dv.dlopt;
+  opts.enable_dlopt = options.datalog.enable_dlopt;
+  opts.engine = options.datalog.engine;
+  opts.threads = options.datalog.threads;
+  opts.batch_size = options.datalog.batch_size;
+  opts.time_budget_ms = options.time_budget_ms;
+  opts.trace = options.obs.trace;
+  DatalogVerdict dv;
+  {
+    obs::ScopedSpan span(options.obs.trace, "solve");
+    const auto start = std::chrono::steady_clock::now();
+    dv = DatalogVerify(prep.simpl, opts);
+    v.telemetry.SetGauge(metric::kPhaseSolveMs, MsSince(start));
+  }
+  ExportDatalogStats(dv, v.telemetry);
   v.width_report = dv.width_report;
-  v.parallel = dv.parallel;
+  if (dv.deadline_hit) v.stopped_phase = "solve";
   if (dv.unsafe) {
     v.result = Verdict::Result::kUnsafe;
     v.witness = dv.witness_guess;
@@ -221,27 +388,32 @@ Verdict SafetyVerifier::RunDatalog(
 Verdict SafetyVerifier::RunConcrete(
     std::optional<std::pair<VarId, Value>> goal,
     const VerifierOptions& options) const {
-  const PreparedSystem prep =
-      Prepare(system_, goal, options.enable_prepass);
+  Verdict v;
+  const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
   std::vector<const Cfa*> threads;
-  for (int i = 0; i < options.concrete_env_threads; ++i) {
+  for (int i = 0; i < options.concrete.env_threads; ++i) {
     threads.push_back(prep.simpl.env);
   }
   threads.insert(threads.end(), prep.simpl.dis.begin(),
                  prep.simpl.dis.end());
   RaExplorer explorer(
       threads, system_.dom(), system_.vars().size(),
-      {0, static_cast<std::size_t>(options.concrete_env_threads)});
+      {0, static_cast<std::size_t>(options.concrete.env_threads)});
   RaExplorerOptions opts;
   opts.max_states = options.max_states;
   opts.max_depth = options.max_depth;
   opts.time_budget_ms = options.time_budget_ms;
   opts.stop_on_violation = !goal.has_value();
-  RaResult r = explorer.CheckSafety(opts);
+  RaResult r;
+  {
+    obs::ScopedSpan span(options.obs.trace, "explore");
+    const auto start = std::chrono::steady_clock::now();
+    r = explorer.CheckSafety(opts);
+    v.telemetry.SetGauge(metric::kPhaseSolveMs, MsSince(start));
+  }
 
-  Verdict v;
-  v.states = r.states;
-  v.prepass = prep.stats;
+  v.telemetry.SetCounter(metric::kStates, r.states);
+  if (r.budget_hit) v.stopped_phase = "explore";
   bool hit;
   if (goal.has_value()) {
     hit = explorer.generated_messages().count(
@@ -250,12 +422,15 @@ Verdict SafetyVerifier::RunConcrete(
     hit = r.violation;
   }
   if (hit) {
+    obs::ScopedSpan span(options.obs.trace, "witness");
+    const auto start = std::chrono::steady_clock::now();
     v.result = Verdict::Result::kUnsafe;
     std::string w;
     for (const RaTraceStep& s : r.witness) {
       w += StrCat("t", s.thread, ": ", s.instr, "\n");
     }
     v.witness = std::move(w);
+    v.telemetry.SetGauge(metric::kPhaseWitnessMs, MsSince(start));
   } else if (r.exhaustive) {
     // Safe *for this instance size only* — parameterized safety does not
     // follow; callers must treat kSafe from the concrete backend as

@@ -13,6 +13,12 @@
 //                         the emitted Cache Datalog query instances.
 //   kConcrete           — standard RA semantics with a fixed number of env
 //                         threads (sound for bugs; not parameterized).
+//
+// Results carry a single obs::Telemetry registry with every statistic the
+// run produced under a stable dotted name (see obs/telemetry.h). The
+// pre-telemetry flat counter fields survive as deprecated accessor
+// methods that read the registry back; new code should query
+// Verdict::telemetry directly.
 #ifndef RAPAR_CORE_VERIFIER_H_
 #define RAPAR_CORE_VERIFIER_H_
 
@@ -24,6 +30,8 @@
 #include "datalog/engine.h"
 #include "dlopt/optimize.h"
 #include "encoding/datalog_verifier.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace rapar {
 
@@ -33,30 +41,55 @@ enum class Backend {
   kConcrete,
 };
 
+// Knobs that only the Datalog backend reads.
+struct DatalogBackendOptions {
+  // Optimize every emitted query instance (dead-rule, demand
+  // specialization, dedup/subsumption — see src/dlopt/optimize.h) before
+  // evaluation. Verdict-preserving; pruned counts land in the dlopt.*
+  // metrics.
+  bool enable_dlopt = true;
+  // Evaluation-core tuning — argument-hash join indexes, cheapest-first
+  // body ordering, EDB snapshot reuse across guesses (dl::EngineOptions).
+  // All on by default; the bench_backends index ablation flips them off
+  // to measure the effect.
+  dl::EngineOptions engine;
+  // Worker threads for the per-guess solves. 1 = legacy serial loop,
+  // 0 = std::thread::hardware_concurrency(), N > 1 = work-stealing pool
+  // of N workers. Verdict, witness and aggregate statistics are
+  // thread-count independent (see encoding/datalog_verifier.h).
+  unsigned threads = 1;
+  // Guesses per work unit pulled from the streaming enumerator.
+  std::size_t batch_size = 32;
+};
+
+// Knobs that only the concrete (standard-RA) backend reads.
+struct ConcreteBackendOptions {
+  // Number of env threads in the verified instance.
+  int env_threads = 2;
+};
+
+// Observability configuration. The recorder pointer is borrowed — the
+// caller owns it and keeps it alive across the Verify call; null (the
+// default) disables tracing at near-zero cost (see obs/trace.h).
+struct ObsOptions {
+  obs::TraceRecorder* trace = nullptr;
+};
+
 struct VerifierOptions {
   Backend backend = Backend::kSimplifiedExplorer;
   // Run the analysis pre-pass (dead-edge elimination, guard folding,
   // store slicing, dead-assignment dropping — see analysis/prepass.h)
   // before handing the CFAs to the backend. Verdict-preserving; the
-  // pruned counts are reported in Verdict::prepass.
+  // pruned counts are reported in the prepass.* metrics.
   bool enable_prepass = true;
-  // kDatalog: optimize every emitted query instance (dead-rule, demand
-  // specialization, dedup/subsumption — see src/dlopt/optimize.h) before
-  // evaluation. Verdict-preserving; pruned counts land in Verdict::dlopt.
-  bool enable_dlopt = true;
-  // kDatalog: evaluation-core tuning — argument-hash join indexes,
-  // cheapest-first body ordering, EDB snapshot reuse across guesses
-  // (dl::EngineOptions). All on by default; the bench_backends index
-  // ablation flips them off to measure the effect.
-  dl::EngineOptions engine;
-  // kDatalog: worker threads for the per-guess solves. 1 = legacy serial
-  // loop, 0 = std::thread::hardware_concurrency(), N > 1 = work-stealing
-  // pool of N workers. Verdict, witness and aggregate statistics are
-  // thread-count independent (see encoding/datalog_verifier.h).
-  unsigned threads = 1;
-  // kConcrete: number of env threads in the instance.
-  int concrete_env_threads = 2;
-  // Resource bounds (apply per backend as applicable).
+  // Per-backend knobs, grouped by the backend that reads them.
+  DatalogBackendOptions datalog;
+  ConcreteBackendOptions concrete;
+  ObsOptions obs;
+  // Resource bounds (apply per backend as applicable). time_budget_ms is
+  // a wall-clock deadline enforced cooperatively by every backend; on
+  // expiry the verdict degrades to kUnknown and Verdict::stopped_phase
+  // names the phase that was cut short.
   std::size_t max_states = 1'000'000;
   int max_depth = 100'000;
   long long time_budget_ms = 0;
@@ -70,42 +103,47 @@ struct Verdict {
   bool unsafe() const { return result == Result::kUnsafe; }
   bool safe() const { return result == Result::kSafe; }
 
-  // Search statistics.
-  std::size_t states = 0;   // explored abstract/concrete states
-  std::size_t guesses = 0;  // Datalog backend: makeP executions
-  std::size_t tuples = 0;   // Datalog backend: derived tuples
-  // Datalog backend engine counters (summed across query instances).
-  std::size_t rule_firings = 0;
-  std::size_t join_attempts = 0;
-  // Argument-hash index counters (zero with indexing disabled or on other
-  // backends), and the number of solves that re-seeded the previous
-  // guess's EDB snapshot instead of rebuilding the fact database.
-  std::size_t index_probes = 0;
-  std::size_t index_hits = 0;
-  std::size_t index_builds = 0;
-  std::size_t fact_reuses = 0;
-  // Datalog backend: index of the guess whose query blew the tuple budget
-  // (the scan stops there and the verdict degrades to kUnknown);
-  // kNoGuessIndex when no abort occurred.
-  std::size_t budget_aborted_guess = kNoGuessIndex;
   // Human-readable witness (step trace or guess) when unsafe.
   std::string witness;
   // §4.3: over-approximate number of env threads sufficient to exhibit
   // the bug (from the witness dependency graph); unset when safe or not
   // computed.
   std::optional<long long> env_thread_bound;
-  // What the analysis pre-pass pruned (all zero when disabled or nothing
-  // was prunable).
-  PrepassStats prepass;
-  // What the Datalog program optimizer pruned, summed over all evaluated
-  // query instances (all zero when disabled or on other backends).
-  dlopt::DlOptStats dlopt;
   // Static width/solver classification of the first optimized query
   // instance (Datalog backend only).
   std::string width_report;
-  // Parallel-driver telemetry (Datalog backend): threads used, chunks
-  // dispatched, deque steals, early-exit index.
-  ParallelStats parallel;
+  // Phase a wall-clock deadline stopped ("explore" for the state-space
+  // backends, "solve" for the Datalog guess scan); empty when no
+  // deadline fired. A non-empty value implies the search was truncated.
+  std::string stopped_phase;
+  // Every statistic of the run, keyed by the stable names in
+  // obs/telemetry.h (verify.*, engine.*, datalog.*, prepass.*, dlopt.*,
+  // parallel.*, phase.*).
+  obs::Telemetry telemetry;
+
+  // --- deprecated accessors --------------------------------------------
+  // The pre-obs flat fields, reconstructed from `telemetry`. Kept so the
+  // migration is mechanical (`v.states` -> `v.states()`); prefer
+  // telemetry.counter(obs::metric::...) in new code.
+  std::size_t states() const;   // explored abstract/concrete states
+  std::size_t guesses() const;  // Datalog backend: makeP executions
+  std::size_t tuples() const;   // Datalog backend: derived tuples
+  std::size_t rule_firings() const;
+  std::size_t join_attempts() const;
+  std::size_t index_probes() const;
+  std::size_t index_hits() const;
+  std::size_t index_builds() const;
+  std::size_t fact_reuses() const;
+  // Index of the guess whose query blew the tuple budget; kNoGuessIndex
+  // when no abort occurred.
+  std::size_t budget_aborted_guess() const;
+  // What the analysis pre-pass pruned.
+  PrepassStats prepass() const;
+  // What the Datalog program optimizer pruned, summed over all evaluated
+  // query instances.
+  ::rapar::dlopt::DlOptStats dlopt() const;
+  // Parallel-driver telemetry (threads, batches, steals, early exit).
+  ParallelStats parallel() const;
 
   std::string ToString() const;
 };
@@ -122,6 +160,8 @@ class SafetyVerifier {
                                   const VerifierOptions& options = {}) const;
 
  private:
+  Verdict Run(std::optional<std::pair<VarId, Value>> goal,
+              const VerifierOptions& options) const;
   Verdict RunSimplified(std::optional<std::pair<VarId, Value>> goal,
                         const VerifierOptions& options) const;
   Verdict RunDatalog(std::optional<std::pair<VarId, Value>> goal,

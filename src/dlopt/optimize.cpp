@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "dlopt/pred_graph.h"
 #include "dlopt/rule_checks.h"
+#include "obs/trace.h"
 
 namespace rapar::dlopt {
 
@@ -89,42 +90,55 @@ class Optimizer {
     stats.rules_before = rules_.size();
     stats.preds_before = MentionedPreds();
 
+    // Per-pass tracing: every invocation (incl. fixpoint re-runs) is a
+    // "dlopt:<pass>" span. A null recorder makes `timed` a plain call.
+    auto timed = [this](const char* name, auto&& fn) {
+      obs::ScopedSpan span(options_.trace, name);
+      return fn();
+    };
+
     // Passes 1–3 shrink each other's inputs; iterate to fixpoint, then
     // run the (pricier) structural passes once and give the cheap passes
     // one more chance on their output.
-    bool changed = true;
-    while (changed) {
-      changed = false;
+    auto cheap_passes = [&, this] {
+      bool changed = false;
       if (options_.dead_rule_elimination) {
-        changed |= DropUnproductive(&stats.unproductive_removed);
-        changed |= DropUnreachable(&stats.unreachable_removed);
+        changed |= timed("dlopt:unproductive", [&] {
+          return DropUnproductive(&stats.unproductive_removed);
+        });
+        changed |= timed("dlopt:unreachable", [&] {
+          return DropUnreachable(&stats.unreachable_removed);
+        });
       }
       if (options_.demand_specialization) {
-        changed |= DropUndemanded(&stats.demand_removed);
+        changed |= timed("dlopt:demand", [&] {
+          return DropUndemanded(&stats.demand_removed);
+        });
       }
       if (options_.copy_alias_elimination) {
-        changed |= DropCopyAliases(&stats.copy_aliased_removed);
+        changed |= timed("dlopt:copy_alias", [&] {
+          return DropCopyAliases(&stats.copy_aliased_removed);
+        });
       }
-    }
+      return changed;
+    };
+    bool changed = true;
+    while (changed) changed = cheap_passes();
     if (options_.duplicate_elimination) {
-      if (DropDuplicates(&stats.duplicates_removed)) changed = true;
+      if (timed("dlopt:duplicates", [&] {
+            return DropDuplicates(&stats.duplicates_removed);
+          })) {
+        changed = true;
+      }
     }
     if (options_.subsumption_elimination) {
-      if (DropSubsumed(&stats.subsumed_removed)) changed = true;
-    }
-    while (changed) {
-      changed = false;
-      if (options_.dead_rule_elimination) {
-        changed |= DropUnproductive(&stats.unproductive_removed);
-        changed |= DropUnreachable(&stats.unreachable_removed);
-      }
-      if (options_.demand_specialization) {
-        changed |= DropUndemanded(&stats.demand_removed);
-      }
-      if (options_.copy_alias_elimination) {
-        changed |= DropCopyAliases(&stats.copy_aliased_removed);
+      if (timed("dlopt:subsumption", [&] {
+            return DropSubsumed(&stats.subsumed_removed);
+          })) {
+        changed = true;
       }
     }
+    while (changed) changed = cheap_passes();
 
     OptimizeResult result{prog_, std::move(stats), {}};
     std::vector<dl::Rule> rules;

@@ -38,6 +38,10 @@
 
 #include "datalog/ast.h"
 
+namespace rapar::obs {
+class TraceRecorder;
+}
+
 namespace rapar::dlopt {
 
 struct DlOptOptions {
@@ -49,6 +53,9 @@ struct DlOptOptions {
   // Subsumption is quadratic per head predicate; groups larger than this
   // skip it (duplicate removal still applies).
   std::size_t max_subsumption_group = 64;
+  // Optional span sink: each pass invocation is recorded as a
+  // "dlopt:<pass>" span (obs/trace.h). Null = no tracing, no cost.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct DlOptStats {

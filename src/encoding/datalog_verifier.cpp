@@ -1,6 +1,7 @@
 #include "encoding/datalog_verifier.h"
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 
 #include "common/cancellation.h"
 #include "common/sharded_counter.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "datalog/engine.h"
 #include "dlopt/pred_graph.h"
@@ -21,6 +23,25 @@
 namespace rapar {
 
 namespace {
+
+// Cooperative wall-clock deadline (time_budget_ms). Checked once per
+// solve, so the clock read is negligible next to the work it bounds.
+class Deadline {
+ public:
+  explicit Deadline(long long ms) {
+    if (ms > 0) {
+      limited_ = true;
+      at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    }
+  }
+  bool Expired() const {
+    return limited_ && std::chrono::steady_clock::now() > at_;
+  }
+
+ private:
+  bool limited_ = false;
+  std::chrono::steady_clock::time_point at_;
+};
 
 // Everything one guess contributes to the verdict. Produced by exactly one
 // worker, read only after the pool has quiesced; schedule-independent
@@ -48,12 +69,18 @@ class GuessSolver {
     mp_.goal_message = options.goal_message;
     eval_.max_tuples = options.max_tuples_per_query;
     eval_.engine = options.engine;
+    dlopt_.trace = options.trace;
   }
 
-  GuessOutcome Solve(const DisGuess& guess, bool want_width_report) {
+  GuessOutcome Solve(const DisGuess& guess, std::size_t index,
+                     bool want_width_report) {
+    obs::ScopedSpan span(options_.trace, "guess");
     GuessOutcome out;
     out.evaluated = true;
-    MakePResult q = MakeP(sys_, guess, mp_);
+    MakePResult q = [&] {
+      obs::ScopedSpan s(options_.trace, "makep");
+      return MakeP(sys_, guess, mp_);
+    }();
     out.rules_emitted = q.prog->size();
 
     const dl::Program* prog = q.prog.get();
@@ -62,7 +89,8 @@ class GuessSolver {
     std::optional<dlopt::PredGraph> graph;
     eval_.hints = nullptr;
     if (options_.enable_dlopt) {
-      opt = dlopt::OptimizeForQuery(*q.prog, q.goal);
+      obs::ScopedSpan s(options_.trace, "dlopt");
+      opt = dlopt::OptimizeForQuery(*q.prog, q.goal, dlopt_);
       out.dlopt = opt.stats;
       prog = &opt.prog;
       // The width/SCC classification doubles as the engine's join-order
@@ -80,13 +108,24 @@ class GuessSolver {
                              .ToString(*prog, *graph);
     }
 
-    try {
-      out.derived = engine_.Solve(*prog, q.goal, eval_);
-    } catch (const dl::BudgetExceeded&) {
-      out.budget_aborted = true;  // partial stats of the solve still count
+    {
+      obs::ScopedSpan s(options_.trace, "eval");
+      try {
+        out.derived = engine_.Solve(*prog, q.goal, eval_);
+      } catch (const dl::BudgetExceeded&) {
+        out.budget_aborted = true;  // partial stats of the solve still count
+      }
     }
     out.stats = engine_.last_stats();
     if (out.derived) out.witness = guess.ToString(sys_);
+    if (span.active()) {
+      span.set_args(StrCat("{\"index\":", index,
+                           ",\"rules\":", out.rules_emitted,
+                           ",\"rules_after\":", out.rules_after,
+                           ",\"tuples\":", out.stats.tuples,
+                           ",\"derived\":", out.derived ? "true" : "false",
+                           "}"));
+    }
     return out;
   }
 
@@ -97,6 +136,7 @@ class GuessSolver {
   const DatalogVerifierOptions& options_;
   MakePOptions mp_;
   dl::EvalOptions eval_;
+  dlopt::DlOptOptions dlopt_;
   dl::Engine engine_;
 };
 
@@ -151,6 +191,7 @@ DatalogVerdict SerialVerify(const SimplSystem& sys,
   verdict.parallel.threads = 1;
   DisGuessCursor cursor(sys, options.guess);
   GuessSolver solver(sys, options);
+  const Deadline deadline(options.time_budget_ms);
   const std::size_t batch =
       options.batch_size == 0 ? 1 : options.batch_size;
 
@@ -162,11 +203,25 @@ DatalogVerdict SerialVerify(const SimplSystem& sys,
     if (n == 0) break;
     ++verdict.parallel.batches;
     for (const DisGuess& guess : chunk) {
-      GuessOutcome o = solver.Solve(guess, /*want_width_report=*/idx == 0);
+      if (deadline.Expired()) {
+        cursor.Cancel();
+        verdict.deadline_hit = true;
+        verdict.exhaustive = false;
+        verdict.guesses = idx;
+        verdict.fact_reuses = solver.fact_reuses();
+        obs::TraceInstant(options.trace, "deadline",
+                          StrCat("{\"guess\":", idx, "}"));
+        return verdict;
+      }
+      GuessOutcome o =
+          solver.Solve(guess, idx, /*want_width_report=*/idx == 0);
       ++verdict.parallel.solves;
       Accumulate(verdict, o);
       if (o.terminating()) {
         cursor.Cancel();
+        obs::TraceInstant(options.trace,
+                          o.derived ? "early_exit" : "budget_abort",
+                          StrCat("{\"guess\":", idx, "}"));
         FinishEarly(verdict, idx, o);
         verdict.fact_reuses = solver.fact_reuses();
         return verdict;
@@ -214,6 +269,8 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
   // minimum's prefix is always fully evaluated.
   CancellationToken cancel;
   std::atomic<std::size_t> stop_idx{kNoGuessIndex};
+  const Deadline deadline(options.time_budget_ms);
+  std::atomic<bool> deadline_fired{false};
   ShardedCounter solves;
   ShardedCounter skipped;
 
@@ -228,6 +285,11 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
   std::size_t next_index = 0;
   std::vector<DisGuess> chunk;
   while (!cancel.cancelled()) {
+    if (deadline.Expired()) {
+      deadline_fired.store(true, std::memory_order_relaxed);
+      cancel.Cancel();
+      break;
+    }
     chunk.clear();
     const std::size_t n = cursor.NextChunk(batch_size, &chunk);
     if (n == 0) break;
@@ -251,14 +313,24 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
             skipped.Add(guesses.size() - i);
             break;
           }
+          if (deadline.Expired()) {
+            deadline_fired.store(true, std::memory_order_relaxed);
+            cancel.Cancel();
+            skipped.Add(guesses.size() - i);
+            break;
+          }
           GuessOutcome o =
-              solver.Solve(guesses[i], /*want_width_report=*/idx == 0);
+              solver.Solve(guesses[i], idx, /*want_width_report=*/idx == 0);
           solves.Add(1);
           const bool terminating = o.terminating();
+          const bool derived = o.derived;
           slot->outcomes[i] = std::move(o);
           if (terminating) {
             FetchMin(stop_idx, idx);
             cancel.Cancel();
+            obs::TraceInstant(options.trace,
+                              derived ? "early_exit" : "budget_abort",
+                              StrCat("{\"guess\":", idx, "}"));
             // Indices above idx in this batch can no longer matter.
             skipped.Add(guesses.size() - i - 1);
             break;
@@ -306,6 +378,7 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
   verdict.parallel.solves = solves.Total();
   verdict.parallel.skipped = skipped.Total();
 
+  std::size_t evaluated = 0;
   for (const Batch& b : batches) {
     for (std::size_t i = 0; i < b.outcomes.size(); ++i) {
       const GuessOutcome& o = b.outcomes[i];
@@ -313,6 +386,10 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
         verdict.parallel.discarded += o.evaluated ? 1 : 0;
         continue;
       }
+      // A deadline abort can leave unevaluated gaps below `stop`; in
+      // deadline-free runs every index at or below it was solved.
+      if (!o.evaluated) continue;
+      ++evaluated;
       Accumulate(verdict, o);
     }
   }
@@ -322,6 +399,14 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
 
   if (event != nullptr) {
     FinishEarly(verdict, stop, *event);
+  } else if (deadline_fired.load(std::memory_order_relaxed)) {
+    verdict.deadline_hit = true;
+    verdict.exhaustive = false;
+    // Not a clean prefix (workers stop where the deadline caught them);
+    // report the number of solves that made it into the aggregates.
+    verdict.guesses = evaluated;
+    obs::TraceInstant(options.trace, "deadline",
+                      StrCat("{\"solves\":", evaluated, "}"));
   } else {
     verdict.guesses = cursor.produced();
     verdict.exhaustive = cursor.complete();

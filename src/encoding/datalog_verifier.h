@@ -33,6 +33,7 @@
 #include "datalog/engine.h"
 #include "dlopt/optimize.h"
 #include "encoding/makep.h"
+#include "obs/trace.h"
 
 namespace rapar {
 
@@ -63,6 +64,18 @@ struct DatalogVerifierOptions {
   // enough to load-balance, large enough to amortize dispatch; also the
   // serial loop's chunk size.
   std::size_t batch_size = 32;
+  // Wall-clock budget in milliseconds; 0 = unlimited. Enforced
+  // cooperatively at guess granularity: the deadline is checked before
+  // every solve (and by the parallel dispatcher between chunks), so a
+  // single long solve can overshoot it. On expiry the scan stops,
+  // exhaustive becomes false and DatalogVerdict::deadline_hit is set.
+  // Deadline-truncated runs are wall-clock dependent and therefore exempt
+  // from the determinism rule above.
+  long long time_budget_ms = 0;
+  // Optional span sink (obs/trace.h): per-guess "guess" spans with nested
+  // makep/dlopt/eval phases, plus instant markers for early exit, budget
+  // abort and deadline expiry. Null = no tracing, near-zero cost.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 // How the parallel driver ran. threads == 1 means the serial loop (the
@@ -120,6 +133,11 @@ struct DatalogVerdict {
   // loop kept evaluating the remaining guesses after an abort; stopping
   // makes the inconclusive case cheap and the abort point reportable.
   std::size_t budget_aborted_guess = kNoGuessIndex;
+  // The wall-clock budget (time_budget_ms) expired before the scan
+  // finished; exhaustive is false and `guesses` counts only the evaluated
+  // prefix. Never set when a witness was found first (an unsafe verdict
+  // is definitive and wins).
+  bool deadline_hit = false;
   // Aggregate optimizer statistics over the scanned prefix (zero when
   // dlopt is disabled; rules_before/after mirror total_rules{,_after}).
   dlopt::DlOptStats dlopt;

@@ -1,0 +1,138 @@
+// rapar_obs: the unified telemetry surface of the pipeline.
+//
+// A Telemetry object is an ordered registry of named metrics — uint64
+// counters and double gauges — that replaces the flat, ever-growing
+// counter fields previously bolted onto Verdict one PR at a time. Every
+// stat the backends produce (search sizes, engine counters, prepass and
+// dlopt pruning, parallel-driver telemetry, per-phase wall-clock) lives
+// here under a stable dotted name; `rapar_cli verify --metrics` and
+// `--format=json` render it, and the deprecated Verdict accessors
+// (core/verifier.h) reconstruct the legacy structs from it.
+//
+// Names are part of the machine-readable schema: once shipped in a
+// release they may be added to but not renamed. The canonical list is
+// the `metric::` constants below, documented in DESIGN.md §9.
+#ifndef RAPAR_OBS_TELEMETRY_H_
+#define RAPAR_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rapar {
+class JsonWriter;
+}
+
+namespace rapar::obs {
+
+// Stable metric names. Grouped by producer:
+//   verify.*   — backend-independent search statistics
+//   engine.*   — Datalog evaluation core (dl::EvalStats)
+//   datalog.*  — Theorem 4.1 driver (guess enumeration, makeP, budgets)
+//   prepass.*  — CFA pre-pass pruning (PrepassStats)
+//   dlopt.*    — query-driven program optimizer (dlopt::DlOptStats)
+//   parallel.* — work-stealing guess driver (ParallelStats)
+//   phase.*    — per-phase wall-clock gauges, milliseconds
+namespace metric {
+inline constexpr char kStates[] = "verify.states";
+inline constexpr char kGuesses[] = "verify.guesses";
+
+inline constexpr char kTuples[] = "datalog.tuples";
+inline constexpr char kQueries[] = "datalog.queries";
+inline constexpr char kRulesEmitted[] = "datalog.rules_emitted";
+inline constexpr char kRulesEvaluated[] = "datalog.rules_evaluated";
+// Present only when a per-query tuple budget aborted the scan.
+inline constexpr char kBudgetAbortedGuess[] = "datalog.budget_aborted_guess";
+
+inline constexpr char kRuleFirings[] = "engine.rule_firings";
+inline constexpr char kJoinAttempts[] = "engine.join_attempts";
+inline constexpr char kIndexProbes[] = "engine.index_probes";
+inline constexpr char kIndexHits[] = "engine.index_hits";
+inline constexpr char kIndexBuilds[] = "engine.index_builds";
+inline constexpr char kFactReuses[] = "engine.fact_reuses";
+
+inline constexpr char kPrepassDeadEdges[] = "prepass.dead_edges_removed";
+inline constexpr char kPrepassGuardsFolded[] = "prepass.guards_folded";
+inline constexpr char kPrepassStoresSliced[] = "prepass.stores_sliced";
+inline constexpr char kPrepassAssignsDropped[] = "prepass.assigns_dropped";
+
+inline constexpr char kDlOptRulesBefore[] = "dlopt.rules_before";
+inline constexpr char kDlOptRulesAfter[] = "dlopt.rules_after";
+inline constexpr char kDlOptUnproductive[] = "dlopt.unproductive_removed";
+inline constexpr char kDlOptUnreachable[] = "dlopt.unreachable_removed";
+inline constexpr char kDlOptDemand[] = "dlopt.demand_removed";
+inline constexpr char kDlOptDuplicates[] = "dlopt.duplicates_removed";
+inline constexpr char kDlOptSubsumed[] = "dlopt.subsumed_removed";
+inline constexpr char kDlOptCopyAliased[] = "dlopt.copy_aliased_removed";
+inline constexpr char kDlOptPredsBefore[] = "dlopt.preds_before";
+inline constexpr char kDlOptPredsAfter[] = "dlopt.preds_after";
+
+inline constexpr char kParThreads[] = "parallel.threads";
+inline constexpr char kParBatches[] = "parallel.batches";
+inline constexpr char kParSteals[] = "parallel.steals";
+inline constexpr char kParSolves[] = "parallel.solves";
+inline constexpr char kParDiscarded[] = "parallel.discarded";
+inline constexpr char kParSkipped[] = "parallel.skipped";
+// Present only when a terminating event cut the enumeration short.
+inline constexpr char kParEarlyExitIndex[] = "parallel.early_exit_index";
+
+// Phase wall-clock gauges (milliseconds). phase.parse_ms is stamped by
+// the CLI (parsing happens before the library is entered).
+inline constexpr char kPhaseParseMs[] = "phase.parse_ms";
+inline constexpr char kPhasePrepassMs[] = "phase.prepass_ms";
+inline constexpr char kPhaseSolveMs[] = "phase.solve_ms";
+inline constexpr char kPhaseWitnessMs[] = "phase.witness_ms";
+inline constexpr char kPhaseTotalMs[] = "phase.total_ms";
+}  // namespace metric
+
+// Ordered name → value registry. Insertion order is preserved so text
+// and JSON renderings are stable; lookups are O(1) via a side index.
+// Cheap to fill once per verify — this is a results container, not a
+// hot-path accumulator (the backends keep their local structs for that
+// and export here at the end).
+class Telemetry {
+ public:
+  struct Entry {
+    std::string name;
+    bool is_gauge = false;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+  };
+
+  // Counters (monotone event counts; merged by addition).
+  void SetCounter(std::string_view name, std::uint64_t value);
+  void AddCounter(std::string_view name, std::uint64_t value);
+  // 0 when absent.
+  std::uint64_t counter(std::string_view name) const;
+
+  // Gauges (point-in-time doubles, e.g. phase durations in ms; merged by
+  // addition as well — summing durations is the useful aggregate).
+  void SetGauge(std::string_view name, double value);
+  double gauge(std::string_view name) const;
+
+  bool Has(std::string_view name) const;
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Folds `other` into this registry (counters and gauges add).
+  void Merge(const Telemetry& other);
+
+  // Flat JSON object {"name": value, ...} in insertion order.
+  void WriteJson(JsonWriter& w) const;
+  // "name=value name=value" (counters as integers, gauges with 3
+  // decimals), for logs and --metrics.
+  std::string ToString() const;
+
+ private:
+  Entry& Upsert(std::string_view name, bool is_gauge);
+  const Entry* Lookup(std::string_view name) const;
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace rapar::obs
+
+#endif  // RAPAR_OBS_TELEMETRY_H_

@@ -178,6 +178,7 @@ RaResult RaExplorer::CheckSafety(const RaExplorerOptions& options) {
     if (options.time_budget_ms > 0 && (++ticks & 63) == 0 &&
         std::chrono::steady_clock::now() > deadline) {
       result.exhaustive = false;
+      result.budget_hit = true;
       result.states = seen.size();
       return result;
     }

@@ -47,6 +47,9 @@ struct RaResult {
   // True if the state space was fully explored within the bounds (so a
   // negative answer is definitive).
   bool exhaustive = true;
+  // exhaustive=false because the wall-clock budget expired (as opposed to
+  // the state/depth caps).
+  bool budget_hit = false;
   std::size_t states = 0;
   int depth_reached = 0;
   // Witness run to the violation, if one was found.

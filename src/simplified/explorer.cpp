@@ -24,9 +24,15 @@ struct Budget {
     }
   }
   bool Expired() {
-    return limited && (++ticks & 63) == 0 &&
-           std::chrono::steady_clock::now() > deadline;
+    if (limited && (++ticks & 63) == 0 &&
+        std::chrono::steady_clock::now() > deadline) {
+      hit = true;
+    }
+    return hit;
   }
+  // Latched on the first expiry so callers can attribute a truncated
+  // search to the budget rather than the state/depth caps.
+  bool hit = false;
 };
 
 bool GoalIn(const SimplConfig& cfg,
@@ -204,7 +210,11 @@ SimplResult SimplExplorer::Check(const SimplExplorerOptions& options) {
                             std::int64_t parent,
                             const std::vector<SimplStep>& steps_from_parent,
                             std::size_t states_now) {
-    if (!outcome.complete) result.exhaustive = false;
+    if (!outcome.complete) {
+      // Saturation only aborts on budget expiry.
+      result.exhaustive = false;
+      result.budget_hit = true;
+    }
     if (outcome.violation && !result.violation) {
       result.violation = true;
       std::vector<SimplStep> upto(
@@ -248,13 +258,17 @@ SimplResult SimplExplorer::Check(const SimplExplorerOptions& options) {
       SaturationOutcome adj = outcome;
       if (absorb_outcome(adj, -1, full, states.size())) return result;
     }
-    if (!outcome.complete) result.exhaustive = false;
+    if (!outcome.complete) {
+      result.exhaustive = false;
+      result.budget_hit = true;
+    }
   }
 
   std::vector<SimplStep> dis_steps;
   while (!frontier.empty()) {
     if (budget.Expired()) {
       result.exhaustive = false;
+      result.budget_hit = true;
       result.states = states.size();
       return result;
     }

@@ -164,7 +164,7 @@ TEST(BenchmarkSuiteTest, ConcreteBackendConfirmsBugsWithinBound) {
 
   VerifierOptions copts;
   copts.backend = Backend::kConcrete;
-  copts.concrete_env_threads = static_cast<int>(*v.env_thread_bound);
+  copts.concrete.env_threads = static_cast<int>(*v.env_thread_bound);
   Verdict vc = verifier.Verify(copts);
   EXPECT_TRUE(vc.unsafe());
 }

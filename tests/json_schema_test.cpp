@@ -1,0 +1,214 @@
+// Golden tests for the stable machine-readable envelopes
+// (core/result_json.h). The schema is a compatibility contract: fields
+// may be added under kResultSchemaVersion, but every key, type and
+// value range pinned here must survive until the version is bumped.
+// The emitters here are the exact functions rapar_cli renders through,
+// so the CLI output cannot drift from what these tests accept.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "common/json.h"
+#include "core/benchmarks.h"
+#include "core/result_json.h"
+#include "core/verifier.h"
+
+namespace rapar {
+namespace {
+
+// Every key the verdict envelope guarantees, with its kind check.
+void CheckVerdictEnvelope(const JsonValue& doc, const char* label) {
+  const JsonValue* schema = doc.Find("schema_version");
+  ASSERT_NE(schema, nullptr) << label;
+  EXPECT_TRUE(schema->number_is_int) << label;
+  EXPECT_EQ(schema->integer, kResultSchemaVersion) << label;
+
+  ASSERT_NE(doc.Find("tool"), nullptr) << label;
+  EXPECT_EQ(doc.Find("tool")->string, "rapar") << label;
+  ASSERT_NE(doc.Find("command"), nullptr) << label;
+
+  const JsonValue* verdict = doc.Find("verdict");
+  ASSERT_NE(verdict, nullptr) << label;
+  const std::set<std::string> verdicts = {"safe", "unsafe", "unknown"};
+  EXPECT_TRUE(verdicts.count(verdict->string)) << label << ": "
+                                               << verdict->string;
+
+  const JsonValue* exit_code = doc.Find("exit_code");
+  ASSERT_NE(exit_code, nullptr) << label;
+  EXPECT_TRUE(exit_code->number_is_int) << label;
+  EXPECT_GE(exit_code->integer, 0) << label;
+  EXPECT_LE(exit_code->integer, 2) << label;
+
+  // Nullable fields must be present even when null.
+  const JsonValue* witness = doc.Find("witness");
+  ASSERT_NE(witness, nullptr) << label;
+  EXPECT_TRUE(witness->is_null() || witness->is_string()) << label;
+  const JsonValue* bound = doc.Find("env_thread_bound");
+  ASSERT_NE(bound, nullptr) << label;
+  EXPECT_TRUE(bound->is_null() || bound->is_number()) << label;
+  const JsonValue* stopped = doc.Find("stopped_phase");
+  ASSERT_NE(stopped, nullptr) << label;
+  EXPECT_TRUE(stopped->is_null() || stopped->is_string()) << label;
+
+  const JsonValue* options = doc.Find("options");
+  ASSERT_NE(options, nullptr) << label;
+  ASSERT_TRUE(options->is_object()) << label;
+  const std::set<std::string> backends = {"simplified", "datalog",
+                                          "concrete"};
+  ASSERT_NE(options->Find("backend"), nullptr) << label;
+  EXPECT_TRUE(backends.count(options->Find("backend")->string)) << label;
+  ASSERT_NE(options->Find("enable_prepass"), nullptr) << label;
+  const JsonValue* datalog = options->Find("datalog");
+  ASSERT_NE(datalog, nullptr) << label;
+  ASSERT_TRUE(datalog->is_object()) << label;
+  EXPECT_NE(datalog->Find("enable_dlopt"), nullptr) << label;
+  EXPECT_NE(datalog->Find("threads"), nullptr) << label;
+  EXPECT_NE(datalog->Find("batch_size"), nullptr) << label;
+  const JsonValue* concrete = options->Find("concrete");
+  ASSERT_NE(concrete, nullptr) << label;
+  EXPECT_NE(concrete->Find("env_threads"), nullptr) << label;
+  EXPECT_NE(options->Find("max_states"), nullptr) << label;
+  EXPECT_NE(options->Find("max_depth"), nullptr) << label;
+  EXPECT_NE(options->Find("time_budget_ms"), nullptr) << label;
+  EXPECT_NE(options->Find("max_guesses"), nullptr) << label;
+
+  const JsonValue* telemetry = doc.Find("telemetry");
+  ASSERT_NE(telemetry, nullptr) << label;
+  EXPECT_TRUE(telemetry->is_object()) << label;
+}
+
+TEST(JsonSchemaTest, VerdictEnvelopeUnsafeDatalog) {
+  BenchmarkCase bench = ProducerConsumer(4);
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kDatalog;
+  const Verdict v = verifier.Verify(opts);
+  ASSERT_TRUE(v.unsafe());
+
+  const std::string json =
+      VerdictToJson(v, opts, "verify", bench.system.Signature());
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  CheckVerdictEnvelope(doc.value(), "unsafe/datalog");
+  EXPECT_EQ(doc.value().Find("verdict")->string, "unsafe");
+  EXPECT_EQ(doc.value().Find("exit_code")->integer, 1);
+  EXPECT_EQ(doc.value().Find("command")->string, "verify");
+  EXPECT_EQ(doc.value().Find("system")->string, bench.system.Signature());
+  EXPECT_EQ(doc.value().Find("options")->Find("backend")->string, "datalog");
+  // The telemetry block carries the stable metric names.
+  const JsonValue* t = doc.value().Find("telemetry");
+  EXPECT_NE(t->Find("verify.guesses"), nullptr);
+  EXPECT_NE(t->Find("datalog.tuples"), nullptr);
+  EXPECT_NE(t->Find("engine.rule_firings"), nullptr);
+  EXPECT_NE(t->Find("phase.total_ms"), nullptr);
+}
+
+TEST(JsonSchemaTest, VerdictEnvelopeSafeSimplified) {
+  BenchmarkCase bench = ProducerConsumerSafe(4);
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  const Verdict v = verifier.Verify(opts);
+  ASSERT_TRUE(v.safe());
+
+  const std::string json =
+      VerdictToJson(v, opts, "verify", bench.system.Signature());
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  CheckVerdictEnvelope(doc.value(), "safe/simplified");
+  EXPECT_EQ(doc.value().Find("verdict")->string, "safe");
+  EXPECT_EQ(doc.value().Find("exit_code")->integer, 0);
+  EXPECT_TRUE(doc.value().Find("witness")->is_null());
+  EXPECT_TRUE(doc.value().Find("stopped_phase")->is_null());
+  const JsonValue* t = doc.value().Find("telemetry");
+  EXPECT_NE(t->Find("verify.states"), nullptr);
+}
+
+TEST(JsonSchemaTest, VerdictEnvelopeDeadlineUnknown) {
+  BenchmarkCase bench = PetersonRa();
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kDatalog;
+  opts.time_budget_ms = 1;
+  const Verdict v = verifier.Verify(opts);
+  ASSERT_EQ(v.result, Verdict::Result::kUnknown);
+
+  const std::string json =
+      VerdictToJson(v, opts, "verify", bench.system.Signature());
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  CheckVerdictEnvelope(doc.value(), "unknown/deadline");
+  EXPECT_EQ(doc.value().Find("verdict")->string, "unknown");
+  EXPECT_EQ(doc.value().Find("exit_code")->integer, 2);
+  ASSERT_TRUE(doc.value().Find("stopped_phase")->is_string());
+  EXPECT_EQ(doc.value().Find("stopped_phase")->string, "solve");
+}
+
+TEST(JsonSchemaTest, DiagnosticsEnvelope) {
+  std::vector<std::pair<std::string, Diagnostic>> diags;
+  Diagnostic warn;
+  warn.severity = Severity::kWarning;
+  warn.code = "RA003";
+  warn.message = "dead store";
+  warn.loc.line = 7;
+  warn.loc.col = 3;
+  diags.emplace_back("demo.rap", warn);
+  Diagnostic note;
+  note.severity = Severity::kNote;
+  note.code = "RA026";
+  note.message = "stratified program";
+  diags.emplace_back("makeP", note);
+
+  const std::string json = DiagnosticsToJson("lint", diags);
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+
+  EXPECT_EQ(doc.value().Find("schema_version")->integer,
+            kResultSchemaVersion);
+  EXPECT_EQ(doc.value().Find("tool")->string, "rapar");
+  EXPECT_EQ(doc.value().Find("command")->string, "lint");
+
+  const JsonValue* list = doc.value().Find("diagnostics");
+  ASSERT_NE(list, nullptr);
+  ASSERT_TRUE(list->is_array());
+  ASSERT_EQ(list->items.size(), 2u);
+  const JsonValue& first = list->items[0];
+  EXPECT_EQ(first.Find("file")->string, "demo.rap");
+  EXPECT_EQ(first.Find("line")->integer, 7);
+  EXPECT_EQ(first.Find("col")->integer, 3);
+  EXPECT_EQ(first.Find("code")->string, "RA003");
+  EXPECT_EQ(first.Find("severity")->string, "warning");
+  EXPECT_EQ(first.Find("message")->string, "dead store");
+  EXPECT_EQ(list->items[1].Find("severity")->string, "note");
+
+  const JsonValue* summary = doc.value().Find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->Find("errors")->integer, 0);
+  EXPECT_EQ(summary->Find("warnings")->integer, 1);
+  EXPECT_EQ(summary->Find("notes")->integer, 1);
+}
+
+TEST(JsonSchemaTest, DiagnosticsEnvelopeEmpty) {
+  const std::string json = DiagnosticsToJson("dlanalyze", {});
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_TRUE(doc.value().Find("diagnostics")->items.empty());
+  EXPECT_EQ(doc.value().Find("summary")->Find("errors")->integer, 0);
+}
+
+TEST(JsonSchemaTest, VerdictNamesAndExitCodes) {
+  EXPECT_STREQ(VerdictName(Verdict::Result::kSafe), "safe");
+  EXPECT_STREQ(VerdictName(Verdict::Result::kUnsafe), "unsafe");
+  EXPECT_STREQ(VerdictName(Verdict::Result::kUnknown), "unknown");
+  Verdict v;
+  v.result = Verdict::Result::kSafe;
+  EXPECT_EQ(VerdictExitCode(v), 0);
+  v.result = Verdict::Result::kUnsafe;
+  EXPECT_EQ(VerdictExitCode(v), 1);
+  v.result = Verdict::Result::kUnknown;
+  EXPECT_EQ(VerdictExitCode(v), 2);
+}
+
+}  // namespace
+}  // namespace rapar

@@ -1,0 +1,154 @@
+// Observability must be verdict-neutral and deadlines must degrade
+// gracefully:
+//
+//   1. Tracing on vs off produces bit-identical verdicts, witnesses and
+//      aggregate statistics — at one worker thread and at eight. The
+//      recorder only appends to a buffer; nothing the verifier computes
+//      may depend on it.
+//   2. A wall-clock deadline (VerifierOptions::time_budget_ms) aborts
+//      each backend cooperatively: the verdict degrades to kUnknown and
+//      Verdict::stopped_phase names the phase that was cut short
+//      ("solve" for the Datalog guess loop, "explore" for the
+//      explorers). Deadline runs are exempt from the thread-count
+//      determinism rule (the abort point is timing-dependent); the
+//      verdict kind and stopped_phase still must not depend on tracing.
+#include <gtest/gtest.h>
+
+#include "core/benchmarks.h"
+#include "core/verifier.h"
+#include "obs/trace.h"
+
+namespace rapar {
+namespace {
+
+void ExpectIdentical(const Verdict& a, const Verdict& b, const char* label) {
+  EXPECT_EQ(a.result, b.result) << label;
+  EXPECT_EQ(a.witness, b.witness) << label;
+  EXPECT_EQ(a.env_thread_bound, b.env_thread_bound) << label;
+  EXPECT_EQ(a.stopped_phase, b.stopped_phase) << label;
+  EXPECT_EQ(a.guesses(), b.guesses()) << label;
+  EXPECT_EQ(a.tuples(), b.tuples()) << label;
+  EXPECT_EQ(a.rule_firings(), b.rule_firings()) << label;
+  EXPECT_EQ(a.join_attempts(), b.join_attempts()) << label;
+  EXPECT_EQ(a.states(), b.states()) << label;
+}
+
+TEST(ObsDifferentialTest, TraceOnOffIdenticalDatalog) {
+  for (unsigned threads : {1u, 8u}) {
+    for (bool safe_case : {false, true}) {
+      BenchmarkCase bench =
+          safe_case ? ProducerConsumerSafe(6) : ProducerConsumer(6);
+      SafetyVerifier verifier(bench.system);
+      VerifierOptions opts;
+      opts.backend = Backend::kDatalog;
+      opts.datalog.threads = threads;
+
+      const Verdict off = verifier.Verify(opts);
+      obs::TraceRecorder rec;
+      opts.obs.trace = &rec;
+      const Verdict on = verifier.Verify(opts);
+
+      const std::string label =
+          bench.name + " threads=" + std::to_string(threads);
+      ExpectIdentical(off, on, label.c_str());
+      EXPECT_GT(rec.size(), 0u) << label;
+    }
+  }
+}
+
+TEST(ObsDifferentialTest, TraceOnOffIdenticalSimplified) {
+  for (bool safe_case : {false, true}) {
+    BenchmarkCase bench =
+        safe_case ? ProducerConsumerSafe(6) : ProducerConsumer(6);
+    SafetyVerifier verifier(bench.system);
+    VerifierOptions opts;
+    opts.backend = Backend::kSimplifiedExplorer;
+
+    const Verdict off = verifier.Verify(opts);
+    obs::TraceRecorder rec;
+    opts.obs.trace = &rec;
+    const Verdict on = verifier.Verify(opts);
+
+    ExpectIdentical(off, on, bench.name.c_str());
+    EXPECT_GT(rec.size(), 0u);
+  }
+}
+
+// The Datalog guess loop checks the deadline before every solve:
+// peterson-ra enumerates 29 guesses and needs a few milliseconds to
+// scan them all, so a 1 ms budget reliably cuts the enumeration short
+// (several guesses in). The verdict must degrade to kUnknown with
+// stopped_phase = "solve" — never a wrong "safe" — and the partial
+// guess count must stay below the full scan.
+TEST(ObsDifferentialTest, DeadlineAbortsDatalogSerial) {
+  BenchmarkCase bench = PetersonRa();
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kDatalog;
+  opts.datalog.threads = 1;
+  VerifierOptions full = opts;
+  const Verdict complete = verifier.Verify(full);
+  opts.time_budget_ms = 1;
+  const Verdict v = verifier.Verify(opts);
+  EXPECT_EQ(v.result, Verdict::Result::kUnknown);
+  EXPECT_EQ(v.stopped_phase, "solve");
+  EXPECT_TRUE(v.witness.empty());
+  EXPECT_LT(v.guesses(), complete.guesses());
+  EXPECT_NE(v.ToString().find("[deadline hit in solve]"), std::string::npos);
+}
+
+TEST(ObsDifferentialTest, DeadlineAbortsDatalogParallel) {
+  BenchmarkCase bench = PetersonRa();
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kDatalog;
+  opts.datalog.threads = 4;
+  opts.time_budget_ms = 1;
+  const Verdict v = verifier.Verify(opts);
+  EXPECT_EQ(v.result, Verdict::Result::kUnknown);
+  EXPECT_EQ(v.stopped_phase, "solve");
+  EXPECT_TRUE(v.witness.empty());
+}
+
+// The saturation explorer checks its budget every few expansion steps;
+// the safe producer/consumer instance takes several milliseconds to
+// saturate, so a 1 ms budget reliably interrupts the search
+// mid-exploration.
+TEST(ObsDifferentialTest, DeadlineAbortsSimplifiedExplorer) {
+  BenchmarkCase bench = ProducerConsumerSafe(12);
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kSimplifiedExplorer;
+  opts.time_budget_ms = 1;
+  const Verdict v = verifier.Verify(opts);
+  EXPECT_EQ(v.result, Verdict::Result::kUnknown);
+  EXPECT_EQ(v.stopped_phase, "explore");
+}
+
+TEST(ObsDifferentialTest, DeadlineAbortsConcreteExplorer) {
+  BenchmarkCase bench = ProducerConsumerSafe(12);
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kConcrete;
+  opts.concrete.env_threads = 2;
+  opts.time_budget_ms = 1;
+  const Verdict v = verifier.Verify(opts);
+  EXPECT_EQ(v.result, Verdict::Result::kUnknown);
+  EXPECT_EQ(v.stopped_phase, "explore");
+}
+
+// Without a budget the same instances complete: the deadline plumbing
+// must not interfere with unbudgeted runs.
+TEST(ObsDifferentialTest, NoBudgetMeansNoDeadline) {
+  BenchmarkCase bench = ProducerConsumerSafe(6);
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kDatalog;
+  opts.time_budget_ms = 0;
+  const Verdict v = verifier.Verify(opts);
+  EXPECT_EQ(v.result, Verdict::Result::kSafe);
+  EXPECT_TRUE(v.stopped_phase.empty());
+}
+
+}  // namespace
+}  // namespace rapar

@@ -56,7 +56,7 @@ TEST(PrepassDifferentialTest, BenchmarkCatalogVerdictsUnchanged) {
         p.with.result != Verdict::Result::kUnknown) {
       EXPECT_EQ(p.with.unsafe(), *bench.expected_unsafe) << bench.name;
     }
-    EXPECT_FALSE(p.without.prepass.Any()) << bench.name;
+    EXPECT_FALSE(p.without.prepass().Any()) << bench.name;
   }
 }
 
@@ -83,12 +83,12 @@ TEST(PrepassDifferentialTest, PrunableLitmusKeepsVerdictAndReportsPruning) {
   Pair p = VerifyBothWays(sys.value(), 300'000);
   ASSERT_EQ(p.with.result, Verdict::Result::kSafe);
   ASSERT_EQ(p.without.result, Verdict::Result::kSafe);
-  EXPECT_GT(p.with.prepass.dead_edges_removed, 0u);
-  EXPECT_GT(p.with.prepass.stores_sliced, 0u);
-  EXPECT_GT(p.with.prepass.assigns_dropped, 0u);
-  EXPECT_FALSE(p.without.prepass.Any());
+  EXPECT_GT(p.with.prepass().dead_edges_removed, 0u);
+  EXPECT_GT(p.with.prepass().stores_sliced, 0u);
+  EXPECT_GT(p.with.prepass().assigns_dropped, 0u);
+  EXPECT_FALSE(p.without.prepass().Any());
   // Pruning shrinks (or at worst preserves) the explored state space.
-  EXPECT_LE(p.with.states, p.without.states);
+  EXPECT_LE(p.with.states(), p.without.states());
 }
 
 TEST(PrepassDifferentialTest, ReachableAssertStaysUnsafe) {
@@ -111,7 +111,7 @@ TEST(PrepassDifferentialTest, ReachableAssertStaysUnsafe) {
   Pair p = VerifyBothWays(sys.value(), 300'000);
   EXPECT_EQ(p.with.result, Verdict::Result::kUnsafe);
   EXPECT_EQ(p.without.result, Verdict::Result::kUnsafe);
-  EXPECT_GT(p.with.prepass.guards_folded, 0u);
+  EXPECT_GT(p.with.prepass().guards_folded, 0u);
 }
 
 TEST(PrepassDifferentialTest, RandomSystemsAgreeAcrossTwoHundredSeeds) {
@@ -141,7 +141,7 @@ TEST(PrepassDifferentialTest, RandomSystemsAgreeAcrossTwoHundredSeeds) {
     ExpectAgreement(p, "seed " + std::to_string(seed));
     conclusive += p.with.result != Verdict::Result::kUnknown &&
                   p.without.result != Verdict::Result::kUnknown;
-    pruned += p.with.prepass.Any();
+    pruned += p.with.prepass().Any();
   }
   // The corpus must actually exercise the comparison and the pruning.
   EXPECT_GT(conclusive, 100);

@@ -89,7 +89,7 @@ TEST(WitnessBoundTest, EnvThreadBoundIsSufficientAcrossUnsafeCases) {
     if (b > 4) continue;  // keep concrete exploration tractable
     VerifierOptions copts;
     copts.backend = Backend::kConcrete;
-    copts.concrete_env_threads = std::max(b, 1);
+    copts.concrete.env_threads = std::max(b, 1);
     copts.time_budget_ms = 30'000;
     Verdict cv = verifier.Verify(copts);
     EXPECT_TRUE(cv.unsafe() || cv.result == Verdict::Result::kUnknown)
