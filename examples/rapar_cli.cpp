@@ -47,6 +47,8 @@
 #include "lang/transform.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tmai/tmai.h"
+#include "tmai/tmai_diagnostics.h"
 
 namespace {
 
@@ -94,7 +96,7 @@ const FlagSpec kFlags[] = {
      "add a dis thread program (repeatable)",
      [](Options& o, const char* v) { o.dis_files.push_back(v); }},
     {"--backend", true, "B", "verify mg",
-     "simplified|datalog|concrete (default simplified)",
+     "simplified|datalog|concrete|tmai|portfolio (default simplified)",
      [](Options& o, const char* v) { o.backend = v; }},
     {"--threads", true, "N", "verify mg",
      "concrete: env threads in the instance (default 2); datalog: worker "
@@ -347,13 +349,32 @@ int Lint(const Options& opts) {
   rapar::LintOptions lint;
   lint.observed_vars = rapar::ObservedVars(cfa_ptrs, shared.size());
 
+  // TMAI-backed whole-system notes (RA030–RA033): run the interference
+  // fixpoint over all inputs at once and merge each thread's notes into
+  // its file's diagnostic stream.
+  rapar::tmai::TmaiSystem tmai_sys;
+  tmai_sys.num_vars = shared.size();
+  tmai_sys.dom = 2;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].program.dom() > tmai_sys.dom) {
+      tmai_sys.dom = inputs[i].program.dom();
+    }
+    tmai_sys.threads.push_back(rapar::tmai::TmaiThread{
+        &cfas[i], inputs[i].role == rapar::ThreadRole::kEnv});
+  }
+  const std::vector<std::vector<rapar::Diagnostic>> tmai_diags =
+      rapar::tmai::TmaiLint(tmai_sys);
+
   std::size_t warnings = 0;
   std::size_t notes = 0;
   std::vector<std::pair<std::string, rapar::Diagnostic>> all;
-  for (const Input& in : inputs) {
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Input& in = inputs[i];
     lint.role = in.role;
-    const std::vector<rapar::Diagnostic> diags =
+    std::vector<rapar::Diagnostic> diags =
         rapar::LintProgram(in.program, lint);
+    diags.insert(diags.end(), tmai_diags[i].begin(), tmai_diags[i].end());
+    rapar::SortDiagnostics(diags);
     for (const rapar::Diagnostic& d : diags) {
       if (opts.format == "json") {
         all.emplace_back(in.path, d);
@@ -433,14 +454,19 @@ int RunVerify(const Options& opts, bool mg) {
     vopts.backend = rapar::Backend::kDatalog;
   } else if (opts.backend == "concrete") {
     vopts.backend = rapar::Backend::kConcrete;
+  } else if (opts.backend == "tmai") {
+    vopts.backend = rapar::Backend::kTmai;
+  } else if (opts.backend == "portfolio") {
+    vopts.backend = rapar::Backend::kPortfolio;
   } else {
     std::fprintf(stderr, "unknown backend '%s'\n", opts.backend.c_str());
     return 3;
   }
   vopts.concrete.env_threads = opts.threads;
-  if (vopts.backend == rapar::Backend::kDatalog) {
-    // For the Datalog backend --threads selects the worker-pool size
-    // (0 = all hardware threads, which is also the default).
+  if (vopts.backend == rapar::Backend::kDatalog ||
+      vopts.backend == rapar::Backend::kPortfolio) {
+    // For the Datalog backend (raced by the portfolio) --threads selects
+    // the worker-pool size (0 = all hardware threads, also the default).
     vopts.datalog.threads =
         opts.threads_set ? static_cast<unsigned>(opts.threads < 0
                                                      ? 0

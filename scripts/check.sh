@@ -20,12 +20,15 @@ cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
 
 # The parallel verification driver and the engine it fans out, raced
-# under TSan. Only the two concurrency-relevant suites are built: the
-# rest of the tree is single-threaded and covered by the presets above.
+# under TSan, plus the portfolio driver (TMAI prepass, then simplified
+# vs Datalog on a shared CancellationToken). Only the concurrency-
+# relevant suites are built: the rest of the tree is single-threaded
+# and covered by the presets above.
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
-  --target parallel_differential_test datalog_index_differential_test
-ctest --preset tsan -R 'ParallelDifferential|IndexDifferential' \
+  --target parallel_differential_test datalog_index_differential_test \
+  tmai_soundness_test
+ctest --preset tsan -R 'ParallelDifferential|IndexDifferential|TmaiPortfolio' \
   -j "$jobs"
 
 if [[ "${CHECK_WERROR:-0}" == "1" ]]; then

@@ -14,6 +14,10 @@ const char* BackendName(Backend b) {
       return "datalog";
     case Backend::kConcrete:
       return "concrete";
+    case Backend::kTmai:
+      return "tmai";
+    case Backend::kPortfolio:
+      return "portfolio";
   }
   return "unknown";
 }
@@ -49,6 +53,11 @@ std::string VerdictToJson(const Verdict& v, const VerifierOptions& options,
   }
   w.Key("verdict").String(VerdictName(v.result));
   w.Key("exit_code").Int(VerdictExitCode(v));
+  // The backend that actually produced the verdict — distinct from the
+  // requested options.backend when the portfolio driver picked a winner
+  // ("portfolio:datalog" etc.).
+  w.Key("backend").String(v.backend.empty() ? BackendName(options.backend)
+                                            : v.backend);
   w.Key("witness");
   if (v.witness.empty()) {
     w.Null();

@@ -4,9 +4,10 @@
 // emitters cannot drift from what the tests pin down:
 //
 //   VerdictToJson      — verify/mg: schema_version, tool, command, system
-//                        signature, verdict, exit_code, witness,
-//                        env_thread_bound, stopped_phase, the effective
-//                        options, and the full telemetry registry.
+//                        signature, verdict, exit_code, the backend that
+//                        produced the verdict, witness, env_thread_bound,
+//                        stopped_phase, the effective options, and the
+//                        full telemetry registry.
 //   DiagnosticsToJson  — lint/dlanalyze: schema_version, tool, command,
 //                        diagnostics array (file, line, col, code,
 //                        severity, message) and a severity summary.

@@ -1,17 +1,22 @@
 #include "core/verifier.h"
 
+#include <atomic>
 #include <chrono>
+#include <exception>
 #include <map>
 #include <memory>
+#include <stdexcept>
 
 #include "analysis/prepass.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/trace_render.h"
 #include "depgraph/dep_graph.h"
 #include "encoding/datalog_verifier.h"
 #include "ra/explorer.h"
 #include "simplified/explorer.h"
 #include "simplified/witness_min.h"
+#include "tmai/tmai.h"
 
 namespace rapar {
 
@@ -267,6 +272,12 @@ Verdict SafetyVerifier::Run(std::optional<std::pair<VarId, Value>> goal,
     case Backend::kConcrete:
       span_name = "verify:concrete";
       break;
+    case Backend::kTmai:
+      span_name = "verify:tmai";
+      break;
+    case Backend::kPortfolio:
+      span_name = "verify:portfolio";
+      break;
   }
   const auto start = std::chrono::steady_clock::now();
   Verdict v;
@@ -282,6 +293,12 @@ Verdict SafetyVerifier::Run(std::optional<std::pair<VarId, Value>> goal,
       case Backend::kConcrete:
         v = RunConcrete(goal, options);
         break;
+      case Backend::kTmai:
+        v = RunTmai(goal, options);
+        break;
+      case Backend::kPortfolio:
+        v = RunPortfolio(goal, options);
+        break;
     }
   }
   v.telemetry.SetGauge(obs::metric::kPhaseTotalMs, MsSince(start));
@@ -292,6 +309,7 @@ Verdict SafetyVerifier::RunSimplified(
     std::optional<std::pair<VarId, Value>> goal,
     const VerifierOptions& options) const {
   Verdict v;
+  v.backend = "simplified";
   const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
   SimplExplorer explorer(prep.simpl);
   SimplExplorerOptions opts;
@@ -299,6 +317,7 @@ Verdict SafetyVerifier::RunSimplified(
   opts.max_states = options.max_states;
   opts.max_depth = options.max_depth;
   opts.time_budget_ms = options.time_budget_ms;
+  opts.cancel = options.cancel;
   SimplResult r;
   {
     obs::ScopedSpan span(options.obs.trace, "explore");
@@ -354,6 +373,7 @@ Verdict SafetyVerifier::RunDatalog(
     std::optional<std::pair<VarId, Value>> goal,
     const VerifierOptions& options) const {
   Verdict v;
+  v.backend = "datalog";
   const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
   DatalogVerifierOptions opts;
   opts.goal_message = goal;
@@ -364,6 +384,7 @@ Verdict SafetyVerifier::RunDatalog(
   opts.batch_size = options.datalog.batch_size;
   opts.time_budget_ms = options.time_budget_ms;
   opts.trace = options.obs.trace;
+  opts.cancel = options.cancel;
   DatalogVerdict dv;
   {
     obs::ScopedSpan span(options.obs.trace, "solve");
@@ -389,6 +410,7 @@ Verdict SafetyVerifier::RunConcrete(
     std::optional<std::pair<VarId, Value>> goal,
     const VerifierOptions& options) const {
   Verdict v;
+  v.backend = "concrete";
   const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
   std::vector<const Cfa*> threads;
   for (int i = 0; i < options.concrete.env_threads; ++i) {
@@ -439,6 +461,160 @@ Verdict SafetyVerifier::RunConcrete(
   } else {
     v.result = Verdict::Result::kUnknown;
   }
+  return v;
+}
+
+Verdict SafetyVerifier::RunTmai(
+    std::optional<std::pair<VarId, Value>> goal,
+    const VerifierOptions& options) const {
+  Verdict v;
+  v.backend = "tmai";
+  const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
+  const tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(prep.simpl);
+  tmai::TmaiGoal tgoal;
+  if (goal.has_value()) {
+    tgoal.check_assert = false;
+    tgoal.var = goal->first;
+    tgoal.val = goal->second;
+  }
+  tmai::TmaiOptions topts;
+  topts.max_iterations = options.tmai.max_iterations;
+  topts.widening_delay = options.tmai.widening_delay;
+  topts.value_set_limit = options.tmai.value_set_limit;
+  tmai::TmaiResult r;
+  {
+    obs::ScopedSpan span(options.obs.trace, "fixpoint");
+    const auto start = std::chrono::steady_clock::now();
+    r = tmai::RunTmai(tsys, tgoal, topts);
+    v.telemetry.SetGauge(metric::kPhaseSolveMs, MsSince(start));
+  }
+  v.telemetry.SetCounter(metric::kTmaiIterations, r.iterations);
+  v.telemetry.SetCounter(metric::kTmaiConverged, r.converged ? 1 : 0);
+  v.telemetry.SetCounter(metric::kTmaiMaxDisjuncts, r.max_disjuncts_seen);
+  v.telemetry.SetCounter(metric::kTmaiThreads, tsys.threads.size());
+  if (r.safe) {
+    v.result = Verdict::Result::kSafe;
+  } else {
+    // The abstraction reached the goal, or the fixpoint was cut short —
+    // either way TMAI cannot conclude anything (it never answers unsafe).
+    v.result = Verdict::Result::kUnknown;
+    if (!r.converged) v.stopped_phase = "fixpoint";
+  }
+  return v;
+}
+
+Verdict SafetyVerifier::RunPortfolio(
+    std::optional<std::pair<VarId, Value>> goal,
+    const VerifierOptions& options) const {
+  // Stage 0: TMAI inline. It finishes in microseconds on typical inputs,
+  // so racing it buys nothing; a kSafe answer skips the race entirely.
+  const auto tmai_start = std::chrono::steady_clock::now();
+  VerifierOptions topts = options;
+  topts.backend = Backend::kTmai;
+  Verdict tv = RunTmai(goal, topts);
+  const double tmai_ms = MsSince(tmai_start);
+  if (tv.safe()) {
+    tv.backend = "portfolio:tmai";
+    tv.telemetry.SetCounter(metric::kPortfolioWinnerTmai, 1);
+    tv.telemetry.SetGauge(metric::kPortfolioTmaiMs, tmai_ms);
+    tv.telemetry.SetCounter(metric::kPortfolioCancelled, 0);
+    return tv;
+  }
+
+  // Stage 1: race the two exact backends with a shared cancel. The first
+  // definitive verdict (kSafe or kUnsafe — both backends are sound and
+  // complete, so any definitive answer is correct) claims the win and
+  // cancels the other; if neither is definitive the Datalog verdict is
+  // reported so portfolio results stay bit-identical to --backend=datalog
+  // on inconclusive runs.
+  CancellationToken cancel;
+  struct Entry {
+    Verdict verdict;
+    double ms = 0;
+    bool done = false;
+    std::string error;
+  };
+  constexpr int kSimpl = 0;
+  constexpr int kData = 1;
+  Entry entries[2];
+  std::atomic<int> winner{-1};
+  const auto race_start = std::chrono::steady_clock::now();
+
+  auto race = [&](int slot) {
+    Entry& e = entries[slot];
+    try {
+      VerifierOptions child = options;
+      child.cancel = &cancel;
+      // The recorder is not synchronized; raced backends run untraced.
+      child.obs.trace = nullptr;
+      if (slot == kSimpl) {
+        child.backend = Backend::kSimplifiedExplorer;
+        e.verdict = RunSimplified(goal, child);
+      } else {
+        child.backend = Backend::kDatalog;
+        e.verdict = RunDatalog(goal, child);
+      }
+      e.ms = MsSince(race_start);
+      e.done = true;
+      if (e.verdict.result != Verdict::Result::kUnknown) {
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, slot)) {
+          cancel.Cancel();
+        }
+      }
+    } catch (const std::exception& ex) {
+      e.ms = MsSince(race_start);
+      e.error = ex.what();
+    }
+  };
+
+  {
+    ThreadPool pool(2);
+    pool.Submit([&] { race(kSimpl); });
+    pool.Submit([&] { race(kData); });
+    pool.Wait();
+  }
+
+  int won = winner.load(std::memory_order_acquire);
+  if (won < 0) {
+    // No definitive answer. Fall back to the Datalog verdict (its
+    // stopped_phase explains the truncation); if Datalog itself threw,
+    // try the simplified one before giving up.
+    if (entries[kData].done) {
+      won = kData;
+    } else if (entries[kSimpl].done) {
+      won = kSimpl;
+    } else {
+      throw std::runtime_error(
+          StrCat("portfolio: every backend failed (datalog: ",
+                 entries[kData].error,
+                 "; simplified: ", entries[kSimpl].error, ")"));
+    }
+  }
+
+  Verdict v = std::move(entries[won].verdict);
+  v.backend = won == kSimpl ? "portfolio:simplified" : "portfolio:datalog";
+  obs::Telemetry& t = v.telemetry;
+  t.SetCounter(metric::kPortfolioWinnerTmai, 0);
+  t.SetCounter(metric::kPortfolioWinnerSimplified, won == kSimpl ? 1 : 0);
+  t.SetCounter(metric::kPortfolioWinnerDatalog, won == kData ? 1 : 0);
+  t.SetGauge(metric::kPortfolioTmaiMs, tmai_ms);
+  if (entries[kSimpl].done) {
+    t.SetGauge(metric::kPortfolioSimplifiedMs, entries[kSimpl].ms);
+  }
+  if (entries[kData].done) {
+    t.SetGauge(metric::kPortfolioDatalogMs, entries[kData].ms);
+  }
+  // Losers that came back inconclusive after the winner fired were
+  // (cooperatively) cancelled rather than genuinely stuck.
+  std::size_t cancelled = 0;
+  for (int slot : {kSimpl, kData}) {
+    if (slot != won && entries[slot].done &&
+        entries[slot].verdict.result == Verdict::Result::kUnknown) {
+      ++cancelled;
+    }
+  }
+  t.SetCounter(metric::kPortfolioCancelled, cancelled);
   return v;
 }
 

@@ -13,6 +13,13 @@
 //                         the emitted Cache Datalog query instances.
 //   kConcrete           — standard RA semantics with a fixed number of env
 //                         threads (sound for bugs; not parameterized).
+//   kTmai               — thread-modular abstract interpretation (see
+//                         tmai/tmai.h): sound for kSafe, never kUnsafe;
+//                         answers kUnknown when the abstraction reaches
+//                         the error location.
+//   kPortfolio          — races TMAI, the simplified explorer and the
+//                         Datalog backend; first definitive answer wins
+//                         and the losers are cancelled cooperatively.
 //
 // Results carry a single obs::Telemetry registry with every statistic the
 // run produced under a stable dotted name (see obs/telemetry.h). The
@@ -26,6 +33,7 @@
 #include <string>
 
 #include "analysis/prepass.h"
+#include "common/cancellation.h"
 #include "core/param_system.h"
 #include "datalog/engine.h"
 #include "dlopt/optimize.h"
@@ -39,6 +47,8 @@ enum class Backend {
   kSimplifiedExplorer,
   kDatalog,
   kConcrete,
+  kTmai,
+  kPortfolio,
 };
 
 // Knobs that only the Datalog backend reads.
@@ -68,6 +78,17 @@ struct ConcreteBackendOptions {
   int env_threads = 2;
 };
 
+// Knobs that only the TMAI backend reads (see tmai/tmai.h). The
+// portfolio backend runs TMAI with the same knobs as its first stage.
+struct TmaiBackendOptions {
+  // Interference fixpoint rounds before giving up (kUnknown).
+  int max_iterations = 64;
+  // Joins at one CFA node before the disjuncts are widened.
+  int widening_delay = 8;
+  // Explicit value-set size beyond which a set becomes top.
+  int value_set_limit = 16;
+};
+
 // Observability configuration. The recorder pointer is borrowed — the
 // caller owns it and keeps it alive across the Verify call; null (the
 // default) disables tracing at near-zero cost (see obs/trace.h).
@@ -85,7 +106,12 @@ struct VerifierOptions {
   // Per-backend knobs, grouped by the backend that reads them.
   DatalogBackendOptions datalog;
   ConcreteBackendOptions concrete;
+  TmaiBackendOptions tmai;
   ObsOptions obs;
+  // Borrowed external cancellation (advisory): when it fires, backends
+  // stop at the next check and the verdict degrades to kUnknown. Null
+  // disables. The portfolio driver uses this to cancel losing backends.
+  const CancellationToken* cancel = nullptr;
   // Resource bounds (apply per backend as applicable). time_budget_ms is
   // a wall-clock deadline enforced cooperatively by every backend; on
   // expiry the verdict degrades to kUnknown and Verdict::stopped_phase
@@ -113,9 +139,15 @@ struct Verdict {
   // instance (Datalog backend only).
   std::string width_report;
   // Phase a wall-clock deadline stopped ("explore" for the state-space
-  // backends, "solve" for the Datalog guess scan); empty when no
-  // deadline fired. A non-empty value implies the search was truncated.
+  // backends, "solve" for the Datalog guess scan, "fixpoint" for TMAI);
+  // empty when no deadline fired. A non-empty value implies the search
+  // was truncated.
   std::string stopped_phase;
+  // Which backend actually produced this verdict ("simplified",
+  // "datalog", "concrete", "tmai", "portfolio:<winner>"). Filled by
+  // every Run* path so envelopes stay unambiguous when the portfolio
+  // driver or a budget/deadline is involved.
+  std::string backend;
   // Every statistic of the run, keyed by the stable names in
   // obs/telemetry.h (verify.*, engine.*, datalog.*, prepass.*, dlopt.*,
   // parallel.*, phase.*).
@@ -168,6 +200,10 @@ class SafetyVerifier {
                      const VerifierOptions& options) const;
   Verdict RunConcrete(std::optional<std::pair<VarId, Value>> goal,
                       const VerifierOptions& options) const;
+  Verdict RunTmai(std::optional<std::pair<VarId, Value>> goal,
+                  const VerifierOptions& options) const;
+  Verdict RunPortfolio(std::optional<std::pair<VarId, Value>> goal,
+                       const VerifierOptions& options) const;
 
   const ParamSystem& system_;
 };

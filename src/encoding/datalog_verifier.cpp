@@ -213,6 +213,17 @@ DatalogVerdict SerialVerify(const SimplSystem& sys,
                           StrCat("{\"guess\":", idx, "}"));
         return verdict;
       }
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        // External cancel: truncated like a deadline, but deadline_hit
+        // stays false — no budget expired.
+        cursor.Cancel();
+        verdict.exhaustive = false;
+        verdict.guesses = idx;
+        verdict.fact_reuses = solver.fact_reuses();
+        obs::TraceInstant(options.trace, "cancelled",
+                          StrCat("{\"guess\":", idx, "}"));
+        return verdict;
+      }
       GuessOutcome o =
           solver.Solve(guess, idx, /*want_width_report=*/idx == 0);
       ++verdict.parallel.solves;
@@ -271,6 +282,7 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
   std::atomic<std::size_t> stop_idx{kNoGuessIndex};
   const Deadline deadline(options.time_budget_ms);
   std::atomic<bool> deadline_fired{false};
+  std::atomic<bool> ext_cancelled{false};
   ShardedCounter solves;
   ShardedCounter skipped;
 
@@ -287,6 +299,11 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
   while (!cancel.cancelled()) {
     if (deadline.Expired()) {
       deadline_fired.store(true, std::memory_order_relaxed);
+      cancel.Cancel();
+      break;
+    }
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      ext_cancelled.store(true, std::memory_order_relaxed);
       cancel.Cancel();
       break;
     }
@@ -315,6 +332,12 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
           }
           if (deadline.Expired()) {
             deadline_fired.store(true, std::memory_order_relaxed);
+            cancel.Cancel();
+            skipped.Add(guesses.size() - i);
+            break;
+          }
+          if (options.cancel != nullptr && options.cancel->cancelled()) {
+            ext_cancelled.store(true, std::memory_order_relaxed);
             cancel.Cancel();
             skipped.Add(guesses.size() - i);
             break;
@@ -406,6 +429,12 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
     // report the number of solves that made it into the aggregates.
     verdict.guesses = evaluated;
     obs::TraceInstant(options.trace, "deadline",
+                      StrCat("{\"solves\":", evaluated, "}"));
+  } else if (ext_cancelled.load(std::memory_order_relaxed)) {
+    // External cancel: truncated, inconclusive, no deadline blame.
+    verdict.exhaustive = false;
+    verdict.guesses = evaluated;
+    obs::TraceInstant(options.trace, "cancelled",
                       StrCat("{\"solves\":", evaluated, "}"));
   } else {
     verdict.guesses = cursor.produced();

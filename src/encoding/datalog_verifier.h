@@ -30,6 +30,7 @@
 #include <optional>
 #include <string>
 
+#include "common/cancellation.h"
 #include "datalog/engine.h"
 #include "dlopt/optimize.h"
 #include "encoding/makep.h"
@@ -76,6 +77,12 @@ struct DatalogVerifierOptions {
   // makep/dlopt/eval phases, plus instant markers for early exit, budget
   // abort and deadline expiry. Null = no tracing, near-zero cost.
   obs::TraceRecorder* trace = nullptr;
+  // Borrowed external cancellation (advisory), polled wherever the
+  // deadline is. On cancel the scan stops, exhaustive becomes false but
+  // deadline_hit stays false — the caller asked, no budget expired.
+  // Cancel-truncated runs are exempt from the determinism rule like
+  // deadline-truncated ones.
+  const CancellationToken* cancel = nullptr;
 };
 
 // How the parallel driver ran. threads == 1 means the serial loop (the

@@ -34,6 +34,8 @@ namespace rapar::obs {
 //   prepass.*  — CFA pre-pass pruning (PrepassStats)
 //   dlopt.*    — query-driven program optimizer (dlopt::DlOptStats)
 //   parallel.* — work-stealing guess driver (ParallelStats)
+//   tmai.*     — thread-modular abstract interpretation (tmai/tmai.h)
+//   portfolio.*— backend race driver (per-backend outcome + latency)
 //   phase.*    — per-phase wall-clock gauges, milliseconds
 namespace metric {
 inline constexpr char kStates[] = "verify.states";
@@ -77,6 +79,23 @@ inline constexpr char kParDiscarded[] = "parallel.discarded";
 inline constexpr char kParSkipped[] = "parallel.skipped";
 // Present only when a terminating event cut the enumeration short.
 inline constexpr char kParEarlyExitIndex[] = "parallel.early_exit_index";
+
+inline constexpr char kTmaiIterations[] = "tmai.iterations";
+inline constexpr char kTmaiConverged[] = "tmai.converged";
+inline constexpr char kTmaiMaxDisjuncts[] = "tmai.max_disjuncts";
+inline constexpr char kTmaiThreads[] = "tmai.threads";
+
+// Portfolio race driver: which backend answered first, and each raced
+// backend's outcome (0 = lost/cancelled, 1 = produced the verdict) and
+// wall-clock latency in milliseconds.
+inline constexpr char kPortfolioWinnerTmai[] = "portfolio.winner_tmai";
+inline constexpr char kPortfolioWinnerSimplified[] =
+    "portfolio.winner_simplified";
+inline constexpr char kPortfolioWinnerDatalog[] = "portfolio.winner_datalog";
+inline constexpr char kPortfolioTmaiMs[] = "portfolio.tmai_ms";
+inline constexpr char kPortfolioSimplifiedMs[] = "portfolio.simplified_ms";
+inline constexpr char kPortfolioDatalogMs[] = "portfolio.datalog_ms";
+inline constexpr char kPortfolioCancelled[] = "portfolio.cancelled";
 
 // Phase wall-clock gauges (milliseconds). phase.parse_ms is stamped by
 // the CLI (parsing happens before the library is entered).

@@ -10,13 +10,15 @@ namespace rapar {
 
 namespace {
 
-// Shared deadline bookkeeping.
+// Shared deadline + external-cancellation bookkeeping.
 struct Budget {
   std::chrono::steady_clock::time_point deadline;
   bool limited = false;
   std::size_t ticks = 0;
+  const CancellationToken* cancel = nullptr;
 
-  explicit Budget(long long ms) {
+  explicit Budget(long long ms, const CancellationToken* cancel_token)
+      : cancel(cancel_token) {
     if (ms > 0) {
       limited = true;
       deadline =
@@ -24,15 +26,17 @@ struct Budget {
     }
   }
   bool Expired() {
-    if (limited && (++ticks & 63) == 0 &&
-        std::chrono::steady_clock::now() > deadline) {
-      hit = true;
+    if ((limited || cancel != nullptr) && (++ticks & 63) == 0) {
+      if (limited && std::chrono::steady_clock::now() > deadline) hit = true;
+      if (cancel != nullptr && cancel->cancelled()) cancelled = true;
     }
-    return hit;
+    return hit || cancelled;
   }
   // Latched on the first expiry so callers can attribute a truncated
-  // search to the budget rather than the state/depth caps.
+  // search to the budget rather than the state/depth caps or an
+  // external cancel.
   bool hit = false;
+  bool cancelled = false;
 };
 
 bool GoalIn(const SimplConfig& cfg,
@@ -139,7 +143,7 @@ SimplResult SimplExplorer::Check(const SimplExplorerOptions& options) {
   reachable_dis_de_.clear();
   generated_messages_.clear();
   SimplResult result;
-  Budget budget(options.time_budget_ms);
+  Budget budget(options.time_budget_ms, options.cancel);
 
   struct NodeInfo {
     std::int64_t parent;
@@ -211,9 +215,9 @@ SimplResult SimplExplorer::Check(const SimplExplorerOptions& options) {
                             const std::vector<SimplStep>& steps_from_parent,
                             std::size_t states_now) {
     if (!outcome.complete) {
-      // Saturation only aborts on budget expiry.
+      // Saturation only aborts on budget expiry or external cancel.
       result.exhaustive = false;
-      result.budget_hit = true;
+      result.budget_hit = budget.hit;
     }
     if (outcome.violation && !result.violation) {
       result.violation = true;
@@ -260,7 +264,7 @@ SimplResult SimplExplorer::Check(const SimplExplorerOptions& options) {
     }
     if (!outcome.complete) {
       result.exhaustive = false;
-      result.budget_hit = true;
+      result.budget_hit = budget.hit;
     }
   }
 
@@ -268,7 +272,7 @@ SimplResult SimplExplorer::Check(const SimplExplorerOptions& options) {
   while (!frontier.empty()) {
     if (budget.Expired()) {
       result.exhaustive = false;
-      result.budget_hit = true;
+      result.budget_hit = budget.hit;
       result.states = states.size();
       return result;
     }

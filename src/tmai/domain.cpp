@@ -1,0 +1,239 @@
+#include "tmai/domain.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace rapar::tmai {
+namespace {
+
+// Cap on the number of concrete register assignments enumerated when
+// evaluating or refining through Expr::Eval. Beyond this the evaluator
+// degrades to a coarse but sound result. With dom <= 4 and at most a
+// handful of registers per expression the cap is never hit in practice.
+constexpr std::size_t kEnumLimit = 512;
+
+bool IsBooleanShaped(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kAnd:
+    case ExprOp::kOr:
+    case ExprOp::kNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Enumerates every concrete assignment of the registers read by `e`
+// drawn from their value sets and calls `fn(rv)` for each. Returns
+// false (without calling `fn`) when the product of set sizes exceeds
+// kEnumLimit or some read register has an empty set with the product
+// being zero — callers distinguish the two via `any_empty`.
+template <typename Fn>
+bool ForEachAssignment(const Expr& e, std::span<const ValueSet> regs,
+                       Value dom, bool* any_empty, Fn&& fn) {
+  std::vector<RegId> read;
+  e.CollectRegs(read);
+  std::sort(read.begin(), read.end());
+  read.erase(std::unique(read.begin(), read.end()), read.end());
+
+  *any_empty = false;
+  std::size_t product = 1;
+  std::vector<std::vector<Value>> cands;
+  cands.reserve(read.size());
+  for (RegId r : read) {
+    cands.push_back(regs[r.index()].Enumerate(dom));
+    if (cands.back().empty()) *any_empty = true;
+    product *= cands.back().size();
+    if (product > kEnumLimit) return false;
+  }
+  if (*any_empty) return true;
+
+  std::size_t max_reg = 0;
+  for (RegId r : read) max_reg = std::max(max_reg, r.index() + 1);
+  std::vector<Value> rv(std::max(max_reg, regs.size()), 0);
+  std::vector<std::size_t> idx(read.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < read.size(); ++i) {
+      rv[read[i].index()] = cands[i][idx[i]];
+    }
+    fn(read, idx, std::span<const Value>(rv));
+    std::size_t i = 0;
+    for (; i < read.size(); ++i) {
+      if (++idx[i] < cands[i].size()) break;
+      idx[i] = 0;
+    }
+    if (i == read.size()) break;
+    if (read.empty()) break;
+  }
+  return true;
+}
+
+}  // namespace
+
+ValueSet ValueSet::Top() {
+  ValueSet s;
+  s.top_ = true;
+  return s;
+}
+
+ValueSet ValueSet::Of(Value v) {
+  ValueSet s;
+  s.vals_.push_back(v);
+  return s;
+}
+
+std::size_t ValueSet::Size(Value dom) const {
+  return top_ ? static_cast<std::size_t>(dom) : vals_.size();
+}
+
+bool ValueSet::Contains(Value v) const {
+  if (top_) return true;
+  return std::binary_search(vals_.begin(), vals_.end(), v);
+}
+
+bool ValueSet::IsSingleton(Value dom, Value* out) const {
+  if (Size(dom) != 1) return false;
+  if (out != nullptr) *out = top_ ? 0 : vals_[0];
+  return true;
+}
+
+void ValueSet::Insert(Value v) {
+  if (top_) return;
+  auto it = std::lower_bound(vals_.begin(), vals_.end(), v);
+  if (it == vals_.end() || *it != v) vals_.insert(it, v);
+}
+
+bool ValueSet::UnionWith(const ValueSet& o) {
+  if (top_) return false;
+  if (o.top_) {
+    top_ = true;
+    vals_.clear();
+    return true;
+  }
+  const std::size_t before = vals_.size();
+  std::vector<Value> merged;
+  merged.reserve(vals_.size() + o.vals_.size());
+  std::set_union(vals_.begin(), vals_.end(), o.vals_.begin(), o.vals_.end(),
+                 std::back_inserter(merged));
+  vals_ = std::move(merged);
+  return vals_.size() != before;
+}
+
+void ValueSet::IntersectWith(const ValueSet& o, Value dom) {
+  if (o.top_) return;
+  if (top_) {
+    // Materialize top within [0, dom) first.
+    top_ = false;
+    vals_.clear();
+    for (Value v = 0; v < dom; ++v) {
+      if (o.Contains(v)) vals_.push_back(v);
+    }
+    return;
+  }
+  std::vector<Value> out;
+  std::set_intersection(vals_.begin(), vals_.end(), o.vals_.begin(),
+                        o.vals_.end(), std::back_inserter(out));
+  vals_ = std::move(out);
+}
+
+bool ValueSet::SubsetOf(const ValueSet& o) const {
+  if (o.top_) return true;
+  if (top_) return false;
+  return std::includes(o.vals_.begin(), o.vals_.end(), vals_.begin(),
+                       vals_.end());
+}
+
+void ValueSet::Widen(int limit) {
+  if (!top_ && vals_.size() > static_cast<std::size_t>(limit)) {
+    top_ = true;
+    vals_.clear();
+  }
+}
+
+std::vector<Value> ValueSet::Enumerate(Value dom) const {
+  if (!top_) return vals_;
+  std::vector<Value> all;
+  all.reserve(static_cast<std::size_t>(dom));
+  for (Value v = 0; v < dom; ++v) all.push_back(v);
+  return all;
+}
+
+bool ValueSet::operator==(const ValueSet& o) const {
+  return top_ == o.top_ && vals_ == o.vals_;
+}
+
+std::string ValueSet::ToString() const {
+  if (top_) return "T";
+  std::string s = "{";
+  for (std::size_t i = 0; i < vals_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(vals_[i]);
+  }
+  s += "}";
+  return s;
+}
+
+ValueSet EvalExprSet(const Expr& e, std::span<const ValueSet> regs,
+                     Value dom, int value_set_limit) {
+  ValueSet out;
+  bool any_empty = false;
+  const bool enumerated = ForEachAssignment(
+      e, regs, dom, &any_empty,
+      [&](const std::vector<RegId>&, const std::vector<std::size_t>&,
+          std::span<const Value> rv) { out.Insert(e.Eval(rv, dom)); });
+  if (!enumerated) {
+    // Too many assignments: coarse but sound.
+    if (IsBooleanShaped(e.op())) {
+      ValueSet b;
+      b.Insert(0);
+      b.Insert(1);
+      return b;
+    }
+    return ValueSet::Top();
+  }
+  if (any_empty) return ValueSet();  // some operand is bottom
+  out.Widen(value_set_limit);
+  return out;
+}
+
+bool RefineAssume(const Expr& e, std::vector<ValueSet>& regs, Value dom,
+                  int value_set_limit) {
+  // Conjunctions refine each side in turn; the second side sees the
+  // first side's narrowed sets.
+  if (e.op() == ExprOp::kAnd) {
+    return RefineAssume(*e.children()[0], regs, dom, value_set_limit) &&
+           RefineAssume(*e.children()[1], regs, dom, value_set_limit);
+  }
+
+  // Project the satisfying assignments onto each read register.
+  std::vector<RegId> read_regs;
+  std::vector<ValueSet> kept;
+  bool any_sat = false;
+  bool any_empty = false;
+  const bool enumerated = ForEachAssignment(
+      e, std::span<const ValueSet>(regs), dom, &any_empty,
+      [&](const std::vector<RegId>& read, const std::vector<std::size_t>&,
+          std::span<const Value> rv) {
+        if (read_regs.empty() && !read.empty()) {
+          read_regs = read;
+          kept.resize(read.size());
+        }
+        if (e.Eval(rv, dom) == 0) return;
+        any_sat = true;
+        for (std::size_t i = 0; i < read.size(); ++i) {
+          kept[i].Insert(rv[read[i].index()]);
+        }
+      });
+  if (!enumerated) return true;  // too many assignments: no refinement
+  if (any_empty || !any_sat) return false;
+  for (std::size_t i = 0; i < read_regs.size(); ++i) {
+    regs[read_regs[i].index()] = std::move(kept[i]);
+  }
+  return true;
+}
+
+}  // namespace rapar::tmai

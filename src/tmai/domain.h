@@ -1,0 +1,83 @@
+// The abstract domain of the thread-modular abstract interpreter
+// (src/tmai/tmai.h): small value sets over the finite domain [0, dom),
+// with an explicit top element and a size-triggered widening.
+//
+// A ValueSet over-approximates the set of concrete Values a register can
+// hold or a shared variable can yield to a load. The lattice is the
+// powerset of [0, dom) with an explicit top representative; sets whose
+// explicit enumeration exceeds the configured limit are widened to top,
+// which keeps every operation O(limit) regardless of dom.
+//
+// Expression evaluation and assume-guard refinement reuse the concrete
+// Expr::Eval by enumerating the (small) product of the operand sets, so
+// the abstract semantics agrees with the interpreter by construction
+// instead of re-implementing the modular arithmetic.
+#ifndef RAPAR_TMAI_DOMAIN_H_
+#define RAPAR_TMAI_DOMAIN_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lang/expr.h"
+#include "lang/value.h"
+
+namespace rapar::tmai {
+
+class ValueSet {
+ public:
+  // Default-constructed: the empty set (bottom).
+  ValueSet() = default;
+
+  static ValueSet Top();
+  static ValueSet Of(Value v);
+
+  bool top() const { return top_; }
+  bool empty() const { return !top_ && vals_.empty(); }
+  // Cardinality of the concretization.
+  std::size_t Size(Value dom) const;
+  bool Contains(Value v) const;
+  // True if the set is exactly {v}; top counts only when dom == 1.
+  bool IsSingleton(Value dom, Value* out = nullptr) const;
+
+  void Insert(Value v);
+  // Set-lattice join; returns true if this set grew.
+  bool UnionWith(const ValueSet& o);
+  void IntersectWith(const ValueSet& o, Value dom);
+  bool SubsetOf(const ValueSet& o) const;
+  // Widen to top once the explicit representation exceeds `limit`.
+  void Widen(int limit);
+
+  // The concrete values, materialized (top enumerates [0, dom)).
+  std::vector<Value> Enumerate(Value dom) const;
+
+  bool operator==(const ValueSet& o) const;
+  std::string ToString() const;
+
+ private:
+  bool top_ = false;
+  std::vector<Value> vals_;  // sorted, unique; empty when top_
+};
+
+// Over-approximates [[e]] under per-register value sets (indexed by
+// RegId). Exact — the product of the read registers' sets is enumerated
+// through Expr::Eval — as long as the product is small; beyond the
+// internal enumeration cap the result degrades to {0,1} for boolean-
+// shaped operators and top otherwise. Returns the empty set iff some
+// register read by `e` has an empty set.
+ValueSet EvalExprSet(const Expr& e, std::span<const ValueSet> regs,
+                     Value dom, int value_set_limit);
+
+// Refines `regs` in place under the assumption that `e` evaluates to a
+// non-zero value (the `assume` guard semantics). The refinement is the
+// relational projection of the satisfying assignments onto each register
+// read by the guard, so single-register equalities (`r == c`), register
+// equalities (`a == b`) and conjunctions all narrow precisely. Returns
+// false when no assignment drawn from the current sets satisfies the
+// guard — the disjunct is dead.
+bool RefineAssume(const Expr& e, std::vector<ValueSet>& regs, Value dom,
+                  int value_set_limit);
+
+}  // namespace rapar::tmai
+
+#endif  // RAPAR_TMAI_DOMAIN_H_

@@ -1,0 +1,436 @@
+#include "tmai/tmai.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "analysis/dataflow.h"
+
+namespace rapar::tmai {
+namespace {
+
+using VarSets = std::vector<ValueSet>;
+
+// The interference summary shared between threads. All components grow
+// monotonically across fixpoint rounds; since every set lives in the
+// finite powerset of [0, dom) the iteration terminates.
+struct Tables {
+  // [thread][var]: values the thread may store to var (any copy).
+  std::vector<VarSets> store_vals;
+  // [var][val][var2]: the acquire snapshot ACQ(var,val) — see tmai.h.
+  // Entry val == 0 is unused (the init message has the top snapshot).
+  std::vector<std::vector<VarSets>> acq;
+  // [var][val]: some message (var,val) may exist (val 0 always).
+  std::vector<std::vector<char>> present;
+  // [thread][edge]: values stored by that specific edge — feeds the
+  // "writer's own later stores" component of next round's snapshots.
+  std::vector<std::vector<ValueSet>> edge_store;
+};
+
+// Per-thread context for one fixpoint round.
+struct Ctx {
+  const TmaiSystem* sys = nullptr;
+  const TmaiOptions* opts = nullptr;
+  const Tables* tables = nullptr;  // read side (previous round)
+  Tables* contrib = nullptr;       // write side (null in classify pass)
+  bool* changed = nullptr;
+  std::size_t t = 0;  // thread index
+  const Cfa* cfa = nullptr;
+  // [var]: stores by every other thread (incl. own copies if replicated).
+  VarSets all_other;
+  // [node][var]: values this thread may store at or after node
+  // (previous round's edge stores, propagated backwards).
+  std::vector<VarSets> future_own;
+  // Classification pass only: per-edge store sets for the report.
+  std::vector<ValueSet>* report_edge_store = nullptr;
+};
+
+// The worklist state attached to each CFA node.
+struct NodeState {
+  std::vector<AbsState> djs;
+  int joins = 0;
+};
+
+std::size_t EdgeIndex(const Ctx& c, const CfaEdge& edge) {
+  // Transfer callbacks receive the edge by reference into the Cfa's
+  // edge vector, so the index is recoverable by address.
+  return static_cast<std::size_t>(&edge - c.cfa->edges().data());
+}
+
+VarSets ComputeAllOther(const TmaiSystem& sys, const Tables& tables,
+                        std::size_t t) {
+  VarSets out(sys.num_vars);
+  for (std::size_t u = 0; u < sys.threads.size(); ++u) {
+    if (u == t && !sys.threads[u].replicated) continue;
+    for (std::size_t x = 0; x < sys.num_vars; ++x) {
+      out[x].UnionWith(tables.store_vals[u][x]);
+    }
+  }
+  return out;
+}
+
+std::vector<VarSets> ComputeFutureOwn(const Ctx& c) {
+  const std::size_t num_vars = c.sys->num_vars;
+  return SolveBackward(
+      *c.cfa, VarSets(num_vars),
+      [&](const CfaEdge& edge, const VarSets& at_target) {
+        VarSets out = at_target;
+        if (edge.instr.IsStoreLike()) {
+          out[edge.instr.var.index()].UnionWith(
+              c.tables->edge_store[c.t][EdgeIndex(c, edge)]);
+        }
+        return out;
+      },
+      [](VarSets& into, const VarSets& from) {
+        bool changed = false;
+        for (std::size_t x = 0; x < into.size(); ++x) {
+          changed |= into[x].UnionWith(from[x]);
+        }
+        return changed;
+      });
+}
+
+AbsState EntryState(const Ctx& c) {
+  AbsState s;
+  s.regs.assign(c.cfa->program().regs().size(), ValueSet::Of(kInitValue));
+  s.view.resize(c.sys->num_vars);
+  for (std::size_t x = 0; x < c.sys->num_vars; ++x) {
+    s.view[x] = ValueSet::Of(kInitValue);  // the init message
+    s.view[x].UnionWith(c.all_other[x]);   // anything others may store
+  }
+  return s;
+}
+
+// Values a load of x may return: the view filtered by message presence.
+std::vector<Value> Readable(const Ctx& c, const AbsState& d, VarId x) {
+  std::vector<Value> out;
+  for (Value v : d.view[x.index()].Enumerate(c.sys->dom)) {
+    if (c.tables->present[x.index()][v]) out.push_back(v);
+  }
+  return out;
+}
+
+// Joins the writer's view after reading message (x,v): intersect with
+// the acquire snapshot. The init message (v == 0) constrains nothing.
+void AcquireInto(const Ctx& c, AbsState& d, VarId x, Value v) {
+  if (v == 0) return;
+  const VarSets& snap = c.tables->acq[x.index()][v];
+  for (std::size_t y = 0; y < d.view.size(); ++y) {
+    d.view[y].IntersectWith(snap[y], c.sys->dom);
+  }
+}
+
+// Publishes a store of the value set S to x from abstract state `d`
+// (view taken at the moment of the store) into the contribution tables.
+void RecordStore(const Ctx& c, const CfaEdge& edge, const AbsState& d,
+                 VarId x, const ValueSet& S) {
+  const std::size_t eidx = EdgeIndex(c, edge);
+  if (c.report_edge_store != nullptr) {
+    (*c.report_edge_store)[eidx].UnionWith(S);
+  }
+  if (c.contrib == nullptr) return;
+  bool& changed = *c.changed;
+  changed |= c.contrib->store_vals[c.t][x.index()].UnionWith(S);
+  changed |= c.contrib->edge_store[c.t][eidx].UnionWith(S);
+  const VarSets& fut = c.future_own[edge.to.index()];
+  for (Value v : S.Enumerate(c.sys->dom)) {
+    char& present = c.contrib->present[x.index()][v];
+    if (!present) {
+      present = 1;
+      changed = true;
+    }
+    if (v == 0) continue;  // init snapshot is already top
+    VarSets& snap = c.contrib->acq[x.index()][v];
+    for (std::size_t y = 0; y < snap.size(); ++y) {
+      // What a reader of (x,v) may subsequently read from y: the
+      // writer's view of y now, the writer's own later stores, and
+      // anything other threads store at any time.
+      ValueSet add =
+          (y == x.index()) ? ValueSet::Of(v) : d.view[y];
+      add.UnionWith(fut[y]);
+      add.UnionWith(c.all_other[y]);
+      changed |= snap[y].UnionWith(add);
+    }
+  }
+}
+
+void ApplyEdge(const Ctx& c, const CfaEdge& edge, const AbsState& d,
+               std::vector<AbsState>& out) {
+  const Instr& instr = edge.instr;
+  const Value dom = c.sys->dom;
+  const int limit = c.opts->value_set_limit;
+  switch (instr.kind) {
+    case Instr::Kind::kNop:
+      out.push_back(d);
+      break;
+    case Instr::Kind::kAssume: {
+      AbsState nd = d;
+      if (RefineAssume(*instr.expr, nd.regs, dom, limit)) {
+        out.push_back(std::move(nd));
+      }
+      break;
+    }
+    case Instr::Kind::kAssign: {
+      ValueSet v = EvalExprSet(*instr.expr, d.regs, dom, limit);
+      if (v.empty()) break;
+      AbsState nd = d;
+      nd.regs[instr.reg.index()] = std::move(v);
+      out.push_back(std::move(nd));
+      break;
+    }
+    case Instr::Kind::kLoad: {
+      // Case-split on the loaded value so the acquire refinement stays
+      // correlated with it.
+      for (Value v : Readable(c, d, instr.var)) {
+        AbsState nd = d;
+        nd.regs[instr.reg.index()] = ValueSet::Of(v);
+        AcquireInto(c, nd, instr.var, v);
+        out.push_back(std::move(nd));
+      }
+      break;
+    }
+    case Instr::Kind::kStore: {
+      const ValueSet& S = d.regs[instr.reg.index()];
+      if (S.empty()) break;
+      RecordStore(c, edge, d, instr.var, S);
+      AbsState nd = d;
+      // Own store becomes the view; later stores by others stay
+      // readable.
+      nd.view[instr.var.index()] = S;
+      nd.view[instr.var.index()].UnionWith(c.all_other[instr.var.index()]);
+      out.push_back(std::move(nd));
+      break;
+    }
+    case Instr::Kind::kCas: {
+      // Blocking CAS: enabled only when a readable message matches the
+      // expected register. Acquire-read the message, then release-store
+      // the desired value.
+      const ValueSet expected = d.regs[instr.reg.index()];
+      for (Value e : Readable(c, d, instr.var)) {
+        if (!expected.Contains(e)) continue;
+        AbsState nd = d;
+        nd.regs[instr.reg.index()] = ValueSet::Of(e);
+        AcquireInto(c, nd, instr.var, e);
+        const ValueSet S = nd.regs[instr.reg2.index()];
+        if (S.empty()) continue;
+        RecordStore(c, edge, nd, instr.var, S);
+        nd.view[instr.var.index()] = S;
+        nd.view[instr.var.index()].UnionWith(
+            c.all_other[instr.var.index()]);
+        out.push_back(std::move(nd));
+      }
+      break;
+    }
+    case Instr::Kind::kAssertFail:
+      // Traversing the edge is the violation; it has no successor
+      // state. Source reachability is what the verdict checks.
+      break;
+  }
+}
+
+// Disjunctive join with subsumption, a disjunct cap, and widening after
+// `widening_delay` joins at the same node.
+bool JoinNodeState(const Ctx& c, NodeState& into, NodeState& from,
+                   std::size_t* max_disjuncts_seen) {
+  bool changed = false;
+  for (AbsState& d : from.djs) {
+    bool subsumed = false;
+    for (const AbsState& e : into.djs) {
+      if (d.SubsumedBy(e)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (subsumed) continue;
+    into.djs.push_back(std::move(d));
+    changed = true;
+  }
+  if (!changed) return false;
+  into.joins++;
+  *max_disjuncts_seen = std::max(*max_disjuncts_seen, into.djs.size());
+  const bool widen = into.joins > c.opts->widening_delay;
+  if (widen ||
+      into.djs.size() > static_cast<std::size_t>(c.opts->max_disjuncts)) {
+    AbsState merged = std::move(into.djs.front());
+    for (std::size_t i = 1; i < into.djs.size(); ++i) {
+      merged.MergeWith(into.djs[i]);
+    }
+    if (widen) {
+      for (ValueSet& s : merged.regs) s.Widen(c.opts->value_set_limit);
+      for (ValueSet& s : merged.view) s.Widen(c.opts->value_set_limit);
+    }
+    into.djs.clear();
+    into.djs.push_back(std::move(merged));
+  }
+  return true;
+}
+
+// One thread's forward fixpoint against the current tables.
+std::vector<NodeState> AnalyzeThread(const Ctx& c,
+                                     std::size_t* max_disjuncts_seen) {
+  NodeState entry;
+  entry.djs.push_back(EntryState(c));
+  return SolveForward(
+      *c.cfa, std::move(entry), NodeState{},
+      [&](const CfaEdge& edge, const NodeState& in) {
+        NodeState out;
+        for (const AbsState& d : in.djs) ApplyEdge(c, edge, d, out.djs);
+        return out;
+      },
+      [&](NodeState& into, NodeState& from) {
+        return JoinNodeState(c, into, from, max_disjuncts_seen);
+      });
+}
+
+// Post-fixpoint classification of one thread's nodes and edges for the
+// verdict and the lint diagnostics.
+ThreadReport Classify(Ctx c, const std::vector<NodeState>& states) {
+  ThreadReport r;
+  const Cfa& cfa = *c.cfa;
+  r.node_reachable.assign(cfa.num_nodes(), 0);
+  r.edge_enabled.assign(cfa.edges().size(), 0);
+  r.guard_unsat.assign(cfa.edges().size(), 0);
+  r.edge_store_vals.assign(cfa.edges().size(), ValueSet());
+  for (std::size_t n = 0; n < cfa.num_nodes(); ++n) {
+    r.node_reachable[n] = !states[n].djs.empty();
+  }
+  c.contrib = nullptr;
+  c.changed = nullptr;
+  c.report_edge_store = &r.edge_store_vals;
+  for (std::size_t e = 0; e < cfa.edges().size(); ++e) {
+    const CfaEdge& edge = cfa.edges()[e];
+    const NodeState& in = states[edge.from.index()];
+    const bool src_reachable = !in.djs.empty();
+    if (edge.instr.kind == Instr::Kind::kAssertFail) {
+      r.edge_enabled[e] = src_reachable;
+      r.assert_reachable |= src_reachable;
+      continue;
+    }
+    std::vector<AbsState> out;
+    for (const AbsState& d : in.djs) ApplyEdge(c, edge, d, out);
+    r.edge_enabled[e] = !out.empty();
+    if (edge.instr.kind == Instr::Kind::kAssume && src_reachable &&
+        out.empty()) {
+      r.guard_unsat[e] = 1;
+    }
+  }
+  r.interference_empty = true;
+  for (const ValueSet& s : c.all_other) {
+    if (!s.empty()) r.interference_empty = false;
+  }
+  return r;
+}
+
+}  // namespace
+
+bool AbsState::SubsumedBy(const AbsState& o) const {
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    if (!regs[i].SubsetOf(o.regs[i])) return false;
+  }
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (!view[i].SubsetOf(o.view[i])) return false;
+  }
+  return true;
+}
+
+void AbsState::MergeWith(const AbsState& o) {
+  for (std::size_t i = 0; i < regs.size(); ++i) regs[i].UnionWith(o.regs[i]);
+  for (std::size_t i = 0; i < view.size(); ++i) view[i].UnionWith(o.view[i]);
+}
+
+TmaiSystem TmaiSystem::FromSimpl(const SimplSystem& s) {
+  TmaiSystem sys;
+  sys.num_vars = s.num_vars;
+  sys.dom = s.dom;
+  if (s.env != nullptr) {
+    sys.threads.push_back(TmaiThread{s.env, /*replicated=*/true});
+  }
+  // Collapse duplicate dis programs: n copies of one program equal a
+  // single self-interfering (replicated) thread.
+  const std::size_t first_dis = sys.threads.size();
+  for (const Cfa* dis : s.dis) {
+    bool found = false;
+    for (std::size_t i = first_dis; i < sys.threads.size(); ++i) {
+      if (sys.threads[i].cfa == dis) {
+        sys.threads[i].replicated = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      sys.threads.push_back(TmaiThread{dis, /*replicated=*/false});
+    }
+  }
+  return sys;
+}
+
+TmaiResult RunTmai(const TmaiSystem& sys, const TmaiGoal& goal,
+                   const TmaiOptions& opts) {
+  TmaiResult result;
+  const std::size_t T = sys.threads.size();
+  const std::size_t V = sys.num_vars;
+  const std::size_t D = static_cast<std::size_t>(sys.dom);
+
+  Tables tables;
+  tables.store_vals.assign(T, VarSets(V));
+  tables.acq.assign(V, std::vector<VarSets>(D, VarSets(V)));
+  tables.present.assign(V, std::vector<char>(D, 0));
+  for (std::size_t x = 0; x < V; ++x) tables.present[x][0] = 1;
+  tables.edge_store.resize(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    tables.edge_store[t].assign(sys.threads[t].cfa->edges().size(),
+                                ValueSet());
+  }
+
+  std::vector<std::vector<NodeState>> states(T);
+  std::vector<Ctx> ctxs(T);
+  bool converged = false;
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    Tables next = tables;
+    bool changed = false;
+    for (std::size_t t = 0; t < T; ++t) {
+      Ctx c;
+      c.sys = &sys;
+      c.opts = &opts;
+      c.tables = &tables;
+      c.contrib = &next;
+      c.changed = &changed;
+      c.t = t;
+      c.cfa = sys.threads[t].cfa;
+      c.all_other = ComputeAllOther(sys, tables, t);
+      c.future_own = ComputeFutureOwn(c);
+      states[t] = AnalyzeThread(c, &result.max_disjuncts_seen);
+      ctxs[t] = std::move(c);
+    }
+    result.iterations = iter;
+    if (!changed) {
+      converged = true;
+      break;
+    }
+    tables = std::move(next);
+  }
+  result.converged = converged;
+  if (!converged) return result;  // kUnknown; reports would be unsound
+
+  result.threads.reserve(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    ctxs[t].tables = &tables;
+    result.threads.push_back(Classify(ctxs[t], states[t]));
+    result.assert_reachable |= result.threads.back().assert_reachable;
+  }
+
+  if (goal.check_assert) {
+    result.safe = !result.assert_reachable;
+  } else {
+    // MG query: is some message (var, val) ever in memory? val 0 is the
+    // init message, trivially present.
+    bool stored = goal.val == 0;
+    for (std::size_t t = 0; t < T; ++t) {
+      stored |= tables.store_vals[t][goal.var.index()].Contains(goal.val);
+    }
+    result.safe = !stored;
+  }
+  return result;
+}
+
+}  // namespace rapar::tmai

@@ -1,0 +1,81 @@
+#include "tmai/tmai_diagnostics.h"
+
+#include <string>
+
+namespace rapar::tmai {
+namespace {
+
+Diagnostic Note(std::string code, std::string message, SrcLoc loc) {
+  Diagnostic d;
+  d.severity = Severity::kNote;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.loc = loc;
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::vector<Diagnostic>> TmaiLint(const TmaiSystem& sys,
+                                              const TmaiOptions& opts) {
+  std::vector<std::vector<Diagnostic>> out(sys.threads.size());
+  TmaiGoal goal;  // assert reachability
+  const TmaiResult result = RunTmai(sys, goal, opts);
+  if (!result.converged) return out;
+
+  for (std::size_t t = 0; t < sys.threads.size(); ++t) {
+    const Cfa& cfa = *sys.threads[t].cfa;
+    const ThreadReport& r = result.threads[t];
+    const VarTable& vars = cfa.program().vars();
+    const RegTable& regs = cfa.program().regs();
+    for (std::size_t e = 0; e < cfa.edges().size(); ++e) {
+      const CfaEdge& edge = cfa.edges()[e];
+      const Instr& instr = edge.instr;
+      switch (instr.kind) {
+        case Instr::Kind::kAssume:
+          if (r.guard_unsat[e]) {
+            out[t].push_back(Note(
+                "RA030",
+                "guard '" + instr.expr->ToString(regs) +
+                    "' is provably never satisfiable under interference",
+                instr.loc));
+          }
+          break;
+        case Instr::Kind::kStore:
+        case Instr::Kind::kCas: {
+          Value v = 0;
+          if (r.edge_enabled[e] &&
+              r.edge_store_vals[e].IsSingleton(sys.dom, &v)) {
+            out[t].push_back(Note(
+                "RA031",
+                "store to '" + vars.Name(instr.var) +
+                    "' always writes the constant " + std::to_string(v),
+                instr.loc));
+          }
+          break;
+        }
+        case Instr::Kind::kAssertFail:
+          if (!r.node_reachable[edge.from.index()]) {
+            out[t].push_back(Note(
+                "RA032",
+                "assert is dead: error location proven unreachable "
+                "under interference",
+                instr.loc));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    if (r.interference_empty) {
+      out[t].push_back(Note(
+          "RA033",
+          "thread is sequential: no other thread's stores are visible "
+          "(empty interference set)",
+          SrcLoc()));
+    }
+  }
+  return out;
+}
+
+}  // namespace rapar::tmai

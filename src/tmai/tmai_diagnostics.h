@@ -1,0 +1,35 @@
+// Lint diagnostics backed by the TMAI interference fixpoint.
+//
+// These are whole-system facts the per-program dataflow lints
+// (analysis/diagnostics.h) cannot see: satisfiability and reachability
+// under the abstract RA semantics with cross-thread interference.
+// All four codes are notes — the abstraction proves properties, it
+// never demotes a program.
+//
+//   RA030  note  guard provably never satisfiable at the fixpoint
+//   RA031  note  store value provably constant
+//   RA032  note  error location proven unreachable — assert is dead
+//   RA033  note  thread has an empty interference set — it runs
+//                sequentially (no other thread's stores are visible)
+//
+// Diagnostics are only emitted when the fixpoint converged; a
+// non-converged analysis proves nothing.
+#ifndef RAPAR_TMAI_TMAI_DIAGNOSTICS_H_
+#define RAPAR_TMAI_TMAI_DIAGNOSTICS_H_
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "tmai/tmai.h"
+
+namespace rapar::tmai {
+
+// Runs TMAI on `sys` (assert-reachability goal) and derives per-thread
+// diagnostics. The outer vector is parallel to sys.threads; entries are
+// unsorted (callers merge them into their own diagnostic streams).
+std::vector<std::vector<Diagnostic>> TmaiLint(const TmaiSystem& sys,
+                                              const TmaiOptions& opts = {});
+
+}  // namespace rapar::tmai
+
+#endif  // RAPAR_TMAI_TMAI_DIAGNOSTICS_H_

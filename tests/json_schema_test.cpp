@@ -52,11 +52,26 @@ void CheckVerdictEnvelope(const JsonValue& doc, const char* label) {
   ASSERT_NE(stopped, nullptr) << label;
   EXPECT_TRUE(stopped->is_null() || stopped->is_string()) << label;
 
+  // The backend that actually produced the verdict: one of the plain
+  // backend names, or "portfolio:<winner>" when the race decided.
+  const std::set<std::string> backends = {"simplified", "datalog",
+                                          "concrete", "tmai", "portfolio"};
+  const JsonValue* produced = doc.Find("backend");
+  ASSERT_NE(produced, nullptr) << label;
+  ASSERT_TRUE(produced->is_string()) << label;
+  {
+    std::string base = produced->string;
+    const std::size_t colon = base.find(':');
+    if (colon != std::string::npos) {
+      EXPECT_EQ(base.substr(0, colon), "portfolio") << label;
+      base = base.substr(colon + 1);
+    }
+    EXPECT_TRUE(backends.count(base)) << label << ": " << produced->string;
+  }
+
   const JsonValue* options = doc.Find("options");
   ASSERT_NE(options, nullptr) << label;
   ASSERT_TRUE(options->is_object()) << label;
-  const std::set<std::string> backends = {"simplified", "datalog",
-                                          "concrete"};
   ASSERT_NE(options->Find("backend"), nullptr) << label;
   EXPECT_TRUE(backends.count(options->Find("backend")->string)) << label;
   ASSERT_NE(options->Find("enable_prepass"), nullptr) << label;
@@ -143,6 +158,51 @@ TEST(JsonSchemaTest, VerdictEnvelopeDeadlineUnknown) {
   EXPECT_EQ(doc.value().Find("exit_code")->integer, 2);
   ASSERT_TRUE(doc.value().Find("stopped_phase")->is_string());
   EXPECT_EQ(doc.value().Find("stopped_phase")->string, "solve");
+}
+
+TEST(JsonSchemaTest, VerdictEnvelopeEchoesProducingBackend) {
+  BenchmarkCase bench = Rcu();
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kTmai;
+  const Verdict v = verifier.Verify(opts);
+  ASSERT_TRUE(v.safe());
+
+  const std::string json =
+      VerdictToJson(v, opts, "verify", bench.system.Signature());
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  CheckVerdictEnvelope(doc.value(), "safe/tmai");
+  EXPECT_EQ(doc.value().Find("backend")->string, "tmai");
+  EXPECT_EQ(doc.value().Find("options")->Find("backend")->string, "tmai");
+  const JsonValue* t = doc.value().Find("telemetry");
+  EXPECT_NE(t->Find("tmai.iterations"), nullptr);
+  EXPECT_NE(t->Find("tmai.converged"), nullptr);
+}
+
+TEST(JsonSchemaTest, VerdictEnvelopePortfolioNamesTheWinner) {
+  BenchmarkCase bench = ProducerConsumer(1);
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kPortfolio;
+  const Verdict v = verifier.Verify(opts);
+  ASSERT_TRUE(v.unsafe());
+
+  const std::string json =
+      VerdictToJson(v, opts, "verify", bench.system.Signature());
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  CheckVerdictEnvelope(doc.value(), "unsafe/portfolio");
+  const std::string backend = doc.value().Find("backend")->string;
+  EXPECT_TRUE(backend == "portfolio:simplified" ||
+              backend == "portfolio:datalog")
+      << backend;
+  EXPECT_EQ(doc.value().Find("options")->Find("backend")->string,
+            "portfolio");
+  const JsonValue* t = doc.value().Find("telemetry");
+  EXPECT_NE(t->Find("portfolio.tmai_ms"), nullptr);
+  EXPECT_NE(t->Find("portfolio.winner_simplified"), nullptr);
+  EXPECT_NE(t->Find("portfolio.winner_datalog"), nullptr);
 }
 
 TEST(JsonSchemaTest, DiagnosticsEnvelope) {

@@ -1,0 +1,189 @@
+// Differential soundness for the TMAI backend and bit-consistency for
+// the portfolio driver.
+//
+//  * TmaiSoundnessTest — TMAI is an over-approximation, so a kSafe
+//    answer must agree with the exact Datalog backend (Theorem 4.1) on
+//    every input: a corpus of random parameterized systems (all message
+//    -generation goals of each) plus the benchmark catalog. One unsound
+//    answer fails the run.
+//  * TmaiPortfolioTest — the portfolio races TMAI / simplified /
+//    Datalog, but all three agree on definitive answers, so the
+//    portfolio verdict must be bit-identical to the Datalog backend's
+//    on every case, at Datalog worker counts 1 and 8 (runnable under
+//    TSan: the race itself is the system under test).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/benchmarks.h"
+#include "core/verifier.h"
+#include "encoding/datalog_verifier.h"
+#include "lang/random_program.h"
+#include "tmai/tmai.h"
+
+namespace rapar {
+namespace {
+
+constexpr int kNumVars = 2;
+constexpr Value kDom = 3;
+
+struct RandomSystem {
+  std::vector<std::unique_ptr<Cfa>> owned;
+  SimplSystem sys;
+};
+
+RandomSystem MakeRandomSystem(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomProgramOptions opts;
+  opts.num_vars = kNumVars;
+  opts.num_regs = 2;
+  opts.dom = kDom;
+  opts.size = 4;
+  opts.allow_cas = false;
+  opts.allow_loops = false;
+
+  RandomSystem r;
+  Program env = RandomProgram(rng, opts, "env");
+  Program dis = RandomProgram(rng, opts, "dis");
+  r.owned.push_back(std::make_unique<Cfa>(Cfa::Build(env)));
+  r.owned.push_back(std::make_unique<Cfa>(Cfa::Build(dis)));
+  r.sys.env = r.owned[0].get();
+  r.sys.dis = {r.owned[1].get()};
+  r.sys.dom = kDom;
+  r.sys.num_vars = kNumVars;
+  return r;
+}
+
+// 300 random systems, every non-zero message-generation goal of each:
+// whenever TMAI proves the goal ungenerable, the exact backend must
+// agree. The generator has no asserts, so MG goals are the only
+// abstraction-visible property — and the one the Datalog encoding
+// decides directly.
+TEST(TmaiSoundnessTest, RandomMessageGenerationDifferential) {
+  int tmai_safe = 0;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    RandomSystem r = MakeRandomSystem(seed);
+    tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(r.sys);
+    for (int var = 0; var < kNumVars; ++var) {
+      for (Value val = 1; val < kDom; ++val) {
+        tmai::TmaiGoal goal;
+        goal.check_assert = false;
+        goal.var = VarId(static_cast<std::uint32_t>(var));
+        goal.val = val;
+        tmai::TmaiResult tr = tmai::RunTmai(tsys, goal, {});
+        if (!tr.safe) continue;
+        ++tmai_safe;
+        DatalogVerifierOptions dopts;
+        dopts.goal_message = {goal.var, goal.val};
+        DatalogVerdict dv = DatalogVerify(r.sys, dopts);
+        EXPECT_FALSE(dv.unsafe)
+            << "UNSOUND: seed " << seed << " goal (v" << var << ", " << val
+            << "): TMAI proved the message ungenerable, Datalog generated "
+            << "it";
+        EXPECT_TRUE(dv.exhaustive) << "seed " << seed;
+      }
+    }
+  }
+  // The differential has no teeth if the abstraction never proves
+  // anything on the corpus.
+  EXPECT_GT(tmai_safe, 0);
+}
+
+// Catalog half of the soundness differential: on every case TMAI proves
+// safe, the exact backend (run to exhaustion) must also answer safe.
+TEST(TmaiSoundnessTest, CatalogDifferential) {
+  std::vector<BenchmarkCase> suite;
+  suite.push_back(ProducerConsumer(1));
+  suite.push_back(Barrier());
+  suite.push_back(Rcu());
+  suite.push_back(ChaseLevDeque());
+  suite.push_back(Seqlock());
+  suite.push_back(ProducerConsumerSafe(2));
+  for (const BenchmarkCase& bench : suite) {
+    SafetyVerifier verifier(bench.system);
+    VerifierOptions topts;
+    topts.backend = Backend::kTmai;
+    Verdict tv = verifier.Verify(topts);
+    if (!tv.safe()) continue;
+    VerifierOptions dopts;
+    dopts.backend = Backend::kDatalog;
+    Verdict dv = verifier.Verify(dopts);
+    EXPECT_EQ(dv.result, Verdict::Result::kSafe)
+        << "UNSOUND: TMAI proved " << bench.name
+        << " safe, Datalog says " << dv.ToString();
+  }
+}
+
+// Portfolio verdicts must be bit-identical to the Datalog backend's.
+// Verified at Datalog worker counts 1 and 8 so the race is exercised
+// both with a serial and a parallel loser/winner.
+void ExpectPortfolioMatchesDatalog(const SafetyVerifier& verifier,
+                                   std::optional<std::pair<VarId, Value>> goal,
+                                   const char* label) {
+  VerifierOptions dopts;
+  dopts.backend = Backend::kDatalog;
+  Verdict dv = goal.has_value()
+                   ? verifier.VerifyMessageGeneration(goal->first,
+                                                      goal->second, dopts)
+                   : verifier.Verify(dopts);
+  for (unsigned threads : {1u, 8u}) {
+    VerifierOptions popts;
+    popts.backend = Backend::kPortfolio;
+    popts.datalog.threads = threads;
+    Verdict pv = goal.has_value()
+                     ? verifier.VerifyMessageGeneration(goal->first,
+                                                        goal->second, popts)
+                     : verifier.Verify(popts);
+    EXPECT_EQ(pv.result, dv.result)
+        << label << " at datalog threads " << threads << ": portfolio "
+        << pv.ToString() << " vs datalog " << dv.ToString();
+    EXPECT_FALSE(pv.backend.empty()) << label;
+  }
+}
+
+TEST(TmaiPortfolioTest, CatalogBitConsistency) {
+  std::vector<BenchmarkCase> suite;
+  suite.push_back(ProducerConsumer(1));
+  suite.push_back(Barrier());
+  suite.push_back(Rcu());
+  suite.push_back(ChaseLevDeque());
+  suite.push_back(Seqlock());
+  suite.push_back(ProducerConsumerSafe(2));
+  for (const BenchmarkCase& bench : suite) {
+    SafetyVerifier verifier(bench.system);
+    ExpectPortfolioMatchesDatalog(verifier, std::nullopt,
+                                  bench.name.c_str());
+  }
+}
+
+TEST(TmaiPortfolioTest, RandomMgBitConsistency) {
+  // ParamSystem owns its CFAs, so rebuild the random programs through the
+  // builder (they are CAS- and loop-free by construction, hence in
+  // class).
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    RandomProgramOptions opts;
+    opts.num_vars = kNumVars;
+    opts.num_regs = 2;
+    opts.dom = kDom;
+    opts.size = 4;
+    opts.allow_cas = false;
+    opts.allow_loops = false;
+    Program env = RandomProgram(rng, opts, "env");
+    Program dis = RandomProgram(rng, opts, "dis");
+    Expected<ParamSystem> sys =
+        ParamSystem::Builder().Env(std::move(env)).Dis(std::move(dis)).Build();
+    ASSERT_TRUE(sys.ok()) << "seed " << seed << ": " << sys.error();
+    SafetyVerifier verifier(sys.value());
+    const VarId var(static_cast<std::uint32_t>(seed % kNumVars));
+    const Value val = 1 + static_cast<Value>(seed % (kDom - 1));
+    ExpectPortfolioMatchesDatalog(
+        verifier, std::pair<VarId, Value>{var, val},
+        ("seed " + std::to_string(seed)).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace rapar
