@@ -20,6 +20,8 @@
 #include "obs/trace.h"
 #include "lowerbound/qbf.h"
 #include "lowerbound/tqbf_reduction.h"
+#include "tmai/certcheck.h"
+#include "tmai/tmai.h"
 
 namespace rapar {
 namespace {
@@ -586,6 +588,169 @@ void PrintPortfolioAblation(bool write_json) {
   }
 }
 
+// TMAI domain ablation: the small-set value domain (PR 6) vs the
+// relational must-domain (tmai/relational.h) vs the kAuto retry policy,
+// on the benchmark catalog. Three acceptance properties are on display:
+// the proof-rate ordering (relational must prove at least every case
+// small-set proves — it only adds precision; the jq gate in CI enforces
+// proof_rate_relational >= proof_rate_smallset), certificate validity
+// (every kSafe verdict ships a certificate the independent checker
+// accepts), and the portfolio win-rate shift (how many catalog races the
+// TMAI stage now short-circuits that it lost under small-set). Latency
+// shows what the precision costs: the relational fixpoint re-runs with
+// pairwise tracking and up to max_strengthen_rounds pruning rounds,
+// while kAuto pays that only on small-set kUnknown. With --json the
+// table is written to BENCH_tmai_domains.json.
+void PrintDomainAblation(bool write_json) {
+  Header("TMAI domain ablation (small-set vs relational vs auto)");
+  Row({"instance", "smallset", "ms", "relational", "ms", "auto", "ms",
+       "cert"},
+      13);
+  Rule(8, 13);
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return std::string(buf);
+  };
+  std::string json = "{\n  \"bench\": \"tmai_domains\",\n  \"rows\": [";
+  bool first_row = true;
+  int safe_cases = 0;
+  int proved_smallset = 0, proved_relational = 0, proved_auto = 0;
+  int certs_total = 0, certs_valid = 0;
+  bool all_parity = true;
+
+  std::vector<BenchmarkCase> suite = StandardBenchmarks();
+  suite.push_back(ProducerConsumerSafe(2));
+  for (const BenchmarkCase& bench : suite) {
+    const bool expected_safe =
+        bench.expected_unsafe.has_value() && !*bench.expected_unsafe;
+    if (expected_safe) ++safe_cases;
+    const tmai::TmaiSystem tsys =
+        tmai::TmaiSystem::FromSimpl(bench.system.simpl());
+    struct DomainRun {
+      bool safe = false;
+      bool cert_valid = false;
+      bool has_cert = false;
+      double ms = 0;
+    };
+    DomainRun runs[3];
+    const tmai::Domain domains[3] = {tmai::Domain::kSmallSet,
+                                     tmai::Domain::kRelational,
+                                     tmai::Domain::kAuto};
+    for (int i = 0; i < 3; ++i) {
+      tmai::TmaiOptions opts;
+      opts.domain = domains[i];
+      tmai::TmaiResult r;
+      runs[i].ms = TimeMs([&] { r = tmai::RunTmai(tsys, {}, opts); });
+      runs[i].safe = r.safe;
+      if (r.safe) {
+        runs[i].has_cert = r.certificate != nullptr;
+        if (runs[i].has_cert) {
+          ++certs_total;
+          runs[i].cert_valid =
+              tmai::CheckCertificate(tsys, *r.certificate).valid;
+          if (runs[i].cert_valid) ++certs_valid;
+        }
+      }
+    }
+    if (expected_safe) {
+      proved_smallset += runs[0].safe;
+      proved_relational += runs[1].safe;
+      proved_auto += runs[2].safe;
+    }
+    // Parity: no unsound proof (a kSafe on an expected-unsafe case), no
+    // lost precision (relational/auto prove everything small-set does),
+    // and every emitted certificate validates.
+    bool parity = true;
+    if (bench.expected_unsafe.value_or(false) &&
+        (runs[0].safe || runs[1].safe || runs[2].safe)) {
+      parity = false;
+    }
+    if (runs[0].safe && (!runs[1].safe || !runs[2].safe)) parity = false;
+    for (const DomainRun& r : runs) {
+      if (r.safe && (!r.has_cert || !r.cert_valid)) parity = false;
+    }
+    all_parity = all_parity && parity;
+    auto verdict = [](const DomainRun& r) {
+      return std::string(r.safe ? "SAFE" : "unknown");
+    };
+    const int row_certs =
+        runs[0].has_cert + runs[1].has_cert + runs[2].has_cert;
+    const int row_valid =
+        runs[0].cert_valid + runs[1].cert_valid + runs[2].cert_valid;
+    const std::string cert =
+        StrCat(row_valid, "/", row_certs, parity ? "" : " MISMATCH");
+    Row({bench.name, verdict(runs[0]), fmt(runs[0].ms), verdict(runs[1]),
+         fmt(runs[1].ms), verdict(runs[2]), fmt(runs[2].ms), cert},
+        13);
+    json += StrCat(
+        first_row ? "" : ",", "\n    {\"name\": \"", bench.name,
+        "\", \"expected_safe\": ", expected_safe ? "true" : "false",
+        ", \"smallset\": \"", verdict(runs[0]),
+        "\", \"smallset_ms\": ", fmt(runs[0].ms), ", \"relational\": \"",
+        verdict(runs[1]), "\", \"relational_ms\": ", fmt(runs[1].ms),
+        ", \"auto\": \"", verdict(runs[2]),
+        "\", \"auto_ms\": ", fmt(runs[2].ms),
+        ", \"certificates_valid\": ", row_valid,
+        ", \"certificates\": ", row_certs,
+        ", \"parity\": ", parity ? "true" : "false", "}");
+    first_row = false;
+  }
+
+  // Portfolio win-rate shift: how often the inline TMAI stage decides
+  // the race before it starts, under the old domain vs the new default.
+  int wins_smallset = 0, wins_auto = 0;
+  for (const BenchmarkCase& bench : suite) {
+    SafetyVerifier verifier(bench.system);
+    VerifierOptions popts;
+    popts.backend = Backend::kPortfolio;
+    popts.time_budget_ms = 20'000;
+    popts.max_guesses = 30'000;
+    popts.tmai.domain = tmai::Domain::kSmallSet;
+    if (verifier.Verify(popts).backend == "portfolio:tmai") ++wins_smallset;
+    popts.tmai.domain = tmai::Domain::kAuto;
+    if (verifier.Verify(popts).backend == "portfolio:tmai") ++wins_auto;
+  }
+
+  auto rate = [&](int proved) {
+    return safe_cases > 0 ? static_cast<double>(proved) / safe_cases : 0.0;
+  };
+  std::printf(
+      "proof rate on the %d expected-safe catalog cases: smallset %d "
+      "(%.2f), relational %d (%.2f), auto %d (%.2f)\n"
+      "certificates: %d/%d valid; portfolio tmai-stage wins: smallset "
+      "%d/%zu, auto %d/%zu; parity %s\n",
+      safe_cases, proved_smallset, rate(proved_smallset), proved_relational,
+      rate(proved_relational), proved_auto, rate(proved_auto), certs_valid,
+      certs_total, wins_smallset, suite.size(), wins_auto, suite.size(),
+      all_parity ? "OK" : "MISMATCH");
+  std::printf(
+      "(cert = valid/emitted invariant certificates on that row, checked "
+      "with tmai::CheckCertificate; parity requires no unsound proof, "
+      "relational >= smallset precision per case, and every certificate "
+      "valid)\n");
+
+  json += StrCat(
+      "\n  ],\n  \"totals\": {\n    \"safe_cases\": ", safe_cases,
+      ",\n    \"proved_smallset\": ", proved_smallset,
+      ",\n    \"proved_relational\": ", proved_relational,
+      ",\n    \"proved_auto\": ", proved_auto,
+      ",\n    \"proof_rate_smallset\": ", fmt(rate(proved_smallset)),
+      ",\n    \"proof_rate_relational\": ", fmt(rate(proved_relational)),
+      ",\n    \"proof_rate_auto\": ", fmt(rate(proved_auto)),
+      ",\n    \"certificates_valid\": ", certs_valid,
+      ",\n    \"certificates_total\": ", certs_total,
+      ",\n    \"portfolio_tmai_wins_smallset\": ", wins_smallset,
+      ",\n    \"portfolio_tmai_wins_auto\": ", wins_auto,
+      ",\n    \"parity\": \"", all_parity ? "OK" : "MISMATCH",
+      "\"\n  }\n}\n");
+  if (write_json) {
+    std::ofstream out("BENCH_tmai_domains.json");
+    out << json;
+    std::printf("wrote BENCH_tmai_domains.json\n");
+  }
+}
+
 }  // namespace
 }  // namespace rapar
 
@@ -596,6 +761,7 @@ static void PrintReproduction(const char* json_path) {
   rapar::PrintParallelScaling(json_path);
   rapar::PrintObsAblation(json_path != nullptr);
   rapar::PrintPortfolioAblation(json_path != nullptr);
+  rapar::PrintDomainAblation(json_path != nullptr);
 }
 
 static void BM_Backend(benchmark::State& state) {

@@ -6,6 +6,7 @@
 //   rapar_cli dlanalyze --env FILE [--dis FILE]... [--guess N] [--dot]
 //   rapar_cli classify FILE...
 //   rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]
+//   rapar_cli certcheck --env FILE [--dis FILE]... --cert FILE
 //
 // Every subcommand answers `--help` with its own flag list. Flags are
 // declared once in the kFlags table below — name, arity, applicable
@@ -15,6 +16,11 @@
 //
 // lint runs the analysis passes (reachability, liveness, constant
 // propagation, footprints) and reports diagnostics in compiler format.
+// certcheck re-validates a TMAI invariant certificate (the "certificate"
+// object a safe `verify --backend=tmai --format=json` run embeds in its
+// envelope — see tmai/certcheck.h) against the system, without re-running
+// the fixpoint. --cert accepts either the bare certificate object or a
+// whole verdict envelope. Exit 0 = valid, 1 = invalid, 3 = usage error.
 // dlanalyze runs makeP for one guess (--guess N, default 0) and reports
 // the static analysis of the emitted Datalog program; --dot prints the
 // predicate dependency graph in Graphviz format instead.
@@ -36,8 +42,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "analysis/diagnostics.h"
 #include "analysis/footprint.h"
+#include "analysis/prepass.h"
+#include "common/json.h"
 #include "core/result_json.h"
 #include "core/verifier.h"
 #include "dlopt/dl_diagnostics.h"
@@ -47,6 +57,7 @@
 #include "lang/transform.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tmai/certcheck.h"
 #include "tmai/tmai.h"
 #include "tmai/tmai_diagnostics.h"
 
@@ -60,6 +71,11 @@ struct Options {
   std::string backend = "simplified";
   int threads = 2;
   bool threads_set = false;
+  std::string tmai_domain = "auto";
+  int tmai_max_iterations = 64;
+  int tmai_widening_delay = 8;
+  int tmai_value_set_limit = 16;
+  std::string cert_file;
   int unroll = 0;
   long long budget_ms = 30'000;
   bool witness = false;
@@ -86,13 +102,13 @@ struct FlagSpec {
 };
 
 constexpr char kAllCommands[] =
-    "verify mg dump-datalog dlanalyze classify lint";
+    "verify mg dump-datalog dlanalyze classify lint certcheck";
 
 const FlagSpec kFlags[] = {
-    {"--env", true, "FILE", "verify mg dump-datalog dlanalyze lint",
+    {"--env", true, "FILE", "verify mg dump-datalog dlanalyze lint certcheck",
      "env thread program",
      [](Options& o, const char* v) { o.env_file = v; }},
-    {"--dis", true, "FILE", "verify mg dump-datalog dlanalyze lint",
+    {"--dis", true, "FILE", "verify mg dump-datalog dlanalyze lint certcheck",
      "add a dis thread program (repeatable)",
      [](Options& o, const char* v) { o.dis_files.push_back(v); }},
     {"--backend", true, "B", "verify mg",
@@ -105,9 +121,29 @@ const FlagSpec kFlags[] = {
        o.threads = std::atoi(v);
        o.threads_set = true;
      }},
-    {"--unroll", true, "K", "verify mg dump-datalog dlanalyze",
+    {"--unroll", true, "K", "verify mg dump-datalog dlanalyze certcheck",
      "unroll bound for dis loops (default 0 = reject loops)",
      [](Options& o, const char* v) { o.unroll = std::atoi(v); }},
+    {"--tmai-domain", true, "D", "verify mg",
+     "TMAI abstract domain: smallset|relational|auto (default auto = "
+     "small-set first, relational retry on unknown)",
+     [](Options& o, const char* v) { o.tmai_domain = v; }},
+    {"--tmai-max-iterations", true, "N", "verify mg",
+     "TMAI interference fixpoint rounds before giving up (default 64)",
+     [](Options& o, const char* v) { o.tmai_max_iterations = std::atoi(v); }},
+    {"--tmai-widening-delay", true, "N", "verify mg",
+     "TMAI joins at one CFA node before disjuncts widen (default 8)",
+     [](Options& o, const char* v) { o.tmai_widening_delay = std::atoi(v); }},
+    {"--tmai-value-set-limit", true, "N", "verify mg",
+     "TMAI explicit value-set size beyond which a set becomes top "
+     "(default 16)",
+     [](Options& o, const char* v) {
+       o.tmai_value_set_limit = std::atoi(v);
+     }},
+    {"--cert", true, "FILE", "certcheck",
+     "certificate JSON to validate (bare object, or a verify/mg "
+     "--format=json envelope containing one)",
+     [](Options& o, const char* v) { o.cert_file = v; }},
     {"--budget-ms", true, "N", "verify mg",
      "wall-clock budget in ms, 0 = unlimited (default 30000)",
      [](Options& o, const char* v) { o.budget_ms = std::atoll(v); }},
@@ -119,7 +155,7 @@ const FlagSpec kFlags[] = {
      [](Options& o, const char* v) { o.goal_var = v; }},
     {"--val", true, "N", "mg dump-datalog dlanalyze", "goal message value",
      [](Options& o, const char* v) { o.goal_val = std::atoi(v); }},
-    {"--format", true, "F", "verify mg lint dlanalyze",
+    {"--format", true, "F", "verify mg lint dlanalyze certcheck",
      "text|json (default text); json uses the stable schema of "
      "core/result_json.h",
      [](Options& o, const char* v) { o.format = v; }},
@@ -173,6 +209,7 @@ int GlobalUsage() {
       "[--dot]\n"
       "  rapar_cli classify FILE...\n"
       "  rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]\n"
+      "  rapar_cli certcheck --env FILE [--dis FILE]... --cert FILE\n"
       "run `rapar_cli <command> --help` for the command's flags\n");
   return 3;
 }
@@ -462,6 +499,20 @@ int RunVerify(const Options& opts, bool mg) {
     std::fprintf(stderr, "unknown backend '%s'\n", opts.backend.c_str());
     return 3;
   }
+  if (opts.tmai_domain == "smallset") {
+    vopts.tmai.domain = rapar::tmai::Domain::kSmallSet;
+  } else if (opts.tmai_domain == "relational") {
+    vopts.tmai.domain = rapar::tmai::Domain::kRelational;
+  } else if (opts.tmai_domain == "auto") {
+    vopts.tmai.domain = rapar::tmai::Domain::kAuto;
+  } else {
+    std::fprintf(stderr, "unknown TMAI domain '%s'\n",
+                 opts.tmai_domain.c_str());
+    return 3;
+  }
+  vopts.tmai.max_iterations = opts.tmai_max_iterations;
+  vopts.tmai.widening_delay = opts.tmai_widening_delay;
+  vopts.tmai.value_set_limit = opts.tmai_value_set_limit;
   vopts.concrete.env_threads = opts.threads;
   if (vopts.backend == rapar::Backend::kDatalog ||
       vopts.backend == rapar::Backend::kPortfolio) {
@@ -520,6 +571,108 @@ int RunVerify(const Options& opts, bool mg) {
     }
   }
   return rapar::VerdictExitCode(v);
+}
+
+// Re-validates a TMAI invariant certificate against the system, mirroring
+// the verifier's preparation exactly (same prepass, same goal protection
+// derived from the certificate) so the certified thread shapes line up.
+int CertCheck(const Options& opts) {
+  if (opts.env_file.empty() || opts.cert_file.empty()) return GlobalUsage();
+  const bool json = opts.format == "json";
+
+  std::string cert_text;
+  if (!ReadFile(opts.cert_file, &cert_text)) {
+    std::fprintf(stderr, "cannot read %s\n", opts.cert_file.c_str());
+    return 3;
+  }
+  rapar::Expected<rapar::JsonValue> doc = rapar::ParseJson(cert_text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", opts.cert_file.c_str(),
+                 doc.error().c_str());
+    return 3;
+  }
+  // Accept a whole verdict envelope: descend into its "certificate" key.
+  const rapar::JsonValue* cert_json = &doc.value();
+  if (cert_json->is_object()) {
+    if (const rapar::JsonValue* inner = cert_json->Find("certificate")) {
+      cert_json = inner;
+    }
+  }
+  rapar::Expected<rapar::tmai::Certificate> cert =
+      rapar::tmai::ParseCertificateJson(*cert_json);
+  if (!cert.ok()) {
+    std::fprintf(stderr, "%s: %s\n", opts.cert_file.c_str(),
+                 cert.error().c_str());
+    return 3;
+  }
+
+  rapar::Expected<rapar::ParamSystem> sys = BuildSystem(opts);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "%s\n", sys.error().c_str());
+    return 3;
+  }
+  // Replicate SafetyVerifier's preparation: the certificate was produced
+  // against the prepassed CFAs, with the MG goal variable (if any)
+  // protected from store slicing.
+  rapar::SimplSystem simpl = sys.value().simpl();
+  const rapar::VarId protect =
+      cert.value().check_assert
+          ? rapar::VarId::Invalid()
+          : rapar::VarId(cert.value().goal_var);
+  rapar::PrepassResult pre =
+      rapar::RunPrepass(*simpl.env, simpl.dis, protect);
+  std::unique_ptr<rapar::Cfa> env_owned;
+  std::vector<std::unique_ptr<rapar::Cfa>> dis_owned;
+  if (pre.stats.Any()) {
+    env_owned = std::make_unique<rapar::Cfa>(std::move(pre.env));
+    simpl.env = env_owned.get();
+    simpl.dis.clear();
+    for (rapar::Cfa& d : pre.dis) {
+      dis_owned.push_back(std::make_unique<rapar::Cfa>(std::move(d)));
+      simpl.dis.push_back(dis_owned.back().get());
+    }
+  }
+  const rapar::tmai::TmaiSystem tsys =
+      rapar::tmai::TmaiSystem::FromSimpl(simpl);
+
+  const rapar::tmai::CertCheckResult res =
+      rapar::tmai::CheckCertificate(tsys, cert.value());
+
+  if (json) {
+    rapar::obs::Telemetry t;
+    t.SetCounter(rapar::obs::metric::kCertcheckValid, res.valid ? 1 : 0);
+    t.SetCounter(rapar::obs::metric::kCertcheckNodes, res.nodes_checked);
+    t.SetCounter(rapar::obs::metric::kCertcheckEdges, res.edges_checked);
+    rapar::JsonWriter w(/*pretty=*/true);
+    w.BeginObject();
+    w.Key("schema_version").Int(rapar::kResultSchemaVersion);
+    w.Key("tool").String("rapar");
+    w.Key("command").String("certcheck");
+    w.Key("system").String(sys.value().Signature());
+    w.Key("valid").Bool(res.valid);
+    w.Key("error");
+    if (res.error.empty()) {
+      w.Null();
+    } else {
+      w.String(res.error);
+    }
+    w.Key("exit_code").Int(res.valid ? 0 : 1);
+    w.Key("telemetry");
+    t.WriteJson(w);
+    w.EndObject();
+    std::string out = w.TakeString();
+    out += '\n';
+    std::fputs(out.c_str(), stdout);
+  } else if (res.valid) {
+    std::printf(
+        "certificate: valid (%s domain, %zu invariant disjuncts checked "
+        "at %zu edges)\n",
+        rapar::tmai::DomainName(cert.value().domain), res.nodes_checked,
+        res.edges_checked);
+  } else {
+    std::printf("certificate: INVALID: %s\n", res.error.c_str());
+  }
+  return res.valid ? 0 : 1;
 }
 
 int DumpDatalog(const Options& opts) {
@@ -655,5 +808,6 @@ int main(int argc, char** argv) {
   if (opts.command == "mg") return RunVerify(opts, /*mg=*/true);
   if (opts.command == "dump-datalog") return DumpDatalog(opts);
   if (opts.command == "dlanalyze") return DlAnalyze(opts);
+  if (opts.command == "certcheck") return CertCheck(opts);
   return GlobalUsage();
 }

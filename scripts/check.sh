@@ -15,21 +15,43 @@ if [[ "${CHECK_SKIP_DEFAULT:-0}" != "1" ]]; then
   ctest --preset default -j "$jobs"
 fi
 
+# The full suite under ASan+UBSan includes the TMAI soundness
+# differentials (small-set, relational and auto domains vs the exact
+# Datalog backend, plus certificate checking on the catalog) — the
+# pair-set/value-set indexing they exercise is exactly what the
+# sanitizers watch.
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
 
 # The parallel verification driver and the engine it fans out, raced
-# under TSan, plus the portfolio driver (TMAI prepass, then simplified
-# vs Datalog on a shared CancellationToken). Only the concurrency-
-# relevant suites are built: the rest of the tree is single-threaded
-# and covered by the presets above.
+# under TSan, plus the portfolio driver (TMAI prepass under the kAuto
+# domain — small-set plus the relational retry — then simplified vs
+# Datalog on a shared CancellationToken). Only the concurrency-relevant
+# suites are built: the rest of the tree is single-threaded and covered
+# by the presets above.
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
   --target parallel_differential_test datalog_index_differential_test \
   tmai_soundness_test
 ctest --preset tsan -R 'ParallelDifferential|IndexDifferential|TmaiPortfolio' \
   -j "$jobs"
+
+# Optional (CHECK_BENCH=1): reproduce the bench_backends tables and gate
+# the TMAI domain ablation the way CI does — relational proof rate must
+# dominate small-set, all certificates valid, verdict parity. Needs jq.
+if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
+  cmake --build --preset default -j "$jobs" --target bench_backends
+  (cd build && ./bench/bench_backends --json --benchmark_filter=NONE \
+    | tee ../BENCH_tables.txt)
+  if grep -q MISMATCH BENCH_tables.txt; then
+    echo "check.sh: bench ablation produced diverging results" >&2
+    exit 1
+  fi
+  jq -e '.totals.proof_rate_relational >= .totals.proof_rate_smallset
+         and .totals.certificates_valid == .totals.certificates_total
+         and .totals.parity == "OK"' build/BENCH_tmai_domains.json
+fi
 
 if [[ "${CHECK_WERROR:-0}" == "1" ]]; then
   cmake --preset werror

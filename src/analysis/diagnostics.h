@@ -21,13 +21,17 @@
 //   RA010  warning  dis thread has a loop — outside the dis(acyc) regime
 //                   of Theorems 1.2/5.1
 //
-// RA030–RA033 are whole-system notes backed by the thread-modular
+// RA030–RA035 are whole-system notes backed by the thread-modular
 // abstract-interpretation fixpoint; they are produced by
 // tmai/tmai_diagnostics.h and merged into the same diagnostic stream:
 //   RA030  note     guard provably never satisfiable at the TMAI fixpoint
 //   RA031  note     store value provably constant
 //   RA032  note     error location proven unreachable — assert is dead
 //   RA033  note     thread has an empty interference set (sequential)
+//   RA034  note     read values excluded only by the relational
+//                   must-domain (tmai/relational.h)
+//   RA035  note     assert proven dead only by the relational domain
+//                   (mutual-exclusion invariant)
 #ifndef RAPAR_ANALYSIS_DIAGNOSTICS_H_
 #define RAPAR_ANALYSIS_DIAGNOSTICS_H_
 

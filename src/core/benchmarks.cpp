@@ -322,6 +322,61 @@ BenchmarkCase Seqlock() {
       /*expected_unsafe=*/false};
 }
 
+BenchmarkCase PetersonHandover() {
+  const char* kVars = "vars f0 f1 turn c0 c1";
+  // The checker owns the first critical section: it may enter only
+  // while turn is still 0 and publishes turn := 1 strictly afterwards.
+  std::string checker = StrCat(
+      "program handover0\n", kVars, "\nregs a b one\ndom 2\nbegin\n",
+      "  one := 1;\n  f0 := one;\n  a := turn;\n  assume (a == 0);\n",
+      "  c0 := one;\n  b := c1;\n",
+      "  choice {\n    assume (b == 1);\n    assert false\n",
+      "  } or {\n    skip\n  };\n",
+      "  turn := one\nend\n");
+  // Peers (any number of copies) wait for the handover: they enter only
+  // after observing turn == 1 and the checker's flag.
+  std::string peer = StrCat(
+      "program peer\n", kVars, "\nregs a b one\ndom 2\nbegin\n",
+      "  one := 1;\n  f1 := one;\n  a := turn;\n  b := f0;\n",
+      "  assume (a == 1 && b == 1);\n  c1 := one\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(peer)).Dis(MustParse(checker));
+  return BenchmarkCase{
+      "peterson-handover",
+      "env(nocas) || dis(nocas,acyc)",
+      "Peterson-style turn handover: turn := 1 is published only after "
+      "the checker's critical section, and every peer must observe it "
+      "before entering — the sections cannot overlap (safe).",
+      MustBuild(b),
+      /*expected_unsafe=*/false};
+}
+
+BenchmarkCase DekkerCas() {
+  const char* kVars = "vars x y k c0 c1";
+  std::string t0 = StrCat(
+      "program dekkercas0\n", kVars, "\nregs zero one a b\ndom 2\nbegin\n",
+      "  zero := 0;\n  one := 1;\n  x := one;\n  a := y;\n",
+      "  cas(k, zero, one);\n  c0 := one;\n  b := c1;\n",
+      "  choice {\n    assume (b == 1);\n    assert false\n",
+      "  } or {\n    skip\n  }\nend\n");
+  std::string t1 = StrCat(
+      "program dekkercas1\n", kVars, "\nregs zero one a\ndom 2\nbegin\n",
+      "  zero := 0;\n  one := 1;\n  y := one;\n  a := x;\n",
+      "  cas(k, zero, one);\n  c1 := one\nend\n");
+  std::string env =
+      StrCat("program env\n", kVars, "\nregs r\ndom 2\nbegin\n  skip\nend\n");
+  ParamSystem::Builder b;
+  b.Env(MustParse(env)).Dis(MustParse(t0)).Dis(MustParse(t1));
+  return BenchmarkCase{
+      "dekker-cas",
+      "dis(acyc) || dis(acyc)",
+      "Dekker's entry core arbitrated by a one-shot CAS: the (k,0) dis "
+      "message is consumable at most once, so only one contender wins "
+      "and the critical sections cannot overlap (safe).",
+      MustBuild(b),
+      /*expected_unsafe=*/false};
+}
+
 std::vector<BenchmarkCase> StandardBenchmarks() {
   std::vector<BenchmarkCase> out;
   out.push_back(ProducerConsumer(2));
@@ -335,6 +390,8 @@ std::vector<BenchmarkCase> StandardBenchmarks() {
   out.push_back(Rcu());
   out.push_back(PhoenixAccumulate(3));
   out.push_back(Seqlock());
+  out.push_back(PetersonHandover());
+  out.push_back(DekkerCas());
   return out;
 }
 

@@ -59,6 +59,20 @@ BenchmarkCase PhoenixAccumulate(int claimed_bound);
 // accept a snapshot only when seq is stable — torn reads are impossible
 // under RA (safe).
 BenchmarkCase Seqlock();
+// Peterson-style turn handover: the checker enters its critical section
+// while turn == 0 and hands turn over only afterwards; peers may enter
+// only after observing turn == 1 (and the checker's flag). Mutual
+// exclusion holds (safe) — and proving it statically needs the
+// relational TMAI domain (rule R1: no (turn,1) message can exist while
+// the sole producer still sits in its critical section).
+BenchmarkCase PetersonHandover();
+// Dekker-style entry protocol arbitrated by a one-shot CAS on k: both
+// contenders CAS k from 0 to 1, and the (k,0) dis message is consumable
+// at most once, so only one critical section opens (safe). Statically
+// provable only by the relational TMAI domain (rule R2: the checker's
+// own successful CAS consumed the unique (k,0) pair that every
+// production of (c1,1) must also consume).
+BenchmarkCase DekkerCas();
 
 // The whole suite.
 std::vector<BenchmarkCase> StandardBenchmarks();

@@ -1,6 +1,7 @@
 #include "core/result_json.h"
 
 #include "common/json.h"
+#include "tmai/certcheck.h"
 
 namespace rapar {
 
@@ -78,6 +79,13 @@ std::string VerdictToJson(const Verdict& v, const VerifierOptions& options,
   }
   if (!v.width_report.empty()) {
     w.Key("width_report").String(v.width_report);
+  }
+  // Invariant certificate justifying a TMAI kSafe verdict. Like
+  // width_report the key is conditional: certificate-free envelopes keep
+  // the exact key set of earlier schema-version-1 releases.
+  if (v.certificate != nullptr) {
+    w.Key("certificate");
+    tmai::WriteCertificateJson(*v.certificate, &w);
   }
   w.Key("options").BeginObject();
   w.Key("backend").String(BackendName(options.backend));

@@ -481,6 +481,7 @@ Verdict SafetyVerifier::RunTmai(
   topts.max_iterations = options.tmai.max_iterations;
   topts.widening_delay = options.tmai.widening_delay;
   topts.value_set_limit = options.tmai.value_set_limit;
+  topts.domain = options.tmai.domain;
   tmai::TmaiResult r;
   {
     obs::ScopedSpan span(options.obs.trace, "fixpoint");
@@ -492,6 +493,19 @@ Verdict SafetyVerifier::RunTmai(
   v.telemetry.SetCounter(metric::kTmaiConverged, r.converged ? 1 : 0);
   v.telemetry.SetCounter(metric::kTmaiMaxDisjuncts, r.max_disjuncts_seen);
   v.telemetry.SetCounter(metric::kTmaiThreads, tsys.threads.size());
+  // tmai.relational.* appear only when the relational engine actually ran
+  // (requested directly, or as the kAuto retry after a small-set
+  // kUnknown), keeping small-set envelopes byte-for-byte unchanged.
+  if (r.domain_used == tmai::Domain::kRelational || r.strengthen_rounds > 0 ||
+      r.pruned_reads > 0) {
+    v.telemetry.SetCounter(metric::kTmaiRelationalRounds, r.strengthen_rounds);
+    v.telemetry.SetCounter(metric::kTmaiRelationalPrunedReads,
+                           r.pruned_reads);
+  }
+  v.certificate = r.certificate;
+  if (v.certificate != nullptr) {
+    v.telemetry.SetCounter(metric::kTmaiCertificate, 1);
+  }
   if (r.safe) {
     v.result = Verdict::Result::kSafe;
   } else {

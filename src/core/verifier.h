@@ -29,6 +29,7 @@
 #ifndef RAPAR_CORE_VERIFIER_H_
 #define RAPAR_CORE_VERIFIER_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -40,6 +41,7 @@
 #include "encoding/datalog_verifier.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tmai/tmai.h"
 
 namespace rapar {
 
@@ -87,6 +89,13 @@ struct TmaiBackendOptions {
   int widening_delay = 8;
   // Explicit value-set size beyond which a set becomes top.
   int value_set_limit = 16;
+  // Abstract domain: kSmallSet is the PR6 per-variable value-set domain;
+  // kRelational layers the per-variable-pair must-domain on top
+  // (tmai/relational.h) and can prove mutual-exclusion properties the
+  // small-set domain cannot; kAuto (the verifier default) runs small-set
+  // first and retries relationally only on kUnknown, so easy proofs stay
+  // cheap.
+  tmai::Domain domain = tmai::Domain::kAuto;
 };
 
 // Observability configuration. The recorder pointer is borrowed — the
@@ -152,6 +161,12 @@ struct Verdict {
   // obs/telemetry.h (verify.*, engine.*, datalog.*, prepass.*, dlopt.*,
   // parallel.*, phase.*).
   obs::Telemetry telemetry;
+  // Machine-checkable invariant certificate justifying a TMAI kSafe
+  // verdict (tmai/certcheck.h). Set only when the TMAI backend (directly
+  // or as the winning portfolio stage) proved safety; null otherwise, so
+  // certificate-free JSON envelopes are unchanged. Re-validate with
+  // `rapar_cli certcheck` or tmai::CheckCertificate.
+  std::shared_ptr<const tmai::Certificate> certificate;
 
   // --- deprecated accessors --------------------------------------------
   // The pre-obs flat fields, reconstructed from `telemetry`. Kept so the

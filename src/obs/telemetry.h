@@ -84,6 +84,20 @@ inline constexpr char kTmaiIterations[] = "tmai.iterations";
 inline constexpr char kTmaiConverged[] = "tmai.converged";
 inline constexpr char kTmaiMaxDisjuncts[] = "tmai.max_disjuncts";
 inline constexpr char kTmaiThreads[] = "tmai.threads";
+// Relational-domain metrics (tmai/relational.h); present only when the
+// relational engine actually ran (requested directly, or as the kAuto
+// retry after a small-set kUnknown).
+inline constexpr char kTmaiRelationalRounds[] = "tmai.relational.rounds";
+inline constexpr char kTmaiRelationalPrunedReads[] =
+    "tmai.relational.pruned_reads";
+// 1 when the verdict carries an invariant certificate (tmai/certcheck.h);
+// absent otherwise, so certificate-free envelopes are unchanged.
+inline constexpr char kTmaiCertificate[] = "tmai.certificate";
+
+// Certificate checker (rapar_cli certcheck / tmai/certcheck.h).
+inline constexpr char kCertcheckValid[] = "certcheck.valid";
+inline constexpr char kCertcheckNodes[] = "certcheck.nodes_checked";
+inline constexpr char kCertcheckEdges[] = "certcheck.edges_checked";
 
 // Portfolio race driver: which backend answered first, and each raced
 // backend's outcome (0 = lost/cancelled, 1 = produced the verdict) and

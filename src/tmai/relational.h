@@ -1,0 +1,152 @@
+// The relational extension of the thread-modular abstract domain
+// (src/tmai/): per-variable-pair *must* information layered on top of
+// the small-set may analysis of tmai.h.
+//
+// Why the small-set domain cannot prove mutual exclusion. Its
+// interference tables answer only "which values may ever be stored to
+// x"; once both critical-section flags have been stored once, every
+// later load may read them, so Peterson/Dekker-style protocols always
+// look racy. What mutual exclusion actually rests on is a correlation
+// *between* variables ("whoever published c1 = 1 had already observed
+// turn = 1") or on the single-shot nature of a CAS arbiter ("whoever
+// published c1 = 1 consumed the unique (k, 0) message"). Both are
+// statements about pairs (variable, value), which is what this file
+// adds.
+//
+// PairSet. A sorted small set of (var, val) pairs with an explicit top
+// (the universe of all pairs) — the same representation, subsumption
+// and widening discipline as ValueSet, but used in *must* polarity:
+// more pairs mean more information, joins intersect, and widening
+// drops toward the empty set (no information). Two must-sets ride on
+// every abstract disjunct:
+//   obs  — pairs (y, w), w != 0, that are definitely in the causal
+//          (happens-before) past of the thread at this point: every
+//          value it loaded, every singleton value it stored, and the
+//          producer's own must-observations inherited through the RA
+//          acquire of a read message.
+//   cons — pairs this very thread *instance* consumed with its own
+//          successful CAS reads, recorded only when the pair is
+//          *linear* (global producer multiplicity <= 1), so that a
+//          recorded consumption is provably the unique one.
+//
+// Must interference tables. Dual to the may tables: OBS(x, v) (resp.
+// CONS(x, v)) is the intersection, over every abstract store event
+// publishing v to x, of the producer's obs ∪ {(x, v)} (resp. cons) at
+// the store. They start at top and only shrink; at the joint fixpoint
+// every store event's contribution covers the table entry, which is
+// exactly the condition the certificate checker re-validates.
+//
+// Pruning. A load/CAS case-split on value v at node n of thread t
+// drops v when the must tables contradict its existence:
+//   R1 (causal past): some (y, w) ∈ {(x, v)} ∪ OBS(x, v) with w != 0
+//      is produced *only* by t (not replicated), and none of t's
+//      (y, w)-store edges can reach n in t's CFA — so when this single
+//      instance sits at n, no (y, w) message exists yet, hence no
+//      (x, v) message whose causal past contains it.
+//   R2 (consumption linearity): some (y, w) ∈ CONS(x, v) is linear and
+//      already in the reading disjunct's own cons, and no (x, v)-store
+//      edge of t reaches n — the unique consumption was ours, so no
+//      *other* instance can have performed the CAS that guards every
+//      production of (x, v).
+// Pruning never reads the tables it is helping to compute: the driver
+// (relational.cpp) first runs a tracking-only fixpoint, then re-runs
+// the full fixpoint in strengthening rounds where the rules read the
+// *frozen* previous round's converged tables.
+#ifndef RAPAR_TMAI_RELATIONAL_H_
+#define RAPAR_TMAI_RELATIONAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lang/value.h"
+#include "tmai/domain.h"
+
+namespace rapar::tmai {
+
+// One (shared variable, value) pair; the element of the relational
+// must-sets. Ordered lexicographically for the sorted representation.
+struct VarVal {
+  std::uint32_t var = 0;
+  Value val = 0;
+  friend auto operator<=>(const VarVal&, const VarVal&) = default;
+};
+
+// A must-set of VarVal pairs: sorted small set with an explicit top
+// (the universe). Dual polarity to ValueSet — see the file comment.
+class PairSet {
+ public:
+  // Default-constructed: the empty set (no must information).
+  PairSet() = default;
+
+  static PairSet Top();
+  static PairSet Of(VarVal p);
+
+  bool top() const { return top_; }
+  bool empty() const { return !top_ && pairs_.empty(); }
+  bool Contains(VarVal p) const;
+
+  void Insert(VarVal p);
+  // Must-side *gain* of information (set union); top absorbs. Returns
+  // true if this set grew.
+  bool UnionWith(const PairSet& o);
+  // Must-side join (set intersection; top is neutral). Returns true if
+  // this set shrank.
+  bool IntersectWith(const PairSet& o);
+  // this ⊆ o as plain sets; top is the universe.
+  bool SubsetOf(const PairSet& o) const;
+  // Must-side widening: drop to the empty set (no information) once
+  // the explicit representation exceeds `limit`.
+  void Widen(int limit);
+
+  // The explicit pairs. Precondition: !top().
+  std::span<const VarVal> pairs() const { return pairs_; }
+
+  bool operator==(const PairSet& o) const;
+  std::string ToString() const;
+
+ private:
+  bool top_ = false;
+  std::vector<VarVal> pairs_;  // sorted, unique; empty when top_
+};
+
+// The may-side interference summary shared between threads (grows
+// monotonically across fixpoint rounds). Public so that invariant
+// certificates can embed it and `certcheck` can re-validate against
+// it; the fixpoint drivers in tmai.cpp/relational.cpp fill it in.
+struct InterferenceTables {
+  // [thread][var]: values the thread may store to var (any copy).
+  std::vector<std::vector<ValueSet>> store_vals;
+  // [var][val][var2]: the acquire snapshot ACQ(var,val) — see tmai.h.
+  // Entry val == 0 is unused (the init message has the top snapshot).
+  std::vector<std::vector<std::vector<ValueSet>>> acq;
+  // [var][val]: some message (var,val) may exist (val 0 always).
+  std::vector<std::vector<char>> present;
+  // [thread][edge]: values stored by that specific edge — feeds the
+  // "writer's own later stores" component of next round's snapshots.
+  std::vector<std::vector<ValueSet>> edge_store;
+
+  void Init(std::size_t num_threads, std::size_t num_vars, std::size_t dom,
+            const std::vector<std::size_t>& edges_per_thread);
+  bool operator==(const InterferenceTables&) const = default;
+};
+
+// The must-side interference summary (shrinks monotonically: each
+// fixpoint iteration intersects every store event's contribution into
+// the previous entry). Entries for val == 0 are pinned to the empty
+// set — the init message has an empty causal past.
+struct MustTables {
+  // [var][val]: intersection over all store events of producer obs.
+  std::vector<std::vector<PairSet>> obs;
+  // [var][val]: intersection over all store events of producer cons.
+  std::vector<std::vector<PairSet>> cons;
+
+  void Init(std::size_t num_vars, std::size_t dom);
+  bool operator==(const MustTables&) const = default;
+};
+
+}  // namespace rapar::tmai
+
+#endif  // RAPAR_TMAI_RELATIONAL_H_

@@ -38,13 +38,29 @@
 #define RAPAR_TMAI_TMAI_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "lang/cfa.h"
 #include "simplified/transitions.h"
 #include "tmai/domain.h"
+#include "tmai/relational.h"
 
 namespace rapar::tmai {
+
+// Which abstract domain the fixpoint runs in. kSmallSet is the
+// original non-relational value-set domain; kRelational layers the
+// per-variable-pair must analysis of relational.h on top (more
+// precise, a few times slower); kAuto runs kSmallSet first and retries
+// kRelational only when the small-set fixpoint finished kUnknown, so
+// the fast path stays fast.
+enum class Domain {
+  kSmallSet,
+  kRelational,
+  kAuto,
+};
+
+const char* DomainName(Domain d);
 
 struct TmaiOptions {
   // Interference fixpoint rounds before giving up (kUnknown).
@@ -56,6 +72,14 @@ struct TmaiOptions {
   int value_set_limit = 16;
   // Disjuncts kept per CFA node before merging into their join.
   int max_disjuncts = 16;
+  // Abstract domain (see Domain above).
+  Domain domain = Domain::kSmallSet;
+  // Relational only: strengthening rounds (full re-fixpoints whose
+  // pruning rules read the previous round's frozen tables) before
+  // giving up. Round 0 — tracking without pruning — is not counted.
+  int max_strengthen_rounds = 3;
+  // Emit an invariant certificate (tmai/certcheck.h) on kSafe.
+  bool emit_certificate = true;
 };
 
 // What "safe" means: assert-edge unreachability (default) or the
@@ -85,15 +109,23 @@ struct TmaiSystem {
   static TmaiSystem FromSimpl(const SimplSystem& s);
 };
 
-// One abstract disjunct: per-register and per-variable value sets.
+// One abstract disjunct: per-register and per-variable value sets,
+// plus the relational must-sets (empty — no information — under the
+// small-set domain, so the small-set analysis is bit-identical to the
+// pre-relational one).
 struct AbsState {
   std::vector<ValueSet> regs;
   std::vector<ValueSet> view;
+  // Must-observations: (y, w) pairs definitely in the causal past.
+  PairSet obs;
+  // Linear pairs consumed by this instance's own CAS reads.
+  PairSet cons;
 
   bool SubsumedBy(const AbsState& o) const;
   void MergeWith(const AbsState& o);
   bool operator==(const AbsState& o) const {
-    return regs == o.regs && view == o.view;
+    return regs == o.regs && view == o.view && obs == o.obs &&
+           cons == o.cons;
   }
 };
 
@@ -109,11 +141,18 @@ struct ThreadReport {
   // Per edge: abstract set of values a kStore/kCas edge may publish
   // (empty for other kinds). Singleton => RA031.
   std::vector<ValueSet> edge_store_vals;
+  // Per edge: values a kLoad/kCas edge actually reads, i.e. the
+  // case-split values that survive presence filtering and (relational
+  // domain) the pruning rules. Comparing the two domains' sets per
+  // edge is what backs the RA034 lint.
+  std::vector<ValueSet> edge_read_vals;
   // No other thread's stores are visible to this one (RA033).
   bool interference_empty = false;
   // Some kAssertFail edge is abstractly reachable.
   bool assert_reachable = false;
 };
+
+struct Certificate;  // tmai/certcheck.h
 
 struct TmaiResult {
   bool converged = false;
@@ -123,8 +162,18 @@ struct TmaiResult {
   bool assert_reachable = false;
   int iterations = 0;
   std::size_t max_disjuncts_seen = 0;
+  // The domain that produced this result (kAuto resolves to the
+  // stronger domain that actually ran last).
+  Domain domain_used = Domain::kSmallSet;
+  // Relational domain only: strengthening rounds run (0 when only the
+  // tracking round ran) and reads pruned by R1/R2 in the final round.
+  int strengthen_rounds = 0;
+  std::size_t pruned_reads = 0;
   // Parallel to TmaiSystem::threads; populated only when converged.
   std::vector<ThreadReport> threads;
+  // Machine-checkable invariant certificate; set on kSafe when
+  // TmaiOptions::emit_certificate (see tmai/certcheck.h).
+  std::shared_ptr<const Certificate> certificate;
 };
 
 TmaiResult RunTmai(const TmaiSystem& sys, const TmaiGoal& goal,

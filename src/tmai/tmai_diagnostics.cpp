@@ -20,8 +20,15 @@ std::vector<std::vector<Diagnostic>> TmaiLint(const TmaiSystem& sys,
                                               const TmaiOptions& opts) {
   std::vector<std::vector<Diagnostic>> out(sys.threads.size());
   TmaiGoal goal;  // assert reachability
-  const TmaiResult result = RunTmai(sys, goal, opts);
+  TmaiOptions small_opts = opts;
+  small_opts.domain = Domain::kSmallSet;
+  const TmaiResult result = RunTmai(sys, goal, small_opts);
   if (!result.converged) return out;
+  // Second fixpoint under the relational domain; RA034/RA035 report the
+  // precision it gains over the small-set run above.
+  TmaiOptions rel_opts = opts;
+  rel_opts.domain = Domain::kRelational;
+  const TmaiResult rel = RunTmai(sys, goal, rel_opts);
 
   for (std::size_t t = 0; t < sys.threads.size(); ++t) {
     const Cfa& cfa = *sys.threads[t].cfa;
@@ -60,6 +67,47 @@ std::vector<std::vector<Diagnostic>> TmaiLint(const TmaiSystem& sys,
                 "RA032",
                 "assert is dead: error location proven unreachable "
                 "under interference",
+                instr.loc));
+          }
+          break;
+        default:
+          break;
+      }
+      if (!rel.converged) continue;
+      const ThreadReport& rr = rel.threads[t];
+      switch (instr.kind) {
+        case Instr::Kind::kLoad:
+        case Instr::Kind::kCas: {
+          // RA034: values the small-set fixpoint lets this read observe
+          // but the relational must-domain (causal-past / consumption
+          // pruning) excludes.
+          if (!r.edge_enabled[e]) break;
+          std::string pruned;
+          for (Value v : r.edge_read_vals[e].Enumerate(sys.dom)) {
+            if (rr.edge_read_vals[e].Contains(v)) continue;
+            if (!pruned.empty()) pruned += ", ";
+            pruned += std::to_string(v);
+          }
+          if (!pruned.empty()) {
+            out[t].push_back(Note(
+                "RA034",
+                "read of '" + vars.Name(instr.var) +
+                    "' never observes {" + pruned +
+                    "}: excluded by the relational must-domain",
+                instr.loc));
+          }
+          break;
+        }
+        case Instr::Kind::kAssertFail:
+          // RA035: the small-set domain considers the error location
+          // reachable, but the relational invariant proves it dead —
+          // the mutual-exclusion pattern of DESIGN.md §10.
+          if (r.node_reachable[edge.from.index()] &&
+              !rr.node_reachable[edge.from.index()]) {
+            out[t].push_back(Note(
+                "RA035",
+                "assert is dead under the relational domain: a "
+                "mutual-exclusion invariant excludes the error location",
                 instr.loc));
           }
           break;

@@ -11,9 +11,17 @@
 //   RA032  note  error location proven unreachable — assert is dead
 //   RA033  note  thread has an empty interference set — it runs
 //                sequentially (no other thread's stores are visible)
+//   RA034  note  read values excluded only by the relational must-domain
+//                (tmai/relational.h): the small-set fixpoint considers
+//                them observable, the relational one proves they are not
+//   RA035  note  assert proven dead only by the relational domain — a
+//                mutual-exclusion-style invariant the small-set domain
+//                cannot express
 //
-// Diagnostics are only emitted when the fixpoint converged; a
-// non-converged analysis proves nothing.
+// The lint runs the fixpoint twice — once per domain. RA030–RA033 are
+// derived from the small-set run; RA034/RA035 from the precision delta
+// between the two. Diagnostics are only emitted when the respective
+// fixpoint converged; a non-converged analysis proves nothing.
 #ifndef RAPAR_TMAI_TMAI_DIAGNOSTICS_H_
 #define RAPAR_TMAI_TMAI_DIAGNOSTICS_H_
 

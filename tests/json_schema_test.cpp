@@ -14,6 +14,9 @@
 #include "core/benchmarks.h"
 #include "core/result_json.h"
 #include "core/verifier.h"
+#include "tmai/certcheck.h"
+#include "tmai/tmai.h"
+#include "tmai/tmai_diagnostics.h"
 
 namespace rapar {
 namespace {
@@ -109,6 +112,8 @@ TEST(JsonSchemaTest, VerdictEnvelopeUnsafeDatalog) {
   CheckVerdictEnvelope(doc.value(), "unsafe/datalog");
   EXPECT_EQ(doc.value().Find("verdict")->string, "unsafe");
   EXPECT_EQ(doc.value().Find("exit_code")->integer, 1);
+  // Certificate-free envelopes keep the exact pre-certificate key set.
+  EXPECT_EQ(doc.value().Find("certificate"), nullptr);
   EXPECT_EQ(doc.value().Find("command")->string, "verify");
   EXPECT_EQ(doc.value().Find("system")->string, bench.system.Signature());
   EXPECT_EQ(doc.value().Find("options")->Find("backend")->string, "datalog");
@@ -136,6 +141,8 @@ TEST(JsonSchemaTest, VerdictEnvelopeSafeSimplified) {
   EXPECT_EQ(doc.value().Find("exit_code")->integer, 0);
   EXPECT_TRUE(doc.value().Find("witness")->is_null());
   EXPECT_TRUE(doc.value().Find("stopped_phase")->is_null());
+  // Safe, but not via TMAI: no certificate key, same as before PR 7.
+  EXPECT_EQ(doc.value().Find("certificate"), nullptr);
   const JsonValue* t = doc.value().Find("telemetry");
   EXPECT_NE(t->Find("verify.states"), nullptr);
 }
@@ -178,6 +185,83 @@ TEST(JsonSchemaTest, VerdictEnvelopeEchoesProducingBackend) {
   const JsonValue* t = doc.value().Find("telemetry");
   EXPECT_NE(t->Find("tmai.iterations"), nullptr);
   EXPECT_NE(t->Find("tmai.converged"), nullptr);
+  // Rcu is proved by the small-set stage of kAuto: the certificate names
+  // the small-set domain, omits the relational "must" block, and no
+  // tmai.relational.* counters appear (the retry never ran).
+  const JsonValue* cert = doc.value().Find("certificate");
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->Find("domain")->string, "smallset");
+  EXPECT_EQ(cert->Find("must"), nullptr);
+  EXPECT_EQ(t->Find("tmai.relational.rounds"), nullptr);
+}
+
+// The flagship precision case: a mutual-exclusion protocol only the
+// relational domain proves. The envelope must carry a complete,
+// re-parseable "certificate" object naming that domain.
+TEST(JsonSchemaTest, VerdictEnvelopeCarriesRelationalCertificate) {
+  BenchmarkCase bench = PetersonHandover();
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kTmai;  // domain defaults to kAuto
+  const Verdict v = verifier.Verify(opts);
+  ASSERT_TRUE(v.safe());
+  ASSERT_NE(v.certificate, nullptr);
+
+  const std::string json =
+      VerdictToJson(v, opts, "verify", bench.system.Signature());
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  CheckVerdictEnvelope(doc.value(), "safe/tmai-relational");
+  EXPECT_EQ(doc.value().Find("verdict")->string, "safe");
+
+  const JsonValue* cert = doc.value().Find("certificate");
+  ASSERT_NE(cert, nullptr);
+  ASSERT_TRUE(cert->is_object());
+  ASSERT_NE(cert->Find("schema_version"), nullptr);
+  EXPECT_EQ(cert->Find("schema_version")->integer,
+            tmai::kCertificateSchemaVersion);
+  EXPECT_EQ(cert->Find("domain")->string, "relational");
+  EXPECT_EQ(cert->Find("check_assert")->boolean, true);
+  // Assert-goal certificates omit the MG goal keys.
+  EXPECT_EQ(cert->Find("goal_var"), nullptr);
+  EXPECT_EQ(cert->Find("goal_val"), nullptr);
+  EXPECT_NE(cert->Find("value_set_limit"), nullptr);
+  EXPECT_NE(cert->Find("num_vars"), nullptr);
+  EXPECT_NE(cert->Find("dom"), nullptr);
+
+  const JsonValue* threads = cert->Find("threads");
+  ASSERT_NE(threads, nullptr);
+  ASSERT_TRUE(threads->is_array());
+  ASSERT_FALSE(threads->items.empty());
+  const JsonValue& th = threads->items[0];
+  EXPECT_NE(th.Find("replicated"), nullptr);
+  EXPECT_NE(th.Find("num_nodes"), nullptr);
+  EXPECT_NE(th.Find("num_edges"), nullptr);
+  const JsonValue* inv = th.Find("invariants");
+  ASSERT_NE(inv, nullptr);
+  ASSERT_TRUE(inv->is_array());
+
+  const JsonValue* tables = cert->Find("tables");
+  ASSERT_NE(tables, nullptr);
+  EXPECT_NE(tables->Find("store_vals"), nullptr);
+  EXPECT_NE(tables->Find("acq"), nullptr);
+  EXPECT_NE(tables->Find("present"), nullptr);
+  EXPECT_NE(tables->Find("edge_store"), nullptr);
+  const JsonValue* must = cert->Find("must");
+  ASSERT_NE(must, nullptr);
+  EXPECT_NE(must->Find("obs"), nullptr);
+  EXPECT_NE(must->Find("cons"), nullptr);
+
+  // The serialized object parses back into an equal certificate.
+  Expected<tmai::Certificate> parsed = tmai::ParseCertificateJson(*cert);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().domain, tmai::Domain::kRelational);
+  EXPECT_EQ(parsed.value().threads.size(), v.certificate->threads.size());
+
+  // The relational retry counters ride the telemetry block.
+  const JsonValue* t = doc.value().Find("telemetry");
+  EXPECT_NE(t->Find("tmai.relational.rounds"), nullptr);
+  EXPECT_NE(t->Find("tmai.relational.pruned_reads"), nullptr);
 }
 
 TEST(JsonSchemaTest, VerdictEnvelopePortfolioNamesTheWinner) {
@@ -247,6 +331,52 @@ TEST(JsonSchemaTest, DiagnosticsEnvelope) {
   EXPECT_EQ(summary->Find("errors")->integer, 0);
   EXPECT_EQ(summary->Find("warnings")->integer, 1);
   EXPECT_EQ(summary->Find("notes")->integer, 1);
+}
+
+// The relational precision notes (RA034/RA035) ride the same lint
+// envelope as every other diagnostic: stable file/line/col/code/
+// severity/message keys, severity "note".
+TEST(JsonSchemaTest, DiagnosticsEnvelopeRelationalLints) {
+  BenchmarkCase bench = PetersonHandover();
+  const tmai::TmaiSystem tsys =
+      tmai::TmaiSystem::FromSimpl(bench.system.simpl());
+  const std::vector<std::vector<Diagnostic>> per_thread =
+      tmai::TmaiLint(tsys);
+  std::vector<std::pair<std::string, Diagnostic>> diags;
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    for (const Diagnostic& d : per_thread[t]) {
+      diags.emplace_back("thread" + std::to_string(t), d);
+    }
+  }
+
+  const std::string json = DiagnosticsToJson("lint", diags);
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+
+  const JsonValue* list = doc.value().Find("diagnostics");
+  ASSERT_NE(list, nullptr);
+  bool saw_ra034 = false, saw_ra035 = false;
+  for (const JsonValue& d : list->items) {
+    ASSERT_NE(d.Find("file"), nullptr);
+    ASSERT_NE(d.Find("line"), nullptr);
+    ASSERT_NE(d.Find("col"), nullptr);
+    ASSERT_NE(d.Find("code"), nullptr);
+    ASSERT_NE(d.Find("severity"), nullptr);
+    ASSERT_NE(d.Find("message"), nullptr);
+    const std::string& code = d.Find("code")->string;
+    if (code == "RA034") {
+      saw_ra034 = true;
+      EXPECT_EQ(d.Find("severity")->string, "note");
+    }
+    if (code == "RA035") {
+      saw_ra035 = true;
+      EXPECT_EQ(d.Find("severity")->string, "note");
+    }
+  }
+  EXPECT_TRUE(saw_ra034) << json;
+  EXPECT_TRUE(saw_ra035) << json;
+  // Everything TMAI emits is a note, so the summary has no errors.
+  EXPECT_EQ(doc.value().Find("summary")->Find("errors")->integer, 0);
 }
 
 TEST(JsonSchemaTest, DiagnosticsEnvelopeEmpty) {

@@ -21,6 +21,7 @@
 #include "core/verifier.h"
 #include "encoding/datalog_verifier.h"
 #include "lang/random_program.h"
+#include "tmai/certcheck.h"
 #include "tmai/tmai.h"
 
 namespace rapar {
@@ -91,6 +92,81 @@ TEST(TmaiSoundnessTest, RandomMessageGenerationDifferential) {
   EXPECT_GT(tmai_safe, 0);
 }
 
+// The same 300-seed differential under the relational and auto domains:
+// the relational must-domain prunes reads, so its kSafe answers need
+// their own soundness check against the exact backend. Auto must also be
+// at least as strong as small-set (it retries relationally on kUnknown).
+TEST(TmaiSoundnessTest, RandomMgDifferentialRelationalDomains) {
+  int relational_safe = 0;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    RandomSystem r = MakeRandomSystem(seed);
+    tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(r.sys);
+    for (int var = 0; var < kNumVars; ++var) {
+      for (Value val = 1; val < kDom; ++val) {
+        tmai::TmaiGoal goal;
+        goal.check_assert = false;
+        goal.var = VarId(static_cast<std::uint32_t>(var));
+        goal.val = val;
+        tmai::TmaiOptions sopts;
+        sopts.domain = tmai::Domain::kSmallSet;
+        tmai::TmaiOptions ropts;
+        ropts.domain = tmai::Domain::kRelational;
+        tmai::TmaiOptions aopts;
+        aopts.domain = tmai::Domain::kAuto;
+        const tmai::TmaiResult sr = tmai::RunTmai(tsys, goal, sopts);
+        const tmai::TmaiResult rr = tmai::RunTmai(tsys, goal, ropts);
+        const tmai::TmaiResult ar = tmai::RunTmai(tsys, goal, aopts);
+        EXPECT_GE(ar.safe, sr.safe)
+            << "seed " << seed << ": auto lost a small-set proof";
+        if (!rr.safe && !ar.safe) continue;
+        ++relational_safe;
+        DatalogVerifierOptions dopts;
+        dopts.goal_message = {goal.var, goal.val};
+        DatalogVerdict dv = DatalogVerify(r.sys, dopts);
+        EXPECT_FALSE(dv.unsafe)
+            << "UNSOUND: seed " << seed << " goal (v" << var << ", " << val
+            << "): the relational domain proved the message ungenerable, "
+            << "Datalog generated it";
+        EXPECT_TRUE(dv.exhaustive) << "seed " << seed;
+      }
+    }
+  }
+  EXPECT_GT(relational_safe, 0);
+}
+
+// Every certificate the catalog produces — under either domain — must be
+// accepted by the independent checker (conditions 1–4 of
+// tmai/certcheck.h) against the very system it certifies.
+TEST(TmaiSoundnessTest, CertcheckAcceptsEveryCatalogCertificate) {
+  std::vector<BenchmarkCase> suite = StandardBenchmarks();
+  suite.push_back(ProducerConsumerSafe(2));
+  int certificates = 0;
+  for (const BenchmarkCase& bench : suite) {
+    const tmai::TmaiSystem tsys =
+        tmai::TmaiSystem::FromSimpl(bench.system.simpl());
+    for (tmai::Domain domain :
+         {tmai::Domain::kSmallSet, tmai::Domain::kRelational,
+          tmai::Domain::kAuto}) {
+      tmai::TmaiOptions opts;
+      opts.domain = domain;
+      const tmai::TmaiResult r = tmai::RunTmai(tsys, {}, opts);
+      if (!r.safe) continue;
+      ASSERT_NE(r.certificate, nullptr)
+          << bench.name << " under " << tmai::DomainName(domain)
+          << ": safe without a certificate";
+      const tmai::CertCheckResult res =
+          tmai::CheckCertificate(tsys, *r.certificate);
+      EXPECT_TRUE(res.valid)
+          << bench.name << " under " << tmai::DomainName(domain) << ": "
+          << res.error;
+      ++certificates;
+    }
+  }
+  // Small-set proves 4 catalog cases; relational and auto prove those
+  // plus the three mutual-exclusion protocols.
+  EXPECT_GE(certificates, 11);
+}
+
 // Catalog half of the soundness differential: on every case TMAI proves
 // safe, the exact backend (run to exhaustion) must also answer safe.
 TEST(TmaiSoundnessTest, CatalogDifferential) {
@@ -155,6 +231,25 @@ TEST(TmaiPortfolioTest, CatalogBitConsistency) {
     SafetyVerifier verifier(bench.system);
     ExpectPortfolioMatchesDatalog(verifier, std::nullopt,
                                   bench.name.c_str());
+  }
+}
+
+// The portfolio's stage-0 TMAI runs under the kAuto default, so a
+// relational-only proof (Spinlock, Peterson handover, Dekker-CAS) must
+// short-circuit the race entirely: the winner is TMAI and the verdict
+// carries the invariant certificate.
+TEST(TmaiPortfolioTest, RelationalAutoProofSkipsTheRace) {
+  for (const BenchmarkCase& bench :
+       {Spinlock(), PetersonHandover(), DekkerCas()}) {
+    SafetyVerifier verifier(bench.system);
+    VerifierOptions popts;
+    popts.backend = Backend::kPortfolio;
+    Verdict v = verifier.Verify(popts);
+    EXPECT_TRUE(v.safe()) << bench.name;
+    EXPECT_EQ(v.backend, "portfolio:tmai") << bench.name;
+    EXPECT_NE(v.certificate, nullptr) << bench.name;
+    EXPECT_GE(v.telemetry.counter(obs::metric::kTmaiRelationalRounds), 1u)
+        << bench.name;
   }
 }
 

@@ -10,18 +10,23 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/benchmarks.h"
 #include "core/verifier.h"
 #include "lang/expr.h"
 #include "lang/parser.h"
+#include "tmai/certcheck.h"
 #include "tmai/domain.h"
+#include "tmai/relational.h"
 #include "tmai/tmai.h"
 #include "tmai/tmai_diagnostics.h"
 
 namespace rapar {
 namespace {
 
+using tmai::PairSet;
 using tmai::ValueSet;
+using tmai::VarVal;
 
 constexpr Value kDom = 4;
 constexpr int kLimit = 16;
@@ -269,6 +274,220 @@ TEST(TmaiCatalogTest, ProvesKnownSafeCases) {
   EXPECT_TRUE(proves(ChaseLevDeque()));
   EXPECT_TRUE(proves(Seqlock()));
   EXPECT_TRUE(proves(ProducerConsumerSafe(2)));
+}
+
+PairSet Pairs(std::initializer_list<VarVal> ps) {
+  PairSet s;
+  for (VarVal p : ps) s.Insert(p);
+  return s;
+}
+
+TEST(PairSetTest, BasicsAndMembership) {
+  PairSet s = PairSet::Of(VarVal{1, 2});
+  EXPECT_FALSE(s.top());
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.Contains(VarVal{1, 2}));
+  EXPECT_FALSE(s.Contains(VarVal{2, 1}));
+  s.Insert(VarVal{0, 1});
+  s.Insert(VarVal{0, 1});  // idempotent
+  ASSERT_EQ(s.pairs().size(), 2u);
+  // Sorted lexicographically.
+  EXPECT_EQ(s.pairs()[0], (VarVal{0, 1}));
+  EXPECT_EQ(s.pairs()[1], (VarVal{1, 2}));
+
+  PairSet t = PairSet::Top();
+  EXPECT_TRUE(t.top());
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(t.Contains(VarVal{7, 7}));
+}
+
+TEST(PairSetTest, MustLatticeOperations) {
+  // Union gains information; top absorbs.
+  PairSet a = Pairs({{0, 1}});
+  EXPECT_TRUE(a.UnionWith(Pairs({{1, 1}})));
+  EXPECT_FALSE(a.UnionWith(Pairs({{0, 1}})));  // no growth
+  EXPECT_EQ(a, Pairs({{0, 1}, {1, 1}}));
+  EXPECT_TRUE(a.UnionWith(PairSet::Top()));
+  EXPECT_TRUE(a.top());
+
+  // Intersection is the must-join; top is neutral on either side.
+  PairSet b = Pairs({{0, 1}, {1, 1}, {2, 1}});
+  EXPECT_FALSE(b.IntersectWith(PairSet::Top()));
+  EXPECT_TRUE(b.IntersectWith(Pairs({{1, 1}, {3, 1}})));
+  EXPECT_EQ(b, Pairs({{1, 1}}));
+  PairSet t = PairSet::Top();
+  EXPECT_TRUE(t.IntersectWith(Pairs({{0, 2}})));
+  EXPECT_EQ(t, Pairs({{0, 2}}));
+
+  EXPECT_TRUE(Pairs({{1, 1}}).SubsetOf(Pairs({{0, 1}, {1, 1}})));
+  EXPECT_FALSE(Pairs({{0, 1}, {1, 1}}).SubsetOf(Pairs({{1, 1}})));
+  EXPECT_TRUE(Pairs({{1, 1}}).SubsetOf(PairSet::Top()));
+  EXPECT_FALSE(PairSet::Top().SubsetOf(Pairs({{1, 1}})));
+}
+
+TEST(PairSetTest, WideningDropsToEmpty) {
+  PairSet a = Pairs({{0, 1}, {1, 1}});
+  a.Widen(2);
+  EXPECT_EQ(a, Pairs({{0, 1}, {1, 1}}));  // within the limit: kept
+  a.Widen(1);
+  EXPECT_TRUE(a.empty());  // oversized: all must-information dropped
+  PairSet t = PairSet::Top();
+  t.Widen(8);
+  EXPECT_TRUE(t.empty());  // top is never kept as a widening result
+}
+
+// The tentpole precision pins: mutual-exclusion protocols the small-set
+// domain provably cannot handle (both critical flags are stored, so
+// every later load may read them) and the relational domain must.
+TEST(TmaiRelationalTest, ProvesMutualExclusionThatSmallSetCannot) {
+  for (const BenchmarkCase& bench :
+       {PetersonHandover(), DekkerCas(), Spinlock()}) {
+    tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(bench.system.simpl());
+
+    tmai::TmaiOptions small;
+    small.domain = tmai::Domain::kSmallSet;
+    tmai::TmaiResult sr = tmai::RunTmai(tsys, tmai::TmaiGoal{}, small);
+    EXPECT_TRUE(sr.converged) << bench.name;
+    EXPECT_FALSE(sr.safe) << bench.name << ": small-set should be unknown";
+
+    tmai::TmaiOptions rel;
+    rel.domain = tmai::Domain::kRelational;
+    tmai::TmaiResult rr = tmai::RunTmai(tsys, tmai::TmaiGoal{}, rel);
+    EXPECT_TRUE(rr.safe) << bench.name << ": relational should prove safe";
+    EXPECT_EQ(rr.domain_used, tmai::Domain::kRelational);
+    EXPECT_GT(rr.pruned_reads, 0u) << bench.name;
+    ASSERT_NE(rr.certificate, nullptr) << bench.name;
+
+    tmai::CertCheckResult cc = tmai::CheckCertificate(tsys, *rr.certificate);
+    EXPECT_TRUE(cc.valid) << bench.name << ": " << cc.error;
+    EXPECT_GT(cc.edges_checked, 0u);
+
+    // kAuto lands on the relational proof.
+    tmai::TmaiOptions aut;
+    aut.domain = tmai::Domain::kAuto;
+    tmai::TmaiResult ar = tmai::RunTmai(tsys, tmai::TmaiGoal{}, aut);
+    EXPECT_TRUE(ar.safe) << bench.name;
+    EXPECT_EQ(ar.domain_used, tmai::Domain::kRelational) << bench.name;
+  }
+}
+
+// The relational domain strictly extends the small-set one: everything
+// the small-set domain proves stays proved, and certificates are
+// emitted under both domains.
+TEST(TmaiRelationalTest, KeepsSmallSetProofsAndEmitsCertificates) {
+  for (const BenchmarkCase& bench :
+       {Rcu(), ChaseLevDeque(), Seqlock(), ProducerConsumerSafe(2)}) {
+    tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(bench.system.simpl());
+    for (tmai::Domain domain :
+         {tmai::Domain::kSmallSet, tmai::Domain::kRelational}) {
+      tmai::TmaiOptions opts;
+      opts.domain = domain;
+      tmai::TmaiResult r = tmai::RunTmai(tsys, tmai::TmaiGoal{}, opts);
+      EXPECT_TRUE(r.safe) << bench.name << " under "
+                          << tmai::DomainName(domain);
+      ASSERT_NE(r.certificate, nullptr) << bench.name;
+      EXPECT_EQ(r.certificate->domain, domain);
+      tmai::CertCheckResult cc = tmai::CheckCertificate(tsys, *r.certificate);
+      EXPECT_TRUE(cc.valid) << bench.name << " under "
+                            << tmai::DomainName(domain) << ": " << cc.error;
+    }
+  }
+}
+
+TEST(TmaiRelationalTest, NeverSafeOnUnsafeCatalogCases) {
+  for (const BenchmarkCase& bench : StandardBenchmarks()) {
+    if (!bench.expected_unsafe.value_or(false)) continue;
+    tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(bench.system.simpl());
+    tmai::TmaiOptions opts;
+    opts.domain = tmai::Domain::kRelational;
+    EXPECT_FALSE(tmai::RunTmai(tsys, tmai::TmaiGoal{}, opts).safe)
+        << bench.name << ": relational TMAI proved an unsafe case safe";
+  }
+}
+
+TEST(TmaiCertificateTest, JsonRoundTripPreservesValidity) {
+  BenchmarkCase bench = DekkerCas();
+  tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(bench.system.simpl());
+  tmai::TmaiOptions opts;
+  opts.domain = tmai::Domain::kRelational;
+  tmai::TmaiResult r = tmai::RunTmai(tsys, tmai::TmaiGoal{}, opts);
+  ASSERT_TRUE(r.safe);
+  ASSERT_NE(r.certificate, nullptr);
+
+  JsonWriter w;
+  tmai::WriteCertificateJson(*r.certificate, &w);
+  Expected<JsonValue> parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  Expected<tmai::Certificate> cert =
+      tmai::ParseCertificateJson(parsed.value());
+  ASSERT_TRUE(cert.ok()) << cert.error();
+  tmai::CertCheckResult cc = tmai::CheckCertificate(tsys, cert.value());
+  EXPECT_TRUE(cc.valid) << cc.error;
+
+  // Serialization is deterministic: re-rendering the parsed certificate
+  // reproduces the bytes.
+  JsonWriter w2;
+  tmai::WriteCertificateJson(cert.value(), &w2);
+  EXPECT_EQ(w.str(), w2.str());
+}
+
+TEST(TmaiCertificateTest, CheckerRejectsTamperedCertificates) {
+  BenchmarkCase bench = PetersonHandover();
+  tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(bench.system.simpl());
+  tmai::TmaiOptions opts;
+  opts.domain = tmai::Domain::kRelational;
+  tmai::TmaiResult r = tmai::RunTmai(tsys, tmai::TmaiGoal{}, opts);
+  ASSERT_TRUE(r.safe);
+  ASSERT_NE(r.certificate, nullptr);
+
+  {
+    // Claiming a must-observation for the init message would let the
+    // pruning rules drop reads of messages that always exist.
+    tmai::Certificate bad = *r.certificate;
+    bad.must.obs[0][0].Insert(VarVal{1, 1});
+    EXPECT_FALSE(tmai::CheckCertificate(tsys, bad).valid);
+  }
+  {
+    // Shrinking a store summary breaks table closure.
+    tmai::Certificate bad = *r.certificate;
+    bool cleared = false;
+    for (auto& per_thread : bad.tables.store_vals) {
+      for (ValueSet& s : per_thread) {
+        if (!s.empty()) {
+          s = ValueSet();
+          cleared = true;
+          break;
+        }
+      }
+      if (cleared) break;
+    }
+    ASSERT_TRUE(cleared);
+    EXPECT_FALSE(tmai::CheckCertificate(tsys, bad).valid);
+  }
+  {
+    // Dropping an invariant disjunct breaks inductiveness (or entry
+    // coverage when it was the entry disjunct).
+    tmai::Certificate bad = *r.certificate;
+    bool dropped = false;
+    for (auto& th : bad.threads) {
+      for (auto& node : th.invariants) {
+        if (!node.empty()) {
+          node.clear();
+          dropped = true;
+          break;
+        }
+      }
+      if (dropped) break;
+    }
+    ASSERT_TRUE(dropped);
+    EXPECT_FALSE(tmai::CheckCertificate(tsys, bad).valid);
+  }
+  {
+    // A certificate for a different system shape is refused outright.
+    tmai::Certificate bad = *r.certificate;
+    bad.num_vars += 1;
+    EXPECT_FALSE(tmai::CheckCertificate(tsys, bad).valid);
+  }
 }
 
 TEST(TmaiDiagnosticsTest, MpPairYieldsTheFixpointNotes) {
