@@ -7,6 +7,7 @@
 //   rapar_cli classify FILE...
 //   rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]
 //   rapar_cli certcheck --env FILE [--dis FILE]... --cert FILE
+//   rapar_cli serve [--threads N] [--cache-entries N] [--cache-bytes N]
 //
 // Every subcommand answers `--help` with its own flag list. Flags are
 // declared once in the kFlags table below — name, arity, applicable
@@ -24,6 +25,10 @@
 // dlanalyze runs makeP for one guess (--guess N, default 0) and reports
 // the static analysis of the emitted Datalog program; --dot prints the
 // predicate dependency graph in Graphviz format instead.
+// serve runs the long-lived verification daemon (core/serve.h): one JSON
+// request per stdin line, one result envelope per stdout line, with a
+// persistent worker pool, warm per-worker Datalog engines and a
+// content-addressed verdict cache. EOF on stdin shuts it down (exit 0).
 //
 // Machine-readable output (--format=json) uses the stable envelopes of
 // core/result_json.h: verify/mg emit the verdict envelope (schema_version,
@@ -38,6 +43,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -49,6 +55,7 @@
 #include "analysis/prepass.h"
 #include "common/json.h"
 #include "core/result_json.h"
+#include "core/serve.h"
 #include "core/verifier.h"
 #include "dlopt/dl_diagnostics.h"
 #include "encoding/makep.h"
@@ -87,6 +94,10 @@ struct Options {
   std::string trace_file;
   bool metrics = false;
   bool help = false;
+  long long cache_entries = 1024;
+  long long cache_bytes = 64ll << 20;
+  bool pretty = false;
+  bool cert_revalidate = true;
 };
 
 // --- declarative flag table -------------------------------------------------
@@ -102,7 +113,7 @@ struct FlagSpec {
 };
 
 constexpr char kAllCommands[] =
-    "verify mg dump-datalog dlanalyze classify lint certcheck";
+    "verify mg dump-datalog dlanalyze classify lint certcheck serve";
 
 const FlagSpec kFlags[] = {
     {"--env", true, "FILE", "verify mg dump-datalog dlanalyze lint certcheck",
@@ -114,9 +125,10 @@ const FlagSpec kFlags[] = {
     {"--backend", true, "B", "verify mg",
      "simplified|datalog|concrete|tmai|portfolio (default simplified)",
      [](Options& o, const char* v) { o.backend = v; }},
-    {"--threads", true, "N", "verify mg",
+    {"--threads", true, "N", "verify mg serve",
      "concrete: env threads in the instance (default 2); datalog: worker "
-     "threads (default 0 = all hardware threads, 1 = serial)",
+     "threads (default 0 = all hardware threads, 1 = serial); serve: "
+     "request-pool workers (default 0 = all hardware threads)",
      [](Options& o, const char* v) {
        o.threads = std::atoi(v);
        o.threads_set = true;
@@ -167,6 +179,19 @@ const FlagSpec kFlags[] = {
     {"--trace", true, "FILE", "verify mg",
      "write a Chrome trace-event JSON of the run (Perfetto-loadable)",
      [](Options& o, const char* v) { o.trace_file = v; }},
+    {"--cache-entries", true, "N", "serve",
+     "verdict-cache capacity in entries, 0 disables the cache "
+     "(default 1024)",
+     [](Options& o, const char* v) { o.cache_entries = std::atoll(v); }},
+    {"--cache-bytes", true, "N", "serve",
+     "verdict-cache resident-bytes ceiling (default 67108864)",
+     [](Options& o, const char* v) { o.cache_bytes = std::atoll(v); }},
+    {"--pretty", false, nullptr, "serve",
+     "indent response envelopes (default: one response per line)",
+     [](Options& o, const char*) { o.pretty = true; }},
+    {"--no-cert-revalidate", false, nullptr, "serve",
+     "skip re-checking memoized TMAI certificates on cache hits",
+     [](Options& o, const char*) { o.cert_revalidate = false; }},
     {"--metrics", false, nullptr, "verify mg",
      "print the telemetry registry after the verdict",
      [](Options& o, const char*) { o.metrics = true; }},
@@ -210,6 +235,8 @@ int GlobalUsage() {
       "  rapar_cli classify FILE...\n"
       "  rapar_cli lint [--env FILE] [--dis FILE]... [FILE...]\n"
       "  rapar_cli certcheck --env FILE [--dis FILE]... --cert FILE\n"
+      "  rapar_cli serve [--threads N] [--cache-entries N] "
+      "[--cache-bytes N]\n"
       "run `rapar_cli <command> --help` for the command's flags\n");
   return 3;
 }
@@ -795,6 +822,28 @@ int DlAnalyze(const Options& opts) {
   return errors + warnings > 0 ? 1 : 0;
 }
 
+// The long-lived verification daemon: newline-delimited JSON requests on
+// stdin, one result envelope per stdout line (core/serve.h has the wire
+// protocol). Runs until EOF on stdin.
+int Serve(const Options& opts) {
+  rapar::serve::ServeOptions sopts;
+  sopts.threads = opts.threads_set
+                      ? static_cast<unsigned>(opts.threads < 0 ? 0
+                                                               : opts.threads)
+                      : 0;
+  sopts.cache_entries = opts.cache_entries < 0
+                            ? 0
+                            : static_cast<std::size_t>(opts.cache_entries);
+  sopts.cache_bytes = opts.cache_bytes < 0
+                          ? 0
+                          : static_cast<std::size_t>(opts.cache_bytes);
+  sopts.pretty = opts.pretty;
+  sopts.revalidate_certificates = opts.cert_revalidate;
+  rapar::serve::ServeSession session(sopts);
+  session.Run(std::cin, std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -809,5 +858,6 @@ int main(int argc, char** argv) {
   if (opts.command == "dump-datalog") return DumpDatalog(opts);
   if (opts.command == "dlanalyze") return DlAnalyze(opts);
   if (opts.command == "certcheck") return CertCheck(opts);
+  if (opts.command == "serve") return Serve(opts);
   return GlobalUsage();
 }

@@ -51,6 +51,27 @@ if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
   jq -e '.totals.proof_rate_relational >= .totals.proof_rate_smallset
          and .totals.certificates_valid == .totals.certificates_total
          and .totals.parity == "OK"' build/BENCH_tmai_domains.json
+
+  # serve-mode smoke: three requests through the daemon (one repeated);
+  # the repeat must answer from the verdict cache with cache.hits == 1
+  # and an identical verdict.
+  cmake --build --preset default -j "$jobs" --target rapar_cli bench_serve
+  req='{"id":1,"command":"verify","env_file":"examples/programs/mp_writer.rap","dis_files":["examples/programs/mp_reader_stale.rap"]}'
+  bad='{"command":"nope"}'
+  printf '%s\n' "$req" "$bad" "$req" \
+    | ./build/examples/rapar_cli serve --threads 2 > serve_smoke.jsonl
+  [[ "$(wc -l < serve_smoke.jsonl)" == "3" ]]
+  jq -e -s '([.[] | select(.command == "error")] | length) == 1
+            and (.[2].cache == "hit")
+            and (.[2].verdict == .[0].verdict)
+            and (.[2].telemetry["cache.hits"] == 1)' serve_smoke.jsonl
+  rm -f serve_smoke.jsonl
+
+  # serve replay bench: cache hits must be at least 2x faster than cold
+  # sessions across the catalog, with verdict parity in every regime.
+  (cd build && ./bench/bench_serve --json --benchmark_filter=NONE)
+  jq -e '.totals.speedup_hit >= 2 and .totals.parity == "OK"' \
+    build/BENCH_serve.json
 fi
 
 if [[ "${CHECK_WERROR:-0}" == "1" ]]; then

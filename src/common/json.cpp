@@ -1,9 +1,13 @@
 #include "common/json.h"
 
+#include <cassert>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <stdexcept>
 
 namespace rapar {
 
@@ -46,12 +50,20 @@ void JsonWriter::Newline() {
   out_.append(2 * stack_.size(), ' ');
 }
 
+void JsonWriter::Misuse(const char* what) const {
+  assert(false && "JsonWriter misuse");
+  throw std::logic_error(std::string("JsonWriter misuse: ") + what);
+}
+
 void JsonWriter::BeforeValue() {
   if (after_key_) {
     after_key_ = false;
     return;
   }
   if (!stack_.empty()) {
+    if (stack_.back().object) {
+      Misuse("value inside an object requires a preceding Key");
+    }
     if (stack_.back().has_value) out_ += ',';
     if (pretty_) Newline();
     stack_.back().has_value = true;
@@ -66,7 +78,11 @@ JsonWriter& JsonWriter::BeginObject() {
 }
 
 JsonWriter& JsonWriter::EndObject() {
-  const bool had = !stack_.empty() && stack_.back().has_value;
+  if (after_key_) Misuse("EndObject after a Key with no value");
+  if (stack_.empty() || !stack_.back().object) {
+    Misuse("EndObject without a matching BeginObject");
+  }
+  const bool had = stack_.back().has_value;
   stack_.pop_back();
   if (had && pretty_) Newline();
   out_ += '}';
@@ -81,7 +97,11 @@ JsonWriter& JsonWriter::BeginArray() {
 }
 
 JsonWriter& JsonWriter::EndArray() {
-  const bool had = !stack_.empty() && stack_.back().has_value;
+  if (after_key_) Misuse("EndArray after a Key with no value");
+  if (stack_.empty() || stack_.back().object) {
+    Misuse("EndArray without a matching BeginArray");
+  }
+  const bool had = stack_.back().has_value;
   stack_.pop_back();
   if (had && pretty_) Newline();
   out_ += ']';
@@ -89,11 +109,13 @@ JsonWriter& JsonWriter::EndArray() {
 }
 
 JsonWriter& JsonWriter::Key(std::string_view key) {
-  if (!stack_.empty()) {
-    if (stack_.back().has_value) out_ += ',';
-    if (pretty_) Newline();
-    stack_.back().has_value = true;
+  if (after_key_) Misuse("Key immediately after Key");
+  if (stack_.empty() || !stack_.back().object) {
+    Misuse("Key outside of an object");
   }
+  if (stack_.back().has_value) out_ += ',';
+  if (pretty_) Newline();
+  stack_.back().has_value = true;
   out_ += '"';
   out_ += JsonEscape(key);
   out_ += pretty_ ? "\": " : "\":";
@@ -327,30 +349,39 @@ class Parser {
           case 'r': *out += '\r'; break;
           case 't': *out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Fail(err, "bad \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return Fail(err, "bad \\u escape");
-              }
+            if (!ParseHex4(&code, err)) return false;
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Fail(err, "unpaired low surrogate");
             }
-            // UTF-8 encode (surrogate pairs unhandled: our emitters only
-            // produce \u00xx control-character escapes).
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: a \uDC00..\uDFFF low half must follow, and
+              // the pair decodes to one supplementary-plane code point.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Fail(err, "unpaired high surrogate");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              if (!ParseHex4(&low, err)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Fail(err, "unpaired high surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            // UTF-8 encode (1-4 bytes).
             if (code < 0x80) {
               *out += static_cast<char>(code);
             } else if (code < 0x800) {
               *out += static_cast<char>(0xC0 | (code >> 6));
               *out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
+            } else if (code < 0x10000) {
               *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xF0 | (code >> 18));
+              *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
               *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
               *out += static_cast<char>(0x80 | (code & 0x3F));
             }
@@ -365,6 +396,25 @@ class Parser {
       ++pos_;
     }
     return Fail(err, "unterminated string");
+  }
+
+  bool ParseHex4(unsigned* code, std::string* err) {
+    if (pos_ + 4 > text_.size()) return Fail(err, "bad \\u escape");
+    *code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      *code <<= 4;
+      if (h >= '0' && h <= '9') {
+        *code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        *code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        *code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Fail(err, "bad \\u escape");
+      }
+    }
+    return true;
   }
 
   bool ParseNumber(JsonValue* out, std::string* err) {
@@ -383,8 +433,27 @@ class Parser {
     out->number = std::strtod(tok.c_str(), &end);
     if (end == nullptr || *end != '\0') return Fail(err, "bad number");
     if (tok.find_first_of(".eE") == std::string::npos) {
-      out->number_is_int = true;
-      out->integer = std::strtoll(tok.c_str(), nullptr, 10);
+      // Exact integer token. Telemetry counters are emitted as full
+      // uint64, so non-negative tokens parse through strtoull; either
+      // direction overflowing its type is a parse error rather than a
+      // silently clamped value.
+      errno = 0;
+      if (tok[0] == '-') {
+        const long long ll = std::strtoll(tok.c_str(), nullptr, 10);
+        if (errno == ERANGE) return Fail(err, "integer out of range");
+        out->number_is_int = true;
+        out->integer = ll;
+      } else {
+        const unsigned long long ull = std::strtoull(tok.c_str(), nullptr, 10);
+        if (errno == ERANGE) return Fail(err, "integer out of range");
+        out->number_is_uint = true;
+        out->uinteger = ull;
+        if (ull <= static_cast<unsigned long long>(
+                       std::numeric_limits<long long>::max())) {
+          out->number_is_int = true;
+          out->integer = static_cast<long long>(ull);
+        }
+      }
     }
     return true;
   }
@@ -397,6 +466,42 @@ class Parser {
 
 Expected<JsonValue> ParseJson(std::string_view text) {
   return Parser(text).Parse();
+}
+
+void WriteJsonValue(const JsonValue& value, JsonWriter* w) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      w->Null();
+      break;
+    case JsonValue::Kind::kBool:
+      w->Bool(value.boolean);
+      break;
+    case JsonValue::Kind::kNumber:
+      if (value.number_is_uint) {
+        w->UInt(value.uinteger);
+      } else if (value.number_is_int) {
+        w->Int(value.integer);
+      } else {
+        w->Double(value.number);
+      }
+      break;
+    case JsonValue::Kind::kString:
+      w->String(value.string);
+      break;
+    case JsonValue::Kind::kArray:
+      w->BeginArray();
+      for (const JsonValue& item : value.items) WriteJsonValue(item, w);
+      w->EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      w->BeginObject();
+      for (const auto& [key, member] : value.members) {
+        w->Key(key);
+        WriteJsonValue(member, w);
+      }
+      w->EndObject();
+      break;
+  }
 }
 
 }  // namespace rapar

@@ -26,6 +26,12 @@ std::string JsonEscape(std::string_view s);
 // Streaming JSON writer with bracket/comma bookkeeping. Values are
 // written in call order; Key must precede every value inside an object.
 // With pretty=true, objects and arrays break onto indented lines.
+//
+// Misuse (End* without a matching Begin*, Key outside an object or twice
+// in a row, a value inside an object without a preceding Key) is a hard
+// error: assert in debug builds, std::logic_error in release. The writer
+// backs every machine-readable surface of the tool, so an unbalanced
+// document must never escape silently.
 class JsonWriter {
  public:
   explicit JsonWriter(bool pretty = false) : pretty_(pretty) {}
@@ -54,6 +60,7 @@ class JsonWriter {
  private:
   void BeforeValue();
   void Newline();
+  [[noreturn]] void Misuse(const char* what) const;
 
   std::string out_;
   bool pretty_ = false;
@@ -67,8 +74,13 @@ class JsonWriter {
   bool after_key_ = false;
 };
 
-// Parsed JSON document (used by tests and tools that validate our own
-// output). Numbers are kept as double plus the int64 view when exact.
+// Parsed JSON document (used by tests, tools that validate our own
+// output, and the serve-mode request decoder). Numbers are kept as
+// double plus exact integer views: `integer` when the token fits int64,
+// `uinteger` when a non-negative token fits uint64 (telemetry counters
+// are emitted as full uint64, so [INT64_MAX+1, UINT64_MAX] is a real
+// range). Integer tokens outside both ranges are a parse error, never a
+// silently saturated value.
 struct JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
   Kind kind = Kind::kNull;
@@ -76,6 +88,8 @@ struct JsonValue {
   double number = 0.0;
   bool number_is_int = false;
   long long integer = 0;
+  bool number_is_uint = false;
+  std::uint64_t uinteger = 0;
   std::string string;
   std::vector<JsonValue> items;                             // kArray
   std::vector<std::pair<std::string, JsonValue>> members;   // kObject
@@ -94,6 +108,12 @@ struct JsonValue {
 // Parses a complete JSON document (trailing whitespace allowed, trailing
 // garbage rejected). Errors carry a byte offset.
 Expected<JsonValue> ParseJson(std::string_view text);
+
+// Re-emits a parsed value through `w`. Integer-token numbers round-trip
+// exactly (uint64-range counters included); everything our own writers
+// produce re-emits byte-identically, which is what makes replayed cache
+// envelopes and the round-trip fuzz oracle work.
+void WriteJsonValue(const JsonValue& value, JsonWriter* w);
 
 }  // namespace rapar
 

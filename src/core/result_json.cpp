@@ -43,12 +43,22 @@ int VerdictExitCode(const Verdict& v) {
 
 std::string VerdictToJson(const Verdict& v, const VerifierOptions& options,
                           std::string_view command,
-                          std::string_view system_signature) {
-  JsonWriter w(/*pretty=*/true);
+                          std::string_view system_signature, bool pretty,
+                          const EnvelopeExtras* extras) {
+  JsonWriter w(pretty);
   w.BeginObject();
   w.Key("schema_version").Int(kResultSchemaVersion);
   w.Key("tool").String("rapar");
   w.Key("command").String(command);
+  if (extras != nullptr && !extras->id_json.empty()) {
+    w.Key("id").Raw(extras->id_json);
+  }
+  if (extras != nullptr && !extras->fingerprint.empty()) {
+    w.Key("fingerprint").String(extras->fingerprint);
+  }
+  if (extras != nullptr && !extras->cache.empty()) {
+    w.Key("cache").String(extras->cache);
+  }
   if (!system_signature.empty()) {
     w.Key("system").String(system_signature);
   }

@@ -35,11 +35,31 @@ const char* VerdictName(Verdict::Result r);
 // The CLI exit code the verdict maps to (0 / 1 / 2).
 int VerdictExitCode(const Verdict& v);
 
+// Serve-mode additions to the verify/mg envelope (core/serve.h). Every
+// field is optional; with none set the envelope is exactly what one-shot
+// verify emits, which is what makes the cache-replay differential a
+// byte-comparison.
+struct EnvelopeExtras {
+  // Client-chosen request id, echoed back verbatim as pre-rendered JSON
+  // (any JSON value). Empty = key omitted.
+  std::string id_json;
+  // Content-address of the request (hex digest of the canonical
+  // normalization). Empty = key omitted.
+  std::string fingerprint;
+  // "hit" (envelope replayed from the verdict cache) or "miss" (the
+  // pipeline ran). Empty = key omitted.
+  std::string cache;
+};
+
 // Renders the verify/mg envelope. `command` is "verify" or "mg";
 // `system_signature` is ParamSystem::Signature() (empty = omitted).
+// `pretty` selects indented output (the CLI one-shot default) or the
+// single-line form serve uses for its newline-delimited wire protocol.
 std::string VerdictToJson(const Verdict& v, const VerifierOptions& options,
                           std::string_view command,
-                          std::string_view system_signature);
+                          std::string_view system_signature,
+                          bool pretty = true,
+                          const EnvelopeExtras* extras = nullptr);
 
 // Renders the diagnostics envelope for lint/dlanalyze. Each entry pairs
 // the file the diagnostic is about (or a pseudo-file like "makeP") with

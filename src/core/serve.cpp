@@ -1,0 +1,762 @@
+#include "core/serve.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <istream>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/prepass.h"
+#include "common/hash.h"
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "core/param_system.h"
+#include "core/result_json.h"
+#include "core/verifier.h"
+#include "datalog/engine.h"
+#include "lang/parser.h"
+#include "obs/telemetry.h"
+#include "tmai/certcheck.h"
+#include "tmai/tmai.h"
+
+namespace rapar::serve {
+
+namespace {
+
+// --- request decoding -------------------------------------------------------
+
+// One decoded request. `error` non-empty means decoding failed and only
+// `id_json` is meaningful.
+struct Request {
+  std::string id_json;  // pre-rendered echo; empty = no id
+  bool mg = false;
+  std::string env_text;
+  std::vector<std::string> dis_texts;
+  std::string goal_var;
+  long long goal_val = -1;
+  int unroll = 0;
+  VerifierOptions vopts;
+  std::string backend_name;      // normalized, for the fingerprint
+  std::string tmai_domain_name;  // normalized, for the fingerprint
+  std::string error;
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+const JsonValue* FindMember(const JsonValue& obj, const char* key) {
+  return obj.Find(key);
+}
+
+// Integer member with type checking; leaves *out untouched when absent.
+bool GetInt(const JsonValue& obj, const char* key, long long* out,
+            std::string* error) {
+  const JsonValue* v = FindMember(obj, key);
+  if (v == nullptr) return true;
+  if (!v->is_number() || !v->number_is_int) {
+    *error = std::string("field '") + key + "' must be an integer";
+    return false;
+  }
+  *out = v->integer;
+  return true;
+}
+
+bool GetBool(const JsonValue& obj, const char* key, bool* out,
+             std::string* error) {
+  const JsonValue* v = FindMember(obj, key);
+  if (v == nullptr) return true;
+  if (!v->is_bool()) {
+    *error = std::string("field '") + key + "' must be a boolean";
+    return false;
+  }
+  *out = v->boolean;
+  return true;
+}
+
+bool GetString(const JsonValue& obj, const char* key, std::string* out,
+               std::string* error) {
+  const JsonValue* v = FindMember(obj, key);
+  if (v == nullptr) return true;
+  if (!v->is_string()) {
+    *error = std::string("field '") + key + "' must be a string";
+    return false;
+  }
+  *out = v->string;
+  return true;
+}
+
+// Decodes the request object into a Request. Defaults mirror the CLI
+// (30s budget, simplified backend) except datalog.threads, which
+// defaults to 1: the daemon parallelizes *across* requests, so each
+// request runs the serial loop on a warm per-worker engine unless the
+// client asks otherwise.
+Request DecodeRequest(const JsonValue& doc) {
+  Request req;
+  req.vopts.time_budget_ms = 30'000;
+  req.vopts.datalog.threads = 1;
+
+  if (const JsonValue* id = doc.Find("id")) {
+    JsonWriter w;
+    WriteJsonValue(*id, &w);
+    req.id_json = w.TakeString();
+  }
+  if (!doc.is_object()) {
+    req.error = "request must be a JSON object";
+    return req;
+  }
+
+  std::string command;
+  if (!GetString(doc, "command", &command, &req.error)) return req;
+  if (command == "mg") {
+    req.mg = true;
+  } else if (command != "verify") {
+    req.error = command.empty() ? "missing \"command\" (verify|mg)"
+                                : "unknown command \"" + command + "\"";
+    return req;
+  }
+
+  // Program sources: inline text wins over file paths.
+  std::string env_file;
+  if (!GetString(doc, "env", &req.env_text, &req.error)) return req;
+  if (!GetString(doc, "env_file", &env_file, &req.error)) return req;
+  if (req.env_text.empty() && !env_file.empty() &&
+      !ReadFile(env_file, &req.env_text)) {
+    req.error = "cannot read env file '" + env_file + "'";
+    return req;
+  }
+  if (req.env_text.empty()) {
+    req.error = "missing env program (\"env\" text or \"env_file\" path)";
+    return req;
+  }
+  if (const JsonValue* dis = doc.Find("dis")) {
+    if (!dis->is_array()) {
+      req.error = "field 'dis' must be an array of program texts";
+      return req;
+    }
+    for (const JsonValue& item : dis->items) {
+      if (!item.is_string()) {
+        req.error = "field 'dis' must be an array of program texts";
+        return req;
+      }
+      req.dis_texts.push_back(item.string);
+    }
+  }
+  if (const JsonValue* dis_files = doc.Find("dis_files")) {
+    if (!dis_files->is_array()) {
+      req.error = "field 'dis_files' must be an array of paths";
+      return req;
+    }
+    for (const JsonValue& item : dis_files->items) {
+      std::string text;
+      if (!item.is_string() || !ReadFile(item.string, &text)) {
+        req.error = "cannot read dis file" +
+                    (item.is_string() ? " '" + item.string + "'" : "");
+        return req;
+      }
+      req.dis_texts.push_back(std::move(text));
+    }
+  }
+
+  if (!GetString(doc, "var", &req.goal_var, &req.error)) return req;
+  if (!GetInt(doc, "val", &req.goal_val, &req.error)) return req;
+  if (req.mg && (req.goal_var.empty() || req.goal_val < 0)) {
+    req.error = "mg requires \"var\" (declared) and \"val\" >= 0";
+    return req;
+  }
+
+  // Options object: same knobs the CLI flag table exposes.
+  req.backend_name = "simplified";
+  req.tmai_domain_name = "auto";
+  long long threads = 1, batch_size = 32, env_threads = 2;
+  long long max_states = -1, max_depth = -1, max_guesses = -1;
+  long long time_budget_ms = 30'000, unroll = 0;
+  long long tmai_iters = 64, tmai_delay = 8, tmai_vset = 16;
+  if (const JsonValue* opts = doc.Find("options")) {
+    if (!opts->is_object()) {
+      req.error = "field 'options' must be an object";
+      return req;
+    }
+    if (!GetString(*opts, "backend", &req.backend_name, &req.error) ||
+        !GetString(*opts, "tmai_domain", &req.tmai_domain_name, &req.error) ||
+        !GetBool(*opts, "enable_prepass", &req.vopts.enable_prepass,
+                 &req.error) ||
+        !GetBool(*opts, "enable_dlopt", &req.vopts.datalog.enable_dlopt,
+                 &req.error) ||
+        !GetInt(*opts, "threads", &threads, &req.error) ||
+        !GetInt(*opts, "batch_size", &batch_size, &req.error) ||
+        !GetInt(*opts, "env_threads", &env_threads, &req.error) ||
+        !GetInt(*opts, "unroll", &unroll, &req.error) ||
+        !GetInt(*opts, "tmai_max_iterations", &tmai_iters, &req.error) ||
+        !GetInt(*opts, "tmai_widening_delay", &tmai_delay, &req.error) ||
+        !GetInt(*opts, "tmai_value_set_limit", &tmai_vset, &req.error) ||
+        !GetInt(*opts, "max_states", &max_states, &req.error) ||
+        !GetInt(*opts, "max_depth", &max_depth, &req.error) ||
+        !GetInt(*opts, "time_budget_ms", &time_budget_ms, &req.error) ||
+        !GetInt(*opts, "max_guesses", &max_guesses, &req.error)) {
+      return req;
+    }
+  }
+
+  if (req.backend_name == "simplified") {
+    req.vopts.backend = Backend::kSimplifiedExplorer;
+  } else if (req.backend_name == "datalog") {
+    req.vopts.backend = Backend::kDatalog;
+  } else if (req.backend_name == "concrete") {
+    req.vopts.backend = Backend::kConcrete;
+  } else if (req.backend_name == "tmai") {
+    req.vopts.backend = Backend::kTmai;
+  } else if (req.backend_name == "portfolio") {
+    req.vopts.backend = Backend::kPortfolio;
+  } else {
+    req.error = "unknown backend \"" + req.backend_name + "\"";
+    return req;
+  }
+  if (req.tmai_domain_name == "smallset") {
+    req.vopts.tmai.domain = tmai::Domain::kSmallSet;
+  } else if (req.tmai_domain_name == "relational") {
+    req.vopts.tmai.domain = tmai::Domain::kRelational;
+  } else if (req.tmai_domain_name == "auto") {
+    req.vopts.tmai.domain = tmai::Domain::kAuto;
+  } else {
+    req.error = "unknown TMAI domain \"" + req.tmai_domain_name + "\"";
+    return req;
+  }
+  req.vopts.datalog.threads =
+      threads < 0 ? 0u : static_cast<unsigned>(threads);
+  req.vopts.datalog.batch_size =
+      batch_size <= 0 ? 1 : static_cast<std::size_t>(batch_size);
+  req.vopts.concrete.env_threads = static_cast<int>(env_threads);
+  req.vopts.tmai.max_iterations = static_cast<int>(tmai_iters);
+  req.vopts.tmai.widening_delay = static_cast<int>(tmai_delay);
+  req.vopts.tmai.value_set_limit = static_cast<int>(tmai_vset);
+  if (max_states >= 0) {
+    req.vopts.max_states = static_cast<std::size_t>(max_states);
+  }
+  if (max_depth >= 0) req.vopts.max_depth = static_cast<int>(max_depth);
+  req.vopts.time_budget_ms = time_budget_ms;
+  if (max_guesses >= 0) {
+    req.vopts.max_guesses = static_cast<std::size_t>(max_guesses);
+  }
+  req.unroll = static_cast<int>(unroll);
+  return req;
+}
+
+Expected<ParamSystem> BuildSystem(const Request& req) {
+  Expected<Program> env = ParseProgram(req.env_text);
+  if (!env.ok()) {
+    return Expected<ParamSystem>::Error("env: " + env.error());
+  }
+  ParamSystem::Builder builder;
+  builder.Env(std::move(env).value()).UnrollDis(req.unroll);
+  for (std::size_t i = 0; i < req.dis_texts.size(); ++i) {
+    Expected<Program> dis = ParseProgram(req.dis_texts[i]);
+    if (!dis.ok()) {
+      return Expected<ParamSystem>::Error("dis[" + std::to_string(i) +
+                                          "]: " + dis.error());
+    }
+    builder.Dis(std::move(dis).value());
+  }
+  return builder.Build();
+}
+
+// --- fingerprinting ---------------------------------------------------------
+
+// The canonical normalization of a request: every input the backends can
+// observe, in a fixed order. Two requests get the same canonical string
+// exactly when they run the same verification — the pretty-printed
+// programs (post-unroll, so `unroll` is captured structurally as well as
+// textually), the class signature, the goal, and every option field that
+// reaches a backend. datalog.threads and batch_size are deliberately
+// excluded: the verdict is thread-count independent by the determinism
+// rule (encoding/datalog_verifier.h), so scheduling knobs must not
+// fragment the cache.
+std::string CanonicalRequest(const Request& req, const ParamSystem& sys) {
+  const VerifierOptions& vo = req.vopts;
+  std::string s;
+  s.reserve(512);
+  s += "rapar-fingerprint-v1\n";
+  s += "command=";
+  s += req.mg ? "mg" : "verify";
+  s += '\n';
+  if (req.mg) {
+    s += "goal=" + req.goal_var + ':' + std::to_string(req.goal_val) + '\n';
+  }
+  s += "backend=" + req.backend_name + '\n';
+  s += "prepass=";
+  s += vo.enable_prepass ? '1' : '0';
+  s += "\ndlopt=";
+  s += vo.datalog.enable_dlopt ? '1' : '0';
+  s += "\nengine=";
+  s += vo.datalog.engine.use_index ? '1' : '0';
+  s += vo.datalog.engine.reorder_joins ? '1' : '0';
+  s += vo.datalog.engine.reuse_facts ? '1' : '0';
+  s += "\ntmai=" + req.tmai_domain_name + ':' +
+       std::to_string(vo.tmai.max_iterations) + ':' +
+       std::to_string(vo.tmai.widening_delay) + ':' +
+       std::to_string(vo.tmai.value_set_limit) + '\n';
+  s += "limits=" + std::to_string(vo.max_states) + ':' +
+       std::to_string(vo.max_depth) + ':' +
+       std::to_string(vo.time_budget_ms) + ':' +
+       std::to_string(vo.max_guesses) + '\n';
+  s += "env_threads=" + std::to_string(vo.concrete.env_threads) + '\n';
+  s += "unroll=" + std::to_string(req.unroll) + '\n';
+  s += "signature=" + sys.Signature() + '\n';
+  s += "env:\n" + sys.env_program().ToString();
+  for (const Program& dis : sys.dis_programs()) {
+    s += "dis:\n" + dis.ToString();
+  }
+  return s;
+}
+
+// 128-bit display digest of the canonical string (two independent
+// FNV-1a lanes, SplitMix64-finalized). The cache is keyed by the full
+// canonical string, so the digest is an address label, not a
+// correctness-critical hash.
+std::string FingerprintDigest(std::string_view canonical) {
+  std::uint64_t a = 0xcbf29ce484222325ull;
+  std::uint64_t b = 0x9e3779b97f4a7c15ull;
+  for (const unsigned char c : canonical) {
+    a = (a ^ c) * 0x100000001b3ull;
+    b = (b ^ (c + 0x9dull)) * 0x100000001b3ull;
+  }
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(SplitMix64(a)),
+                static_cast<unsigned long long>(SplitMix64(b)));
+  return buf;
+}
+
+// One-line error envelope; the daemon answers it and keeps serving.
+std::string ErrorLine(const std::string& id_json, const std::string& message,
+                      bool pretty) {
+  JsonWriter w(pretty);
+  w.BeginObject();
+  w.Key("schema_version").Int(kResultSchemaVersion);
+  w.Key("tool").String("rapar");
+  w.Key("command").String("error");
+  if (!id_json.empty()) w.Key("id").Raw(id_json);
+  w.Key("error").String(message);
+  w.Key("exit_code").Int(3);
+  w.EndObject();
+  return w.TakeString();
+}
+
+// Re-validates a memoized certificate against the freshly parsed system,
+// replicating the verifier's preparation (same prepass, same goal-var
+// protection — mirrors rapar_cli certcheck).
+bool RevalidateCertificate(const ParamSystem& sys, bool ran_prepass,
+                           const tmai::Certificate& cert) {
+  SimplSystem simpl = sys.simpl();
+  std::unique_ptr<Cfa> env_owned;
+  std::vector<std::unique_ptr<Cfa>> dis_owned;
+  if (ran_prepass) {
+    const VarId protect =
+        cert.check_assert ? VarId::Invalid() : VarId(cert.goal_var);
+    PrepassResult pre = RunPrepass(*simpl.env, simpl.dis, protect);
+    if (pre.stats.Any()) {
+      env_owned = std::make_unique<Cfa>(std::move(pre.env));
+      simpl.env = env_owned.get();
+      simpl.dis.clear();
+      for (Cfa& d : pre.dis) {
+        dis_owned.push_back(std::make_unique<Cfa>(std::move(d)));
+        simpl.dis.push_back(dis_owned.back().get());
+      }
+    }
+  }
+  const tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(simpl);
+  return tmai::CheckCertificate(tsys, cert).valid;
+}
+
+// A verdict is memoizable only when it is a fact about the program:
+// safe/unsafe with no truncation. An unknown (deadline, budget, cap) is
+// wall-clock state and must be recomputed.
+bool Definitive(const Verdict& v) {
+  return v.result != Verdict::Result::kUnknown && v.stopped_phase.empty();
+}
+
+// Which warm-engine slot the calling thread owns. ThreadPool's worker
+// index is a process-wide thread_local, so a worker of some *other* pool
+// would alias our slots; Run()'s task wrapper tags its own workers with
+// the session they serve instead, and everyone else shares slot 0.
+thread_local const void* tl_serve_session = nullptr;
+thread_local int tl_serve_slot = 0;
+
+}  // namespace
+
+// --- session ----------------------------------------------------------------
+
+struct ServeSession::Impl {
+  explicit Impl(const ServeOptions& opts) : options(opts) {
+    unsigned threads = opts.threads;
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    // One warm engine per pool worker, plus slot 0 for calls from
+    // non-worker threads (serialized by slot0_m).
+    engines.resize((pool != nullptr ? pool->size() : 0) + 1);
+  }
+
+  struct CacheEntry {
+    std::string key;  // canonical request (owns the map's key view)
+    std::string digest;
+    std::string command;
+    std::string signature;
+    Verdict verdict;        // pre-stamping: no cache.*/serve.* counters
+    VerifierOptions vopts;  // borrowed pointers cleared
+    std::size_t bytes = 0;
+  };
+
+  // Single-flight marker: an identical request is already running the
+  // pipeline; twins wait for it instead of duplicating the work, then
+  // re-probe the cache (a definitive result lands there; a
+  // non-memoizable one makes the waiter run itself).
+  struct Inflight {
+    std::condition_variable cv;
+    bool done = false;  // guarded by cache_m
+  };
+
+  // Probes the cache for `key`. On a hit, refreshes LRU order and copies
+  // the entry to *out. On a miss, registers this caller as the key's
+  // single flight (waiting out any current flight first) and returns
+  // false — the caller must run the pipeline and call FinishFlight.
+  bool LookupOrBeginFlight(const std::string& key, CacheEntry* out,
+                           std::shared_ptr<Inflight>* flight) {
+    std::unique_lock<std::mutex> lock(cache_m);
+    for (;;) {
+      auto it = cache_index.find(key);
+      if (it != cache_index.end()) {
+        lru.splice(lru.begin(), lru, it->second);
+        *out = *it->second;
+        return true;
+      }
+      auto fit = inflight.find(key);
+      if (fit == inflight.end()) break;
+      const std::shared_ptr<Inflight> running = fit->second;
+      running->cv.wait(lock, [&] { return running->done; });
+      // Loop: the twin's definitive verdict is in the cache now; a
+      // non-definitive one leaves a miss and we run it ourselves.
+    }
+    *flight = std::make_shared<Inflight>();
+    inflight.emplace(key, *flight);
+    return false;
+  }
+
+  // Ends `key`'s flight, memoizing `entry` when provided, and wakes the
+  // waiting twins.
+  void FinishFlight(const std::string& key,
+                    const std::shared_ptr<Inflight>& flight,
+                    std::optional<CacheEntry> entry) {
+    std::lock_guard<std::mutex> lock(cache_m);
+    if (entry.has_value() && cache_index.count(entry->key) == 0) {
+      cache_bytes += entry->bytes;
+      lru.push_front(std::move(*entry));
+      cache_index.emplace(lru.front().key, lru.begin());
+      while (lru.size() > options.cache_entries ||
+             (cache_bytes > options.cache_bytes && lru.size() > 1)) {
+        const CacheEntry& victim = lru.back();
+        cache_bytes -= victim.bytes;
+        cache_index.erase(victim.key);
+        lru.pop_back();
+        evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    inflight.erase(key);
+    flight->done = true;
+    flight->cv.notify_all();
+  }
+
+  void Erase(const std::string& key) {
+    std::lock_guard<std::mutex> lock(cache_m);
+    auto it = cache_index.find(key);
+    if (it == cache_index.end()) return;
+    cache_bytes -= it->second->bytes;
+    lru.erase(it->second);
+    cache_index.erase(it);
+    evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  dl::Engine* WarmEngine(int slot) {
+    return &engines[static_cast<std::size_t>(slot)];
+  }
+
+  ServeOptions options;
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<dl::Engine> engines;
+  std::mutex slot0_m;  // serializes non-worker use of engines[0]
+
+  std::mutex cache_m;
+  std::list<CacheEntry> lru;  // front = most recently used
+  std::unordered_map<std::string_view, std::list<CacheEntry>::iterator>
+      cache_index;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight;
+  std::size_t cache_bytes = 0;
+
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+};
+
+ServeSession::ServeSession(const ServeOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+ServeSession::~ServeSession() = default;
+
+CacheStats ServeSession::cache_stats() const {
+  CacheStats cs;
+  cs.hits = impl_->hits.load(std::memory_order_relaxed);
+  cs.misses = impl_->misses.load(std::memory_order_relaxed);
+  cs.evictions = impl_->evictions.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(impl_->cache_m);
+  cs.bytes = impl_->cache_bytes;
+  cs.entries = impl_->lru.size();
+  return cs;
+}
+
+std::string ServeSession::HandleLine(std::string_view line) {
+  Impl& im = *impl_;
+  im.requests.fetch_add(1, std::memory_order_relaxed);
+  const bool pretty = im.options.pretty;
+
+  Expected<JsonValue> doc = ParseJson(line);
+  if (!doc.ok()) {
+    im.errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorLine("", "invalid request JSON: " + doc.error(), pretty);
+  }
+  Request req = DecodeRequest(doc.value());
+  if (!req.error.empty()) {
+    im.errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorLine(req.id_json, req.error, pretty);
+  }
+
+  const auto parse_start = std::chrono::steady_clock::now();
+  Expected<ParamSystem> sys = BuildSystem(req);
+  if (!sys.ok()) {
+    im.errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorLine(req.id_json, sys.error(), pretty);
+  }
+  std::optional<std::pair<VarId, Value>> goal;
+  if (req.mg) {
+    const VarId var = sys.value().vars().Find(req.goal_var);
+    if (!var.valid()) {
+      im.errors.fetch_add(1, std::memory_order_relaxed);
+      return ErrorLine(req.id_json,
+                       "unknown variable '" + req.goal_var + "'", pretty);
+    }
+    goal = {var, static_cast<Value>(req.goal_val)};
+  }
+  const double parse_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - parse_start)
+                              .count();
+
+  const std::string canonical = CanonicalRequest(req, sys.value());
+  const std::string digest = FingerprintDigest(canonical);
+  const char* command = req.mg ? "mg" : "verify";
+
+  // Stamps the session-cumulative cache/serve counters; called on a copy
+  // of the verdict so the memoized entry stays stamp-free and replays
+  // identically no matter when it is hit.
+  const auto stamp = [&im](Verdict& v, bool hit) {
+    obs::Telemetry& t = v.telemetry;
+    t.SetCounter(obs::metric::kCacheHit, hit ? 1 : 0);
+    t.SetCounter(obs::metric::kCacheHits,
+                 im.hits.load(std::memory_order_relaxed));
+    t.SetCounter(obs::metric::kCacheMisses,
+                 im.misses.load(std::memory_order_relaxed));
+    t.SetCounter(obs::metric::kCacheEvictions,
+                 im.evictions.load(std::memory_order_relaxed));
+    {
+      std::lock_guard<std::mutex> lock(im.cache_m);
+      t.SetCounter(obs::metric::kCacheBytes, im.cache_bytes);
+    }
+    t.SetCounter(obs::metric::kServeRequests,
+                 im.requests.load(std::memory_order_relaxed));
+    t.SetCounter(obs::metric::kServeErrors,
+                 im.errors.load(std::memory_order_relaxed));
+  };
+
+  EnvelopeExtras extras;
+  extras.id_json = req.id_json;
+  extras.fingerprint = digest;
+
+  // Envelopes end with '\n' (the one-shot CLI contract); the line
+  // protocol owns the terminator, so strip it here.
+  const auto one_line = [](std::string s) {
+    if (!s.empty() && s.back() == '\n') s.pop_back();
+    return s;
+  };
+
+  // --- cache probe (single-flight per canonical request) ---
+  std::shared_ptr<Impl::Inflight> flight;
+  if (im.options.cache_entries != 0) {
+    for (;;) {
+      Impl::CacheEntry entry;
+      if (!im.LookupOrBeginFlight(canonical, &entry, &flight)) break;
+      if (entry.verdict.certificate != nullptr &&
+          im.options.revalidate_certificates &&
+          !RevalidateCertificate(sys.value(), entry.vopts.enable_prepass,
+                                 *entry.verdict.certificate)) {
+        // The memoized proof no longer checks out against this request's
+        // system: drop the entry and recompute.
+        im.Erase(canonical);
+        continue;
+      }
+      im.hits.fetch_add(1, std::memory_order_relaxed);
+      Verdict v = entry.verdict;
+      stamp(v, /*hit=*/true);
+      extras.cache = "hit";
+      return one_line(VerdictToJson(v, entry.vopts, entry.command,
+                                    entry.signature, pretty, &extras));
+    }
+  }
+
+  // --- miss: run the pipeline on a warm engine ---
+  im.misses.fetch_add(1, std::memory_order_relaxed);
+  const int slot = tl_serve_session == &im ? tl_serve_slot : 0;
+  // Pool workers own their slot outright (one task at a time); everyone
+  // else shares slot 0 behind a lock.
+  std::unique_lock<std::mutex> slot0_lock;
+  if (slot == 0) {
+    slot0_lock = std::unique_lock<std::mutex>(im.slot0_m);
+  }
+  VerifierOptions vopts = req.vopts;
+  vopts.datalog.warm_engine = im.WarmEngine(slot);
+
+  SafetyVerifier verifier(sys.value());
+  Verdict v;
+  try {
+    v = req.mg ? verifier.VerifyMessageGeneration(goal->first, goal->second,
+                                                  vopts)
+               : verifier.Verify(vopts);
+  } catch (...) {
+    // Never strand the twins waiting on this flight.
+    if (flight != nullptr) im.FinishFlight(canonical, flight, std::nullopt);
+    throw;
+  }
+  if (slot0_lock.owns_lock()) slot0_lock.unlock();
+  v.telemetry.SetGauge(obs::metric::kPhaseParseMs, parse_ms);
+
+  // Memoize before stamping: the stored verdict carries no
+  // session-cumulative counters.
+  VerifierOptions stored_opts = req.vopts;
+  stored_opts.cancel = nullptr;
+  stored_opts.obs.trace = nullptr;
+  stored_opts.datalog.warm_engine = nullptr;
+
+  extras.cache = "miss";
+  Verdict stamped = v;
+  stamp(stamped, /*hit=*/false);
+  std::string rendered =
+      one_line(VerdictToJson(stamped, stored_opts, command,
+                             sys.value().Signature(), pretty, &extras));
+
+  if (flight != nullptr) {
+    std::optional<Impl::CacheEntry> entry;
+    if (Definitive(v)) {
+      entry.emplace();
+      entry->key = canonical;
+      entry->digest = digest;
+      entry->command = command;
+      entry->signature = sys.value().Signature();
+      entry->verdict = std::move(v);
+      entry->vopts = stored_opts;
+      entry->bytes = entry->key.size() + rendered.size();
+    }
+    im.FinishFlight(canonical, flight, std::move(entry));
+  }
+  return rendered;
+}
+
+void ServeSession::Run(std::istream& in, std::ostream& out) {
+  std::string line;
+  const auto blank = [](const std::string& s) {
+    return s.find_first_not_of(" \t\r") == std::string::npos;
+  };
+
+  if (impl_->pool == nullptr) {
+    while (std::getline(in, line)) {
+      if (blank(line)) continue;
+      out << HandleLine(line) << '\n';
+      out.flush();
+    }
+    return;
+  }
+
+  // Concurrent requests, ordered responses: a bounded window of in-flight
+  // slots, drained from the front as results complete.
+  struct Slot {
+    std::string line;
+    std::string response;
+    bool done = false;
+  };
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Slot>> window;
+  const std::size_t max_inflight =
+      static_cast<std::size_t>(impl_->pool->size()) * 4;
+
+  const auto drain = [&](std::unique_lock<std::mutex>& lock) {
+    while (!window.empty() && window.front()->done) {
+      const std::shared_ptr<Slot> slot = window.front();
+      window.pop_front();
+      lock.unlock();
+      out << slot->response << '\n';
+      out.flush();
+      lock.lock();
+    }
+  };
+
+  while (std::getline(in, line)) {
+    if (blank(line)) continue;
+    auto slot = std::make_shared<Slot>();
+    slot->line = line;
+    {
+      std::unique_lock<std::mutex> lock(m);
+      drain(lock);
+      while (window.size() >= max_inflight) {
+        cv.wait(lock);
+        drain(lock);
+      }
+      window.push_back(slot);
+    }
+    impl_->pool->Submit([this, slot, &m, &cv] {
+      tl_serve_session = impl_.get();
+      tl_serve_slot = ThreadPool::CurrentWorkerIndex() + 1;
+      std::string response = HandleLine(slot->line);
+      {
+        std::lock_guard<std::mutex> guard(m);
+        slot->response = std::move(response);
+        slot->done = true;
+      }
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(m);
+  for (;;) {
+    drain(lock);
+    if (window.empty()) break;
+    cv.wait(lock);
+  }
+}
+
+}  // namespace rapar::serve

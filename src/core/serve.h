@@ -1,0 +1,112 @@
+// Verification service: the long-running daemon behind `rapar_cli serve`.
+//
+// A ServeSession reads newline-delimited JSON requests (one verify/mg
+// request per line), dispatches them onto a persistent work-stealing
+// ThreadPool whose workers keep one dl::Engine arena warm across
+// requests, and answers each with the standard versioned result envelope
+// (core/result_json.h) on a single line — the same schema one-shot
+// `rapar_cli verify --format=json` emits, plus three serve-only fields
+// (`id` echo, `fingerprint`, `cache`).
+//
+// Request schema (all fields except "command" optional; unknown fields
+// are ignored, mirroring the envelope's versioning contract):
+//
+//   {"id": <any json>,            // echoed back verbatim
+//    "command": "verify" | "mg",
+//    "env": "<program text>",     // or "env_file": "<path>"
+//    "dis": ["<text>", ...],      // or "dis_files": ["<path>", ...]
+//    "var": "<name>", "val": N,   // mg goal message
+//    "options": {"backend": "simplified|datalog|concrete|tmai|portfolio",
+//                "unroll": K, "enable_prepass": B, "enable_dlopt": B,
+//                "threads": N, "batch_size": N, "env_threads": N,
+//                "tmai_domain": "smallset|relational|auto",
+//                "tmai_max_iterations": N, "tmai_widening_delay": N,
+//                "tmai_value_set_limit": N, "max_states": N,
+//                "max_depth": N, "time_budget_ms": N, "max_guesses": N}}
+//
+// Malformed requests answer a one-line error envelope (command "error",
+// exit_code 3) and the daemon keeps serving.
+//
+// In front of the pipeline sits a content-addressed verdict cache:
+// requests are fingerprinted by a canonical normalization — the pretty-
+// printed programs (post-unroll), the system's class signature, the goal,
+// and every option field that reaches the backends — so two requests
+// collide exactly when they would run the same verification. Hits replay
+// the memoized verdict (certificate re-validated via
+// tmai::CheckCertificate, cache/serve telemetry re-stamped); misses run
+// the pipeline and populate a bounded LRU. Only definitive verdicts
+// (safe/unsafe with no truncation) are memoized — an unknown produced by
+// a deadline is wall-clock state, not a fact about the program. See
+// DESIGN.md §12 for the cache-correctness argument.
+#ifndef RAPAR_CORE_SERVE_H_
+#define RAPAR_CORE_SERVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace rapar::serve {
+
+struct ServeOptions {
+  // Worker threads for the request pool. 0 = hardware concurrency;
+  // 1 = no pool, requests handled inline on the caller's thread. Each
+  // worker owns a warm dl::Engine reused across the requests it serves.
+  unsigned threads = 0;
+  // Verdict-cache bounds: maximum resident entries and an approximate
+  // resident-bytes ceiling (canonical key + stored verdict). Either
+  // bound evicts least-recently-used entries; cache_entries = 0 disables
+  // the cache entirely.
+  std::size_t cache_entries = 1024;
+  std::size_t cache_bytes = 64u << 20;
+  // Indent response envelopes (default off: one response per line, the
+  // wire format).
+  bool pretty = false;
+  // Re-validate a memoized TMAI certificate against the freshly parsed
+  // request system before replaying it (tmai::CheckCertificate); a
+  // failed check evicts the entry and re-runs the pipeline. On by
+  // default — it is the cache's end-to-end self-check.
+  bool revalidate_certificates = true;
+};
+
+// Session-cumulative cache counters (also stamped into every response's
+// telemetry as cache.hits/misses/evictions/bytes).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;    // current resident estimate, not cumulative
+  std::uint64_t entries = 0;  // current resident entries
+};
+
+class ServeSession {
+ public:
+  explicit ServeSession(const ServeOptions& options = {});
+  ~ServeSession();
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  // Handles one request line and returns exactly one response line (no
+  // trailing newline). Thread-safe: Run() calls this from every pool
+  // worker concurrently.
+  std::string HandleLine(std::string_view line);
+
+  // Reads requests from `in` until EOF and writes one response line per
+  // request to `out`, in request order. Requests are handled
+  // concurrently on the pool (bounded in-flight window); ordering is
+  // restored on output.
+  void Run(std::istream& in, std::ostream& out);
+
+  CacheStats cache_stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rapar::serve
+
+#endif  // RAPAR_CORE_SERVE_H_

@@ -72,6 +72,12 @@ struct DatalogBackendOptions {
   unsigned threads = 1;
   // Guesses per work unit pulled from the streaming enumerator.
   std::size_t batch_size = 32;
+  // Borrowed warm engine for the serial path (threads == 1): arena and
+  // interned-fact reuse across Verify calls instead of a cold engine per
+  // request. Used by the serve daemon (core/serve.h), which keeps one
+  // engine per pool worker alive across requests. Ignored when
+  // threads != 1 — the parallel driver owns one engine per worker.
+  dl::Engine* warm_engine = nullptr;
 };
 
 // Knobs that only the concrete (standard-RA) backend reads.

@@ -62,10 +62,18 @@ struct GuessOutcome {
 
 // Per-worker solver: owns the dl::Engine so arena reuse and EDB snapshot
 // rollback keep working across the guesses this worker happens to solve.
+// A caller may lend a warm engine instead (DatalogVerifierOptions::
+// warm_engine, serve daemon), in which case arena reuse extends across
+// verifier invocations and the cumulative fact_reuses counter is
+// rebased so the verdict still reports this request's reuses only.
 class GuessSolver {
  public:
   GuessSolver(const SimplSystem& sys, const DatalogVerifierOptions& options)
-      : sys_(sys), options_(options) {
+      : sys_(sys),
+        options_(options),
+        engine_(options.warm_engine != nullptr ? *options.warm_engine
+                                               : own_engine_),
+        fact_reuse_base_(engine_.fact_reuses()) {
     mp_.goal_message = options.goal_message;
     eval_.max_tuples = options.max_tuples_per_query;
     eval_.engine = options.engine;
@@ -129,7 +137,9 @@ class GuessSolver {
     return out;
   }
 
-  std::size_t fact_reuses() const { return engine_.fact_reuses(); }
+  std::size_t fact_reuses() const {
+    return engine_.fact_reuses() - fact_reuse_base_;
+  }
 
  private:
   const SimplSystem& sys_;
@@ -137,7 +147,9 @@ class GuessSolver {
   MakePOptions mp_;
   dl::EvalOptions eval_;
   dlopt::DlOptOptions dlopt_;
-  dl::Engine engine_;
+  dl::Engine own_engine_;
+  dl::Engine& engine_;
+  const std::size_t fact_reuse_base_;
 };
 
 // Folds one evaluated guess into the verdict aggregates (enumeration
@@ -453,7 +465,12 @@ DatalogVerdict DatalogVerify(const SimplSystem& sys,
     if (threads == 0) threads = 1;
   }
   if (threads == 1) return SerialVerify(sys, options);
-  return ParallelVerify(sys, options, threads);
+  // The parallel driver owns one engine per worker; a lent warm engine
+  // would be shared (and raced) across workers, so it only applies to
+  // the serial path.
+  DatalogVerifierOptions par = options;
+  par.warm_engine = nullptr;
+  return ParallelVerify(sys, par, threads);
 }
 
 }  // namespace rapar

@@ -111,6 +111,20 @@ inline constexpr char kPortfolioSimplifiedMs[] = "portfolio.simplified_ms";
 inline constexpr char kPortfolioDatalogMs[] = "portfolio.datalog_ms";
 inline constexpr char kPortfolioCancelled[] = "portfolio.cancelled";
 
+// Verification service (core/serve.h). cache.* counters describe the
+// content-addressed verdict cache: the session-cumulative totals are
+// stamped on every response, plus a per-response cache.hit flag (1 when
+// the envelope was replayed from the cache, 0 when the pipeline ran).
+// cache.bytes is the current resident size estimate, not a cumulative
+// count.
+inline constexpr char kCacheHits[] = "cache.hits";
+inline constexpr char kCacheMisses[] = "cache.misses";
+inline constexpr char kCacheEvictions[] = "cache.evictions";
+inline constexpr char kCacheBytes[] = "cache.bytes";
+inline constexpr char kCacheHit[] = "cache.hit";
+inline constexpr char kServeRequests[] = "serve.requests";
+inline constexpr char kServeErrors[] = "serve.errors";
+
 // Phase wall-clock gauges (milliseconds). phase.parse_ms is stamped by
 // the CLI (parsing happens before the library is entered).
 inline constexpr char kPhaseParseMs[] = "phase.parse_ms";

@@ -1,0 +1,74 @@
+// Release-build guard for JsonWriter's misuse contract: compiled with
+// NDEBUG (asserts off) against its own copy of common/json.cpp, misuse
+// must surface as std::logic_error — the writer may never emit an
+// unbalanced document just because asserts were stripped. The aborting
+// debug path is covered by the death tests in json_roundtrip_fuzz_test.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace rapar {
+namespace {
+
+TEST(JsonWriterReleaseGuard, EndObjectOnEmptyStackThrows) {
+  JsonWriter w;
+  EXPECT_THROW(w.EndObject(), std::logic_error);
+}
+
+TEST(JsonWriterReleaseGuard, EndArrayOnEmptyStackThrows) {
+  JsonWriter w;
+  EXPECT_THROW(w.EndArray(), std::logic_error);
+}
+
+TEST(JsonWriterReleaseGuard, MismatchedEndThrows) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_THROW(w.EndArray(), std::logic_error);
+  JsonWriter w2;
+  w2.BeginArray();
+  EXPECT_THROW(w2.EndObject(), std::logic_error);
+}
+
+TEST(JsonWriterReleaseGuard, DoubleKeyThrows) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  EXPECT_THROW(w.Key("b"), std::logic_error);
+}
+
+TEST(JsonWriterReleaseGuard, KeyOutsideObjectThrows) {
+  JsonWriter top;
+  EXPECT_THROW(top.Key("a"), std::logic_error);
+  JsonWriter arr;
+  arr.BeginArray();
+  EXPECT_THROW(arr.Key("a"), std::logic_error);
+}
+
+TEST(JsonWriterReleaseGuard, ValueInObjectWithoutKeyThrows) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_THROW(w.Int(1), std::logic_error);
+}
+
+TEST(JsonWriterReleaseGuard, EndObjectAfterDanglingKeyThrows) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  EXPECT_THROW(w.EndObject(), std::logic_error);
+}
+
+TEST(JsonWriterReleaseGuard, WellFormedDocumentStillWorks) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(1);
+  w.Key("b").BeginArray();
+  w.String("x").Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[\"x\",null]}");
+}
+
+}  // namespace
+}  // namespace rapar
