@@ -13,6 +13,7 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -72,6 +73,29 @@ bool GetInt(const JsonValue& obj, const char* key, long long* out,
   if (v == nullptr) return true;
   if (!v->is_number() || !v->number_is_int) {
     *error = std::string("field '") + key + "' must be an integer";
+    return false;
+  }
+  *out = v->integer;
+  return true;
+}
+
+// Ceiling for option knobs that narrow to int downstream: far beyond any
+// operational setting, comfortably inside int32.
+constexpr long long kKnobMax = 1'000'000'000;
+
+// GetInt plus a [min, max] check: untrusted clients must get a decode
+// error on out-of-range values, never a silently wrapped narrow cast.
+bool GetIntRange(const JsonValue& obj, const char* key, long long* out,
+                 long long min, long long max, std::string* error) {
+  const JsonValue* v = FindMember(obj, key);
+  if (v == nullptr) return true;
+  if (!v->is_number() || !v->number_is_int) {
+    *error = std::string("field '") + key + "' must be an integer";
+    return false;
+  }
+  if (v->integer < min || v->integer > max) {
+    *error = std::string("field '") + key + "' out of range [" +
+             std::to_string(min) + ", " + std::to_string(max) + "]";
     return false;
   }
   *out = v->integer;
@@ -175,13 +199,17 @@ Request DecodeRequest(const JsonValue& doc) {
   }
 
   if (!GetString(doc, "var", &req.goal_var, &req.error)) return req;
-  if (!GetInt(doc, "val", &req.goal_val, &req.error)) return req;
+  if (!GetIntRange(doc, "val", &req.goal_val, 0, kKnobMax, &req.error)) {
+    return req;
+  }
   if (req.mg && (req.goal_var.empty() || req.goal_val < 0)) {
     req.error = "mg requires \"var\" (declared) and \"val\" >= 0";
     return req;
   }
 
-  // Options object: same knobs the CLI flag table exposes.
+  // Options object: same knobs the CLI flag table exposes. Fields that
+  // narrow to int (or otherwise feed fixed-width knobs) are
+  // range-checked here so an out-of-range value answers a decode error.
   req.backend_name = "simplified";
   req.tmai_domain_name = "auto";
   long long threads = 1, batch_size = 32, env_threads = 2;
@@ -199,15 +227,21 @@ Request DecodeRequest(const JsonValue& doc) {
                  &req.error) ||
         !GetBool(*opts, "enable_dlopt", &req.vopts.datalog.enable_dlopt,
                  &req.error) ||
-        !GetInt(*opts, "threads", &threads, &req.error) ||
-        !GetInt(*opts, "batch_size", &batch_size, &req.error) ||
-        !GetInt(*opts, "env_threads", &env_threads, &req.error) ||
-        !GetInt(*opts, "unroll", &unroll, &req.error) ||
-        !GetInt(*opts, "tmai_max_iterations", &tmai_iters, &req.error) ||
-        !GetInt(*opts, "tmai_widening_delay", &tmai_delay, &req.error) ||
-        !GetInt(*opts, "tmai_value_set_limit", &tmai_vset, &req.error) ||
+        !GetIntRange(*opts, "threads", &threads, -1, 1 << 16, &req.error) ||
+        !GetIntRange(*opts, "batch_size", &batch_size, 0, 1 << 24,
+                     &req.error) ||
+        !GetIntRange(*opts, "env_threads", &env_threads, 1, 4096,
+                     &req.error) ||
+        !GetIntRange(*opts, "unroll", &unroll, 0, 1'000'000, &req.error) ||
+        !GetIntRange(*opts, "tmai_max_iterations", &tmai_iters, 0, kKnobMax,
+                     &req.error) ||
+        !GetIntRange(*opts, "tmai_widening_delay", &tmai_delay, 0, kKnobMax,
+                     &req.error) ||
+        !GetIntRange(*opts, "tmai_value_set_limit", &tmai_vset, 0, kKnobMax,
+                     &req.error) ||
         !GetInt(*opts, "max_states", &max_states, &req.error) ||
-        !GetInt(*opts, "max_depth", &max_depth, &req.error) ||
+        !GetIntRange(*opts, "max_depth", &max_depth, -1, kKnobMax,
+                     &req.error) ||
         !GetInt(*opts, "time_budget_ms", &time_budget_ms, &req.error) ||
         !GetInt(*opts, "max_guesses", &max_guesses, &req.error)) {
       return req;
@@ -534,6 +568,23 @@ CacheStats ServeSession::cache_stats() const {
 }
 
 std::string ServeSession::HandleLine(std::string_view line) {
+  // The daemon's contract is that errors never kill the stream: any
+  // exception the pipeline lets escape (backend throw, allocation
+  // failure, writer misuse) becomes a one-line error envelope, exactly
+  // like a malformed request.
+  try {
+    return HandleLineImpl(line);
+  } catch (const std::exception& e) {
+    impl_->errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorLine("", std::string("internal error: ") + e.what(),
+                     impl_->options.pretty);
+  } catch (...) {
+    impl_->errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorLine("", "internal error", impl_->options.pretty);
+  }
+}
+
+std::string ServeSession::HandleLineImpl(std::string_view line) {
   Impl& im = *impl_;
   im.requests.fetch_add(1, std::memory_order_relaxed);
   const bool pretty = im.options.pretty;
@@ -623,6 +674,11 @@ std::string ServeSession::HandleLine(std::string_view line) {
       }
       im.hits.fetch_add(1, std::memory_order_relaxed);
       Verdict v = entry.verdict;
+      // This request parsed its programs afresh before the probe, so the
+      // parse gauge is re-measured; everything else — including the
+      // echoed options object — replays the memoized rendering verbatim
+      // (see serve.h for the replay contract).
+      v.telemetry.SetGauge(obs::metric::kPhaseParseMs, parse_ms);
       stamp(v, /*hit=*/true);
       extras.cache = "hit";
       return one_line(VerdictToJson(v, entry.vopts, entry.command,
@@ -632,57 +688,65 @@ std::string ServeSession::HandleLine(std::string_view line) {
 
   // --- miss: run the pipeline on a warm engine ---
   im.misses.fetch_add(1, std::memory_order_relaxed);
-  const int slot = tl_serve_session == &im ? tl_serve_slot : 0;
-  // Pool workers own their slot outright (one task at a time); everyone
-  // else shares slot 0 behind a lock.
-  std::unique_lock<std::mutex> slot0_lock;
-  if (slot == 0) {
-    slot0_lock = std::unique_lock<std::mutex>(im.slot0_m);
-  }
-  VerifierOptions vopts = req.vopts;
-  vopts.datalog.warm_engine = im.WarmEngine(slot);
-
-  SafetyVerifier verifier(sys.value());
-  Verdict v;
+  std::string rendered;
   try {
-    v = req.mg ? verifier.VerifyMessageGeneration(goal->first, goal->second,
-                                                  vopts)
-               : verifier.Verify(vopts);
-  } catch (...) {
-    // Never strand the twins waiting on this flight.
-    if (flight != nullptr) im.FinishFlight(canonical, flight, std::nullopt);
-    throw;
-  }
-  if (slot0_lock.owns_lock()) slot0_lock.unlock();
-  v.telemetry.SetGauge(obs::metric::kPhaseParseMs, parse_ms);
-
-  // Memoize before stamping: the stored verdict carries no
-  // session-cumulative counters.
-  VerifierOptions stored_opts = req.vopts;
-  stored_opts.cancel = nullptr;
-  stored_opts.obs.trace = nullptr;
-  stored_opts.datalog.warm_engine = nullptr;
-
-  extras.cache = "miss";
-  Verdict stamped = v;
-  stamp(stamped, /*hit=*/false);
-  std::string rendered =
-      one_line(VerdictToJson(stamped, stored_opts, command,
-                             sys.value().Signature(), pretty, &extras));
-
-  if (flight != nullptr) {
-    std::optional<Impl::CacheEntry> entry;
-    if (Definitive(v)) {
-      entry.emplace();
-      entry->key = canonical;
-      entry->digest = digest;
-      entry->command = command;
-      entry->signature = sys.value().Signature();
-      entry->verdict = std::move(v);
-      entry->vopts = stored_opts;
-      entry->bytes = entry->key.size() + rendered.size();
+    const int slot = tl_serve_session == &im ? tl_serve_slot : 0;
+    // Pool workers own their slot outright (one task at a time);
+    // everyone else shares slot 0 behind a lock.
+    std::unique_lock<std::mutex> slot0_lock;
+    if (slot == 0) {
+      slot0_lock = std::unique_lock<std::mutex>(im.slot0_m);
     }
-    im.FinishFlight(canonical, flight, std::move(entry));
+    VerifierOptions vopts = req.vopts;
+    vopts.datalog.warm_engine = im.WarmEngine(slot);
+
+    SafetyVerifier verifier(sys.value());
+    Verdict v = req.mg ? verifier.VerifyMessageGeneration(
+                             goal->first, goal->second, vopts)
+                       : verifier.Verify(vopts);
+    if (slot0_lock.owns_lock()) slot0_lock.unlock();
+    v.telemetry.SetGauge(obs::metric::kPhaseParseMs, parse_ms);
+
+    // Memoize before stamping: the stored verdict carries no
+    // session-cumulative counters.
+    VerifierOptions stored_opts = req.vopts;
+    stored_opts.cancel = nullptr;
+    stored_opts.obs.trace = nullptr;
+    stored_opts.datalog.warm_engine = nullptr;
+
+    extras.cache = "miss";
+    Verdict stamped = v;
+    stamp(stamped, /*hit=*/false);
+    rendered = one_line(VerdictToJson(stamped, stored_opts, command,
+                                      sys.value().Signature(), pretty,
+                                      &extras));
+
+    if (flight != nullptr) {
+      std::optional<Impl::CacheEntry> entry;
+      if (Definitive(v)) {
+        entry.emplace();
+        entry->key = canonical;
+        entry->digest = digest;
+        entry->command = command;
+        entry->signature = sys.value().Signature();
+        entry->verdict = std::move(v);
+        entry->vopts = stored_opts;
+        entry->bytes = entry->key.size() + rendered.size();
+      }
+      const std::shared_ptr<Impl::Inflight> f = std::move(flight);
+      im.FinishFlight(canonical, f, std::move(entry));
+    }
+  } catch (const std::exception& e) {
+    // Never strand the twins waiting on this flight, and answer the
+    // error with the request's id echo still attached.
+    if (flight != nullptr) im.FinishFlight(canonical, flight, std::nullopt);
+    im.errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorLine(req.id_json, std::string("internal error: ") + e.what(),
+                     pretty);
+  } catch (...) {
+    if (flight != nullptr) im.FinishFlight(canonical, flight, std::nullopt);
+    im.errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorLine(req.id_json, "internal error", pretty);
   }
   return rendered;
 }
@@ -702,8 +766,12 @@ void ServeSession::Run(std::istream& in, std::ostream& out) {
     return;
   }
 
-  // Concurrent requests, ordered responses: a bounded window of in-flight
-  // slots, drained from the front as results complete.
+  // Concurrent requests, ordered responses: a bounded window of
+  // in-flight slots. A dedicated writer thread drains completed slots
+  // from the front of the window the moment they finish — independently
+  // of input arrival, because a synchronous client (send one request,
+  // wait for the answer) must receive response N without having to send
+  // line N+1 or close the stream first.
   struct Slot {
     std::string line;
     std::string response;
@@ -712,19 +780,29 @@ void ServeSession::Run(std::istream& in, std::ostream& out) {
   std::mutex m;
   std::condition_variable cv;
   std::deque<std::shared_ptr<Slot>> window;
+  bool eof = false;
   const std::size_t max_inflight =
       static_cast<std::size_t>(impl_->pool->size()) * 4;
 
-  const auto drain = [&](std::unique_lock<std::mutex>& lock) {
-    while (!window.empty() && window.front()->done) {
-      const std::shared_ptr<Slot> slot = window.front();
-      window.pop_front();
-      lock.unlock();
-      out << slot->response << '\n';
-      out.flush();
-      lock.lock();
+  std::thread writer([&] {
+    std::unique_lock<std::mutex> lock(m);
+    for (;;) {
+      cv.wait(lock, [&] {
+        return (!window.empty() && window.front()->done) ||
+               (eof && window.empty());
+      });
+      if (window.empty()) return;  // EOF reached and fully drained
+      while (!window.empty() && window.front()->done) {
+        const std::shared_ptr<Slot> slot = window.front();
+        window.pop_front();
+        cv.notify_all();  // a window slot freed: wake the reader
+        lock.unlock();
+        out << slot->response << '\n';
+        out.flush();
+        lock.lock();
+      }
     }
-  };
+  });
 
   while (std::getline(in, line)) {
     if (blank(line)) continue;
@@ -732,31 +810,40 @@ void ServeSession::Run(std::istream& in, std::ostream& out) {
     slot->line = line;
     {
       std::unique_lock<std::mutex> lock(m);
-      drain(lock);
-      while (window.size() >= max_inflight) {
-        cv.wait(lock);
-        drain(lock);
-      }
+      cv.wait(lock, [&] { return window.size() < max_inflight; });
       window.push_back(slot);
     }
     impl_->pool->Submit([this, slot, &m, &cv] {
       tl_serve_session = impl_.get();
       tl_serve_slot = ThreadPool::CurrentWorkerIndex() + 1;
-      std::string response = HandleLine(slot->line);
+      std::string response;
+      try {
+        response = HandleLine(slot->line);
+      } catch (...) {
+        // HandleLine answers errors in-band; this is the last-resort
+        // guard that keeps an escaping exception from terminating the
+        // pool's jthread and stranding the writer on a never-done slot.
+        impl_->errors.fetch_add(1, std::memory_order_relaxed);
+        response = ErrorLine("", "internal error", impl_->options.pretty);
+      }
       {
         std::lock_guard<std::mutex> guard(m);
         slot->response = std::move(response);
         slot->done = true;
+        // Notify while holding the lock: the writer may drain this slot,
+        // see the window empty, and let Run() destroy `cv` the moment
+        // the mutex is released — a notify after unlock would race the
+        // destruction.
+        cv.notify_all();
       }
-      cv.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(m);
-  for (;;) {
-    drain(lock);
-    if (window.empty()) break;
-    cv.wait(lock);
+  {
+    std::lock_guard<std::mutex> lock(m);
+    eof = true;
   }
+  cv.notify_all();
+  writer.join();
 }
 
 }  // namespace rapar::serve

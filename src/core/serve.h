@@ -25,7 +25,12 @@
 //                "max_depth": N, "time_budget_ms": N, "max_guesses": N}}
 //
 // Malformed requests answer a one-line error envelope (command "error",
-// exit_code 3) and the daemon keeps serving.
+// exit_code 3) and the daemon keeps serving. Integer option fields are
+// range-checked during decoding: an out-of-range value (e.g. an
+// "env_threads" that would not survive the narrowing cast) is a decode
+// error, never a silently wrapped knob. Internal failures — a backend
+// exception, an allocation failure mid-render — answer the same error
+// envelope: errors never kill the stream.
 //
 // In front of the pipeline sits a content-addressed verdict cache:
 // requests are fingerprinted by a canonical normalization — the pretty-
@@ -38,6 +43,16 @@
 // (safe/unsafe with no truncation) are memoized — an unknown produced by
 // a deadline is wall-clock state, not a fact about the program. See
 // DESIGN.md §12 for the cache-correctness argument.
+//
+// Replay contract: a hit renders the memoized entry verbatim — including
+// the echoed "options" object, so fingerprint-excluded scheduling knobs
+// (threads, batch_size) report the values the entry was computed with,
+// not the current request's. This is intentional: modulo telemetry and
+// the cache marker, a hit is byte-identical to the miss that populated
+// it, which is what the catalog-replay differential asserts. Telemetry
+// is the exception — cache/serve counters and the parse-time gauge are
+// re-stamped from the current request (the programs really were
+// re-parsed to compute the fingerprint).
 #ifndef RAPAR_CORE_SERVE_H_
 #define RAPAR_CORE_SERVE_H_
 
@@ -91,19 +106,23 @@ class ServeSession {
 
   // Handles one request line and returns exactly one response line (no
   // trailing newline). Thread-safe: Run() calls this from every pool
-  // worker concurrently.
+  // worker concurrently. Never throws — an exception escaping the
+  // pipeline is answered as an error envelope, like a malformed request.
   std::string HandleLine(std::string_view line);
 
   // Reads requests from `in` until EOF and writes one response line per
   // request to `out`, in request order. Requests are handled
   // concurrently on the pool (bounded in-flight window); ordering is
-  // restored on output.
+  // restored on output, and each response is written as soon as it
+  // reaches the front of the window — a synchronous request/response
+  // client never has to send more input to receive a finished answer.
   void Run(std::istream& in, std::ostream& out);
 
   CacheStats cache_stats() const;
 
  private:
   struct Impl;
+  std::string HandleLineImpl(std::string_view line);
   std::unique_ptr<Impl> impl_;
 };
 

@@ -7,9 +7,14 @@
 // SafetyVerifier run — and ordered concurrent Run().
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <sstream>
+#include <streambuf>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.h"
@@ -204,6 +209,14 @@ TEST(ServeTest, ErrorEnvelopes) {
       {MakeLine("verify", kMpWriter, {}, "", -1,
                 "{\"threads\":\"many\"}"),
        "must be an integer"},
+      // 2^33: survives int64 parsing but not the narrowing to int — must
+      // be a decode error, never a silently wrapped knob.
+      {MakeLine("verify", kMpWriter, {}, "", -1,
+                "{\"env_threads\":8589934592}"),
+       "out of range"},
+      {MakeLine("verify", kMpWriter, {}, "", -1,
+                "{\"tmai_max_iterations\":-8589934592}"),
+       "out of range"},
   };
   for (const auto& c : cases) {
     const JsonValue doc = Parse(session.HandleLine(c.line));
@@ -373,6 +386,102 @@ TEST(ServeTest, CatalogReplayDifferential) {
   const serve::CacheStats stats = session.cache_stats();
   EXPECT_EQ(stats.hits, suite.size());
   EXPECT_EQ(stats.misses, suite.size());
+}
+
+// istream buffer that blocks in underflow until more input is pushed —
+// models a synchronous client that waits for response N before sending
+// line N+1 (a plain stringstream reports EOF instead of "not yet").
+class BlockingInputBuf : public std::streambuf {
+ public:
+  void Push(const std::string& s) {
+    std::lock_guard<std::mutex> lock(m_);
+    data_ += s;
+    cv_.notify_all();
+  }
+  void Close() {
+    std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ protected:
+  int_type underflow() override {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return pos_ < data_.size() || closed_; });
+    if (pos_ >= data_.size()) return traits_type::eof();
+    buf_ = data_[pos_++];
+    setg(&buf_, &buf_, &buf_ + 1);
+    return traits_type::to_int_type(buf_);
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::string data_;
+  std::size_t pos_ = 0;
+  bool closed_ = false;
+  char buf_ = 0;
+};
+
+// ostream buffer that records complete lines and wakes waiters, so the
+// test can observe a response the moment the daemon writes it.
+class LineCaptureBuf : public std::streambuf {
+ public:
+  bool WaitForLines(std::size_t n, std::chrono::seconds timeout) {
+    std::unique_lock<std::mutex> lock(m_);
+    return cv_.wait_for(lock, timeout, [&] { return lines_.size() >= n; });
+  }
+  std::vector<std::string> lines() {
+    std::lock_guard<std::mutex> lock(m_);
+    return lines_;
+  }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+    std::lock_guard<std::mutex> lock(m_);
+    const char c = traits_type::to_char_type(ch);
+    if (c == '\n') {
+      lines_.push_back(std::move(current_));
+      current_.clear();
+      cv_.notify_all();
+    } else {
+      current_ += c;
+    }
+    return ch;
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::string current_;
+  std::vector<std::string> lines_;
+};
+
+// Regression: a synchronous request/response client must receive
+// response N without sending request N+1 or closing the stream. The
+// pooled path used to drain completed slots only after reading the next
+// input line, deadlocking exactly this pattern.
+TEST(ServeTest, PooledRunAnswersWithoutFurtherInput) {
+  BlockingInputBuf in_buf;
+  LineCaptureBuf out_buf;
+  std::istream in(&in_buf);
+  std::ostream out(&out_buf);
+  serve::ServeSession session(Opts(4));
+  std::thread runner([&] { session.Run(in, out); });
+
+  in_buf.Push(MakeLine("verify", kMpWriter, {kMpReader}) + "\n");
+  ASSERT_TRUE(out_buf.WaitForLines(1, std::chrono::seconds(120)))
+      << "daemon did not answer until more input arrived";
+  in_buf.Push(MakeLine("mg", kMpWriter, {}, "x", 1) + "\n");
+  ASSERT_TRUE(out_buf.WaitForLines(2, std::chrono::seconds(120)));
+  in_buf.Close();
+  runner.join();
+
+  const std::vector<std::string> lines = out_buf.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(Str(Parse(lines[0]), "verdict"), "safe");
+  EXPECT_EQ(Str(Parse(lines[1]), "verdict"), "unsafe");
 }
 
 // Concurrent Run(): responses come back in request order, and identical
