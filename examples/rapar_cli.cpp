@@ -78,6 +78,8 @@ struct Options {
   std::string backend = "simplified";
   int threads = 2;
   bool threads_set = false;
+  std::string engine_storage = "hash";
+  bool delta_solve = false;
   std::string tmai_domain = "auto";
   int tmai_max_iterations = 64;
   int tmai_widening_delay = 8;
@@ -136,6 +138,14 @@ const FlagSpec kFlags[] = {
     {"--unroll", true, "K", "verify mg dump-datalog dlanalyze certcheck",
      "unroll bound for dis loops (default 0 = reject loops)",
      [](Options& o, const char* v) { o.unroll = std::atoi(v); }},
+    {"--engine-storage", true, "M", "verify mg",
+     "Datalog relation storage: hash|columnar|auto (default hash; auto "
+     "picks sorted columnar runs per predicate growth class)",
+     [](Options& o, const char* v) { o.engine_storage = v; }},
+    {"--delta-solve", false, nullptr, "verify mg",
+     "Datalog backend: carry derived facts across makeP guesses and "
+     "re-derive only dirty strata (verdict-identical; see DESIGN.md)",
+     [](Options& o, const char*) { o.delta_solve = true; }},
     {"--tmai-domain", true, "D", "verify mg",
      "TMAI abstract domain: smallset|relational|auto (default auto = "
      "small-set first, relational retry on unknown)",
@@ -537,6 +547,18 @@ int RunVerify(const Options& opts, bool mg) {
                  opts.tmai_domain.c_str());
     return 3;
   }
+  if (opts.engine_storage == "hash") {
+    vopts.datalog.engine.storage = rapar::dl::StorageMode::kHash;
+  } else if (opts.engine_storage == "columnar") {
+    vopts.datalog.engine.storage = rapar::dl::StorageMode::kColumnar;
+  } else if (opts.engine_storage == "auto") {
+    vopts.datalog.engine.storage = rapar::dl::StorageMode::kAuto;
+  } else {
+    std::fprintf(stderr, "unknown engine storage '%s'\n",
+                 opts.engine_storage.c_str());
+    return 3;
+  }
+  vopts.datalog.engine.delta_solve = opts.delta_solve;
   vopts.tmai.max_iterations = opts.tmai_max_iterations;
   vopts.tmai.widening_delay = opts.tmai_widening_delay;
   vopts.tmai.value_set_limit = opts.tmai_value_set_limit;

@@ -33,8 +33,9 @@ ctest --preset asan-ubsan -j "$jobs"
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
   --target parallel_differential_test datalog_index_differential_test \
-  tmai_soundness_test
-ctest --preset tsan -R 'ParallelDifferential|IndexDifferential|TmaiPortfolio' \
+  tmai_soundness_test delta_parity_test
+ctest --preset tsan \
+  -R 'ParallelDifferential|IndexDifferential|TmaiPortfolio|DeltaParity' \
   -j "$jobs"
 
 # Optional (CHECK_BENCH=1): reproduce the bench_backends tables and gate
@@ -51,6 +52,14 @@ if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
   jq -e '.totals.proof_rate_relational >= .totals.proof_rate_smallset
          and .totals.certificates_valid == .totals.certificates_total
          and .totals.parity == "OK"' build/BENCH_tmai_domains.json
+
+  # columnar/delta ablation: verdict parity across the storage/delta
+  # arms is a hard gate, and the delta arm must remove at least half the
+  # suite's join attempts (or win 1.5x wall clock) vs the hash baseline.
+  jq -e '.totals.parity == "OK"
+         and ((.totals.join_reduction >= 2.0)
+              or (.totals.wall_speedup >= 1.5))
+         and .totals.gate == "OK"' build/BENCH_columnar.json
 
   # serve-mode smoke: three requests through the daemon (one repeated);
   # the repeat must answer from the verdict cache with cache.hits == 1

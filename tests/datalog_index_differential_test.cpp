@@ -172,6 +172,126 @@ TEST_P(IndexDifferentialTest, EngineReuseMatchesFreshSolves) {
   EXPECT_EQ(fresh.fact_reuses(), 0u);
 }
 
+EvalOptions WithStorage(StorageMode mode) {
+  EvalOptions opts;  // use_index + reorder_joins on (defaults)
+  opts.engine.storage = mode;
+  return opts;
+}
+
+TEST_P(IndexDifferentialTest, StorageMatrixMatchesHashDatabase) {
+  Rng rng(GetParam() + 40000);
+  const bool self_join = GetParam() % 3 == 0;
+  Program prog = RandomDatalog(rng, /*preds=*/4, /*consts=*/3, /*rules=*/7,
+                               self_join);
+
+  EvalStats hash_stats;
+  Database hash_db = Eval(prog, &hash_stats, WithStorage(StorageMode::kHash));
+  const std::set<GroundAtom> reference = Materialize(prog, hash_db);
+  EXPECT_EQ(hash_stats.merge_scans, 0u);
+
+  for (StorageMode mode : {StorageMode::kColumnar, StorageMode::kAuto}) {
+    EvalStats s;
+    Database db = Eval(prog, &s, WithStorage(mode));
+    EXPECT_EQ(Materialize(prog, db), reference) << prog.ToString();
+    // Sorted-run probes return candidates in the same ascending
+    // tuple-index order as hash buckets, so the derivation sequence is
+    // identical: tuples, firings, join attempts and hits match exactly.
+    // Only the probe accounting splits between hash and merge scans.
+    EXPECT_EQ(s.tuples, hash_stats.tuples);
+    EXPECT_EQ(s.rule_firings, hash_stats.rule_firings);
+    EXPECT_EQ(s.join_attempts, hash_stats.join_attempts);
+    EXPECT_EQ(s.index_hits, hash_stats.index_hits);
+    EXPECT_EQ(s.index_probes + s.merge_scans, hash_stats.index_probes);
+    if (mode == StorageMode::kColumnar) {
+      EXPECT_EQ(s.index_probes, 0u);
+    }
+  }
+
+  // Every ground probe answers identically in every storage mode.
+  Rng probe_rng(GetParam() + 277);
+  for (int probe = 0; probe < 4; ++probe) {
+    const PredId p = static_cast<PredId>(probe_rng.Below(prog.num_preds()));
+    Atom goal{p, {}};
+    for (std::size_t i = 0; i < prog.pred(p).arity; ++i) {
+      goal.args.push_back(
+          C(static_cast<Sym>(probe_rng.Below(prog.num_consts()))));
+    }
+    EvalStats qh, qc, qa;
+    const bool hash = Query(prog, goal, &qh, WithStorage(StorageMode::kHash));
+    const bool col = Query(prog, goal, &qc, WithStorage(StorageMode::kColumnar));
+    const bool aut = Query(prog, goal, &qa, WithStorage(StorageMode::kAuto));
+    EXPECT_EQ(col, hash) << prog.AtomToString(goal);
+    EXPECT_EQ(aut, hash) << prog.AtomToString(goal);
+    EXPECT_EQ(qc.goal_found, qh.goal_found);
+    EXPECT_EQ(qa.goal_found, qh.goal_found);
+  }
+}
+
+TEST_P(IndexDifferentialTest, DeltaSolveMatrixMatchesFreshSolves) {
+  Rng rng(GetParam() + 50000);
+  Program base = RandomDatalog(rng, 4, 3, 6, GetParam() % 2 == 0);
+  Atom goal{0, {}};
+  goal.args.assign(base.pred(0).arity, C(0));
+
+  // A guess-like sequence: the base program plus per-step fact additions
+  // (drawn from the existing symbol tables, so the delta fast path stays
+  // structurally applicable) and, from step 2 on, a rule-set mutation
+  // that dirties a whole stratum rather than just its facts.
+  std::vector<Program> steps;
+  for (int g = 0; g < 4; ++g) {
+    Program p = base;
+    Rng grng(GetParam() * 131 + static_cast<std::uint64_t>(g));
+    for (int f = 0; f <= g; ++f) {
+      const PredId fp = static_cast<PredId>(grng.Below(p.num_preds()));
+      Atom a{fp, {}};
+      for (std::size_t i = 0; i < p.pred(fp).arity; ++i) {
+        a.args.push_back(C(static_cast<Sym>(grng.Below(p.num_consts()))));
+      }
+      p.AddFact(std::move(a));
+    }
+    if (g >= 2) {
+      Rule r;
+      const PredId hp = static_cast<PredId>(grng.Below(p.num_preds()));
+      r.head.pred = hp;
+      for (std::size_t i = 0; i < p.pred(hp).arity; ++i) {
+        r.head.args.push_back(
+            C(static_cast<Sym>(grng.Below(p.num_consts()))));
+      }
+      const PredId bp = static_cast<PredId>(grng.Below(p.num_preds()));
+      Atom b{bp, {}};
+      for (std::size_t i = 0; i < p.pred(bp).arity; ++i) {
+        b.args.push_back(V(static_cast<VarSym>(i)));
+      }
+      r.body.push_back(std::move(b));
+      p.AddRule(std::move(r));
+    }
+    steps.push_back(std::move(p));
+  }
+
+  for (StorageMode mode :
+       {StorageMode::kHash, StorageMode::kColumnar, StorageMode::kAuto}) {
+    EvalOptions delta = WithStorage(mode);
+    delta.engine.delta_solve = true;
+    EvalOptions fresh;
+    fresh.engine.reuse_facts = false;
+    Engine delta_engine;
+    Engine fresh_engine;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const bool a = delta_engine.Solve(steps[i], goal, delta);
+      const bool b = fresh_engine.Solve(steps[i], goal, fresh);
+      EXPECT_EQ(a, b) << "mode=" << static_cast<int>(mode) << " step=" << i;
+      EXPECT_EQ(delta_engine.last_stats().goal_found,
+                fresh_engine.last_stats().goal_found)
+          << "mode=" << static_cast<int>(mode) << " step=" << i;
+      // The fixpoint is canonical, so the derived-tuple count (retained +
+      // re-derived in delta mode) matches a cold solve exactly.
+      EXPECT_EQ(delta_engine.last_stats().tuples,
+                fresh_engine.last_stats().tuples)
+          << "mode=" << static_cast<int>(mode) << " step=" << i;
+    }
+  }
+}
+
 // 320 seeds: IndexedMatchesScanDatabase alone is > 300 random programs.
 INSTANTIATE_TEST_SUITE_P(Random, IndexDifferentialTest,
                          ::testing::Range<std::uint64_t>(1, 321));

@@ -1,0 +1,184 @@
+// Differential check: cross-guess delta solving (EngineOptions::
+// delta_solve) must be invisible in the verdict. Because delta state only
+// commits on definitively-negative solves — and every terminating solve
+// (goal found or budget blown) is re-run cold with reference semantics —
+// verdict, witness_guess, guesses, budget_aborted_guess, exhaustive and
+// total_tuples are bit-identical to the snapshot-rollback baseline at
+// every thread count and in every storage mode. Join/probe aggregates are
+// the documented exception (they depend on which guesses a worker's delta
+// chain happens to cover, like index_builds; see the determinism rule in
+// encoding/datalog_verifier.h) and are not compared.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/benchmarks.h"
+#include "encoding/datalog_verifier.h"
+#include "lang/random_program.h"
+
+namespace rapar {
+namespace {
+
+struct RunConfig {
+  unsigned threads = 1;
+  bool delta = false;
+  dl::StorageMode storage = dl::StorageMode::kHash;
+};
+
+DatalogVerdict RunOne(const SimplSystem& sys, const RunConfig& cfg,
+                      std::size_t max_tuples,
+                      std::optional<std::pair<VarId, Value>> goal = {},
+                      std::size_t batch_size = 32) {
+  DatalogVerifierOptions opts;
+  opts.goal_message = goal;
+  opts.guess.max_guesses = 2'000;
+  opts.max_tuples_per_query = max_tuples;
+  opts.threads = cfg.threads;
+  opts.batch_size = batch_size;
+  opts.engine.delta_solve = cfg.delta;
+  opts.engine.storage = cfg.storage;
+  return DatalogVerify(sys, opts);
+}
+
+// The delta-invariant slice of the verdict.
+void ExpectVerdictIdentical(const DatalogVerdict& base,
+                            const DatalogVerdict& v,
+                            const std::string& label) {
+  EXPECT_EQ(base.unsafe, v.unsafe) << label;
+  EXPECT_EQ(base.exhaustive, v.exhaustive) << label;
+  EXPECT_EQ(base.witness_guess, v.witness_guess) << label;
+  EXPECT_EQ(base.guesses, v.guesses) << label;
+  EXPECT_EQ(base.queries_evaluated, v.queries_evaluated) << label;
+  EXPECT_EQ(base.budget_aborted_guess, v.budget_aborted_guess) << label;
+  EXPECT_EQ(base.total_tuples, v.total_tuples) << label;
+  EXPECT_EQ(base.width_report, v.width_report) << label;
+  EXPECT_EQ(base.parallel.early_exit_index, v.parallel.early_exit_index)
+      << label;
+}
+
+const RunConfig kDeltaConfigs[] = {
+    {1, true, dl::StorageMode::kHash},
+    {2, true, dl::StorageMode::kHash},
+    {8, true, dl::StorageMode::kHash},
+    {1, true, dl::StorageMode::kAuto},
+    {2, true, dl::StorageMode::kAuto},
+    {8, true, dl::StorageMode::kAuto},
+};
+
+std::string Label(const std::string& name, const RunConfig& cfg) {
+  return name + " @" + std::to_string(cfg.threads) +
+         (cfg.storage == dl::StorageMode::kAuto ? " auto" : " hash");
+}
+
+TEST(DeltaParityTest, BenchmarkCatalogIdenticalToSnapshotRollback) {
+  for (BenchmarkCase& bench : StandardBenchmarks()) {
+    const DatalogVerdict base =
+        RunOne(bench.system.simpl(), RunConfig{}, 500'000);
+    for (const RunConfig& cfg : kDeltaConfigs) {
+      const DatalogVerdict v = RunOne(bench.system.simpl(), cfg, 500'000);
+      ExpectVerdictIdentical(base, v, Label(bench.name, cfg));
+    }
+  }
+}
+
+TEST(DeltaParityTest, DeltaChainActuallyEngagesOnTheCatalog) {
+  // Delta state commits after every definitively-negative solve, so a
+  // multi-guess scan must report retract/assert work somewhere in the
+  // catalog — otherwise the whole suite would be vacuously comparing
+  // cold solves.
+  std::size_t engaged = 0;
+  std::size_t reseeded = 0;
+  for (BenchmarkCase& bench : StandardBenchmarks()) {
+    const DatalogVerdict v =
+        RunOne(bench.system.simpl(),
+               RunConfig{1, true, dl::StorageMode::kHash}, 500'000);
+    engaged += v.delta_asserts + v.delta_retracts;
+    reseeded += v.delta_reseeded_strata;
+  }
+  EXPECT_GT(engaged, 0u) << "delta never engaged on any catalog bench";
+  EXPECT_GT(reseeded, 0u);
+}
+
+TEST(DeltaParityTest, BudgetAbortStopsAtTheSameGuess) {
+  // max_tuples=3 blows the budget on the first query; the delta path must
+  // fall back to the cold abort at the same index with the same stats.
+  BenchmarkCase bench = PetersonRa();
+  const DatalogVerdict base =
+      RunOne(bench.system.simpl(), RunConfig{}, /*max_tuples=*/3);
+  ASSERT_NE(base.budget_aborted_guess, kNoGuessIndex);
+  EXPECT_FALSE(base.exhaustive);
+  for (const RunConfig& cfg : kDeltaConfigs) {
+    const DatalogVerdict v =
+        RunOne(bench.system.simpl(), cfg, /*max_tuples=*/3);
+    ExpectVerdictIdentical(base, v, Label("budget", cfg));
+  }
+}
+
+TEST(DeltaParityTest, SmallBatchesStressTheEarlyExitOrdering) {
+  // batch_size 1 maximizes interleaving; the witness must still be the
+  // lowest-enumeration-index one even when workers carry delta chains.
+  BenchmarkCase bench = ProducerConsumer(2);
+  const DatalogVerdict base = RunOne(bench.system.simpl(), RunConfig{},
+                                     500'000, {}, /*batch_size=*/1);
+  ASSERT_TRUE(base.unsafe);
+  for (const RunConfig& cfg : kDeltaConfigs) {
+    const DatalogVerdict v = RunOne(bench.system.simpl(), cfg, 500'000, {},
+                                    /*batch_size=*/1);
+    ExpectVerdictIdentical(base, v, Label("pc-unsafe", cfg));
+  }
+}
+
+TEST(DeltaParityTest, RandomSystemsIdenticalAcrossTwoHundredSeeds) {
+  // Same corpus as parallel_differential_test: even seeds ask an MG goal
+  // (early-exit heavy), odd seeds run assert-false (mostly safe scans).
+  int unsafe_seen = 0;
+  int exhaustive_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    RandomProgramOptions env_opts;
+    env_opts.num_vars = 2;
+    env_opts.num_regs = 2;
+    env_opts.dom = 3;
+    env_opts.size = 5;
+    env_opts.allow_cas = false;
+    env_opts.allow_loops = false;
+    RandomProgramOptions dis_opts = env_opts;
+    dis_opts.size = 4;
+
+    Program env = RandomProgram(rng, env_opts, "env");
+    Program dis = RandomProgram(rng, dis_opts, "dis");
+    Expected<ParamSystem> sys = ParamSystem::Builder()
+                                    .Env(std::move(env))
+                                    .Dis(std::move(dis))
+                                    .Build();
+    ASSERT_TRUE(sys.ok()) << "seed " << seed;
+    std::optional<std::pair<VarId, Value>> goal;
+    if (seed % 2 == 0) {
+      const VarId v0 = sys.value().vars().Find("v0");
+      ASSERT_TRUE(v0.valid()) << "seed " << seed;
+      goal = {v0, static_cast<Value>((seed / 2) % 3)};
+    }
+    const DatalogVerdict base =
+        RunOne(sys.value().simpl(), RunConfig{}, 200'000, goal,
+               /*batch_size=*/8);
+    for (unsigned threads : {1u, 2u, 8u}) {
+      const RunConfig cfg{threads, true, dl::StorageMode::kAuto};
+      const DatalogVerdict v =
+          RunOne(sys.value().simpl(), cfg, 200'000, goal, /*batch_size=*/8);
+      ExpectVerdictIdentical(
+          base, v, "seed " + std::to_string(seed) + " @" +
+                       std::to_string(threads));
+    }
+    unsafe_seen += base.unsafe;
+    exhaustive_seen += base.exhaustive;
+  }
+  // The corpus must exercise both early exits and full scans.
+  EXPECT_GT(unsafe_seen, 20);
+  EXPECT_GT(exhaustive_seen, 100);
+}
+
+}  // namespace
+}  // namespace rapar

@@ -259,6 +259,22 @@ TEST(ServeTest, FingerprintSensitivity) {
   EXPECT_EQ(Str(threaded, "fingerprint"), Str(datalog, "fingerprint"));
   EXPECT_EQ(Str(threaded, "cache"), "hit");
   EXPECT_EQ(StripVolatile(threaded), StripVolatile(datalog));
+
+  // engine_storage and delta_solve are verdict-invariant evaluation
+  // strategies like threads: same fingerprint, replayed from the cache.
+  spec.options_json =
+      "{\"backend\":\"datalog\",\"engine_storage\":\"columnar\","
+      "\"delta_solve\":true}";
+  const JsonValue columnar = Parse(session.HandleLine(RequestLine(spec)));
+  EXPECT_EQ(Str(columnar, "fingerprint"), Str(datalog, "fingerprint"));
+  EXPECT_EQ(Str(columnar, "cache"), "hit");
+  EXPECT_EQ(StripVolatile(columnar), StripVolatile(datalog));
+
+  // An unknown storage name is a request error, not a silent default.
+  spec.options_json =
+      "{\"backend\":\"datalog\",\"engine_storage\":\"rowwise\"}";
+  const JsonValue bad = Parse(session.HandleLine(RequestLine(spec)));
+  EXPECT_EQ(Str(bad, "command"), "error");
 }
 
 TEST(ServeTest, EvictionWithSingleEntryCache) {
