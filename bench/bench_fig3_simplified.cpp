@@ -30,14 +30,14 @@ void PrintSweep() {
     SafetyVerifier verifier(bench.system);
 
     Verdict vs;
-    const double simpl_ms = TimeMs([&] { vs = verifier.Verify(); });
+    const double simpl_ms = TimeMs([&] { vs = verifier.Run(std::nullopt); });
 
     VerifierOptions copts;
     copts.backend = Backend::kConcrete;
     copts.concrete.env_threads = z;
     copts.time_budget_ms = 20'000;
     Verdict vc;
-    const double conc_ms = TimeMs([&] { vc = verifier.Verify(copts); });
+    const double conc_ms = TimeMs([&] { vc = verifier.Run(std::nullopt, copts); });
 
     Row({std::to_string(z), vs.unsafe() ? "UNSAFE" : "safe",
          std::to_string(vs.states()), std::to_string(simpl_ms),
@@ -63,7 +63,7 @@ static void BM_SimplifiedVerify(benchmark::State& state) {
       rapar::ProducerConsumer(static_cast<int>(state.range(0)));
   rapar::SafetyVerifier verifier(bench.system);
   for (auto _ : state) {
-    rapar::Verdict v = verifier.Verify();
+    rapar::Verdict v = verifier.Run(std::nullopt);
     benchmark::DoNotOptimize(v.result);
   }
 }
@@ -77,7 +77,7 @@ static void BM_ConcreteVerify(benchmark::State& state) {
   opts.backend = rapar::Backend::kConcrete;
   opts.concrete.env_threads = z;
   for (auto _ : state) {
-    rapar::Verdict v = verifier.Verify(opts);
+    rapar::Verdict v = verifier.Run(std::nullopt, opts);
     benchmark::DoNotOptimize(v.result);
   }
 }

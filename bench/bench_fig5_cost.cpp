@@ -23,7 +23,7 @@ void PrintCostCurve() {
   for (int z = 1; z <= 6; ++z) {
     BenchmarkCase bench = ProducerConsumer(z);
     SafetyVerifier verifier(bench.system);
-    Verdict v = verifier.Verify();
+    Verdict v = verifier.Run(std::nullopt);
     const long long cost =
         v.env_thread_bound.has_value() ? *v.env_thread_bound : -1;
 
@@ -48,7 +48,7 @@ void PrintThreadBoundValidation() {
   for (int z = 1; z <= 4; ++z) {
     BenchmarkCase bench = ProducerConsumer(z);
     SafetyVerifier verifier(bench.system);
-    Verdict v = verifier.Verify();
+    Verdict v = verifier.Run(std::nullopt);
     if (!v.env_thread_bound.has_value()) continue;
     const int b = static_cast<int>(*v.env_thread_bound);
     auto concrete = [&](int n) -> std::string {
@@ -57,7 +57,7 @@ void PrintThreadBoundValidation() {
       opts.backend = Backend::kConcrete;
       opts.concrete.env_threads = n;
       opts.time_budget_ms = 20'000;
-      Verdict cv = verifier.Verify(opts);
+      Verdict cv = verifier.Run(std::nullopt, opts);
       if (cv.unsafe()) return "bug reached";
       return cv.safe() ? "not reached" : "(budget)";
     };
@@ -80,7 +80,7 @@ static void BM_CostAnalysisEndToEnd(benchmark::State& state) {
   rapar::BenchmarkCase bench = rapar::ProducerConsumer(z);
   rapar::SafetyVerifier verifier(bench.system);
   for (auto _ : state) {
-    rapar::Verdict v = verifier.Verify();
+    rapar::Verdict v = verifier.Run(std::nullopt);
     benchmark::DoNotOptimize(v.env_thread_bound);
   }
 }

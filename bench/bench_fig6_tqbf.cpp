@@ -37,7 +37,7 @@ void PrintAgreement() {
       Verdict v;
       VerifierOptions opts;
       opts.time_budget_ms = 60'000;
-      ms_total += TimeMs([&] { v = verifier.Verify(opts); });
+      ms_total += TimeMs([&] { v = verifier.Run(std::nullopt, opts); });
       const bool direct = EvalQbf(qbf);
       if (direct) ++truths;
       if (v.unsafe() == direct) ++agree;
@@ -81,7 +81,7 @@ static void BM_TqbfVerify(benchmark::State& state) {
   rapar::Expected<rapar::ParamSystem> sys = rapar::TqbfSystem(qbf);
   rapar::SafetyVerifier verifier(sys.value());
   for (auto _ : state) {
-    rapar::Verdict v = verifier.Verify();
+    rapar::Verdict v = verifier.Run(std::nullopt);
     benchmark::DoNotOptimize(v.result);
   }
 }

@@ -103,7 +103,7 @@ void RunLoadGenerator(const char* json_path) {
     opts.time_budget_ms = 60'000;
     opts.max_guesses = 30'000;
     SafetyVerifier verifier(bench.system);
-    const std::string oracle = VerdictName(verifier.Verify(opts).result);
+    const std::string oracle = VerdictName(verifier.Run(std::nullopt, opts).result);
 
     std::string response;
     // cold: fresh session per repetition; min wall-clock of kReps.

@@ -40,7 +40,7 @@ void PrintDecidableCell() {
     Verdict v;
     VerifierOptions opts;
     opts.time_budget_ms = 30'000;
-    const double ms = TimeMs([&] { v = verifier.Verify(opts); });
+    const double ms = TimeMs([&] { v = verifier.Run(std::nullopt, opts); });
     Row({bench.name, bench.paper_class,
          v.unsafe() ? "UNSAFE" : (v.safe() ? "SAFE" : "UNKNOWN"),
          std::to_string(v.states()),
@@ -65,7 +65,7 @@ void PrintHardnessCell() {
       Verdict v;
       VerifierOptions opts;
       opts.time_budget_ms = 30'000;
-      total_ms += TimeMs([&] { v = verifier.Verify(opts); });
+      total_ms += TimeMs([&] { v = verifier.Run(std::nullopt, opts); });
       if (v.unsafe() == EvalQbf(qbf)) ++agree;
     }
     Row({std::to_string(n), std::to_string(kRuns), std::to_string(agree),
@@ -127,7 +127,7 @@ static void BM_VerifySuite(benchmark::State& state) {
       suite[static_cast<std::size_t>(state.range(0))];
   rapar::SafetyVerifier verifier(bench.system);
   for (auto _ : state) {
-    rapar::Verdict v = verifier.Verify();
+    rapar::Verdict v = verifier.Run(std::nullopt);
     benchmark::DoNotOptimize(v.result);
   }
   state.SetLabel(bench.name);

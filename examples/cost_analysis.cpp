@@ -20,7 +20,7 @@ int main() {
     rapar::BenchmarkCase pc = rapar::ProducerConsumer(z);
     rapar::SafetyVerifier verifier(pc.system);
 
-    rapar::Verdict v = verifier.Verify();
+    rapar::Verdict v = verifier.Run(std::nullopt);
     if (!v.unsafe() || !v.env_thread_bound.has_value()) {
       std::printf("%-6d (unexpectedly safe)\n", z);
       continue;
@@ -32,7 +32,7 @@ int main() {
       opts.backend = rapar::Backend::kConcrete;
       opts.concrete.env_threads = n;
       opts.time_budget_ms = 30'000;
-      rapar::Verdict cv = verifier.Verify(opts);
+      rapar::Verdict cv = verifier.Run(std::nullopt, opts);
       if (cv.unsafe()) return "bug reached";
       return cv.safe() ? "bug NOT reached" : "(budget exceeded)";
     };

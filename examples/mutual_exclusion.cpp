@@ -23,7 +23,7 @@ int main() {
   std::printf("%s\n", std::string(100, '-').c_str());
   for (const rapar::BenchmarkCase& bench : cases) {
     rapar::SafetyVerifier verifier(bench.system);
-    rapar::Verdict v = verifier.Verify();
+    rapar::Verdict v = verifier.Run(std::nullopt);
     const char* verdict = v.unsafe()  ? "UNSAFE"
                           : v.safe()  ? "SAFE"
                                       : "UNKNOWN";
@@ -37,7 +37,7 @@ int main() {
   // Show one witness in full: how Peterson breaks.
   rapar::BenchmarkCase peterson = rapar::PetersonRa();
   rapar::SafetyVerifier verifier(peterson.system);
-  rapar::Verdict v = verifier.Verify();
+  rapar::Verdict v = verifier.Run(std::nullopt);
   if (v.unsafe()) {
     std::printf("\nHow Peterson breaks (abstract witness run):\n%s",
                 v.witness.c_str());

@@ -69,7 +69,7 @@ int main() {
   std::printf("system class: %s\n", system.value().Signature().c_str());
 
   rapar::SafetyVerifier verifier(system.value());
-  rapar::Verdict verdict = verifier.Verify();
+  rapar::Verdict verdict = verifier.Run(std::nullopt);
   std::printf("verdict: %s\n", verdict.ToString().c_str());
   if (verdict.unsafe()) {
     std::printf("\nwitness run (abstract, simplified semantics):\n%s",
@@ -82,10 +82,10 @@ int main() {
 
   // Message-generation query (§4.1): can the message (x, 2) ever exist?
   rapar::VarId x = system.value().vars().Find("x");
-  rapar::Verdict mg = verifier.VerifyMessageGeneration(x, 2);
+  rapar::Verdict mg = verifier.Run(std::pair{x, rapar::Value{2}});
   std::printf("\nMG (x,2): %s\n", mg.ToString().c_str());
   // And a value nobody writes:
-  rapar::Verdict mg3 = verifier.VerifyMessageGeneration(x, 3);
+  rapar::Verdict mg3 = verifier.Run(std::pair{x, rapar::Value{3}});
   std::printf("MG (x,3): %s\n", mg3.ToString().c_str());
   return 0;
 }

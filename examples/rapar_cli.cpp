@@ -26,9 +26,16 @@
 // the static analysis of the emitted Datalog program; --dot prints the
 // predicate dependency graph in Graphviz format instead.
 // serve runs the long-lived verification daemon (core/serve.h): one JSON
-// request per stdin line, one result envelope per stdout line, with a
-// persistent worker pool, warm per-worker Datalog engines and a
+// request per stdin line, one result envelope per stdout line (or a
+// {"requests":[...]} batch per line, answered as {"responses":[...]}),
+// with a persistent worker pool, warm per-worker Datalog engines and a
 // content-addressed verdict cache. EOF on stdin shuts it down (exit 0).
+// verify/mg with --backend=datalog additionally support multi-process
+// sharding of the guess scan (--shards=N spawns one subprocess per
+// residue class of the enumeration and merges the envelopes under
+// first-terminating-event-wins, bit-identical to a single-process run)
+// and checkpoint/resume (--checkpoint=FILE, --resume=FILE) — DESIGN.md
+// §14 and core/shard.h.
 //
 // Machine-readable output (--format=json) uses the stable envelopes of
 // core/result_json.h: verify/mg emit the verdict envelope (schema_version,
@@ -50,12 +57,16 @@
 
 #include <memory>
 
+#include <optional>
+#include <utility>
+
 #include "analysis/diagnostics.h"
 #include "analysis/footprint.h"
 #include "analysis/prepass.h"
 #include "common/json.h"
 #include "core/result_json.h"
 #include "core/serve.h"
+#include "core/shard.h"
 #include "core/verifier.h"
 #include "dlopt/dl_diagnostics.h"
 #include "encoding/makep.h"
@@ -100,6 +111,13 @@ struct Options {
   long long cache_bytes = 64ll << 20;
   bool pretty = false;
   bool cert_revalidate = true;
+  // Sharding / checkpoint-resume (datalog backend only).
+  long long shards = 1;
+  long long shard_index = -1;  // -1 = unset: orchestrate all shards
+  std::string checkpoint_file;
+  std::string resume_file;
+  long long checkpoint_every = 0;  // 0 = default (64) when --checkpoint set
+  long long scan_limit = 0;
 };
 
 // --- declarative flag table -------------------------------------------------
@@ -202,6 +220,31 @@ const FlagSpec kFlags[] = {
     {"--no-cert-revalidate", false, nullptr, "serve",
      "skip re-checking memoized TMAI certificates on cache hits",
      [](Options& o, const char*) { o.cert_revalidate = false; }},
+    {"--shards", true, "N", "verify mg",
+     "datalog backend: split the guess scan over N shard subprocesses "
+     "and merge their envelopes (first terminating event wins; "
+     "default 1 = no sharding)",
+     [](Options& o, const char* v) { o.shards = std::atoll(v); }},
+    {"--shard-index", true, "I", "verify mg",
+     "run only shard I of --shards in this process (what the "
+     "orchestrator spawns; emits a per-shard envelope)",
+     [](Options& o, const char* v) { o.shard_index = std::atoll(v); }},
+    {"--checkpoint", true, "FILE", "verify mg",
+     "write scan checkpoints to FILE (atomic tmp+rename; with --shards "
+     "the orchestrator writes FILE.shard<i> per shard)",
+     [](Options& o, const char* v) { o.checkpoint_file = v; }},
+    {"--resume", true, "FILE", "verify mg",
+     "resume the guess scan from a --checkpoint file (with --shards: "
+     "per-shard FILE.shard<i>; a missing file starts that shard fresh)",
+     [](Options& o, const char* v) { o.resume_file = v; }},
+    {"--checkpoint-every", true, "N", "verify mg",
+     "guess solves between periodic checkpoints (default 64 when "
+     "--checkpoint is given)",
+     [](Options& o, const char* v) { o.checkpoint_every = std::atoll(v); }},
+    {"--scan-limit", true, "N", "verify mg",
+     "stop after N guess solves this run and checkpoint (deterministic "
+     "truncation for kill-and-resume; 0 = unlimited)",
+     [](Options& o, const char* v) { o.scan_limit = std::atoll(v); }},
     {"--metrics", false, nullptr, "verify mg",
      "print the telemetry registry after the verdict",
      [](Options& o, const char*) { o.metrics = true; }},
@@ -496,9 +539,166 @@ rapar::Expected<rapar::ParamSystem> BuildSystem(const Options& opts) {
   return builder.Build();
 }
 
+// Usage/input failure on the verify/mg path: diagnostic on stderr and —
+// under --format=json — a minimal machine-readable error envelope on
+// stdout (schema_version, command, error, exit_code 3), so callers that
+// parse stdout (the shard orchestrator, scripts) never see a half
+// envelope. Always returns 3.
+int FailVerify(const Options& opts, const std::string& message) {
+  std::fprintf(stderr, "%s\n", message.c_str());
+  if (opts.format == "json") {
+    rapar::JsonWriter w(/*pretty=*/true);
+    w.BeginObject();
+    w.Key("schema_version").Int(rapar::kResultSchemaVersion);
+    w.Key("tool").String("rapar");
+    w.Key("command").String(opts.command);
+    w.Key("error").String(message);
+    w.Key("exit_code").Int(3);
+    w.EndObject();
+    std::string out = w.TakeString();
+    out += '\n';
+    std::fputs(out.c_str(), stdout);
+  }
+  return 3;
+}
+
+// The multi-process orchestrator behind `verify --shards=N`: spawns one
+// `--shard-index=i` subprocess per shard (each a fresh copy of this
+// executable running the datalog backend over its residue class of the
+// guess enumeration), captures the per-shard JSON envelopes, and merges
+// them under first-terminating-event-wins (core/shard.h). The merged
+// verdict, witness and guess count are bit-identical to a single-process
+// run; per-shard checkpoints go to --checkpoint=FILE.shard<i>.
+int RunShardedVerify(const Options& opts, bool mg) {
+  const bool json = opts.format == "json";
+  const std::string exe = rapar::SelfExecutablePath();
+  if (exe.empty()) {
+    return FailVerify(opts, "--shards: cannot resolve own executable path");
+  }
+  if (!opts.trace_file.empty() || opts.metrics) {
+    std::fprintf(stderr,
+                 "note: --trace/--metrics are ignored with --shards "
+                 "(per-shard telemetry is in the merged envelope)\n");
+  }
+
+  std::vector<std::string> base;
+  base.push_back(exe);
+  base.push_back(mg ? "mg" : "verify");
+  base.push_back("--env=" + opts.env_file);
+  for (const std::string& d : opts.dis_files) base.push_back("--dis=" + d);
+  base.push_back("--backend=datalog");
+  if (opts.threads_set) {
+    base.push_back("--threads=" + std::to_string(opts.threads));
+  }
+  if (opts.unroll != 0) {
+    base.push_back("--unroll=" + std::to_string(opts.unroll));
+  }
+  base.push_back("--engine-storage=" + opts.engine_storage);
+  if (opts.delta_solve) base.push_back("--delta-solve");
+  base.push_back("--budget-ms=" + std::to_string(opts.budget_ms));
+  if (mg) {
+    base.push_back("--var=" + opts.goal_var);
+    base.push_back("--val=" + std::to_string(opts.goal_val));
+  }
+  if (opts.scan_limit > 0) {
+    base.push_back("--scan-limit=" + std::to_string(opts.scan_limit));
+  }
+  if (opts.checkpoint_every > 0) {
+    base.push_back("--checkpoint-every=" +
+                   std::to_string(opts.checkpoint_every));
+  }
+  base.push_back("--format=json");
+  base.push_back("--shards=" + std::to_string(opts.shards));
+
+  std::vector<std::vector<std::string>> argvs;
+  for (long long i = 0; i < opts.shards; ++i) {
+    std::vector<std::string> argv = base;
+    argv.push_back("--shard-index=" + std::to_string(i));
+    const std::string suffix = ".shard" + std::to_string(i);
+    if (!opts.checkpoint_file.empty()) {
+      argv.push_back("--checkpoint=" + opts.checkpoint_file + suffix);
+    }
+    if (!opts.resume_file.empty()) {
+      // A shard whose checkpoint never got written starts fresh.
+      const std::string path = opts.resume_file + suffix;
+      if (std::ifstream(path).good()) argv.push_back("--resume=" + path);
+    }
+    argvs.push_back(std::move(argv));
+  }
+
+  rapar::Expected<std::vector<rapar::ShardProcessResult>> procs =
+      rapar::RunShardProcesses(argvs);
+  if (!procs.ok()) return FailVerify(opts, "--shards: " + procs.error());
+
+  std::vector<std::string> envelopes;
+  for (std::size_t i = 0; i < procs.value().size(); ++i) {
+    const rapar::ShardProcessResult& p = procs.value()[i];
+    if (p.exit_code != 0 && p.exit_code != 1 && p.exit_code != 2) {
+      // The child's own diagnostic already went to the shared stderr.
+      return FailVerify(opts, "shard " + std::to_string(i) +
+                                  " failed (exit " +
+                                  std::to_string(p.exit_code) + ")");
+    }
+    envelopes.push_back(p.stdout_text);
+  }
+
+  rapar::Expected<rapar::MergedShardEnvelope> merged =
+      rapar::MergeShardEnvelopes(envelopes, /*pretty=*/true);
+  if (!merged.ok()) return FailVerify(opts, "--shards: " + merged.error());
+
+  if (json) {
+    std::fputs(merged.value().envelope_json.c_str(), stdout);
+  } else {
+    std::printf("%s (merged over %lld shards)\n",
+                merged.value().verdict.c_str(), opts.shards);
+    if (opts.witness && merged.value().verdict == "unsafe") {
+      rapar::Expected<rapar::JsonValue> doc =
+          rapar::ParseJson(merged.value().envelope_json);
+      if (doc.ok()) {
+        if (const rapar::JsonValue* w = doc.value().Find("witness")) {
+          if (w->is_string()) {
+            std::printf("witness:\n%s", w->string.c_str());
+          }
+        }
+      }
+    }
+  }
+  return merged.value().exit_code;
+}
+
 int RunVerify(const Options& opts, bool mg) {
   if (opts.env_file.empty()) return GlobalUsage();
   const bool json = opts.format == "json";
+
+  // Sharding / checkpoint-resume validation, then orchestrator dispatch.
+  // All of it is datalog-only: the stride shards and checkpoints are
+  // positions in the makeP guess enumeration, which the other backends
+  // do not scan.
+  const bool wants_shard_machinery =
+      opts.shards != 1 || opts.shard_index >= 0 ||
+      !opts.checkpoint_file.empty() || !opts.resume_file.empty() ||
+      opts.checkpoint_every > 0 || opts.scan_limit > 0;
+  if (wants_shard_machinery && opts.backend != "datalog") {
+    return FailVerify(opts,
+                      "--shards/--shard-index/--checkpoint/--resume/"
+                      "--checkpoint-every/--scan-limit require "
+                      "--backend=datalog");
+  }
+  if (opts.shards < 1) {
+    return FailVerify(opts, "--shards must be >= 1");
+  }
+  if (opts.shard_index >= 0 && opts.shards <= 1) {
+    return FailVerify(opts, "--shard-index requires --shards=N with N > 1");
+  }
+  if (opts.shard_index >= opts.shards) {
+    return FailVerify(
+        opts, "--shard-index must be in [0, --shards): got " +
+                  std::to_string(opts.shard_index) + " of " +
+                  std::to_string(opts.shards));
+  }
+  if (opts.shards > 1 && opts.shard_index < 0) {
+    return RunShardedVerify(opts, mg);
+  }
 
   // The recorder must outlive the whole run so the parse phase is on the
   // trace too.
@@ -576,19 +776,61 @@ int RunVerify(const Options& opts, bool mg) {
   vopts.time_budget_ms = opts.budget_ms;
   vopts.obs.trace = trace;
 
-  rapar::SafetyVerifier verifier(sys.value());
-  rapar::Verdict v;
+  // Single-process shard / checkpoint / resume wiring (validated above:
+  // datalog backend only). --shards=1 without --shard-index is the
+  // default single-shard scan and emits a byte-identical envelope.
+  if (opts.shard_index >= 0) {
+    vopts.datalog.shard_index = static_cast<std::size_t>(opts.shard_index);
+    vopts.datalog.shard_count = static_cast<std::size_t>(opts.shards);
+  }
+  if (opts.scan_limit > 0) {
+    vopts.datalog.scan_limit = static_cast<std::size_t>(opts.scan_limit);
+  }
+  if (!opts.resume_file.empty()) {
+    rapar::Expected<rapar::CursorCheckpoint> cp =
+        rapar::LoadCheckpointFile(opts.resume_file);
+    if (!cp.ok()) {
+      return FailVerify(opts, opts.resume_file + ": " + cp.error());
+    }
+    if (cp.value().shard_index != vopts.datalog.shard_index ||
+        cp.value().shard_count != vopts.datalog.shard_count) {
+      return FailVerify(
+          opts, opts.resume_file + ": checkpoint is for shard " +
+                    std::to_string(cp.value().shard_index) + " of " +
+                    std::to_string(cp.value().shard_count) +
+                    ", run is shard " +
+                    std::to_string(vopts.datalog.shard_index) + " of " +
+                    std::to_string(vopts.datalog.shard_count));
+    }
+    vopts.datalog.start_index = cp.value().next_index;
+    vopts.datalog.resume_scanned_base = cp.value().scanned;
+  }
+  if (!opts.checkpoint_file.empty()) {
+    vopts.datalog.checkpoint_every =
+        opts.checkpoint_every > 0
+            ? static_cast<std::size_t>(opts.checkpoint_every)
+            : 64;
+    const std::string cp_path = opts.checkpoint_file;
+    vopts.datalog.checkpoint_sink =
+        [cp_path](const rapar::CursorCheckpoint& cp) {
+          rapar::Expected<bool> r = rapar::SaveCheckpointFile(cp_path, cp);
+          if (!r.ok()) {
+            std::fprintf(stderr, "checkpoint: %s\n", r.error().c_str());
+          }
+        };
+  }
+
+  std::optional<std::pair<rapar::VarId, rapar::Value>> goal;
   if (mg) {
     rapar::VarId var = sys.value().vars().Find(opts.goal_var);
     if (!var.valid() || opts.goal_val < 0) {
       std::fprintf(stderr, "mg requires --var (declared) and --val >= 0\n");
       return 3;
     }
-    v = verifier.VerifyMessageGeneration(
-        var, static_cast<rapar::Value>(opts.goal_val), vopts);
-  } else {
-    v = verifier.Verify(vopts);
+    goal = std::pair{var, static_cast<rapar::Value>(opts.goal_val)};
   }
+  rapar::SafetyVerifier verifier(sys.value());
+  rapar::Verdict v = verifier.Run(goal, vopts);
   v.telemetry.SetGauge(rapar::obs::metric::kPhaseParseMs, parse_ms);
 
   if (trace != nullptr && !recorder.WriteFile(opts.trace_file)) {

@@ -25,7 +25,7 @@ void Solve(const char* title, const rapar::Qbf& qbf) {
     return;
   }
   rapar::SafetyVerifier verifier(sys.value());
-  rapar::Verdict v = verifier.Verify();
+  rapar::Verdict v = verifier.Run(std::nullopt);
 
   std::printf("%s\n  %s\n", title, qbf.ToString().c_str());
   std::printf("  program: %zu shared vars, class %s%s\n",
@@ -79,7 +79,7 @@ int main() {
     rapar::Qbf qbf = rapar::RandomQbf(rng, 1 + (i % 2), 5);
     rapar::Expected<rapar::ParamSystem> sys = rapar::TqbfSystem(qbf);
     rapar::SafetyVerifier verifier(sys.value());
-    const bool via_ra = verifier.Verify().unsafe();
+    const bool via_ra = verifier.Run(std::nullopt).unsafe();
     const bool direct = rapar::EvalQbf(qbf);
     if (via_ra == direct) ++agreements;
   }

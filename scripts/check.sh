@@ -33,9 +33,9 @@ ctest --preset asan-ubsan -j "$jobs"
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
   --target parallel_differential_test datalog_index_differential_test \
-  tmai_soundness_test delta_parity_test
+  tmai_soundness_test delta_parity_test shard_parity_test
 ctest --preset tsan \
-  -R 'ParallelDifferential|IndexDifferential|TmaiPortfolio|DeltaParity' \
+  -R 'ParallelDifferential|IndexDifferential|TmaiPortfolio|DeltaParity|ShardParity' \
   -j "$jobs"
 
 # Optional (CHECK_BENCH=1): reproduce the bench_backends tables and gate
@@ -81,6 +81,30 @@ if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
   (cd build && ./bench/bench_serve --json --benchmark_filter=NONE)
   jq -e '.totals.speedup_hit >= 2 and .totals.parity == "OK"' \
     build/BENCH_serve.json
+
+  # shard scaling: merged-envelope parity is a hard gate; the 4-shard
+  # TQBF speedup gate self-reports SKIPPED on < 4 hardware threads.
+  jq -e '.totals.parity == "OK" and .totals.gate != "FAIL"' \
+    build/BENCH_shards.json
+
+  # multi-process shard smoke: the fork/exec orchestrator end to end,
+  # then kill-and-resume through a checkpoint file.
+  ./build/examples/rapar_cli verify --backend datalog --shards=2 \
+    --format=json \
+    --env examples/programs/dekker_env.rap \
+    --dis examples/programs/dekker.rap > shard_smoke.json
+  jq -e '.verdict == "safe" and .shard.count == 2' shard_smoke.json
+  ./build/examples/rapar_cli verify --backend datalog \
+    --scan-limit=5 --checkpoint=dekker.cp.json \
+    --env examples/programs/dekker_env.rap \
+    --dis examples/programs/dekker.rap > /dev/null || true
+  ./build/examples/rapar_cli verify --backend datalog \
+    --resume=dekker.cp.json --format=json \
+    --env examples/programs/dekker_env.rap \
+    --dis examples/programs/dekker.rap > resume_smoke.json
+  jq -e '.verdict == "safe" and .checkpoint.resume_offset == 5' \
+    resume_smoke.json
+  rm -f shard_smoke.json resume_smoke.json dekker.cp.json
 fi
 
 if [[ "${CHECK_WERROR:-0}" == "1" ]]; then

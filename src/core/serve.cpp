@@ -612,7 +612,61 @@ std::string ServeSession::HandleLineImpl(std::string_view line) {
     im.errors.fetch_add(1, std::memory_order_relaxed);
     return ErrorLine("", "invalid request JSON: " + doc.error(), pretty);
   }
-  Request req = DecodeRequest(doc.value());
+
+  // --- batch: {"requests":[...]} answered as {"responses":[...]} ---
+  // Detected on the top-level member, so plain request lines take the
+  // single-request path below byte-for-byte unchanged.
+  if (doc.value().is_object()) {
+    if (const JsonValue* reqs = doc.value().Find("requests")) {
+      std::string batch_id;
+      if (const JsonValue* id = doc.value().Find("id")) {
+        JsonWriter w;
+        WriteJsonValue(*id, &w);
+        batch_id = w.TakeString();
+      }
+      if (!reqs->is_array() || reqs->items.empty()) {
+        im.errors.fetch_add(1, std::memory_order_relaxed);
+        return ErrorLine(batch_id,
+                         "field 'requests' must be a non-empty array",
+                         pretty);
+      }
+      // The line was counted once above; count the remaining elements so
+      // serve.requests reflects verifications asked, not stdin lines.
+      im.requests.fetch_add(reqs->items.size() - 1,
+                            std::memory_order_relaxed);
+      JsonWriter w(pretty);
+      w.BeginObject();
+      if (!batch_id.empty()) w.Key("id").Raw(batch_id);
+      w.Key("responses").BeginArray();
+      for (const JsonValue& item : reqs->items) {
+        // Same never-kill-the-stream contract per element as HandleLine
+        // has per line: one failing element answers its own error
+        // envelope and the rest of the batch still runs.
+        std::string resp;
+        try {
+          resp = HandleRequestDoc(item);
+        } catch (const std::exception& e) {
+          im.errors.fetch_add(1, std::memory_order_relaxed);
+          resp = ErrorLine("", std::string("internal error: ") + e.what(),
+                           pretty);
+        } catch (...) {
+          im.errors.fetch_add(1, std::memory_order_relaxed);
+          resp = ErrorLine("", "internal error", pretty);
+        }
+        w.Raw(resp);
+      }
+      w.EndArray();
+      w.EndObject();
+      return w.TakeString();
+    }
+  }
+  return HandleRequestDoc(doc.value());
+}
+
+std::string ServeSession::HandleRequestDoc(const JsonValue& doc) {
+  Impl& im = *impl_;
+  const bool pretty = im.options.pretty;
+  Request req = DecodeRequest(doc);
   if (!req.error.empty()) {
     im.errors.fetch_add(1, std::memory_order_relaxed);
     return ErrorLine(req.id_json, req.error, pretty);
@@ -719,9 +773,7 @@ std::string ServeSession::HandleLineImpl(std::string_view line) {
     vopts.datalog.warm_engine = im.WarmEngine(slot);
 
     SafetyVerifier verifier(sys.value());
-    Verdict v = req.mg ? verifier.VerifyMessageGeneration(
-                             goal->first, goal->second, vopts)
-                       : verifier.Verify(vopts);
+    Verdict v = verifier.Run(goal, vopts);
     if (slot0_lock.owns_lock()) slot0_lock.unlock();
     v.telemetry.SetGauge(obs::metric::kPhaseParseMs, parse_ms);
 

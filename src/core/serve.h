@@ -24,6 +24,21 @@
 //                "tmai_value_set_limit": N, "max_states": N,
 //                "max_depth": N, "time_budget_ms": N, "max_guesses": N}}
 //
+// Batch requests: a line whose top-level object has a "requests" member
+// bundles several requests into one round trip —
+//
+//   {"id": <any json>, "requests": [<request>, <request>, ...]}
+//
+// answered as one line {"id": ..., "responses": [<envelope>, ...]} with
+// the response envelopes in request order. Each element is exactly the
+// envelope the same request would have received on its own line
+// (including per-request id echo and error envelopes for malformed
+// elements — one bad element never fails its siblings), and the batch
+// shares the verdict cache's single-flight coalescing, so duplicate
+// requests inside one batch run the pipeline once. Lines without a
+// top-level "requests" member are byte-identical to the pre-batch
+// protocol.
+//
 // Malformed requests answer a one-line error envelope (command "error",
 // exit_code 3) and the daemon keeps serving. Integer option fields are
 // range-checked during decoding: an out-of-range value (e.g. an
@@ -62,6 +77,10 @@
 #include <memory>
 #include <string>
 #include <string_view>
+
+namespace rapar {
+struct JsonValue;
+}
 
 namespace rapar::serve {
 
@@ -123,6 +142,9 @@ class ServeSession {
  private:
   struct Impl;
   std::string HandleLineImpl(std::string_view line);
+  // One parsed request object -> one rendered envelope (no trailing
+  // newline). The single-request and batch paths share it.
+  std::string HandleRequestDoc(const JsonValue& doc);
   std::unique_ptr<Impl> impl_;
 };
 

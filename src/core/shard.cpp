@@ -1,0 +1,454 @@
+#include "core/shard.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "obs/telemetry.h"
+
+namespace rapar {
+
+namespace {
+
+namespace metric = obs::metric;
+
+std::string ErrnoText(const char* what) {
+  return StrCat(what, ": ", std::strerror(errno));
+}
+
+}  // namespace
+
+// --- checkpoint files -------------------------------------------------------
+
+Expected<CursorCheckpoint> LoadCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Expected<CursorCheckpoint>::Error(
+        StrCat("cannot read checkpoint file '", path, "'"));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return CursorCheckpoint::FromJson(buf.str());
+}
+
+Expected<bool> SaveCheckpointFile(const std::string& path,
+                                  const CursorCheckpoint& cp) {
+  const std::string tmp = path + ".tmp";
+  const std::string text = cp.ToJson();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Expected<bool>::Error(ErrnoText("checkpoint open"));
+  }
+  const char* p = text.data();
+  std::size_t left = text.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = ErrnoText("checkpoint write");
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Expected<bool>::Error(err);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must never publish a torn file.
+  if (::fsync(fd) != 0) {
+    const std::string err = ErrnoText("checkpoint fsync");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Expected<bool>::Error(err);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = ErrnoText("checkpoint rename");
+    ::unlink(tmp.c_str());
+    return Expected<bool>::Error(err);
+  }
+  return true;
+}
+
+// --- subprocess runner ------------------------------------------------------
+
+std::string SelfExecutablePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+Expected<std::vector<ShardProcessResult>> RunShardProcesses(
+    const std::vector<std::vector<std::string>>& argvs) {
+  struct Child {
+    pid_t pid = -1;
+    int fd = -1;
+    std::string out;
+  };
+  std::vector<Child> children(argvs.size());
+  std::string spawn_error;
+
+  for (std::size_t c = 0; c < argvs.size(); ++c) {
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      spawn_error = ErrnoText("pipe");
+      break;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      spawn_error = ErrnoText("fork");
+      ::close(pipefd[0]);
+      ::close(pipefd[1]);
+      break;
+    }
+    if (pid == 0) {
+      // Child: stdout -> pipe; stderr stays inherited for diagnostics.
+      ::dup2(pipefd[1], STDOUT_FILENO);
+      ::close(pipefd[0]);
+      ::close(pipefd[1]);
+      std::vector<char*> argv;
+      argv.reserve(argvs[c].size() + 1);
+      for (const std::string& a : argvs[c]) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+    ::close(pipefd[1]);
+    children[c].pid = pid;
+    children[c].fd = pipefd[0];
+  }
+
+  // One reader thread per spawned child keeps every pipe drained, so no
+  // shard can deadlock on a full pipe while we wait on another.
+  std::vector<std::thread> readers;
+  readers.reserve(children.size());
+  for (Child& child : children) {
+    if (child.fd < 0) continue;
+    readers.emplace_back([&child] {
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = ::read(child.fd, buf, sizeof(buf));
+        if (n > 0) {
+          child.out.append(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      ::close(child.fd);
+    });
+  }
+  for (std::thread& t : readers) t.join();
+
+  std::vector<ShardProcessResult> results(argvs.size());
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    if (children[c].pid < 0) continue;
+    int status = 0;
+    while (::waitpid(children[c].pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    results[c].exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    results[c].stdout_text = std::move(children[c].out);
+  }
+  if (!spawn_error.empty()) {
+    return Expected<std::vector<ShardProcessResult>>::Error(spawn_error);
+  }
+  return results;
+}
+
+// --- envelope merge ---------------------------------------------------------
+
+namespace {
+
+// Numeric telemetry value: counters as uint64, gauges as double.
+struct MetricValue {
+  bool is_double = false;
+  std::uint64_t u = 0;
+  double d = 0.0;
+};
+
+bool ReadUInt(const JsonValue& v, std::uint64_t* out) {
+  if (!v.is_number()) return false;
+  if (v.number_is_uint) {
+    *out = v.uinteger;
+    return true;
+  }
+  if (v.number_is_int && v.integer >= 0) {
+    *out = static_cast<std::uint64_t>(v.integer);
+    return true;
+  }
+  return false;
+}
+
+// One parsed per-shard envelope, reduced to what the merge needs.
+struct ShardView {
+  const JsonValue* doc = nullptr;
+  const JsonValue* telemetry = nullptr;
+  std::uint64_t index = 0;
+  std::uint64_t count = 0;
+  std::string verdict;
+  const JsonValue* witness = nullptr;        // kNull when none
+  const JsonValue* stopped_phase = nullptr;  // kNull when none
+  bool has_term = false;
+  std::uint64_t term_index = 0;
+  std::uint64_t guesses = 0;
+};
+
+Expected<ShardView> ParseShardEnvelope(const JsonValue& doc,
+                                       std::size_t pos) {
+  const auto fail = [pos](std::string_view what) {
+    return Expected<ShardView>::Error(
+        StrCat("shard envelope ", pos, ": ", what));
+  };
+  if (!doc.is_object()) return fail("not a JSON object");
+  ShardView s;
+  s.doc = &doc;
+  const JsonValue* verdict = doc.Find("verdict");
+  if (verdict == nullptr || !verdict->is_string()) {
+    return fail("missing verdict");
+  }
+  s.verdict = verdict->string;
+  s.witness = doc.Find("witness");
+  s.stopped_phase = doc.Find("stopped_phase");
+  s.telemetry = doc.Find("telemetry");
+  if (s.telemetry == nullptr || !s.telemetry->is_object()) {
+    return fail("missing telemetry");
+  }
+  const JsonValue* shard = doc.Find("shard");
+  if (shard == nullptr || !shard->is_object()) {
+    return fail("missing \"shard\" section (not a shard-mode envelope)");
+  }
+  const JsonValue* idx = shard->Find("index");
+  const JsonValue* count = shard->Find("count");
+  if (idx == nullptr || !ReadUInt(*idx, &s.index) || count == nullptr ||
+      !ReadUInt(*count, &s.count)) {
+    return fail("malformed shard index/count");
+  }
+  const JsonValue* term = shard->Find("terminating_index");
+  if (term != nullptr && term->is_number()) {
+    if (!ReadUInt(*term, &s.term_index)) {
+      return fail("malformed shard terminating_index");
+    }
+    s.has_term = true;
+  }
+  const JsonValue* guesses = s.telemetry->Find(metric::kGuesses);
+  if (guesses == nullptr || !ReadUInt(*guesses, &s.guesses)) {
+    return fail("missing verify.guesses");
+  }
+  return s;
+}
+
+// Telemetry keys the merge sets from the first-terminating-event rule
+// (or drops) instead of summing across shards.
+bool RuleSetMetric(std::string_view name) {
+  return name == metric::kGuesses || name == metric::kShardIndex ||
+         name == metric::kShardCount ||
+         name == metric::kShardTerminatingIndex ||
+         name == metric::kCheckpointResumeOffset ||
+         name == metric::kBudgetAbortedGuess ||
+         name == metric::kParEarlyExitIndex;
+}
+
+}  // namespace
+
+Expected<MergedShardEnvelope> MergeShardEnvelopes(
+    const std::vector<std::string>& envelopes, bool pretty) {
+  using Out = Expected<MergedShardEnvelope>;
+  if (envelopes.empty()) return Out::Error("no shard envelopes to merge");
+
+  std::vector<JsonValue> docs;
+  docs.reserve(envelopes.size());
+  std::vector<ShardView> shards(envelopes.size());
+  for (std::size_t i = 0; i < envelopes.size(); ++i) {
+    Expected<JsonValue> doc = ParseJson(envelopes[i]);
+    if (!doc.ok()) {
+      return Out::Error(StrCat("shard envelope ", i, ": ", doc.error()));
+    }
+    docs.push_back(std::move(doc).value());
+  }
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    Expected<ShardView> view = ParseShardEnvelope(docs[i], i);
+    if (!view.ok()) return Out::Error(view.error());
+    const std::uint64_t idx = view.value().index;
+    if (view.value().count != envelopes.size()) {
+      return Out::Error(StrCat("shard envelope ", i, ": shard count ",
+                               view.value().count, " != ",
+                               envelopes.size(), " envelopes"));
+    }
+    if (idx >= shards.size() || shards[idx].doc != nullptr) {
+      return Out::Error(
+          StrCat("shard envelope ", i, ": duplicate or out-of-range shard ",
+                 "index ", idx));
+    }
+    shards[idx] = view.value();
+  }
+
+  // First terminating event wins: the minimum global terminating index
+  // across shards is the single-process stop index.
+  const ShardView* winner = nullptr;
+  for (const ShardView& s : shards) {
+    if (!s.has_term) continue;
+    if (winner == nullptr || s.term_index < winner->term_index) {
+      winner = &s;
+    }
+  }
+
+  // Merged verdict / witness / guess accounting (the bit-identical part).
+  std::string verdict;
+  std::uint64_t guesses = 0;
+  if (winner != nullptr) {
+    verdict = winner->verdict == "unsafe" ? "unsafe" : "unknown";
+    guesses = winner->term_index + 1;
+  } else {
+    bool all_safe = true;
+    for (const ShardView& s : shards) {
+      guesses += s.guesses;
+      if (s.verdict != "safe") all_safe = false;
+    }
+    verdict = all_safe ? "safe" : "unknown";
+  }
+  const int exit_code = verdict == "unsafe" ? 1 : (verdict == "safe" ? 0 : 2);
+
+  // Sum the remaining telemetry across shards (work performed), keyed in
+  // first-appearance order over the shard-index ordering.
+  std::vector<std::pair<std::string, MetricValue>> merged;
+  std::map<std::string, std::size_t> merged_index;
+  for (const ShardView& s : shards) {
+    for (const auto& [name, value] : s.telemetry->members) {
+      if (RuleSetMetric(name) || !value.is_number()) continue;
+      auto [it, inserted] = merged_index.emplace(name, merged.size());
+      if (inserted) merged.emplace_back(name, MetricValue{});
+      MetricValue& m = merged[it->second].second;
+      std::uint64_t u = 0;
+      if (!m.is_double && ReadUInt(value, &u)) {
+        m.u += u;
+      } else {
+        if (!m.is_double) {
+          m.is_double = true;
+          m.d = static_cast<double>(m.u);
+        }
+        m.d += value.number;
+      }
+    }
+  }
+
+  JsonWriter w(pretty);
+  w.BeginObject();
+  for (const auto& [key, value] : shards[0].doc->members) {
+    if (key == "verdict") {
+      w.Key("verdict").String(verdict);
+    } else if (key == "exit_code") {
+      w.Key("exit_code").Int(exit_code);
+    } else if (key == "witness") {
+      w.Key("witness");
+      if (winner != nullptr && verdict == "unsafe" &&
+          winner->witness != nullptr) {
+        WriteJsonValue(*winner->witness, &w);
+      } else {
+        w.Null();
+      }
+    } else if (key == "stopped_phase") {
+      // A terminating event is definitive about the prefix; without one,
+      // the first truncated shard explains why the merge is inconclusive.
+      w.Key("stopped_phase");
+      const JsonValue* phase = nullptr;
+      if (winner == nullptr) {
+        for (const ShardView& s : shards) {
+          if (s.stopped_phase != nullptr && s.stopped_phase->is_string()) {
+            phase = s.stopped_phase;
+            break;
+          }
+        }
+      }
+      if (phase != nullptr) {
+        WriteJsonValue(*phase, &w);
+      } else {
+        w.Null();
+      }
+    } else if (key == "shard") {
+      w.Key("shard").BeginObject();
+      w.Key("count").UInt(shards.size());
+      w.Key("winner");
+      if (winner != nullptr) {
+        w.UInt(winner->index);
+      } else {
+        w.Null();
+      }
+      w.Key("per_shard").BeginArray();
+      for (const ShardView& s : shards) {
+        w.BeginObject();
+        w.Key("index").UInt(s.index);
+        w.Key("verdict").String(s.verdict);
+        w.Key("guesses").UInt(s.guesses);
+        w.Key("solves").UInt(s.telemetry->Find(metric::kParSolves) != nullptr
+                                 ? s.telemetry->Find(metric::kParSolves)
+                                       ->uinteger
+                                 : 0);
+        w.Key("steals").UInt(s.telemetry->Find(metric::kParSteals) != nullptr
+                                 ? s.telemetry->Find(metric::kParSteals)
+                                       ->uinteger
+                                 : 0);
+        const JsonValue* ms = s.telemetry->Find(metric::kPhaseSolveMs);
+        w.Key("solve_ms").Double(ms != nullptr ? ms->number : 0.0);
+        const JsonValue* cw = s.telemetry->Find(metric::kCheckpointWrites);
+        w.Key("checkpoint_writes").UInt(cw != nullptr ? cw->uinteger : 0);
+        w.Key("terminating_index");
+        if (s.has_term) {
+          w.UInt(s.term_index);
+        } else {
+          w.Null();
+        }
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    } else if (key == "telemetry") {
+      w.Key("telemetry").BeginObject();
+      w.Key(metric::kGuesses).UInt(guesses);
+      if (winner != nullptr) {
+        if (verdict != "unsafe") {
+          w.Key(metric::kBudgetAbortedGuess).UInt(winner->term_index);
+        }
+        w.Key(metric::kParEarlyExitIndex).UInt(winner->term_index);
+      }
+      for (const auto& [name, m] : merged) {
+        w.Key(name);
+        if (m.is_double) {
+          w.Double(m.d);
+        } else {
+          w.UInt(m.u);
+        }
+      }
+      w.EndObject();
+    } else {
+      // Shard 0 carries the shared metadata (command, system signature,
+      // options echo) and — because global index 0 is always in shard
+      // 0's residue class — the same width report the single-process run
+      // would emit.
+      w.Key(key);
+      WriteJsonValue(value, &w);
+    }
+  }
+  w.EndObject();
+
+  MergedShardEnvelope out;
+  out.envelope_json = w.TakeString();
+  out.envelope_json += '\n';
+  out.verdict = verdict;
+  out.exit_code = exit_code;
+  return out;
+}
+
+}  // namespace rapar

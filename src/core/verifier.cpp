@@ -115,6 +115,22 @@ void ExportDatalogStats(const DatalogVerdict& dv, obs::Telemetry& t) {
   t.SetCounter(metric::kDlOptCopyAliased, o.copy_aliased_removed);
   t.SetCounter(metric::kDlOptPredsBefore, o.preds_before);
   t.SetCounter(metric::kDlOptPredsAfter, o.preds_after);
+  // Shard/checkpoint metrics are activity-gated (like kMergeScans) so
+  // default single-shard envelopes — and the goldens over them — are
+  // byte-for-byte unchanged.
+  if (dv.shard_count > 1) {
+    t.SetCounter(metric::kShardIndex, dv.shard_index);
+    t.SetCounter(metric::kShardCount, dv.shard_count);
+    if (dv.terminating_index != kNoGuessIndex) {
+      t.SetCounter(metric::kShardTerminatingIndex, dv.terminating_index);
+    }
+  }
+  if (dv.resume_offset != 0) {
+    t.SetCounter(metric::kCheckpointResumeOffset, dv.resume_offset);
+  }
+  if (dv.checkpoint_writes != 0) {
+    t.SetCounter(metric::kCheckpointWrites, dv.checkpoint_writes);
+  }
   const ParallelStats& p = dv.parallel;
   t.SetCounter(metric::kParThreads, p.threads);
   t.SetCounter(metric::kParBatches, p.batches);
@@ -268,67 +284,19 @@ std::string Verdict::ToString() const {
   return out;
 }
 
-Verdict SafetyVerifier::Verify(const VerifierOptions& options) const {
-  return Run(std::nullopt, options);
-}
+// --- backend dispatch targets ----------------------------------------------
+// The per-backend entry points behind SafetyVerifier::Run. Formerly the
+// private RunSimplified/RunDatalog/... members; file-local free functions
+// now that Run(goal, options) is the one public door.
 
-Verdict SafetyVerifier::VerifyMessageGeneration(
-    VarId var, Value val, const VerifierOptions& options) const {
-  return Run(std::pair<VarId, Value>{var, val}, options);
-}
+namespace {
 
-Verdict SafetyVerifier::Run(std::optional<std::pair<VarId, Value>> goal,
-                            const VerifierOptions& options) const {
-  const char* span_name = "verify";
-  switch (options.backend) {
-    case Backend::kSimplifiedExplorer:
-      span_name = "verify:simplified";
-      break;
-    case Backend::kDatalog:
-      span_name = "verify:datalog";
-      break;
-    case Backend::kConcrete:
-      span_name = "verify:concrete";
-      break;
-    case Backend::kTmai:
-      span_name = "verify:tmai";
-      break;
-    case Backend::kPortfolio:
-      span_name = "verify:portfolio";
-      break;
-  }
-  const auto start = std::chrono::steady_clock::now();
-  Verdict v;
-  {
-    obs::ScopedSpan span(options.obs.trace, span_name);
-    switch (options.backend) {
-      case Backend::kSimplifiedExplorer:
-        v = RunSimplified(goal, options);
-        break;
-      case Backend::kDatalog:
-        v = RunDatalog(goal, options);
-        break;
-      case Backend::kConcrete:
-        v = RunConcrete(goal, options);
-        break;
-      case Backend::kTmai:
-        v = RunTmai(goal, options);
-        break;
-      case Backend::kPortfolio:
-        v = RunPortfolio(goal, options);
-        break;
-    }
-  }
-  v.telemetry.SetGauge(obs::metric::kPhaseTotalMs, MsSince(start));
-  return v;
-}
-
-Verdict SafetyVerifier::RunSimplified(
-    std::optional<std::pair<VarId, Value>> goal,
-    const VerifierOptions& options) const {
+Verdict RunSimplified(const ParamSystem& system,
+                      std::optional<std::pair<VarId, Value>> goal,
+                      const VerifierOptions& options) {
   Verdict v;
   v.backend = "simplified";
-  const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
+  const PreparedSystem prep = Prepare(system, goal, options, v.telemetry);
   SimplExplorer explorer(prep.simpl);
   SimplExplorerOptions opts;
   opts.goal = goal;
@@ -387,15 +355,22 @@ Verdict SafetyVerifier::RunSimplified(
   return v;
 }
 
-Verdict SafetyVerifier::RunDatalog(
-    std::optional<std::pair<VarId, Value>> goal,
-    const VerifierOptions& options) const {
+Verdict RunDatalog(const ParamSystem& system,
+                   std::optional<std::pair<VarId, Value>> goal,
+                   const VerifierOptions& options) {
   Verdict v;
   v.backend = "datalog";
-  const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
+  const PreparedSystem prep = Prepare(system, goal, options, v.telemetry);
   DatalogVerifierOptions opts;
   opts.goal_message = goal;
   opts.guess.max_guesses = options.max_guesses;
+  opts.guess.shard_index = options.datalog.shard_index;
+  opts.guess.shard_count = options.datalog.shard_count;
+  opts.guess.start_index = options.datalog.start_index;
+  opts.resume_scanned_base = options.datalog.resume_scanned_base;
+  opts.checkpoint_every = options.datalog.checkpoint_every;
+  opts.checkpoint_sink = options.datalog.checkpoint_sink;
+  opts.scan_limit = options.datalog.scan_limit;
   opts.enable_dlopt = options.datalog.enable_dlopt;
   opts.engine = options.datalog.engine;
   opts.threads = options.datalog.threads;
@@ -413,7 +388,11 @@ Verdict SafetyVerifier::RunDatalog(
   }
   ExportDatalogStats(dv, v.telemetry);
   v.width_report = dv.width_report;
-  if (dv.deadline_hit) v.stopped_phase = "solve";
+  if (dv.deadline_hit) {
+    v.stopped_phase = "solve";
+  } else if (dv.scan_limit_hit) {
+    v.stopped_phase = "scan-limit";
+  }
   if (dv.unsafe) {
     v.result = Verdict::Result::kUnsafe;
     v.witness = dv.witness_guess;
@@ -425,12 +404,12 @@ Verdict SafetyVerifier::RunDatalog(
   return v;
 }
 
-Verdict SafetyVerifier::RunConcrete(
-    std::optional<std::pair<VarId, Value>> goal,
-    const VerifierOptions& options) const {
+Verdict RunConcrete(const ParamSystem& system,
+                    std::optional<std::pair<VarId, Value>> goal,
+                    const VerifierOptions& options) {
   Verdict v;
   v.backend = "concrete";
-  const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
+  const PreparedSystem prep = Prepare(system, goal, options, v.telemetry);
   std::vector<const Cfa*> threads;
   for (int i = 0; i < options.concrete.env_threads; ++i) {
     threads.push_back(prep.simpl.env);
@@ -438,7 +417,7 @@ Verdict SafetyVerifier::RunConcrete(
   threads.insert(threads.end(), prep.simpl.dis.begin(),
                  prep.simpl.dis.end());
   RaExplorer explorer(
-      threads, system_.dom(), system_.vars().size(),
+      threads, system.dom(), system.vars().size(),
       {0, static_cast<std::size_t>(options.concrete.env_threads)});
   RaExplorerOptions opts;
   opts.max_states = options.max_states;
@@ -483,12 +462,12 @@ Verdict SafetyVerifier::RunConcrete(
   return v;
 }
 
-Verdict SafetyVerifier::RunTmai(
-    std::optional<std::pair<VarId, Value>> goal,
-    const VerifierOptions& options) const {
+Verdict RunTmai(const ParamSystem& system,
+                std::optional<std::pair<VarId, Value>> goal,
+                const VerifierOptions& options) {
   Verdict v;
   v.backend = "tmai";
-  const PreparedSystem prep = Prepare(system_, goal, options, v.telemetry);
+  const PreparedSystem prep = Prepare(system, goal, options, v.telemetry);
   const tmai::TmaiSystem tsys = tmai::TmaiSystem::FromSimpl(prep.simpl);
   tmai::TmaiGoal tgoal;
   if (goal.has_value()) {
@@ -536,15 +515,15 @@ Verdict SafetyVerifier::RunTmai(
   return v;
 }
 
-Verdict SafetyVerifier::RunPortfolio(
-    std::optional<std::pair<VarId, Value>> goal,
-    const VerifierOptions& options) const {
+Verdict RunPortfolio(const ParamSystem& system,
+                     std::optional<std::pair<VarId, Value>> goal,
+                     const VerifierOptions& options) {
   // Stage 0: TMAI inline. It finishes in microseconds on typical inputs,
   // so racing it buys nothing; a kSafe answer skips the race entirely.
   const auto tmai_start = std::chrono::steady_clock::now();
   VerifierOptions topts = options;
   topts.backend = Backend::kTmai;
-  Verdict tv = RunTmai(goal, topts);
+  Verdict tv = RunTmai(system, goal, topts);
   const double tmai_ms = MsSince(tmai_start);
   if (tv.safe()) {
     tv.backend = "portfolio:tmai";
@@ -582,10 +561,10 @@ Verdict SafetyVerifier::RunPortfolio(
       child.obs.trace = nullptr;
       if (slot == kSimpl) {
         child.backend = Backend::kSimplifiedExplorer;
-        e.verdict = RunSimplified(goal, child);
+        e.verdict = RunSimplified(system, goal, child);
       } else {
         child.backend = Backend::kDatalog;
-        e.verdict = RunDatalog(goal, child);
+        e.verdict = RunDatalog(system, goal, child);
       }
       e.ms = MsSince(race_start);
       e.done = true;
@@ -649,6 +628,63 @@ Verdict SafetyVerifier::RunPortfolio(
   }
   t.SetCounter(metric::kPortfolioCancelled, cancelled);
   return v;
+}
+
+}  // namespace
+
+Verdict SafetyVerifier::Run(std::optional<std::pair<VarId, Value>> goal,
+                            const VerifierOptions& options) const {
+  const char* span_name = "verify";
+  switch (options.backend) {
+    case Backend::kSimplifiedExplorer:
+      span_name = "verify:simplified";
+      break;
+    case Backend::kDatalog:
+      span_name = "verify:datalog";
+      break;
+    case Backend::kConcrete:
+      span_name = "verify:concrete";
+      break;
+    case Backend::kTmai:
+      span_name = "verify:tmai";
+      break;
+    case Backend::kPortfolio:
+      span_name = "verify:portfolio";
+      break;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Verdict v;
+  {
+    obs::ScopedSpan span(options.obs.trace, span_name);
+    switch (options.backend) {
+      case Backend::kSimplifiedExplorer:
+        v = RunSimplified(system_, goal, options);
+        break;
+      case Backend::kDatalog:
+        v = RunDatalog(system_, goal, options);
+        break;
+      case Backend::kConcrete:
+        v = RunConcrete(system_, goal, options);
+        break;
+      case Backend::kTmai:
+        v = RunTmai(system_, goal, options);
+        break;
+      case Backend::kPortfolio:
+        v = RunPortfolio(system_, goal, options);
+        break;
+    }
+  }
+  v.telemetry.SetGauge(obs::metric::kPhaseTotalMs, MsSince(start));
+  return v;
+}
+
+Verdict SafetyVerifier::Verify(const VerifierOptions& options) const {
+  return Run(std::nullopt, options);
+}
+
+Verdict SafetyVerifier::VerifyMessageGeneration(
+    VarId var, Value val, const VerifierOptions& options) const {
+  return Run(std::pair<VarId, Value>{var, val}, options);
 }
 
 }  // namespace rapar

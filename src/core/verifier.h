@@ -3,8 +3,15 @@
 //   ParamSystem sys = ParamSystem::Builder().Env(producer).Dis(consumer)
 //                         .Build().value();
 //   SafetyVerifier verifier(sys);
-//   Verdict v = verifier.Verify();             // assert-false reachability
-//   Verdict m = verifier.VerifyMessageGeneration(x, d);  // MG (§4.1)
+//   VerifierOptions options;                   // pick backend + knobs
+//   Verdict v = verifier.Run(std::nullopt, options);  // assert-false
+//   Verdict m = verifier.Run(std::pair{x, d}, options);  // MG (§4.1)
+//
+// Run() is the single entry point: the goal selects the question
+// (std::nullopt = assert-false reachability, a (var, val) pair = Message
+// Generation), VerifierOptions::backend selects the engine. The legacy
+// Verify()/VerifyMessageGeneration() wrappers survive as deprecated
+// aliases of Run().
 //
 // Backends:
 //   kSimplifiedExplorer — saturation over the simplified semantics (§3);
@@ -29,9 +36,11 @@
 #ifndef RAPAR_CORE_VERIFIER_H_
 #define RAPAR_CORE_VERIFIER_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "analysis/prepass.h"
 #include "common/cancellation.h"
@@ -78,6 +87,28 @@ struct DatalogBackendOptions {
   // engine per pool worker alive across requests. Ignored when
   // threads != 1 — the parallel driver owns one engine per worker.
   dl::Engine* warm_engine = nullptr;
+  // ---- Sharding / checkpoint / resume (DESIGN.md §14) ----
+  // Stride sharding of the guess enumeration: this run scans exactly the
+  // global indices ≡ shard_index (mod shard_count). The default (0 of 1)
+  // scans everything. The `rapar_cli verify --shards=N` orchestrator
+  // merges per-shard envelopes under first-terminating-event-wins.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  // Resume: skip global indices below start_index (scanned by a previous
+  // run) and carry its solve count so guess accounting matches an
+  // uninterrupted run. Both typically come from a CursorCheckpoint.
+  std::size_t start_index = 0;
+  std::size_t resume_scanned_base = 0;
+  // Periodic checkpoint emission: every `checkpoint_every` solves (0 =
+  // off) plus whenever the scan stops without a definitive verdict, a
+  // CursorCheckpoint goes through the sink (the CLI writes it to
+  // --checkpoint=FILE atomically).
+  std::size_t checkpoint_every = 0;
+  std::function<void(const CursorCheckpoint&)> checkpoint_sink;
+  // Stop after this many solves in this invocation (0 = unlimited);
+  // deterministic truncation for kill-and-resume (stopped_phase becomes
+  // "scan-limit").
+  std::size_t scan_limit = 0;
 };
 
 // Knobs that only the concrete (standard-RA) backend reads.
@@ -206,27 +237,22 @@ class SafetyVerifier {
  public:
   explicit SafetyVerifier(const ParamSystem& system) : system_(system) {}
 
-  // Is some assertion violation reachable in some instance?
+  // The single entry point. The goal selects the question — std::nullopt
+  // asks assert-false reachability, a (var, val) pair asks Message
+  // Generation (§4.1) — and options.backend selects the engine. The
+  // per-backend Run* entry points this replaced live on as file-local
+  // dispatch targets in verifier.cpp.
+  Verdict Run(std::optional<std::pair<VarId, Value>> goal,
+              const VerifierOptions& options = {}) const;
+
+  // Deprecated: thin wrapper over Run(std::nullopt, options).
   Verdict Verify(const VerifierOptions& options = {}) const;
 
-  // Message Generation (§4.1): can a message (var, val) be generated?
+  // Deprecated: thin wrapper over Run(std::pair{var, val}, options).
   Verdict VerifyMessageGeneration(VarId var, Value val,
                                   const VerifierOptions& options = {}) const;
 
  private:
-  Verdict Run(std::optional<std::pair<VarId, Value>> goal,
-              const VerifierOptions& options) const;
-  Verdict RunSimplified(std::optional<std::pair<VarId, Value>> goal,
-                        const VerifierOptions& options) const;
-  Verdict RunDatalog(std::optional<std::pair<VarId, Value>> goal,
-                     const VerifierOptions& options) const;
-  Verdict RunConcrete(std::optional<std::pair<VarId, Value>> goal,
-                      const VerifierOptions& options) const;
-  Verdict RunTmai(std::optional<std::pair<VarId, Value>> goal,
-                  const VerifierOptions& options) const;
-  Verdict RunPortfolio(std::optional<std::pair<VarId, Value>> goal,
-                       const VerifierOptions& options) const;
-
   const ParamSystem& system_;
 };
 

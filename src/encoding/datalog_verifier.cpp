@@ -1,5 +1,6 @@
 #include "encoding/datalog_verifier.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -174,10 +175,15 @@ void Accumulate(DatalogVerdict& v, const GuessOutcome& o) {
   }
 }
 
-// Seals the verdict for a terminating event at guess index `idx`.
-void FinishEarly(DatalogVerdict& v, std::size_t idx, const GuessOutcome& o) {
-  v.guesses = idx + 1;
+// Seals the verdict for a terminating event at *global* guess index
+// `idx`. `scanned` is the guess count to report (resume base + solves up
+// to and including the terminating one); with single-shard, no-resume
+// options it equals idx + 1.
+void FinishEarly(DatalogVerdict& v, std::size_t idx, std::size_t scanned,
+                 const GuessOutcome& o) {
+  v.guesses = scanned;
   v.parallel.early_exit_index = idx;
+  v.terminating_index = idx;
   if (o.derived) {
     v.unsafe = true;
     v.witness_guess = o.witness;
@@ -196,6 +202,31 @@ void FetchMin(std::atomic<std::size_t>& a, std::size_t v) {
   }
 }
 
+// Emits a scan-position checkpoint through the configured sink (no-op
+// without one) and counts the write. `next_index` is the first global
+// index a resumed run must look at; `scanned` the cumulative solve count
+// to seed resume_scanned_base with.
+void EmitCheckpoint(const DatalogVerifierOptions& options,
+                    DatalogVerdict& verdict, std::size_t next_index,
+                    std::size_t scanned, bool exhausted) {
+  if (!options.checkpoint_sink) return;
+  CursorCheckpoint cp;
+  cp.shard_index = options.guess.shard_index;
+  cp.shard_count = options.guess.shard_count;
+  cp.next_index = next_index;
+  cp.scanned = scanned;
+  cp.exhausted = exhausted;
+  options.checkpoint_sink(cp);
+  ++verdict.checkpoint_writes;
+}
+
+// Stamps the shard identity / resume offset this run scans under.
+void StampShard(DatalogVerdict& v, const DatalogVerifierOptions& options) {
+  v.shard_index = options.guess.shard_index;
+  v.shard_count = options.guess.shard_count;
+  v.resume_offset = options.guess.start_index;
+}
+
 // --- serial driver ----------------------------------------------------------
 
 // threads == 1: the legacy in-order loop on the calling thread, one
@@ -205,28 +236,39 @@ DatalogVerdict SerialVerify(const SimplSystem& sys,
                             const DatalogVerifierOptions& options) {
   DatalogVerdict verdict;
   verdict.parallel.threads = 1;
+  StampShard(verdict, options);
   DisGuessCursor cursor(sys, options.guess);
   GuessSolver solver(sys, options);
   const Deadline deadline(options.time_budget_ms);
   const std::size_t batch =
       options.batch_size == 0 ? 1 : options.batch_size;
 
-  std::vector<DisGuess> chunk;
-  std::size_t idx = 0;
+  // Scan position. `scanned` is the verdict's guess accounting (resume
+  // base + solves here); `next_unscanned` the first global index a
+  // resumed run must revisit. With default options scanned == global
+  // index, preserving the legacy counts exactly.
+  std::size_t scanned = options.resume_scanned_base;
+  std::size_t solves_this_run = 0;
+  std::size_t since_checkpoint = 0;
+  std::size_t next_unscanned = options.guess.start_index;
+
+  std::vector<IndexedGuess> chunk;
   for (;;) {
     chunk.clear();
     const std::size_t n = cursor.NextChunk(batch, &chunk);
     if (n == 0) break;
     ++verdict.parallel.batches;
-    for (const DisGuess& guess : chunk) {
+    for (IndexedGuess& ig : chunk) {
+      const std::size_t idx = ig.index;
       if (deadline.Expired()) {
         cursor.Cancel();
         verdict.deadline_hit = true;
         verdict.exhaustive = false;
-        verdict.guesses = idx;
+        verdict.guesses = scanned;
         verdict.fact_reuses = solver.fact_reuses();
         obs::TraceInstant(options.trace, "deadline",
                           StrCat("{\"guess\":", idx, "}"));
+        EmitCheckpoint(options, verdict, next_unscanned, scanned, false);
         return verdict;
       }
       if (options.cancel != nullptr && options.cancel->cancelled()) {
@@ -234,40 +276,74 @@ DatalogVerdict SerialVerify(const SimplSystem& sys,
         // stays false — no budget expired.
         cursor.Cancel();
         verdict.exhaustive = false;
-        verdict.guesses = idx;
+        verdict.guesses = scanned;
         verdict.fact_reuses = solver.fact_reuses();
         obs::TraceInstant(options.trace, "cancelled",
                           StrCat("{\"guess\":", idx, "}"));
+        EmitCheckpoint(options, verdict, next_unscanned, scanned, false);
         return verdict;
       }
-      GuessOutcome o =
-          solver.Solve(guess, idx, /*want_width_report=*/idx == 0);
+      GuessOutcome o = solver.Solve(
+          ig.guess, idx, /*want_width_report=*/solves_this_run == 0);
       ++verdict.parallel.solves;
+      ++scanned;
+      ++solves_this_run;
+      ++since_checkpoint;
+      next_unscanned = idx + 1;
       Accumulate(verdict, o);
       if (o.terminating()) {
         cursor.Cancel();
         obs::TraceInstant(options.trace,
                           o.derived ? "early_exit" : "budget_abort",
                           StrCat("{\"guess\":", idx, "}"));
-        FinishEarly(verdict, idx, o);
+        FinishEarly(verdict, idx, scanned, o);
         verdict.fact_reuses = solver.fact_reuses();
+        if (o.budget_aborted) {
+          // Restartable: a rerun with a larger budget resumes *at* the
+          // aborted guess, so its (discarded) solve is not in `scanned`.
+          EmitCheckpoint(options, verdict, idx, scanned - 1, false);
+        }
         return verdict;
       }
-      ++idx;
+      if (options.scan_limit != 0 && solves_this_run >= options.scan_limit) {
+        cursor.Cancel();
+        verdict.scan_limit_hit = true;
+        verdict.exhaustive = false;
+        verdict.guesses = scanned;
+        verdict.fact_reuses = solver.fact_reuses();
+        obs::TraceInstant(options.trace, "scan_limit",
+                          StrCat("{\"guess\":", idx, "}"));
+        EmitCheckpoint(options, verdict, next_unscanned, scanned, false);
+        return verdict;
+      }
+      if (options.checkpoint_every != 0 &&
+          since_checkpoint >= options.checkpoint_every) {
+        since_checkpoint = 0;
+        EmitCheckpoint(options, verdict, next_unscanned, scanned, false);
+      }
     }
   }
-  verdict.guesses = cursor.produced();
+  verdict.guesses = options.resume_scanned_base + cursor.produced();
   verdict.exhaustive = cursor.complete();
   verdict.fact_reuses = solver.fact_reuses();
+  // complete() means nothing is left to resume; a hit enumeration cap
+  // leaves a resumable position (rerun with a larger max_guesses).
+  EmitCheckpoint(options, verdict, next_unscanned, verdict.guesses,
+                 cursor.complete());
   return verdict;
 }
 
 // --- parallel driver --------------------------------------------------------
 
 struct Batch {
-  std::size_t start = 0;                // enumeration index of outcomes[0]
-  std::vector<GuessOutcome> outcomes;   // one slot per guess in the chunk
-  std::string error;                    // first worker exception, if any
+  // Global enumeration index of each guess in the chunk (one entry per
+  // outcome slot; non-contiguous under sharding).
+  std::vector<std::size_t> indices;
+  std::vector<GuessOutcome> outcomes;  // one slot per guess in the chunk
+  std::string error;                   // first worker exception, if any
+  // Guesses of this chunk solved so far — the dispatcher's checkpoint
+  // frontier advances over the longest prefix of fully-solved batches.
+  std::atomic<std::size_t> done{0};
 };
 
 DatalogVerdict ParallelVerify(const SimplSystem& sys,
@@ -277,6 +353,7 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
   ThreadPool pool(threads);
   const unsigned workers = pool.size();
   verdict.parallel.threads = workers;
+  StampShard(verdict, options);
 
   std::vector<std::unique_ptr<GuessSolver>> solvers;
   solvers.reserve(workers);
@@ -310,8 +387,32 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
   // Backpressure: bound the chunks owned by queued/running tasks.
   std::counting_semaphore<> slots(static_cast<std::ptrdiff_t>(workers) * 4);
 
-  std::size_t next_index = 0;
-  std::vector<DisGuess> chunk;
+  // Contiguous-completed frontier over the dispatch order: the longest
+  // prefix of fully-solved batches. Everything at or below it is done, so
+  // it is a safe (conservative) resume point. Only the dispatcher appends
+  // to `batches`; workers touch the atomic `done` counters only.
+  const auto frontier = [&](std::size_t* next, std::size_t* count) {
+    *next = options.guess.start_index;
+    *count = 0;
+    for (const Batch& b : batches) {
+      if (b.done.load(std::memory_order_acquire) != b.indices.size()) break;
+      if (b.indices.empty()) continue;
+      *next = b.indices.back() + 1;
+      *count += b.indices.size();
+    }
+  };
+
+  // Index of the first solve of this run — the one that renders the
+  // width report (set before the first Submit, read-only afterwards).
+  std::size_t first_index = kNoGuessIndex;
+  // scan_limit bounds *dispatch*: the first scan_limit guesses of the
+  // enumeration order are handed out, nothing beyond — deterministic at
+  // any thread count.
+  std::size_t dispatched = 0;
+  bool scan_limited = false;
+  std::size_t cp_frontier_count = 0;  // frontier solves already checkpointed
+
+  std::vector<IndexedGuess> chunk;
   while (!cancel.cancelled()) {
     if (deadline.Expired()) {
       deadline_fired.store(true, std::memory_order_relaxed);
@@ -323,8 +424,16 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
       cancel.Cancel();
       break;
     }
+    std::size_t want = batch_size;
+    if (options.scan_limit != 0) {
+      if (dispatched >= options.scan_limit) {
+        scan_limited = true;
+        break;
+      }
+      want = std::min(want, options.scan_limit - dispatched);
+    }
     chunk.clear();
-    const std::size_t n = cursor.NextChunk(batch_size, &chunk);
+    const std::size_t n = cursor.NextChunk(want, &chunk);
     if (n == 0) break;
     slots.acquire();
     Batch* slot;
@@ -333,15 +442,17 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
       batches.emplace_back();
       slot = &batches.back();
     }
-    slot->start = next_index;
+    slot->indices.reserve(n);
+    for (const IndexedGuess& ig : chunk) slot->indices.push_back(ig.index);
     slot->outcomes.resize(n);
-    next_index += n;
+    if (first_index == kNoGuessIndex) first_index = slot->indices.front();
+    dispatched += n;
     pool.Submit([&, slot, guesses = std::move(chunk)] {
       const int w = ThreadPool::CurrentWorkerIndex();
       GuessSolver& solver = *solvers[static_cast<std::size_t>(w)];
       try {
         for (std::size_t i = 0; i < guesses.size(); ++i) {
-          const std::size_t idx = slot->start + i;
+          const std::size_t idx = slot->indices[i];
           if (idx > stop_idx.load(std::memory_order_relaxed)) {
             skipped.Add(guesses.size() - i);
             break;
@@ -358,12 +469,13 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
             skipped.Add(guesses.size() - i);
             break;
           }
-          GuessOutcome o =
-              solver.Solve(guesses[i], idx, /*want_width_report=*/idx == 0);
+          GuessOutcome o = solver.Solve(
+              guesses[i].guess, idx, /*want_width_report=*/idx == first_index);
           solves.Add(1);
           const bool terminating = o.terminating();
           const bool derived = o.derived;
           slot->outcomes[i] = std::move(o);
+          slot->done.fetch_add(1, std::memory_order_release);
           if (terminating) {
             FetchMin(stop_idx, idx);
             cancel.Cancel();
@@ -382,6 +494,17 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
       slots.release();
     });
     chunk = {};  // moved-from; restore a valid empty vector
+    if (options.checkpoint_every != 0 && options.checkpoint_sink &&
+        stop_idx.load(std::memory_order_relaxed) == kNoGuessIndex) {
+      std::size_t f_next = 0;
+      std::size_t f_count = 0;
+      frontier(&f_next, &f_count);
+      if (f_count - cp_frontier_count >= options.checkpoint_every) {
+        cp_frontier_count = f_count;
+        EmitCheckpoint(options, verdict, f_next,
+                       options.resume_scanned_base + f_count, false);
+      }
+    }
   }
   // Terminating events only occur in dispatched chunks, and chunks are
   // dispatched in enumeration order — once the token fires, every index
@@ -405,8 +528,8 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
   for (const Batch& b : batches) {
     for (std::size_t i = 0; i < b.outcomes.size(); ++i) {
       const GuessOutcome& o = b.outcomes[i];
-      if (o.evaluated && o.terminating() && b.start + i < stop) {
-        stop = b.start + i;
+      if (o.evaluated && o.terminating() && b.indices[i] < stop) {
+        stop = b.indices[i];
         event = &o;
       }
     }
@@ -421,7 +544,7 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
   for (const Batch& b : batches) {
     for (std::size_t i = 0; i < b.outcomes.size(); ++i) {
       const GuessOutcome& o = b.outcomes[i];
-      if (b.start + i > stop) {
+      if (b.indices[i] > stop) {
         verdict.parallel.discarded += o.evaluated ? 1 : 0;
         continue;
       }
@@ -436,25 +559,60 @@ DatalogVerdict ParallelVerify(const SimplSystem& sys,
     verdict.fact_reuses += solver->fact_reuses();
   }
 
+  const std::size_t base = options.resume_scanned_base;
   if (event != nullptr) {
-    FinishEarly(verdict, stop, *event);
+    // Deadline-free runs evaluate exactly the emitted indices <= stop, so
+    // base + evaluated matches the serial driver's scanned count.
+    FinishEarly(verdict, stop, base + evaluated, *event);
+    if (!event->derived) {
+      // Budget abort: restartable at the aborted guess (its discarded
+      // solve is excluded from the resume base, it will be redone).
+      EmitCheckpoint(options, verdict, stop, base + evaluated - 1, false);
+    }
   } else if (deadline_fired.load(std::memory_order_relaxed)) {
     verdict.deadline_hit = true;
     verdict.exhaustive = false;
     // Not a clean prefix (workers stop where the deadline caught them);
     // report the number of solves that made it into the aggregates.
-    verdict.guesses = evaluated;
+    verdict.guesses = base + evaluated;
     obs::TraceInstant(options.trace, "deadline",
                       StrCat("{\"solves\":", evaluated, "}"));
+    // Resume conservatively from the contiguous-completed frontier;
+    // solves in the ragged tail beyond it will be redone.
+    std::size_t f_next = 0;
+    std::size_t f_count = 0;
+    frontier(&f_next, &f_count);
+    EmitCheckpoint(options, verdict, f_next, base + f_count, false);
   } else if (ext_cancelled.load(std::memory_order_relaxed)) {
     // External cancel: truncated, inconclusive, no deadline blame.
     verdict.exhaustive = false;
-    verdict.guesses = evaluated;
+    verdict.guesses = base + evaluated;
     obs::TraceInstant(options.trace, "cancelled",
                       StrCat("{\"solves\":", evaluated, "}"));
+    std::size_t f_next = 0;
+    std::size_t f_count = 0;
+    frontier(&f_next, &f_count);
+    EmitCheckpoint(options, verdict, f_next, base + f_count, false);
+  } else if (scan_limited) {
+    // Every dispatched guess was solved (no event, no deadline), so the
+    // frontier covers the full dispatched prefix.
+    verdict.scan_limit_hit = true;
+    verdict.exhaustive = false;
+    verdict.guesses = base + evaluated;
+    obs::TraceInstant(options.trace, "scan_limit",
+                      StrCat("{\"solves\":", evaluated, "}"));
+    std::size_t f_next = 0;
+    std::size_t f_count = 0;
+    frontier(&f_next, &f_count);
+    EmitCheckpoint(options, verdict, f_next, base + f_count, false);
   } else {
-    verdict.guesses = cursor.produced();
+    verdict.guesses = base + cursor.produced();
     verdict.exhaustive = cursor.complete();
+    std::size_t f_next = 0;
+    std::size_t f_count = 0;
+    frontier(&f_next, &f_count);
+    EmitCheckpoint(options, verdict, f_next, verdict.guesses,
+                   cursor.complete());
   }
   return verdict;
 }

@@ -40,6 +40,7 @@
 #define RAPAR_ENCODING_DATALOG_VERIFIER_H_
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -96,6 +97,30 @@ struct DatalogVerifierOptions {
   // Cancel-truncated runs are exempt from the determinism rule like
   // deadline-truncated ones.
   const CancellationToken* cancel = nullptr;
+  // ---- Sharding / checkpoint / resume (DESIGN.md §14) ----
+  // The shard identity and resume offset travel in `guess`
+  // (GuessEnumOptions::shard_index/shard_count/start_index). The fields
+  // below layer verdict accounting and checkpoint emission on top.
+  //
+  // Guess accounting carried over from previous runs of this shard: the
+  // verdict's `guesses` is resume_scanned_base + solves-this-run, so a
+  // resumed scan reports the same totals as an uninterrupted one.
+  std::size_t resume_scanned_base = 0;
+  // Emit a CursorCheckpoint through checkpoint_sink every
+  // `checkpoint_every` solves (0 = no periodic checkpoints). A final
+  // checkpoint is also emitted whenever the scan stops without a
+  // definitive verdict (deadline, cancel, budget abort, scan limit,
+  // enumeration cap) and — with exhausted = true — on a completed scan.
+  std::size_t checkpoint_every = 0;
+  std::function<void(const CursorCheckpoint&)> checkpoint_sink;
+  // Stop after solving this many guesses in this invocation (0 =
+  // unlimited). Deterministic at every thread count — the parallel
+  // dispatcher bounds *dispatch* to the first scan_limit guesses of the
+  // enumeration order — which makes kill-and-resume testable without
+  // real kills: a truncated run plus a resumed run must reproduce the
+  // uninterrupted verdict. Sets DatalogVerdict::scan_limit_hit when it
+  // truncates the scan.
+  std::size_t scan_limit = 0;
   // Borrowed warm engine for the serial path (threads == 1): the solver
   // reuses its arena and interned-fact table across *calls* instead of
   // constructing a fresh engine per verify. Used by the serve daemon,
@@ -133,9 +158,13 @@ struct DatalogVerdict {
   // regardless of how much of the guess space was scanned) and false
   // after a budget abort or a hit enumeration cap.
   bool exhaustive = true;
-  // Guesses scanned: on early termination (witness found or budget
-  // aborted at index i) this is i + 1 — the enumeration stops as soon as
-  // the verdict is decided — otherwise the full enumeration count.
+  // Guesses scanned (resume_scanned_base + solves this run). With the
+  // default single-shard, no-resume options this is the legacy count: on
+  // early termination (witness found or budget aborted at index i) it is
+  // i + 1 — the enumeration stops as soon as the verdict is decided —
+  // otherwise the full enumeration count. Sharded runs count only their
+  // residue class; summing a full shard family's exhaustive counts gives
+  // the single-process total.
   std::size_t guesses = 0;
   std::size_t queries_evaluated = 0;
   // Aggregate Datalog statistics over the scanned prefix (per-solve,
@@ -177,6 +206,23 @@ struct DatalogVerdict {
   // prefix. Never set when a witness was found first (an unsafe verdict
   // is definitive and wins).
   bool deadline_hit = false;
+  // The scan stopped because DatalogVerifierOptions::scan_limit solves
+  // were spent this invocation; exhaustive is false and a checkpoint (if
+  // a sink is set) records where to resume.
+  bool scan_limit_hit = false;
+  // Checkpoints emitted through checkpoint_sink during this run.
+  std::size_t checkpoint_writes = 0;
+  // Echo of the shard identity / resume offset this run scanned under
+  // (GuessEnumOptions), for telemetry and envelope reporting.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t resume_offset = 0;
+  // Global enumeration index of the terminating event (witness or budget
+  // abort), kNoGuessIndex when none. Per-shard runs report it so the
+  // orchestrator's merge — the shard with the *minimum* terminating
+  // index wins — reproduces the single-process first-terminating-event
+  // rule bit for bit.
+  std::size_t terminating_index = kNoGuessIndex;
   // Aggregate optimizer statistics over the scanned prefix (zero when
   // dlopt is disabled; rules_before/after mirror total_rules{,_after}).
   dlopt::DlOptStats dlopt;

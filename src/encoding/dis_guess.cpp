@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <functional>
+#include <initializer_list>
 #include <utility>
 
+#include "common/json.h"
 #include "common/strings.h"
 
 namespace rapar {
@@ -116,10 +118,10 @@ void EnumPaths(const Cfa& cfa, Value dom, std::size_t cap,
   }
 }
 
-// Receives guesses in enumeration order; returns false to abort the
-// remaining enumeration (cursor cancelled). The vector wrapper always
-// returns true.
-using GuessSink = std::function<bool(DisGuess&&)>;
+// Receives guesses in enumeration order together with their global
+// enumeration index; returns false to abort the remaining enumeration
+// (cursor cancelled). The vector wrapper always returns true.
+using GuessSink = std::function<bool(std::size_t, DisGuess&&)>;
 
 // The shared enumeration core behind EnumerateDisGuesses and
 // DisGuessCursor. Produces guesses into a sink instead of a vector so the
@@ -156,10 +158,12 @@ class GuessBuilder {
  private:
   const Cfa& DisCfa(std::size_t t) const { return *sys_.dis[t]; }
 
-  // Enumeration must stop: the cap was hit or the sink cancelled.
+  // Enumeration must stop: the cap was hit or the sink cancelled. The
+  // cap is on the global index so every shard of the same system cuts
+  // the identical prefix of the enumeration order.
   bool Stopped() {
     if (stopped_) return true;
-    if (produced_ >= options_.max_guesses) {
+    if (global_index_ >= options_.max_guesses) {
       *complete_ = false;
       stopped_ = true;
       return true;
@@ -168,7 +172,15 @@ class GuessBuilder {
   }
 
   void Emit(DisGuess&& guess) {
-    if (!sink_(std::move(guess))) {
+    const std::size_t idx = global_index_++;
+    // Shard/resume filters suppress emission only: the global index keeps
+    // counting so every worker agrees on which guess is which.
+    if (options_.shard_count > 1 &&
+        idx % options_.shard_count != options_.shard_index) {
+      return;
+    }
+    if (idx < options_.start_index) return;
+    if (!sink_(idx, std::move(guess))) {
       stopped_ = true;
       return;
     }
@@ -358,7 +370,8 @@ class GuessBuilder {
   const GuessEnumOptions& options_;
   GuessSink sink_;
   bool* complete_;
-  std::size_t produced_ = 0;
+  std::size_t global_index_ = 0;  // next guess's global enumeration index
+  std::size_t produced_ = 0;      // guesses this shard actually emitted
   bool stopped_ = false;
   std::vector<std::vector<ThreadGuess>> per_thread_paths_;
   std::vector<std::size_t> chosen_;
@@ -373,13 +386,85 @@ std::vector<DisGuess> EnumerateDisGuesses(const SimplSystem& sys,
   std::vector<DisGuess> out;
   GuessBuilder builder(
       sys, options,
-      [&out](DisGuess&& g) {
+      [&out](std::size_t, DisGuess&& g) {
         out.push_back(std::move(g));
         return true;
       },
       complete);
   builder.Run();
   return out;
+}
+
+// --- CursorCheckpoint -------------------------------------------------------
+
+std::string CursorCheckpoint::ToJson(bool pretty) const {
+  JsonWriter w(pretty);
+  w.BeginObject();
+  w.Key("schema_version").Int(kSchemaVersion);
+  w.Key("kind").String("rapar-cursor-checkpoint");
+  w.Key("shard_index").UInt(shard_index);
+  w.Key("shard_count").UInt(shard_count);
+  w.Key("next_index").UInt(next_index);
+  w.Key("scanned").UInt(scanned);
+  w.Key("exhausted").Bool(exhausted);
+  w.EndObject();
+  std::string out = w.TakeString();
+  out += '\n';
+  return out;
+}
+
+Expected<CursorCheckpoint> CursorCheckpoint::FromJson(std::string_view text) {
+  using E = Expected<CursorCheckpoint>;
+  Expected<JsonValue> doc = ParseJson(text);
+  if (!doc.ok()) return E::Error("checkpoint: " + doc.error());
+  const JsonValue& v = doc.value();
+  if (!v.is_object()) return E::Error("checkpoint: not a JSON object");
+  const JsonValue* kind = v.Find("kind");
+  if (kind == nullptr || !kind->is_string() ||
+      kind->string != "rapar-cursor-checkpoint") {
+    return E::Error("checkpoint: missing kind \"rapar-cursor-checkpoint\"");
+  }
+  const JsonValue* ver = v.Find("schema_version");
+  if (ver == nullptr || !ver->is_number() || !ver->number_is_int) {
+    return E::Error("checkpoint: missing integer schema_version");
+  }
+  if (ver->integer != kSchemaVersion) {
+    return E::Error(StrCat("checkpoint: schema_version ", ver->integer,
+                           " unsupported (expected ", kSchemaVersion, ")"));
+  }
+  CursorCheckpoint cp;
+  auto read_uint = [&v](const char* key, std::size_t* out) -> const char* {
+    const JsonValue* field = v.Find(key);
+    if (field == nullptr || !field->is_number()) return "missing";
+    if (field->number_is_uint) {
+      *out = static_cast<std::size_t>(field->uinteger);
+    } else if (field->number_is_int && field->integer >= 0) {
+      *out = static_cast<std::size_t>(field->integer);
+    } else {
+      return "negative or non-integer";
+    }
+    return nullptr;
+  };
+  for (const auto& [key, out] :
+       std::initializer_list<std::pair<const char*, std::size_t*>>{
+           {"shard_index", &cp.shard_index},
+           {"shard_count", &cp.shard_count},
+           {"next_index", &cp.next_index},
+           {"scanned", &cp.scanned}}) {
+    if (const char* err = read_uint(key, out)) {
+      return E::Error(StrCat("checkpoint: field '", key, "' ", err));
+    }
+  }
+  const JsonValue* ex = v.Find("exhausted");
+  if (ex == nullptr || !ex->is_bool()) {
+    return E::Error("checkpoint: field 'exhausted' missing or not a boolean");
+  }
+  cp.exhausted = ex->boolean;
+  if (cp.shard_count == 0 || cp.shard_index >= cp.shard_count) {
+    return E::Error(StrCat("checkpoint: shard_index ", cp.shard_index,
+                           " out of range for shard_count ", cp.shard_count));
+  }
+  return E{std::move(cp)};
 }
 
 // --- DisGuessCursor ---------------------------------------------------------
@@ -391,7 +476,10 @@ DisGuessCursor::DisGuessCursor(const SimplSystem& sys,
   producer_ = std::jthread([this, &sys, opts = options] {
     bool complete = true;
     GuessBuilder builder(
-        sys, opts, [this](DisGuess&& g) { return Push(std::move(g)); },
+        sys, opts,
+        [this](std::size_t idx, DisGuess&& g) {
+          return Push(idx, std::move(g));
+        },
         &complete);
     builder.Run();
     {
@@ -408,13 +496,13 @@ DisGuessCursor::~DisGuessCursor() {
   // producer_ (jthread) joins on destruction.
 }
 
-bool DisGuessCursor::Push(DisGuess&& guess) {
+bool DisGuessCursor::Push(std::size_t index, DisGuess&& guess) {
   std::unique_lock<std::mutex> lock(m_);
   can_produce_.wait(lock, [this] {
     return buffer_.size() < capacity_ || cancelled_;
   });
   if (cancelled_) return false;
-  buffer_.push_back(std::move(guess));
+  buffer_.push_back(IndexedGuess{index, std::move(guess)});
   ++produced_;
   lock.unlock();
   can_consume_.notify_one();
@@ -423,6 +511,23 @@ bool DisGuessCursor::Push(DisGuess&& guess) {
 
 std::size_t DisGuessCursor::NextChunk(std::size_t max_chunk,
                                       std::vector<DisGuess>* out) {
+  std::unique_lock<std::mutex> lock(m_);
+  can_consume_.wait(lock,
+                    [this] { return !buffer_.empty() || done_ || cancelled_; });
+  if (cancelled_) return 0;
+  std::size_t n = 0;
+  while (n < max_chunk && !buffer_.empty()) {
+    out->push_back(std::move(buffer_.front().guess));
+    buffer_.pop_front();
+    ++n;
+  }
+  lock.unlock();
+  can_produce_.notify_all();
+  return n;
+}
+
+std::size_t DisGuessCursor::NextChunk(std::size_t max_chunk,
+                                      std::vector<IndexedGuess>* out) {
   std::unique_lock<std::mutex> lock(m_);
   can_consume_.wait(lock,
                     [this] { return !buffer_.empty() || done_ || cancelled_; });

@@ -21,6 +21,16 @@
 //     pull chunks on demand instead of holding up to max_guesses = 200'000
 //     skeletons in memory, and can cancel enumeration the moment a verdict
 //     is decided.
+//
+// Sharding & resume: the enumeration order is deterministic, so every
+// guess has a stable *global index*. GuessEnumOptions can restrict a
+// cursor to one residue class of that order (shard i of N sees exactly
+// the indices ≡ i mod N) and/or skip a prefix (start_index, for resuming
+// an aborted scan). Both filters only suppress *emission* — the global
+// index keeps counting, so all shards agree on which guess is which and
+// the max_guesses cap cuts the same global prefix everywhere. A
+// CursorCheckpoint serializes a scan position (shard identity + first
+// unscanned global index) as versioned JSON.
 #ifndef RAPAR_ENCODING_DIS_GUESS_H_
 #define RAPAR_ENCODING_DIS_GUESS_H_
 
@@ -30,9 +40,11 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/expected.h"
 #include "simplified/transitions.h"
 
 namespace rapar {
@@ -85,8 +97,40 @@ struct DisGuess {
 };
 
 struct GuessEnumOptions {
-  // Hard cap on the number of guesses produced.
+  // Hard cap on the *global* enumeration index: enumeration stops once
+  // max_guesses guesses exist in the global order, regardless of how many
+  // this shard emitted. With shard_count = 1 and start_index = 0 this is
+  // exactly the legacy "number of guesses produced" cap.
   std::size_t max_guesses = 200'000;
+  // Stride sharding: emit only guesses whose global index ≡ shard_index
+  // (mod shard_count). The default (0 of 1) emits everything.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  // Resume: additionally suppress guesses with global index < start_index
+  // (they were scanned by a previous run).
+  std::size_t start_index = 0;
+};
+
+// A serializable scan position: enough to reconstruct the remaining
+// enumeration of one shard. `next_index` is the first global index not
+// yet scanned by this shard's run (every index of the shard's residue
+// class below it is done); `scanned` carries the shard's cumulative
+// solve count across prior runs so a resumed verdict's guess accounting
+// matches an uninterrupted run; `exhausted` means the enumeration
+// finished and there is nothing to resume.
+struct CursorCheckpoint {
+  static constexpr int kSchemaVersion = 1;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t next_index = 0;
+  std::size_t scanned = 0;
+  bool exhausted = false;
+
+  // Versioned JSON via common/json. FromJson validates shape, schema
+  // version and field ranges (shard_index < shard_count, a corrupted or
+  // version-mismatched document is an error, never a zeroed checkpoint).
+  std::string ToJson(bool pretty = false) const;
+  static Expected<CursorCheckpoint> FromJson(std::string_view text);
 };
 
 // Enumerates all valid dis-run guesses of `sys` (up to the cap). Register
@@ -97,6 +141,13 @@ struct GuessEnumOptions {
 std::vector<DisGuess> EnumerateDisGuesses(const SimplSystem& sys,
                                           const GuessEnumOptions& options,
                                           bool* complete);
+
+// One streamed guess together with its global enumeration index (stable
+// across shard/resume filters — see GuessEnumOptions).
+struct IndexedGuess {
+  std::size_t index = 0;
+  DisGuess guess;
+};
 
 // Resumable streaming enumeration: produces the same guesses in the same
 // order as EnumerateDisGuesses, but on demand. A producer thread runs the
@@ -123,6 +174,10 @@ class DisGuessCursor {
   // was cancelled.
   std::size_t NextChunk(std::size_t max_chunk, std::vector<DisGuess>* out);
 
+  // Same, but with each guess's global enumeration index attached — the
+  // form the sharded drivers consume.
+  std::size_t NextChunk(std::size_t max_chunk, std::vector<IndexedGuess>* out);
+
   // Stops the producer; subsequent NextChunk calls return 0 (guesses
   // already buffered are discarded). Idempotent, safe from any thread.
   void Cancel();
@@ -141,13 +196,14 @@ class DisGuessCursor {
   bool complete() const;
 
  private:
-  bool Push(DisGuess&& guess);  // producer side; false = cancelled
+  // Producer side; false = cancelled.
+  bool Push(std::size_t index, DisGuess&& guess);
 
   const std::size_t capacity_;
   mutable std::mutex m_;
   std::condition_variable can_produce_;
   std::condition_variable can_consume_;
-  std::deque<DisGuess> buffer_;
+  std::deque<IndexedGuess> buffer_;
   std::size_t produced_ = 0;
   bool done_ = false;       // producer finished (exhausted or cancelled)
   bool cancelled_ = false;

@@ -118,7 +118,7 @@ TEST_P(BenchmarkVerdictTest, SimplifiedBackendMatchesExpectation) {
   SafetyVerifier verifier(bench.system);
   VerifierOptions opts;
   opts.time_budget_ms = 60'000;
-  Verdict v = verifier.Verify(opts);
+  Verdict v = verifier.Run(std::nullopt, opts);
   ASSERT_NE(v.result, Verdict::Result::kUnknown) << bench.name;
   if (bench.expected_unsafe.has_value()) {
     EXPECT_EQ(v.unsafe(), *bench.expected_unsafe)
@@ -143,10 +143,10 @@ TEST(BenchmarkSuiteTest, DatalogBackendAgreesOnSmallCases) {
   for (const BenchmarkCase& bench : cases) {
     SafetyVerifier verifier(bench.system);
     VerifierOptions simpl_opts;
-    Verdict vs = verifier.Verify(simpl_opts);
+    Verdict vs = verifier.Run(std::nullopt, simpl_opts);
     VerifierOptions dl_opts;
     dl_opts.backend = Backend::kDatalog;
-    Verdict vd = verifier.Verify(dl_opts);
+    Verdict vd = verifier.Run(std::nullopt, dl_opts);
     ASSERT_NE(vs.result, Verdict::Result::kUnknown) << bench.name;
     ASSERT_NE(vd.result, Verdict::Result::kUnknown) << bench.name;
     EXPECT_EQ(vs.unsafe(), vd.unsafe()) << bench.name;
@@ -158,21 +158,21 @@ TEST(BenchmarkSuiteTest, ConcreteBackendConfirmsBugsWithinBound) {
   // sufficient concrete instance size.
   BenchmarkCase pc = ProducerConsumer(2);
   SafetyVerifier verifier(pc.system);
-  Verdict v = verifier.Verify();
+  Verdict v = verifier.Run(std::nullopt);
   ASSERT_TRUE(v.unsafe());
   ASSERT_TRUE(v.env_thread_bound.has_value());
 
   VerifierOptions copts;
   copts.backend = Backend::kConcrete;
   copts.concrete.env_threads = static_cast<int>(*v.env_thread_bound);
-  Verdict vc = verifier.Verify(copts);
+  Verdict vc = verifier.Run(std::nullopt, copts);
   EXPECT_TRUE(vc.unsafe());
 }
 
 TEST(BenchmarkSuiteTest, VerdictToStringMentionsResult) {
   BenchmarkCase rcu = Rcu();
   SafetyVerifier verifier(rcu.system);
-  Verdict v = verifier.Verify();
+  Verdict v = verifier.Run(std::nullopt);
   EXPECT_NE(v.ToString().find("SAFE"), std::string::npos);
 }
 
@@ -181,18 +181,29 @@ TEST(BenchmarkSuiteTest, MessageGenerationQueries) {
   SafetyVerifier verifier(pc.system);
   VarId x = pc.system.vars().Find("x");
   // Producers can generate (x, 1) and (x, 2) but never (x, 3).
-  EXPECT_TRUE(verifier.VerifyMessageGeneration(x, 1).unsafe());
-  EXPECT_TRUE(verifier.VerifyMessageGeneration(x, 2).unsafe());
-  EXPECT_TRUE(verifier.VerifyMessageGeneration(x, 3).safe());
+  EXPECT_TRUE(verifier.Run(std::pair{x, Value{1}}).unsafe());
+  EXPECT_TRUE(verifier.Run(std::pair{x, Value{2}}).unsafe());
+  EXPECT_TRUE(verifier.Run(std::pair{x, Value{3}}).safe());
 }
 
 TEST(BenchmarkSuiteTest, ProducerConsumerSafeVariantIsSafe) {
   BenchmarkCase pc = ProducerConsumerSafe(2);
   SafetyVerifier verifier(pc.system);
-  EXPECT_TRUE(verifier.Verify().safe());
+  EXPECT_TRUE(verifier.Run(std::nullopt).safe());
   VerifierOptions opts;
   opts.backend = Backend::kDatalog;
-  EXPECT_TRUE(verifier.Verify(opts).safe());
+  EXPECT_TRUE(verifier.Run(std::nullopt, opts).safe());
+}
+
+// The pre-Run entry points survive as thin wrappers; they must keep
+// answering exactly what Run answers until they are removed.
+TEST(BenchmarkSuiteTest, DeprecatedWrappersDelegateToRun) {
+  BenchmarkCase pc = ProducerConsumer(1);
+  SafetyVerifier verifier(pc.system);
+  EXPECT_EQ(verifier.Verify().result, verifier.Run(std::nullopt).result);
+  VarId x = pc.system.vars().Find("x");
+  EXPECT_EQ(verifier.VerifyMessageGeneration(x, 1).result,
+            verifier.Run(std::pair{x, Value{1}}).result);
 }
 
 }  // namespace

@@ -102,7 +102,7 @@ TEST(JsonSchemaTest, VerdictEnvelopeUnsafeDatalog) {
   SafetyVerifier verifier(bench.system);
   VerifierOptions opts;
   opts.backend = Backend::kDatalog;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   ASSERT_TRUE(v.unsafe());
 
   const std::string json =
@@ -114,6 +114,10 @@ TEST(JsonSchemaTest, VerdictEnvelopeUnsafeDatalog) {
   EXPECT_EQ(doc.value().Find("exit_code")->integer, 1);
   // Certificate-free envelopes keep the exact pre-certificate key set.
   EXPECT_EQ(doc.value().Find("certificate"), nullptr);
+  // Same contract for the activity-gated PR 10 sections: a default
+  // single-shard, no-resume run keeps the exact pre-shard key set.
+  EXPECT_EQ(doc.value().Find("shard"), nullptr);
+  EXPECT_EQ(doc.value().Find("checkpoint"), nullptr);
   EXPECT_EQ(doc.value().Find("command")->string, "verify");
   EXPECT_EQ(doc.value().Find("system")->string, bench.system.Signature());
   EXPECT_EQ(doc.value().Find("options")->Find("backend")->string, "datalog");
@@ -129,7 +133,7 @@ TEST(JsonSchemaTest, VerdictEnvelopeSafeSimplified) {
   BenchmarkCase bench = ProducerConsumerSafe(4);
   SafetyVerifier verifier(bench.system);
   VerifierOptions opts;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   ASSERT_TRUE(v.safe());
 
   const std::string json =
@@ -143,8 +147,45 @@ TEST(JsonSchemaTest, VerdictEnvelopeSafeSimplified) {
   EXPECT_TRUE(doc.value().Find("stopped_phase")->is_null());
   // Safe, but not via TMAI: no certificate key, same as before PR 7.
   EXPECT_EQ(doc.value().Find("certificate"), nullptr);
+  EXPECT_EQ(doc.value().Find("shard"), nullptr);
+  EXPECT_EQ(doc.value().Find("checkpoint"), nullptr);
   const JsonValue* t = doc.value().Find("telemetry");
   EXPECT_NE(t->Find("verify.states"), nullptr);
+}
+
+// Sharded-run golden: when a run scans one residue class of the guess
+// enumeration (and checkpoints its position), the envelope gains the
+// "shard" and "checkpoint" sections — still under kResultSchemaVersion,
+// with the shapes the --shards orchestrator merges on.
+TEST(JsonSchemaTest, VerdictEnvelopeShardAndCheckpointSections) {
+  BenchmarkCase bench = DekkerFences();
+  SafetyVerifier verifier(bench.system);
+  VerifierOptions opts;
+  opts.backend = Backend::kDatalog;
+  opts.datalog.shard_index = 1;
+  opts.datalog.shard_count = 2;
+  opts.datalog.checkpoint_every = 1;
+  opts.datalog.checkpoint_sink = [](const CursorCheckpoint&) {};
+  const Verdict v = verifier.Run(std::nullopt, opts);
+
+  const std::string json =
+      VerdictToJson(v, opts, "verify", bench.system.Signature());
+  Expected<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  CheckVerdictEnvelope(doc.value(), "sharded/datalog");
+
+  const JsonValue* shard = doc.value().Find("shard");
+  ASSERT_NE(shard, nullptr);
+  ASSERT_TRUE(shard->is_object());
+  EXPECT_EQ(shard->Find("index")->uinteger, 1u);
+  EXPECT_EQ(shard->Find("count")->uinteger, 2u);
+
+  const JsonValue* checkpoint = doc.value().Find("checkpoint");
+  ASSERT_NE(checkpoint, nullptr);
+  ASSERT_TRUE(checkpoint->is_object());
+  ASSERT_NE(checkpoint->Find("writes"), nullptr);
+  EXPECT_GT(checkpoint->Find("writes")->uinteger, 0u);
+  ASSERT_NE(checkpoint->Find("resume_offset"), nullptr);
 }
 
 TEST(JsonSchemaTest, VerdictEnvelopeDeadlineUnknown) {
@@ -153,7 +194,7 @@ TEST(JsonSchemaTest, VerdictEnvelopeDeadlineUnknown) {
   VerifierOptions opts;
   opts.backend = Backend::kDatalog;
   opts.time_budget_ms = 1;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   ASSERT_EQ(v.result, Verdict::Result::kUnknown);
 
   const std::string json =
@@ -172,7 +213,7 @@ TEST(JsonSchemaTest, VerdictEnvelopeEchoesProducingBackend) {
   SafetyVerifier verifier(bench.system);
   VerifierOptions opts;
   opts.backend = Backend::kTmai;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   ASSERT_TRUE(v.safe());
 
   const std::string json =
@@ -203,7 +244,7 @@ TEST(JsonSchemaTest, VerdictEnvelopeCarriesRelationalCertificate) {
   SafetyVerifier verifier(bench.system);
   VerifierOptions opts;
   opts.backend = Backend::kTmai;  // domain defaults to kAuto
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   ASSERT_TRUE(v.safe());
   ASSERT_NE(v.certificate, nullptr);
 
@@ -269,7 +310,7 @@ TEST(JsonSchemaTest, VerdictEnvelopePortfolioNamesTheWinner) {
   SafetyVerifier verifier(bench.system);
   VerifierOptions opts;
   opts.backend = Backend::kPortfolio;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   ASSERT_TRUE(v.unsafe());
 
   const std::string json =

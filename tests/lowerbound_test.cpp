@@ -86,7 +86,7 @@ bool VerifyQbfViaReduction(const Qbf& qbf) {
   SafetyVerifier verifier(sys.value());
   VerifierOptions opts;
   opts.time_budget_ms = 60'000;
-  Verdict v = verifier.Verify(opts);
+  Verdict v = verifier.Run(std::nullopt, opts);
   EXPECT_NE(v.result, Verdict::Result::kUnknown) << qbf.ToString();
   return v.unsafe();
 }
@@ -149,7 +149,7 @@ TEST(TqbfReductionTest, DisVariantAgreesWithEnvOnlyForm) {
     SafetyVerifier verifier(sys.value());
     VerifierOptions opts;
     opts.time_budget_ms = 60'000;
-    Verdict v = verifier.Verify(opts);
+    Verdict v = verifier.Run(std::nullopt, opts);
     ASSERT_NE(v.result, Verdict::Result::kUnknown) << qbf.ToString();
     EXPECT_EQ(v.unsafe(), EvalQbf(qbf)) << qbf.ToString();
   }
@@ -171,8 +171,8 @@ TEST(TqbfReductionTest, LevelQueriesRealiseTheInduction) {
       SafetyVerifier verifier(q.system.value());
       VerifierOptions opts;
       opts.time_budget_ms = 60'000;
-      Verdict v = verifier.VerifyMessageGeneration(q.goal_var,
-                                                   q.goal_value, opts);
+      Verdict v =
+          verifier.Run(std::pair{q.goal_var, q.goal_value}, opts);
       ASSERT_NE(v.result, Verdict::Result::kUnknown) << qbf.ToString();
       both = both && v.unsafe();
     }

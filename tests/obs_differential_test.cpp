@@ -43,10 +43,10 @@ TEST(ObsDifferentialTest, TraceOnOffIdenticalDatalog) {
       opts.backend = Backend::kDatalog;
       opts.datalog.threads = threads;
 
-      const Verdict off = verifier.Verify(opts);
+      const Verdict off = verifier.Run(std::nullopt, opts);
       obs::TraceRecorder rec;
       opts.obs.trace = &rec;
-      const Verdict on = verifier.Verify(opts);
+      const Verdict on = verifier.Run(std::nullopt, opts);
 
       const std::string label =
           bench.name + " threads=" + std::to_string(threads);
@@ -64,10 +64,10 @@ TEST(ObsDifferentialTest, TraceOnOffIdenticalSimplified) {
     VerifierOptions opts;
     opts.backend = Backend::kSimplifiedExplorer;
 
-    const Verdict off = verifier.Verify(opts);
+    const Verdict off = verifier.Run(std::nullopt, opts);
     obs::TraceRecorder rec;
     opts.obs.trace = &rec;
-    const Verdict on = verifier.Verify(opts);
+    const Verdict on = verifier.Run(std::nullopt, opts);
 
     ExpectIdentical(off, on, bench.name.c_str());
     EXPECT_GT(rec.size(), 0u);
@@ -87,9 +87,9 @@ TEST(ObsDifferentialTest, DeadlineAbortsDatalogSerial) {
   opts.backend = Backend::kDatalog;
   opts.datalog.threads = 1;
   VerifierOptions full = opts;
-  const Verdict complete = verifier.Verify(full);
+  const Verdict complete = verifier.Run(std::nullopt, full);
   opts.time_budget_ms = 1;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   EXPECT_EQ(v.result, Verdict::Result::kUnknown);
   EXPECT_EQ(v.stopped_phase, "solve");
   EXPECT_TRUE(v.witness.empty());
@@ -104,7 +104,7 @@ TEST(ObsDifferentialTest, DeadlineAbortsDatalogParallel) {
   opts.backend = Backend::kDatalog;
   opts.datalog.threads = 4;
   opts.time_budget_ms = 1;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   EXPECT_EQ(v.result, Verdict::Result::kUnknown);
   EXPECT_EQ(v.stopped_phase, "solve");
   EXPECT_TRUE(v.witness.empty());
@@ -120,7 +120,7 @@ TEST(ObsDifferentialTest, DeadlineAbortsSimplifiedExplorer) {
   VerifierOptions opts;
   opts.backend = Backend::kSimplifiedExplorer;
   opts.time_budget_ms = 1;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   EXPECT_EQ(v.result, Verdict::Result::kUnknown);
   EXPECT_EQ(v.stopped_phase, "explore");
 }
@@ -132,7 +132,7 @@ TEST(ObsDifferentialTest, DeadlineAbortsConcreteExplorer) {
   opts.backend = Backend::kConcrete;
   opts.concrete.env_threads = 2;
   opts.time_budget_ms = 1;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   EXPECT_EQ(v.result, Verdict::Result::kUnknown);
   EXPECT_EQ(v.stopped_phase, "explore");
 }
@@ -145,7 +145,7 @@ TEST(ObsDifferentialTest, NoBudgetMeansNoDeadline) {
   VerifierOptions opts;
   opts.backend = Backend::kDatalog;
   opts.time_budget_ms = 0;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   EXPECT_EQ(v.result, Verdict::Result::kSafe);
   EXPECT_TRUE(v.stopped_phase.empty());
 }

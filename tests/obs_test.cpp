@@ -222,7 +222,7 @@ TEST(TraceRecorderTest, VerifySpansNestUnderSolve) {
   opts.backend = Backend::kDatalog;
   obs::TraceRecorder rec;
   opts.obs.trace = &rec;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   EXPECT_TRUE(v.unsafe());
 
   Expected<JsonValue> doc = ParseJson(rec.ToChromeTraceJson());
@@ -269,7 +269,7 @@ TEST(TelemetryTest, VerdictPhaseGaugesAndAccessors) {
   SafetyVerifier verifier(bench.system);
   VerifierOptions opts;
   opts.backend = Backend::kDatalog;
-  const Verdict v = verifier.Verify(opts);
+  const Verdict v = verifier.Run(std::nullopt, opts);
   namespace metric = obs::metric;
   EXPECT_TRUE(v.telemetry.Has(metric::kPhaseTotalMs));
   EXPECT_TRUE(v.telemetry.Has(metric::kPhaseSolveMs));

@@ -35,7 +35,7 @@ Pair VerifyBothWays(const ParamSystem& system, std::size_t max_states) {
   on.enable_prepass = true;
   VerifierOptions off = on;
   off.enable_prepass = false;
-  return Pair{verifier.Verify(on), verifier.Verify(off)};
+  return Pair{verifier.Run(std::nullopt, on), verifier.Run(std::nullopt, off)};
 }
 
 void ExpectAgreement(const Pair& p, const std::string& label) {

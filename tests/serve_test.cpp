@@ -369,7 +369,7 @@ TEST(ServeTest, CatalogReplayDifferential) {
     VerifierOptions opts;
     opts.time_budget_ms = 60'000;
     SafetyVerifier verifier(suite[i].system);
-    const Verdict oracle = verifier.Verify(opts);
+    const Verdict oracle = verifier.Run(std::nullopt, opts);
     EXPECT_EQ(Str(doc, "verdict"), VerdictName(oracle.result))
         << suite[i].name;
     const JsonValue* witness = doc.Find("witness");

@@ -181,11 +181,11 @@ TEST(TmaiSoundnessTest, CatalogDifferential) {
     SafetyVerifier verifier(bench.system);
     VerifierOptions topts;
     topts.backend = Backend::kTmai;
-    Verdict tv = verifier.Verify(topts);
+    Verdict tv = verifier.Run(std::nullopt, topts);
     if (!tv.safe()) continue;
     VerifierOptions dopts;
     dopts.backend = Backend::kDatalog;
-    Verdict dv = verifier.Verify(dopts);
+    Verdict dv = verifier.Run(std::nullopt, dopts);
     EXPECT_EQ(dv.result, Verdict::Result::kSafe)
         << "UNSOUND: TMAI proved " << bench.name
         << " safe, Datalog says " << dv.ToString();
@@ -200,18 +200,12 @@ void ExpectPortfolioMatchesDatalog(const SafetyVerifier& verifier,
                                    const char* label) {
   VerifierOptions dopts;
   dopts.backend = Backend::kDatalog;
-  Verdict dv = goal.has_value()
-                   ? verifier.VerifyMessageGeneration(goal->first,
-                                                      goal->second, dopts)
-                   : verifier.Verify(dopts);
+  Verdict dv = verifier.Run(goal, dopts);
   for (unsigned threads : {1u, 8u}) {
     VerifierOptions popts;
     popts.backend = Backend::kPortfolio;
     popts.datalog.threads = threads;
-    Verdict pv = goal.has_value()
-                     ? verifier.VerifyMessageGeneration(goal->first,
-                                                        goal->second, popts)
-                     : verifier.Verify(popts);
+    Verdict pv = verifier.Run(goal, popts);
     EXPECT_EQ(pv.result, dv.result)
         << label << " at datalog threads " << threads << ": portfolio "
         << pv.ToString() << " vs datalog " << dv.ToString();
@@ -244,7 +238,7 @@ TEST(TmaiPortfolioTest, RelationalAutoProofSkipsTheRace) {
     SafetyVerifier verifier(bench.system);
     VerifierOptions popts;
     popts.backend = Backend::kPortfolio;
-    Verdict v = verifier.Verify(popts);
+    Verdict v = verifier.Run(std::nullopt, popts);
     EXPECT_TRUE(v.safe()) << bench.name;
     EXPECT_EQ(v.backend, "portfolio:tmai") << bench.name;
     EXPECT_NE(v.certificate, nullptr) << bench.name;

@@ -224,7 +224,7 @@ TEST(TmaiBackendTest, VerifierIntegration) {
   SafetyVerifier verifier(sys);
   VerifierOptions opts;
   opts.backend = Backend::kTmai;
-  Verdict v = verifier.Verify(opts);
+  Verdict v = verifier.Run(std::nullopt, opts);
   EXPECT_TRUE(v.safe());
   EXPECT_EQ(v.backend, "tmai");
   EXPECT_EQ(v.telemetry.counter(obs::metric::kTmaiConverged), 1u);
@@ -243,7 +243,7 @@ TEST(TmaiCatalogTest, NeverSafeOnUnsafeAndProvesSafeFraction) {
     SafetyVerifier verifier(bench.system);
     VerifierOptions opts;
     opts.backend = Backend::kTmai;
-    Verdict v = verifier.Verify(opts);
+    Verdict v = verifier.Run(std::nullopt, opts);
     ASSERT_NE(v.result, Verdict::Result::kUnsafe) << bench.name;
     if (bench.expected_unsafe.value_or(false)) {
       EXPECT_NE(v.result, Verdict::Result::kSafe)
@@ -268,7 +268,7 @@ TEST(TmaiCatalogTest, ProvesKnownSafeCases) {
     SafetyVerifier verifier(bench.system);
     VerifierOptions opts;
     opts.backend = Backend::kTmai;
-    return verifier.Verify(opts).safe();
+    return verifier.Run(std::nullopt, opts).safe();
   };
   EXPECT_TRUE(proves(Rcu()));
   EXPECT_TRUE(proves(ChaseLevDeque()));

@@ -83,7 +83,7 @@ TEST(WitnessBoundTest, EnvThreadBoundIsSufficientAcrossUnsafeCases) {
   std::vector<BenchmarkCase> suite = StandardBenchmarks();
   for (const BenchmarkCase& bench : suite) {
     SafetyVerifier verifier(bench.system);
-    Verdict v = verifier.Verify();
+    Verdict v = verifier.Run(std::nullopt);
     if (!v.unsafe() || !v.env_thread_bound.has_value()) continue;
     const int b = static_cast<int>(*v.env_thread_bound);
     if (b > 4) continue;  // keep concrete exploration tractable
@@ -91,7 +91,7 @@ TEST(WitnessBoundTest, EnvThreadBoundIsSufficientAcrossUnsafeCases) {
     copts.backend = Backend::kConcrete;
     copts.concrete.env_threads = std::max(b, 1);
     copts.time_budget_ms = 30'000;
-    Verdict cv = verifier.Verify(copts);
+    Verdict cv = verifier.Run(std::nullopt, copts);
     EXPECT_TRUE(cv.unsafe() || cv.result == Verdict::Result::kUnknown)
         << bench.name << " bound " << b;
   }
